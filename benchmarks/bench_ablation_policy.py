@@ -1,0 +1,87 @@
+"""ABL-POLICY: replacement-policy ablation for the set-pinning study.
+
+The paper's residency argument (Section V.3) assumes the PPC440's
+round-robin policy.  This ablation re-runs Figure 11 under round-robin,
+LRU, FIFO and random eviction and checks which policies preserve the 50%
+residency claim — all of them do for a single sequential pass (the last
+64 lines always survive), but the *identity* of the resident lines and
+the behaviour under a second pass differ sharply: LRU keeps the most
+recent half and thrashes on a sequential re-walk, while round-robin's
+pointer wraps the same way every pass.
+"""
+
+import pytest
+
+from benchmarks.conftest import T3_LEN
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import CacheSimulator, simulate
+from repro.transform.engine import transform_trace
+from repro.transform.paper_rules import rule_t3
+
+POLICIES = ["round-robin", "lru", "fifo", "random"]
+
+
+def _cfg(policy):
+    return CacheConfig(
+        size=32 * 1024,
+        block_size=32,
+        associativity=64,
+        policy=policy,
+        name=f"PPC440-{policy}",
+    )
+
+
+@pytest.fixture(scope="module")
+def pinned_trace(request):
+    from repro.tracer.interp import trace_program
+    from repro.workloads.paper_kernels import paper_kernel
+
+    trace = trace_program(paper_kernel("3a", length=T3_LEN))
+    return transform_trace(trace, rule_t3(T3_LEN)).trace
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_residency_claim_per_policy(benchmark, pinned_trace, policy):
+    cfg = _cfg(policy)
+    result = benchmark(simulate, pinned_trace, cfg)
+    series = result.stats.per_var_set["lSetHashingArray"]
+    import numpy as np
+
+    active = np.nonzero(series.hits + series.misses)[0]
+    assert len(active) == 1  # pinning is policy-independent
+    pinned = int(active[0])
+    occupied = result.cache.set_occupancy(pinned) * cfg.block_size
+    print(
+        f"\n{policy:<12s}: misses {int(series.misses.sum()):>4d}, "
+        f"residency {occupied}/{T3_LEN * 4} bytes "
+        f"({occupied / (T3_LEN * 4):.0%})"
+    )
+    # One sequential pass: 128 cold misses and a full set regardless of
+    # policy; the 50% residency claim holds for all policies.
+    assert int(series.misses.sum()) == 128
+    assert occupied * 2 == T3_LEN * 4
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_second_pass_distinguishes_policies(benchmark, pinned_trace, policy):
+    """Re-walking the pinned structure: round-robin and LRU/FIFO all
+    evict the line that is about to be needed on a sequential re-walk
+    (the classic cyclic-access worst case), so the second pass misses
+    everywhere; this quantifies the paper's caveat that the user 'must be
+    aware of the host system's cache configuration'."""
+    cfg = _cfg(policy)
+
+    def two_passes():
+        sim = CacheSimulator(cfg)
+        sim.feed(pinned_trace)
+        first = sim.result().stats.by_variable["lSetHashingArray"].misses
+        sim.feed(pinned_trace)
+        total = sim.result().stats.by_variable["lSetHashingArray"].misses
+        return first, total - first
+
+    first, second = benchmark(two_passes)
+    print(f"\n{policy:<12s}: pass1 misses {first}, pass2 misses {second}")
+    if policy in ("round-robin", "lru", "fifo"):
+        assert second == first  # cyclic thrash: no reuse at all
+    else:
+        assert second < first  # random keeps a survivor fraction

@@ -1,0 +1,115 @@
+"""ABL-PREFETCH: prefetch policies vs layout transformations (ours).
+
+Hardware prefetching is the other classic answer to "my structure walk
+misses a lot".  This ablation runs the T1 pair (SoA original, engine-
+transformed AoS) under DineroIV's prefetch policies and separates two
+effects the per-variable attribution makes visible:
+
+- *cold/stream misses*: any sequential prefetcher removes most of them,
+  for either layout — prefetching substitutes for T1 on streaming code;
+- *conflict misses* (aliasing components): prefetching cannot touch
+  them — only the layout change (or a victim buffer) can.
+"""
+
+import pytest
+
+from benchmarks.conftest import FIG_LEN
+from repro.cache.config import CacheConfig
+from repro.cache.prefetch import PrefetchPolicy, simulate_with_prefetch
+from repro.cache.simulator import simulate
+from repro.transform.engine import transform_trace
+from repro.transform.paper_rules import rule_t1
+
+POLICIES = [
+    PrefetchPolicy.DEMAND,
+    PrefetchPolicy.MISS,
+    PrefetchPolicy.TAGGED,
+    PrefetchPolicy.ALWAYS,
+]
+
+
+@pytest.fixture(scope="module")
+def pair(trace_1a):
+    transformed = transform_trace(trace_1a, rule_t1(FIG_LEN)).trace
+    return trace_1a, transformed
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_prefetch_on_both_layouts(benchmark, pair, policy, paper_cache):
+    original, transformed = pair
+    soa = benchmark(
+        simulate_with_prefetch, original, paper_cache, policy
+    )
+    aos = simulate_with_prefetch(transformed, paper_cache, policy)
+    soa_m = soa.stats.by_variable["lSoA"].misses
+    aos_m = aos.stats.by_variable["lAoS"].misses
+    print(
+        f"\n{policy.value:<8s}: SoA misses {soa_m:>5d} "
+        f"(accuracy {soa.accuracy:.0%}), AoS misses {aos_m:>5d} "
+        f"(accuracy {aos.accuracy:.0%})"
+    )
+    if policy is PrefetchPolicy.DEMAND:
+        plain = simulate(original, paper_cache).stats.by_variable["lSoA"].misses
+        assert soa_m == plain
+    if policy in (PrefetchPolicy.TAGGED, PrefetchPolicy.ALWAYS):
+        # Streaming kernels: the prefetcher removes nearly all misses of
+        # BOTH layouts (the 32 KiB cache has no conflicts at this size).
+        assert soa_m <= 20
+        assert aos_m <= 20
+        assert soa.accuracy > 0.9
+
+
+def test_prefetch_cannot_remove_conflicts(benchmark, paper_cache):
+    """On the conflict-heavy geometry, tagged prefetch barely helps while
+    T1 removes the misses — they attack different miss classes."""
+    from repro.ctypes_model.types import ArrayType, INT, StructType
+    from repro.tracer.expr import V
+    from repro.tracer.interp import trace_program
+    from repro.tracer.program import Function, Program
+    from repro.tracer.stmt import (
+        Assign,
+        DeclLocal,
+        StartInstrumentation,
+        simple_for,
+    )
+    from repro.transform.rule_parser import parse_rules
+
+    n = 1024
+    soa = StructType(
+        "lSoA", [("mX", ArrayType(INT, n)), ("mY", ArrayType(INT, n))]
+    )
+    body = [
+        DeclLocal("lSoA", soa),
+        DeclLocal("lI", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            n,
+            [
+                Assign(V("lSoA").fld("mX")[V("lI")], V("lI")),
+                Assign(V("lSoA").fld("mY")[V("lI")], V("lI")),
+            ],
+        ),
+    ]
+    program = Program()
+    program.add_function(Function("main", body=body))
+    trace = trace_program(program)
+    cfg = CacheConfig(size=4096, block_size=32, associativity=1)
+    plain = simulate(trace, cfg).stats.by_variable["lSoA"].misses
+    prefetched = benchmark(
+        lambda: simulate_with_prefetch(
+            trace, cfg, PrefetchPolicy.TAGGED
+        ).stats.by_variable["lSoA"].misses
+    )
+    rules = parse_rules(
+        f"in:\nstruct lSoA {{ int mX[{n}]; int mY[{n}]; }};\n"
+        f"out:\nstruct lAoS {{ int mX; int mY; }}[{n}];\n"
+    )
+    t1 = simulate(
+        transform_trace(trace, rules).trace, cfg
+    ).stats.by_variable["lAoS"].misses
+    print(f"\nconflict kernel misses: plain {plain}, tagged-prefetch "
+          f"{prefetched}, T1 {t1}")
+    # Prefetch recovers less than half of what T1 recovers.
+    assert (plain - prefetched) < (plain - t1) / 2

@@ -1,0 +1,73 @@
+"""XFORM-VALID: engine throughput and process-step validation.
+
+Not a paper figure, but the paper's Section IV pipeline implies the
+transformation runs inline "during cache analysis" — so its per-line
+overhead must be bounded.  This bench measures engine throughput on the
+three rule kinds and validates the bookkeeping identities of the
+five-step process.
+"""
+
+import pytest
+
+from benchmarks.conftest import FIG_LEN, T3_LEN
+from repro.transform.engine import TransformEngine, transform_trace
+from repro.transform.paper_rules import rule_t1, rule_t2, rule_t3
+
+
+@pytest.mark.parametrize(
+    "rule_name",
+    ["t1", "t2", "t3"],
+)
+def test_engine_throughput(benchmark, rule_name, trace_1a, trace_2a, trace_3a):
+    trace, rules = {
+        "t1": (trace_1a, lambda: rule_t1(FIG_LEN)),
+        "t2": (trace_2a, lambda: rule_t2(FIG_LEN)),
+        "t3": (trace_3a, lambda: rule_t3(T3_LEN)),
+    }[rule_name]
+
+    def run():
+        engine = TransformEngine(rules())
+        return engine.transform(trace)
+
+    result = benchmark(run)
+    rate = len(trace) / benchmark.stats["mean"]
+    print(f"\n{rule_name}: {rate:,.0f} records/s through the engine")
+    assert result.report.transformed > 0
+
+
+def test_streaming_equals_batch(benchmark, trace_1a):
+    """engine.stream() (used for inline simulation) produces exactly the
+    records engine.transform() collects."""
+    batch = TransformEngine(rule_t1(FIG_LEN)).transform(trace_1a)
+    streamed = benchmark(
+        lambda: list(TransformEngine(rule_t1(FIG_LEN)).stream(trace_1a))
+    )
+    assert streamed == list(batch.trace)
+
+
+def test_passthrough_overhead_is_bounded(benchmark, trace_1a):
+    """A rule that matches nothing should cost little: passthrough path."""
+    from repro.ctypes_model.types import ArrayType, INT, StructType
+    from repro.transform.rules import LayoutRule
+
+    unrelated = StructType("zzz", [("a", ArrayType(INT, 4))])
+    unrelated_out = ArrayType(StructType("e", [("a", INT)]), 4)
+    rule = LayoutRule("zzz", unrelated, "zzz_out", unrelated_out)
+
+    def run():
+        return TransformEngine([rule]).transform(trace_1a)
+
+    result = benchmark(run)
+    assert result.report.transformed == 0
+    assert result.report.passthrough == len(trace_1a)
+
+
+def test_step4_transformed_trace_file(benchmark, tmp_path, trace_1a):
+    """Step 4 of the paper's process: the transformed trace is written to
+    transformed_trace.out and round-trips."""
+    from repro.trace.stream import Trace
+
+    result = transform_trace(trace_1a, rule_t1(FIG_LEN))
+    out = benchmark(result.write, tmp_path / "transformed_trace.out")
+    assert out.name == "transformed_trace.out"
+    assert Trace.load(out) == result.trace

@@ -1,0 +1,71 @@
+"""FIG8: the transformed-trace diff for T2 (nested -> indirect).
+
+Paper artifact: Figure 8 — original vs transformed trace with the
+inserted ``L ...mRarelyUsed`` indirection loads highlighted.  Claims:
+
+- every outlined access is preceded by exactly one inserted pointer load;
+- the hand-transformed program (2B) performs the same accesses to the
+  same relative locations as the engine's output.
+"""
+
+from benchmarks.conftest import FIG_LEN
+from repro.trace.diff import diff_traces
+from repro.trace.record import AccessType
+from repro.transform.engine import transform_trace
+from repro.transform.paper_rules import rule_t2
+
+
+def test_fig8_insertions(benchmark, trace_2a):
+    """Regenerate the Fig 8 diff: pointer loads appear as insertions."""
+    transformed = transform_trace(trace_2a, rule_t2(FIG_LEN))
+    diff = benchmark(diff_traces, transformed.original, transformed.trace)
+
+    print()
+    print("=== Fig 8: original 2A vs engine-transformed ===")
+    print(diff.summary())
+
+    inserted = diff.inserted_records()
+    assert len(inserted) == 2 * FIG_LEN  # one per outlined field access
+    assert all(r.op is AccessType.LOAD and r.size == 8 for r in inserted)
+    assert all(str(r.var).endswith(".mRarelyUsed") for r in inserted)
+    assert diff.deleted == 0
+
+
+def test_fig8_pointer_load_adjacency(benchmark, trace_2a):
+    """Each inserted load IMMEDIATELY precedes its outlined access and
+    names the same element index."""
+    transformed = benchmark(transform_trace, trace_2a, rule_t2(FIG_LEN))
+    records = list(transformed.trace)
+    checked = 0
+    for i, r in enumerate(records):
+        if r.base_name == "lStorageForRarelyUsed":
+            prev = records[i - 1]
+            assert prev.op is AccessType.LOAD and prev.size == 8
+            assert prev.var.elements[0] == r.var.elements[0]
+            checked += 1
+    assert checked == 2 * FIG_LEN
+
+
+def test_fig8_native_equivalence(benchmark, trace_2a, trace_2b):
+    """Engine output vs natively traced 2B: identical access multisets on
+    the transformed structures and identical relative layouts."""
+    transformed = transform_trace(trace_2a, rule_t2(FIG_LEN))
+
+    def structure_profile(trace):
+        rows = []
+        for r in trace:
+            if r.base_name in ("lS2", "lStorageForRarelyUsed"):
+                rows.append((r.op.value, r.size, str(r.var)))
+        return rows
+
+    ours = benchmark(structure_profile, transformed.trace)
+    theirs = structure_profile(trace_2b)
+    assert sorted(ours) == sorted(theirs)
+
+    def offsets(trace, name):
+        addrs = [r.addr for r in trace if r.base_name == name]
+        base = min(addrs)
+        return [a - base for a in addrs]
+
+    for name in ("lS2", "lStorageForRarelyUsed"):
+        assert offsets(transformed.trace, name) == offsets(trace_2b, name)

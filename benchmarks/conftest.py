@@ -1,0 +1,89 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_fig*.py`` regenerates one of the paper's figures: it builds
+the workload trace, runs the transformation and/or cache simulation under
+``pytest-benchmark`` timing, prints the figure's data rows (the same
+series the paper's gnuplot scripts plot), and asserts the figure's *shape*
+claims (who wins, where traffic lands).  Absolute hit/miss counts need not
+match the paper's testbed; the asserted relationships must.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.per_set import FigureSeries
+from repro.cache.config import CacheConfig
+from repro.tracer.interp import trace_program
+from repro.workloads.paper_kernels import paper_kernel
+
+#: Array length used for the T1/T2 figures: large enough that the
+#: structures span hundreds of cache sets, as in the paper's plots.
+FIG_LEN = 1024
+
+#: The paper's Section V.3 uses LEN=1024 explicitly (64 KiB strided array).
+T3_LEN = 1024
+
+
+@pytest.fixture(scope="session")
+def paper_cache() -> CacheConfig:
+    """Figures 3/4/6/7: 32 KiB, 32 B blocks, direct mapped."""
+    return CacheConfig.paper_direct_mapped()
+
+
+@pytest.fixture(scope="session")
+def ppc440_cache() -> CacheConfig:
+    """Figures 10/11: PPC440 32 KiB, 32 B, 64-way, round-robin."""
+    return CacheConfig.ppc440()
+
+
+@pytest.fixture(scope="session")
+def trace_1a():
+    return trace_program(paper_kernel("1a", length=FIG_LEN))
+
+
+@pytest.fixture(scope="session")
+def trace_1b():
+    return trace_program(paper_kernel("1b", length=FIG_LEN))
+
+
+@pytest.fixture(scope="session")
+def trace_2a():
+    return trace_program(paper_kernel("2a", length=FIG_LEN))
+
+
+@pytest.fixture(scope="session")
+def trace_2b():
+    return trace_program(paper_kernel("2b", length=FIG_LEN))
+
+
+@pytest.fixture(scope="session")
+def trace_3a():
+    return trace_program(paper_kernel("3a", length=T3_LEN))
+
+
+@pytest.fixture(scope="session")
+def trace_3b():
+    return trace_program(paper_kernel("3b", length=T3_LEN))
+
+
+def print_figure(figure: FigureSeries, *, max_rows: int = 12) -> None:
+    """Print a figure's data series like the paper's plot-input rows."""
+    print()
+    print(f"=== {figure.title} ===")
+    for series in figure.series:
+        rows = series.rows()
+        span = series.span()
+        total_h = int(series.hits.sum())
+        total_m = int(series.misses.sum())
+        print(
+            f"series {series.label}: active sets {span}, "
+            f"hits {total_h}, misses {total_m}, "
+            f"concentration {series.concentration():.3f}, "
+            f"uniformity {series.uniformity():.3f}"
+        )
+        head = rows[:max_rows]
+        for set_index, hits, misses in head:
+            print(f"  set {set_index:>5d}  hits {hits:>8d}  misses {misses:>6d}")
+        if len(rows) > max_rows:
+            print(f"  ... {len(rows) - max_rows} more sets")

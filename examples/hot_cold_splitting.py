@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Hot/cold splitting study on a particle-simulation workload (T2).
+
+The paper's second transformation outlines rarely used members behind a
+pointer so frequently used members pack densely.  This example applies it
+to the classic scenario: a particle array whose update loop touches only
+position/velocity while mass/charge/id ride along in every cache line.
+
+We trace the *unmodified* program once, then use the rule engine to study
+the outlined layout — no source change, exactly the paper's promise.  The
+report quantifies both the benefit (hot-loop misses drop) and the cost
+(the inserted pointer loads, shown in the Figure 8-style diff).
+
+Run:  python examples/hot_cold_splitting.py
+"""
+
+from repro import api
+from repro.transform.rule_parser import parse_rules
+
+N = 2048
+STEPS = 2
+
+
+def particle_rule(n: int):
+    """Outline the cold block of the Particle struct into a pool."""
+    return parse_rules(
+        f"""
+in:
+struct cold {{
+    double mass;
+    double charge;
+    int id;
+}};
+struct parts {{
+    double x;
+    double vx;
+    struct cold;
+}}[{n}];
+out:
+struct coldPool {{
+    double mass;
+    double charge;
+    int id;
+}}[{n}];
+struct hotParts {{
+    double x;
+    double vx;
+    + cold:coldPool;
+}}[{n}];
+"""
+    )
+
+
+def main() -> None:
+    cache = api.CacheConfig(size=16 * 1024, block_size=64, associativity=2)
+
+    program = api.particle_update(N, steps=STEPS)
+    trace = api.trace_program(program)
+    print(f"particle update, N={N}, steps={STEPS}: {len(trace)} trace records")
+
+    transformed = api.transform_trace(trace, particle_rule(N))
+    print(transformed.report.summary())
+    print()
+
+    before = api.simulate(trace, cache)
+    after = api.simulate(transformed.trace, cache)
+    print(api.comparison_report(
+        before, after,
+        label_before="inline (AoS)",
+        label_after="hot/cold split",
+        transform=transformed,
+    ))
+    print()
+
+    hot_before = before.stats.by_variable["parts"]
+    hot_after = after.stats.by_variable["hotParts"]
+    print(
+        f"hot-structure misses: {hot_before.misses} -> {hot_after.misses} "
+        f"({hot_before.misses / max(hot_after.misses, 1):.2f}x)"
+    )
+    print(
+        "why: hot element shrinks from 40 to 24 bytes -> "
+        f"{64 // 40} vs {64 // 24} elements per 64-byte line"
+    )
+    print()
+
+    # The indirection cost is zero here because the update loop never
+    # touches the cold fields; re-run with touch_cold=True to see the
+    # pointer loads appear (the Figure 8 effect).
+    cold_program = api.particle_update(N, steps=1, touch_cold=True)
+    cold_trace = api.trace_program(cold_program)
+    cold_transformed = api.transform_trace(cold_trace, particle_rule(N))
+    diff = api.diff_traces(cold_transformed.original, cold_transformed.trace)
+    print(f"with cold-touching loop: {diff.summary()}")
+    inserted = diff.inserted_records()
+    print(f"inserted pointer loads: {len(inserted)}; first few:")
+    for record in inserted[:3]:
+        print("  ", record)
+
+
+if __name__ == "__main__":
+    main()

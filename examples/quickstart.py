@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's whole pipeline in one script.
+
+Mirrors Figure 2 of the paper:
+
+    application --(Gleipnir)--> trace --(rules + DineroIV)--> statistics
+
+We trace the structure-of-arrays kernel (Listing 4 / "1A"), apply the
+Listing 5 rule to turn it into an array-of-structures *in the trace*,
+simulate both traces on the paper's 32 KiB direct-mapped cache, and
+print the before/after comparison plus a snippet of the Figure 5 diff.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import api
+
+LENGTH = 1024
+
+
+def main() -> None:
+    # 1. "Run the application through Gleipnir" — build and trace it.
+    program = api.paper_kernel("1a", length=LENGTH)
+    trace = api.trace_program(program)
+    print(f"traced kernel 1A: {len(trace)} records")
+    print(api.compute_stats(trace).summary())
+    print()
+
+    # 2. Apply the transformation rule (the paper's Listing 5).
+    rules = api.paper_rule("t1", length=LENGTH)
+    transformed = api.transform_trace(trace, rules)
+    print("transformation report:")
+    print(transformed.report.summary())
+    print()
+
+    # 3. Cache-simulate both traces (modified-DineroIV role).
+    cache = api.CacheConfig.paper_direct_mapped()
+    before = api.simulate(trace, cache, attribution="member")
+    after = api.simulate(transformed.trace, cache, attribution="member")
+
+    # 4. Compare.
+    print(api.comparison_report(before, after, transform=transformed))
+    print()
+
+    # 5. Figure 5: diff original vs transformed (first mismatches only).
+    diff = api.diff_traces(transformed.original, transformed.trace)
+    print("trace diff (Figure 5 style):", diff.summary())
+    for line in diff.render(context=1).splitlines()[:14]:
+        print(line)
+
+    # 6. Per-set figure data (Figures 3 and 4).
+    print()
+    print(api.render_figure(api.figure_series(before, title="Figure 3 (SoA)")))
+    print()
+    print(api.render_figure(api.figure_series(after, title="Figure 4 (AoS)")))
+
+
+if __name__ == "__main__":
+    main()

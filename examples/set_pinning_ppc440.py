@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Cache-set pinning on the PowerPC 440 (T3, Figures 10/11).
+
+Reproduces the paper's Section V.3 experiment: a contiguous 4 KiB array
+walk is remapped, through a stride rule, so that every access lands in a
+single set of the PPC440's 16-set, 64-way, round-robin data cache —
+"pinning" the structure and freeing the other 15 sets for everything
+else.  The example then goes one step further than the paper's figure and
+uses the *displacement* the paper mentions to move the pinned structure
+to a chosen set, and demonstrates the payoff with a co-running structure
+that keeps its cache contents only when the array is pinned.
+
+Run:  python examples/set_pinning_ppc440.py
+"""
+
+import numpy as np
+
+from repro import api
+from repro.transform.engine import ARENA_BASE
+
+LEN = 1024
+
+
+def pinned_set_of(result) -> int:
+    series = result.stats.per_var_set["lSetHashingArray"]
+    return int(np.nonzero(series.hits + series.misses)[0][0])
+
+
+def main() -> None:
+    cache = api.CacheConfig.ppc440()
+    print(cache.describe())
+    trace = api.trace_program(api.paper_kernel("3a", length=LEN))
+    rules = api.paper_rule("t3", length=LEN)
+
+    # Figure 10: contiguous walk uses every set.
+    before = api.simulate(trace, cache)
+    fig10 = api.figure_series(before, title="Fig 10: contiguous array",
+                              variables=["lContiguousArray"])
+    print(api.render_figure(fig10, buckets=16))
+    print()
+
+    # Figure 11: strided walk pins one set.
+    transformed = api.transform_trace(trace, rules)
+    after = api.simulate(transformed.trace, cache)
+    fig11 = api.figure_series(after, title="Fig 11: set-hashed array",
+                              variables=["lSetHashingArray"])
+    print(api.render_figure(fig11, buckets=16))
+    pinned = pinned_set_of(after)
+    resident = after.cache.set_occupancy(pinned) * cache.block_size
+    print(
+        f"\npinned set: {pinned}; residency {resident}/{LEN * 4} bytes "
+        f"({resident / (LEN * 4):.0%}) — the paper's 50% claim"
+    )
+    print(
+        f"misses: contiguous {before.stats.by_variable['lContiguousArray'].misses}"
+        f" vs pinned {after.stats.by_variable['lSetHashingArray'].misses}"
+        " (same, as the paper claims)"
+    )
+    print()
+
+    # "A displacement may be used to yield another set": shift the arena
+    # base block by block and watch the pinned set move.
+    print("displacement sweep (arena base offset -> pinned set):")
+    for blocks in range(0, 8):
+        shifted = api.transform_trace(
+            trace, api.paper_rule("t3", length=LEN),
+            arena_base=ARENA_BASE + 32 * blocks,
+        )
+        result = api.simulate(shifted.trace, cache)
+        print(f"  +{32 * blocks:>4d} bytes -> set {pinned_set_of(result)}")
+    print()
+
+    # Why pin at all? Co-run a second structure that lives in other sets:
+    # with the contiguous array it gets evicted (round-robin churns every
+    # set); with the pinned array it survives.
+    resident_trace = api.trace_program(api.paper_kernel("3a", length=LEN))
+    print("co-residency effect on the other 15 sets:")
+    for label, t in (("contiguous", trace), ("pinned", transformed.trace)):
+        sim = api.CacheSimulator(cache)
+        sim.feed(resident_trace)       # warm a resident structure
+        warm_blocks = set(sim.cache.resident_blocks())
+        sim.feed(t)                    # run the array walk under study
+        survived = sum(
+            1 for b in warm_blocks if sim.cache.contains(b)
+        )
+        print(
+            f"  after {label:<11s} walk: {survived}/{len(warm_blocks)} "
+            "previously-resident lines survive"
+        )
+
+
+if __name__ == "__main__":
+    main()

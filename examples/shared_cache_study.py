@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Shared-cache study: interleaving + physical addresses (future work, built).
+
+The paper restricts itself to private caches because Gleipnir traces
+carry virtual addresses (Section VI).  This example runs the full remedy
+stack the reproduction implements:
+
+1. trace two "processes" (an array-walking kernel and a stencil);
+2. give each its own virtual address-space offset and thread id;
+3. interleave the streams (round-robin quantum, SMT-style);
+4. translate through ONE OS page table (the shared frame pool the
+   paper's "kernel page-maps" merge implies) under three policies;
+5. simulate the shared, physically indexed L2 and attribute the
+   interference with the conflict matrix.
+
+Run:  python examples/shared_cache_study.py
+"""
+
+from repro import api
+
+#: A small shared L2 so the two working sets genuinely contend.
+L2 = api.CacheConfig(size=16 * 1024, block_size=64, associativity=2, name="sharedL2")
+
+
+def main() -> None:
+    print(L2.describe())
+    print()
+
+    # Two co-running programs with real footprints (16 KiB each).
+    prog_a = api.trace_program(api.paper_kernel("3a", length=4096))
+    prog_b = api.trace_program(api.stencil_2d(32, iterations=2))
+    a = api.tag_thread(prog_a, 1)
+    b = api.tag_thread(prog_b, 2, address_offset=0x2000_0000)
+    print(f"process A (array walk): {len(a)} records")
+    print(f"process B (stencil)   : {len(b)} records")
+
+    # Baselines: each process alone on the L2.
+    alone_a = api.simulate(a, L2).stats.misses
+    alone_b = api.simulate(b, L2).stats.misses
+    print(f"misses alone: A {alone_a}, B {alone_b} (sum {alone_a + alone_b})")
+    print()
+
+    merged = api.round_robin([a, b], quantum=16)
+
+    for policy in ("identity", "coloring", "random"):
+        # One page table: the OS's single physical frame pool.
+        table = api.PageTable(policy, colors=16, seed=7)
+        phys = api.to_physical(merged, table)
+        result = api.simulate(phys, L2)
+        extra = result.stats.misses - (alone_a + alone_b)
+        print(
+            f"shared L2, {policy:<10s} frames: misses {result.stats.misses} "
+            f"(interference {extra:+d})"
+        )
+    print()
+
+    # Who hurts whom?  The conflict matrix names the structures.
+    result = api.simulate(
+        api.to_physical(merged, api.PageTable("identity")), L2
+    )
+    cross = result.conflicts.cross_conflicts()
+    pairs = sorted(cross.items(), key=lambda kv: -kv[1])[:5]
+    print("top cross-structure evictions (victim <- evictor):")
+    for (victim, evictor), count in pairs:
+        print(f"  {victim:<22s} <- {evictor:<22s} {count}")
+    print()
+    print(
+        "The interleaved run misses more than the two isolated runs\n"
+        "combined: the processes evict each other's lines.  The paper's\n"
+        "virtual-only tooling cannot see this; the page-table merge makes\n"
+        "the shared level simulable."
+    )
+
+
+if __name__ == "__main__":
+    main()

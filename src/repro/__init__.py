@@ -1,0 +1,37 @@
+"""repro — reproduction of *Trace Driven Data Structure Transformations* (SC 2012).
+
+The package implements the full pipeline described in the paper:
+
+- :mod:`repro.ctypes_model` — a C type system with System-V x86-64 ABI layout
+  rules (sizes, alignment, struct padding) and a declaration parser.
+- :mod:`repro.memory` — a simulated virtual address space with stack, global
+  and heap segments plus a symbol table that maps addresses back to
+  variable paths (the role played by the compiler's ``-g`` debug info).
+- :mod:`repro.trace` — the Gleipnir trace-line model, text format I/O,
+  stream utilities, statistics, and a structural trace diff.
+- :mod:`repro.tracer` — a miniature C-like program model and interpreter that
+  *executes* programs and emits Gleipnir-format traces (our substitute for
+  Valgrind + Gleipnir; see DESIGN.md).
+- :mod:`repro.cache` — a DineroIV-style trace-driven cache simulator with
+  per-set, per-variable and per-function statistics and an eviction
+  attribution (conflict) matrix.
+- :mod:`repro.transform` — the paper's core contribution: a rule-based trace
+  transformation engine supporting SoA<->AoS remapping, nested-structure
+  outlining through pointer indirection, and stride/set-pinning remaps.
+- :mod:`repro.analysis` — per-set hit/miss series, reports and plot writers
+  used to regenerate the paper's figures.
+- :mod:`repro.workloads` — the paper's example kernels (1A/1B, 2A/2B, 3A/3B)
+  and additional realistic workloads.
+
+Quickstart::
+
+    from repro import api
+    trace = api.trace_program(api.paper_kernel("1a", length=16))
+    result = api.simulate(trace, api.CacheConfig(size=32768, block_size=32,
+                                                 associativity=1))
+    print(result.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

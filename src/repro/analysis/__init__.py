@@ -1,0 +1,45 @@
+"""Analysis and figure-data generation.
+
+The paper's figures are gnuplot bar charts of hits and misses per cache
+set, one series per variable, produced by "scripts that parse DineroIV
+output".  This package regenerates the same data:
+
+- :mod:`repro.analysis.per_set` — extract per-set series from a
+  simulation result (figure data as numpy arrays / rows);
+- :mod:`repro.analysis.gnuplot` — write gnuplot-compatible ``.dat`` and
+  ``.gp`` files;
+- :mod:`repro.analysis.ascii_plot` — terminal bar charts used by the
+  examples and the benchmark harness output;
+- :mod:`repro.analysis.report` — combined text reports (simulation +
+  transformation + conflicts).
+"""
+
+from repro.analysis.per_set import FigureSeries, SetSeries, figure_series
+from repro.analysis.ascii_plot import ascii_bars, render_figure
+from repro.analysis.gnuplot import write_gnuplot_data, write_gnuplot_script
+from repro.analysis.heatmap import SetHeatmap, compute_heatmap
+from repro.analysis.report import comparison_report, simulation_report
+from repro.analysis.sweep import (
+    SweepPoint,
+    associativity_sweep,
+    sweep_configs,
+    sweep_table,
+)
+
+__all__ = [
+    "SetSeries",
+    "FigureSeries",
+    "figure_series",
+    "ascii_bars",
+    "render_figure",
+    "write_gnuplot_data",
+    "write_gnuplot_script",
+    "SetHeatmap",
+    "compute_heatmap",
+    "simulation_report",
+    "comparison_report",
+    "SweepPoint",
+    "sweep_configs",
+    "sweep_table",
+    "associativity_sweep",
+]

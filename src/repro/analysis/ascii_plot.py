@@ -1,0 +1,102 @@
+"""Terminal bar charts of per-set figures.
+
+The paper renders its per-set histograms with gnuplot; for a library that
+runs headless we provide a faithful ASCII rendering (log-ish scaling like
+the paper's log-axis plots) used by the examples and benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.per_set import FigureSeries, SetSeries
+
+#: glyphs for increasing bar heights
+_BLOCKS = " .:-=+*#%@"
+
+
+def _scale(value: int, peak: int, *, log: bool = True) -> float:
+    """0..1 bar height, log-scaled like the paper's figures."""
+    if value <= 0 or peak <= 0:
+        return 0.0
+    if not log:
+        return value / peak
+    return math.log1p(value) / math.log1p(peak)
+
+
+def ascii_bars(
+    values: Sequence[int],
+    *,
+    width: int = 64,
+    label: str = "",
+    log: bool = True,
+) -> str:
+    """One-line-per-bucket horizontal bar chart."""
+    values = list(values)
+    peak = max(values) if values else 0
+    lines = []
+    if label:
+        lines.append(label)
+    for i, v in enumerate(values):
+        bar = "#" * int(round(_scale(v, peak, log=log) * width))
+        lines.append(f"{i:>5d} |{bar:<{width}s}| {v}")
+    return "\n".join(lines)
+
+
+def _downsample(array: np.ndarray, buckets: int) -> np.ndarray:
+    """Sum-pool an array into at most ``buckets`` buckets."""
+    n = len(array)
+    if n <= buckets:
+        return array
+    edges = np.linspace(0, n, buckets + 1).astype(int)
+    return np.array(
+        [int(array[edges[i] : edges[i + 1]].sum()) for i in range(buckets)],
+        dtype=np.int64,
+    )
+
+
+def render_series(
+    series: SetSeries,
+    *,
+    height: int = 8,
+    buckets: int = 96,
+    log: bool = True,
+) -> str:
+    """Vertical mini-histograms of hits and misses across sets."""
+    out = []
+    for kind, data in (("hits", series.hits), ("misses", series.misses)):
+        pooled = _downsample(np.asarray(data), buckets)
+        peak = int(pooled.max()) if len(pooled) else 0
+        row_chars = []
+        for v in pooled:
+            level = _scale(int(v), peak, log=log)
+            idx = min(int(level * (len(_BLOCKS) - 1) + 0.5), len(_BLOCKS) - 1)
+            row_chars.append(_BLOCKS[idx])
+        out.append(
+            f"{series.label:<28s} {kind:<6s} peak={peak:<8d} |{''.join(row_chars)}|"
+        )
+    return "\n".join(out)
+
+
+def render_figure(
+    figure: FigureSeries,
+    *,
+    buckets: int = 96,
+    include_overall: bool = False,
+    log: bool = True,
+) -> str:
+    """Render a whole figure: one hits row + one misses row per series.
+
+    This is the textual equivalent of the paper's Figures 3/4/6/7/10/11:
+    the x axis is the cache set (pooled into ``buckets`` columns), glyph
+    density encodes (log-scaled) count.
+    """
+    lines = [figure.title, f"(x axis: cache sets 0..{figure.n_sets - 1})"]
+    for series in figure.series:
+        lines.append(render_series(series, buckets=buckets, log=log))
+    if include_overall:
+        lines.append(render_series(figure.overall, buckets=buckets, log=log))
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Gnuplot output, mirroring the paper's plotting pipeline.
+
+The paper states that "plotting the graphs is supplemented through
+scripts that parse DineroIV output".  :func:`write_gnuplot_data` writes a
+whitespace-separated ``.dat`` with one row per cache set and two columns
+(hits, misses) per series; :func:`write_gnuplot_script` writes a ``.gp``
+that renders the same clustered log-scale histogram style as the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.per_set import FigureSeries
+
+
+def write_gnuplot_data(
+    figure: FigureSeries, path: Union[str, Path]
+) -> Path:
+    """Write the figure's data table.
+
+    Columns: ``set`` then ``<label>_hits <label>_misses`` per series.
+    All sets are emitted (including idle ones) so bar positions align
+    across figures with the same geometry.
+    """
+    target = Path(path)
+    header_labels = " ".join(
+        f"{s.label}_hits {s.label}_misses" for s in figure.series
+    )
+    lines = [f"# {figure.title}", f"# set {header_labels}"]
+    for set_index in range(figure.n_sets):
+        cells = [str(set_index)]
+        for s in figure.series:
+            cells.append(str(int(s.hits[set_index])))
+            cells.append(str(int(s.misses[set_index])))
+        lines.append(" ".join(cells))
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return target
+
+
+def write_gnuplot_script(
+    figure: FigureSeries,
+    data_path: Union[str, Path],
+    path: Union[str, Path],
+    *,
+    output: str = "figure.png",
+) -> Path:
+    """Write a gnuplot script rendering ``data_path`` like the paper."""
+    target = Path(path)
+    plots = []
+    for i, s in enumerate(figure.series):
+        hits_col = 2 + 2 * i
+        miss_col = hits_col + 1
+        plots.append(
+            f"'{Path(data_path).name}' using 1:{hits_col} title '{s.label} hits' "
+            "with histeps"
+        )
+        plots.append(
+            f"'{Path(data_path).name}' using 1:{miss_col} title '{s.label} misses' "
+            "with histeps"
+        )
+    script = "\n".join(
+        [
+            f"set title \"{figure.title}\"",
+            "set terminal pngcairo size 1200,500",
+            f"set output '{output}'",
+            "set xlabel 'Cache Sets'",
+            "set ylabel 'Hits / Misses'",
+            "set logscale y",
+            "set key outside",
+            "plot " + ", \\\n     ".join(plots),
+            "",
+        ]
+    )
+    target.write_text(script, encoding="utf-8")
+    return target

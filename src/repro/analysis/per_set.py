@@ -1,0 +1,143 @@
+"""Per-set hit/miss series — the data behind Figures 3/4/6/7/10/11.
+
+:func:`figure_series` turns a :class:`~repro.cache.simulator.SimulationResult`
+into one :class:`SetSeries` per variable (plus the overall series), exactly
+the rows the paper's gnuplot scripts read from modified-DineroIV output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class SetSeries:
+    """Hits/misses per set for one plotted series (one variable)."""
+
+    label: str
+    hits: np.ndarray
+    misses: np.ndarray
+
+    @property
+    def n_sets(self) -> int:
+        return len(self.hits)
+
+    @property
+    def accesses(self) -> np.ndarray:
+        return self.hits + self.misses
+
+    def active_sets(self) -> np.ndarray:
+        """Set indices with any traffic."""
+        return np.nonzero(self.accesses)[0]
+
+    def span(self) -> Optional[Tuple[int, int]]:
+        """(first, last) active set, or None when the series is empty."""
+        active = self.active_sets()
+        if len(active) == 0:
+            return None
+        return int(active[0]), int(active[-1])
+
+    def concentration(self) -> float:
+        """Fraction of traffic landing in the busiest set (1.0 = pinned)."""
+        total = int(self.accesses.sum())
+        if total == 0:
+            return 0.0
+        return int(self.accesses.max()) / total
+
+    def uniformity(self) -> float:
+        """1 - coefficient of variation of per-set traffic over active
+        sets; 1.0 means perfectly even (the paper's "more uniformly
+        accessed pattern" of Figure 4)."""
+        active = self.accesses[self.active_sets()]
+        if len(active) == 0:
+            return 0.0
+        mean = active.mean()
+        if mean == 0:
+            return 0.0
+        return float(max(0.0, 1.0 - active.std() / mean))
+
+    def rows(self) -> Tuple[Tuple[int, int, int], ...]:
+        """(set, hits, misses) for active sets — gnuplot data rows."""
+        return tuple(
+            (int(s), int(self.hits[s]), int(self.misses[s]))
+            for s in self.active_sets()
+        )
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """All series of one figure: per-variable plus the overall totals."""
+
+    title: str
+    n_sets: int
+    series: Tuple[SetSeries, ...]
+    overall: SetSeries
+
+    def by_label(self, label: str) -> SetSeries:
+        """Find one plotted series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r}")
+
+    def labels(self) -> Tuple[str, ...]:
+        """Labels of the plotted series, in plot order."""
+        return tuple(s.label for s in self.series)
+
+
+def figure_series(
+    result: SimulationResult,
+    *,
+    title: str = "",
+    variables: Optional[Sequence[str]] = None,
+    min_accesses: int = 1,
+) -> FigureSeries:
+    """Extract the paper-style per-set figure data from a simulation.
+
+    ``variables`` restricts/orders the plotted series; by default every
+    attributed variable with at least ``min_accesses`` block accesses is
+    included, busiest first (matching how the paper's plots focus on the
+    structures under study).
+    """
+    stats = result.stats
+    available = stats.per_var_set
+    if variables is None:
+        chosen = sorted(
+            (
+                name
+                for name, counts in available.items()
+                if int((counts.hits + counts.misses).sum()) >= min_accesses
+            ),
+            key=lambda name: -int(
+                (available[name].hits + available[name].misses).sum()
+            ),
+        )
+    else:
+        chosen = list(variables)
+    series: List[SetSeries] = []
+    for name in chosen:
+        counts = available.get(name)
+        if counts is None:
+            series.append(
+                SetSeries(
+                    name,
+                    np.zeros(stats.n_sets, dtype=np.int64),
+                    np.zeros(stats.n_sets, dtype=np.int64),
+                )
+            )
+        else:
+            series.append(SetSeries(name, counts.hits.copy(), counts.misses.copy()))
+    overall = SetSeries(
+        "total", stats.per_set.hits.copy(), stats.per_set.misses.copy()
+    )
+    return FigureSeries(
+        title=title or result.config.describe(),
+        n_sets=stats.n_sets,
+        series=tuple(series),
+        overall=overall,
+    )

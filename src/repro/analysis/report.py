@@ -1,0 +1,74 @@
+"""Combined text reports: simulation, transformation, comparison.
+
+These are the human-facing equivalents of the modified DineroIV's output
+plus the transformation module's log — what a user of the paper's tool
+reads after step 5 of the process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.per_set import figure_series
+from repro.analysis.ascii_plot import render_figure
+from repro.cache.simulator import SimulationResult
+from repro.trace.diff import TraceDiff
+from repro.transform.engine import TransformResult
+
+
+def simulation_report(
+    result: SimulationResult,
+    *,
+    title: str = "",
+    plot: bool = True,
+    top_conflicts: int = 5,
+) -> str:
+    """Full per-simulation report: stats, conflict pairs, per-set plot."""
+    sections = []
+    if title:
+        sections.append(f"== {title} ==")
+    sections.append(result.config.describe())
+    sections.append(result.stats.summary())
+    cross = result.conflicts.cross_conflicts()
+    if cross:
+        sections.append("top structure conflicts (victim <- evictor):")
+        pairs = sorted(cross.items(), key=lambda kv: -kv[1])[:top_conflicts]
+        for (victim, evictor), count in pairs:
+            sections.append(f"  {victim:<24s} <- {evictor:<24s} {count}")
+    if plot:
+        sections.append(render_figure(figure_series(result, title=title or "per-set")))
+    return "\n".join(sections)
+
+
+def comparison_report(
+    before: SimulationResult,
+    after: SimulationResult,
+    *,
+    label_before: str = "original",
+    label_after: str = "transformed",
+    transform: Optional[TransformResult] = None,
+    diff: Optional[TraceDiff] = None,
+) -> str:
+    """Side-by-side summary of a transformation study.
+
+    The core numbers a layout study cares about: miss counts before and
+    after, delta, plus transformation and diff summaries when provided.
+    """
+    b, a = before.stats, after.stats
+    delta = a.misses - b.misses
+    pct = (delta / b.misses * 100.0) if b.misses else 0.0
+    lines = [
+        f"{'':<18s}{label_before:>14s}{label_after:>14s}",
+        f"{'accesses':<18s}{b.accesses:>14d}{a.accesses:>14d}",
+        f"{'hits':<18s}{b.hits:>14d}{a.hits:>14d}",
+        f"{'misses':<18s}{b.misses:>14d}{a.misses:>14d}",
+        f"{'miss ratio':<18s}{b.miss_ratio:>14.4f}{a.miss_ratio:>14.4f}",
+        f"{'evictions':<18s}{b.evictions:>14d}{a.evictions:>14d}",
+        f"miss delta        {delta:+d} ({pct:+.1f}%)",
+    ]
+    if transform is not None:
+        lines.append("transformation:")
+        lines.extend("  " + l for l in transform.report.summary().splitlines())
+    if diff is not None:
+        lines.append(f"trace diff: {diff.summary()}")
+    return "\n".join(lines)

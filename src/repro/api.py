@@ -1,0 +1,111 @@
+"""High-level facade: the whole pipeline in a handful of calls.
+
+This module is the recommended entry point for library users; it mirrors
+the paper's workflow (Figure 2: application -> Gleipnir -> trace ->
+DineroIV + transformation -> plots)::
+
+    from repro import api
+
+    program = api.paper_kernel("1a", length=1024)       # the application
+    trace = api.trace_program(program)                  # "Gleipnir"
+    rules = api.paper_rule("t1", length=1024)           # rule file
+    transformed = api.transform_trace(trace, rules)     # the new module
+    before = api.simulate(trace)                        # "DineroIV"
+    after = api.simulate(transformed.trace)
+    print(api.comparison_report(before, after, transform=transformed))
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import CacheSimulator, SimulationResult, simulate
+from repro.cache.hierarchy import CacheHierarchy, simulate_hierarchy
+from repro.cache.threec import classify_misses
+from repro.cache.split import simulate_split
+from repro.cache.victim import simulate_with_victim
+from repro.cache.prefetch import PrefetchPolicy, simulate_with_prefetch
+from repro.memory.paging import PageTable
+from repro.trace.diff import diff_traces
+from repro.trace.physical import to_physical
+from repro.trace.interleave import proportional, round_robin, tag_thread
+from repro.analysis.heatmap import compute_heatmap
+from repro.analysis.sweep import associativity_sweep, sweep_configs, sweep_table
+from repro.transform.advisor import (
+    suggest_field_order,
+    suggest_hot_cold_split,
+)
+from repro.trace.format import read_trace, write_trace
+from repro.trace.stats import compute_stats
+from repro.trace.stream import Trace
+from repro.tracer.interp import Interpreter, trace_program
+from repro.tracer.program import Program
+from repro.transform.engine import TransformEngine, transform_trace
+from repro.transform.paper_rules import paper_rule, rule_t1, rule_t2, rule_t3
+from repro.transform.rule_parser import parse_rules, parse_rules_file
+from repro.analysis.per_set import figure_series
+from repro.analysis.ascii_plot import render_figure
+from repro.analysis.gnuplot import write_gnuplot_data, write_gnuplot_script
+from repro.analysis.report import comparison_report, simulation_report
+from repro.workloads.paper_kernels import paper_kernel
+from repro.workloads import (
+    linked_list_traversal,
+    matrix_multiply,
+    particle_update,
+    stencil_2d,
+)
+
+__all__ = [
+    # pipeline stages
+    "Program",
+    "Interpreter",
+    "trace_program",
+    "Trace",
+    "read_trace",
+    "write_trace",
+    "compute_stats",
+    "CacheConfig",
+    "CacheSimulator",
+    "SimulationResult",
+    "simulate",
+    "CacheHierarchy",
+    "simulate_hierarchy",
+    "classify_misses",
+    "simulate_split",
+    "simulate_with_victim",
+    "simulate_with_prefetch",
+    "PrefetchPolicy",
+    "PageTable",
+    "to_physical",
+    "tag_thread",
+    "round_robin",
+    "proportional",
+    "compute_heatmap",
+    "sweep_configs",
+    "sweep_table",
+    "associativity_sweep",
+    "suggest_hot_cold_split",
+    "suggest_field_order",
+    "TransformEngine",
+    "transform_trace",
+    "parse_rules",
+    "parse_rules_file",
+    "diff_traces",
+    # paper assets
+    "paper_kernel",
+    "paper_rule",
+    "rule_t1",
+    "rule_t2",
+    "rule_t3",
+    # workloads
+    "linked_list_traversal",
+    "matrix_multiply",
+    "particle_update",
+    "stencil_2d",
+    # analysis
+    "figure_series",
+    "render_figure",
+    "write_gnuplot_data",
+    "write_gnuplot_script",
+    "simulation_report",
+    "comparison_report",
+]

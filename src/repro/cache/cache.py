@@ -1,0 +1,244 @@
+"""The set-associative cache core.
+
+:class:`SetAssociativeCache` models one cache level: tag arrays, valid and
+dirty bits, a replacement policy, and write policies.  ``access`` processes
+one CPU access (possibly spanning multiple blocks) and reports a
+:class:`BlockEvent` per touched block so the simulator can attribute
+hits/misses/evictions to sets and variables.
+
+Owner tracking: each line remembers an opaque ``owner`` label (the base
+name of the variable whose access filled it).  Evictions report both the
+victim's owner and the evictor so the conflict matrix can record
+variable-vs-variable interference — the "conflicts between program
+structures" analysis the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.cache.config import AllocatePolicy, CacheConfig, WritePolicy
+from repro.cache.policies import ReplacementPolicy, make_policy
+
+
+class BlockEvent(NamedTuple):
+    """What happened to one block during one access.
+
+    A NamedTuple rather than a dataclass: one is constructed per touched
+    block on every simulated access, and tuple construction is the
+    difference between the simulator being CPU-bound on bookkeeping or
+    on the cache model itself.
+    """
+
+    block: int
+    set_index: int
+    hit: bool
+    #: True when a valid line was evicted to make room.
+    evicted: bool = False
+    #: Owner label of the evicted line (None when not evicted/unknown).
+    victim_owner: Optional[str] = None
+    #: Evicted line was dirty and caused a write-back to the next level.
+    writeback: bool = False
+    #: Block address (line-aligned byte address) of the evicted line.
+    victim_block: Optional[int] = None
+    #: Whether this event allocated a line (miss fills only).
+    filled: bool = False
+
+
+class AccessOutcome(NamedTuple):
+    """All block events of one CPU access."""
+
+    events: Tuple[BlockEvent, ...]
+
+    @property
+    def hit(self) -> bool:
+        """True when every touched block hit."""
+        return all(e.hit for e in self.events)
+
+    @property
+    def misses(self) -> int:
+        """Number of touched blocks that missed."""
+        return sum(1 for e in self.events if not e.hit)
+
+
+class SetAssociativeCache:
+    """One cache level.
+
+    The per-way state is kept in flat lists indexed ``set * ways + way``
+    (a contiguous layout — cheaper than nested lists, per the numpy
+    cache-effects guidance applied to plain Python).
+    """
+
+    def __init__(self, config: CacheConfig, policy: Optional[ReplacementPolicy] = None):
+        self.config = config
+        self.policy = policy if policy is not None else make_policy(
+            config.policy, seed=config.seed
+        )
+        n = config.n_sets * config.ways
+        self._tags: List[int] = [-1] * n
+        self._valid: List[bool] = [False] * n
+        self._dirty: List[bool] = [False] * n
+        self._owner: List[Optional[str]] = [None] * n
+        self._meta = [self.policy.new_set(config.ways) for _ in range(config.n_sets)]
+        #: blocks ever brought into the cache (for compulsory-miss class)
+        self._ever_seen: set[int] = set()
+        # Hot-loop locals: geometry and policy flags resolved once.
+        self._ways = config.ways
+        self._set_mask = config.n_sets - 1
+        self._index_bits = config.index_bits
+        self._offset_bits = config.offset_bits
+        self._write_back = config.write_policy is WritePolicy.WRITE_BACK
+        self._write_allocate = (
+            config.allocate_policy is AllocatePolicy.WRITE_ALLOCATE
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _blocks_of(self, addr: int, size: int) -> range:
+        first = addr >> self._offset_bits
+        last = (addr + (size if size > 1 else 1) - 1) >> self._offset_bits
+        return range(first, last + 1)
+
+    def _find_way(self, set_index: int, tag: int) -> Optional[int]:
+        base = set_index * self._ways
+        tags = self._tags
+        valid = self._valid
+        for way in range(self._ways):
+            i = base + way
+            if valid[i] and tags[i] == tag:
+                return way
+        return None
+
+    def _find_invalid(self, set_index: int) -> Optional[int]:
+        base = set_index * self._ways
+        valid = self._valid
+        for way in range(self._ways):
+            if not valid[base + way]:
+                return way
+        return None
+
+    # -- public API ----------------------------------------------------------
+
+    def access(
+        self, addr: int, size: int, is_write: bool, *, owner: Optional[str] = None
+    ) -> AccessOutcome:
+        """Process one CPU access; returns per-block events.
+
+        ``owner`` labels any line this access fills (variable attribution).
+        """
+        first = addr >> self._offset_bits
+        last = (addr + (size if size > 1 else 1) - 1) >> self._offset_bits
+        if first == last:
+            return AccessOutcome((self._access_block(first, is_write, owner),))
+        events = [
+            self._access_block(block, is_write, owner)
+            for block in range(first, last + 1)
+        ]
+        return AccessOutcome(tuple(events))
+
+    def _access_block(
+        self, block: int, is_write: bool, owner: Optional[str]
+    ) -> BlockEvent:
+        ways = self._ways
+        set_index = block & self._set_mask
+        tag = block >> self._index_bits
+        base = set_index * ways
+        tags = self._tags
+        valid = self._valid
+        way = None
+        for w in range(ways):
+            i = base + w
+            if valid[i] and tags[i] == tag:
+                way = w
+                break
+        meta = self._meta[set_index]
+        if way is not None:
+            self.policy.on_hit(meta, way)
+            if is_write and self._write_back:
+                self._dirty[base + way] = True
+            return BlockEvent(block, set_index, hit=True)
+
+        # Miss.
+        if is_write and not self._write_allocate:
+            # Write around: no fill, no eviction.
+            return BlockEvent(block, set_index, hit=False)
+
+        way = self._find_invalid(set_index)
+        evicted = False
+        victim_owner: Optional[str] = None
+        victim_block: Optional[int] = None
+        writeback = False
+        if way is None:
+            way = self.policy.victim(meta, ways)
+            i = base + way
+            evicted = True
+            victim_owner = self._owner[i]
+            victim_tag = tags[i]
+            victim_block = (victim_tag << self._index_bits) | set_index
+            writeback = self._dirty[i]
+        i = base + way
+        tags[i] = tag
+        valid[i] = True
+        self._dirty[i] = bool(is_write and self._write_back)
+        self._owner[i] = owner
+        self.policy.on_fill(meta, way)
+        self._ever_seen.add(block)
+        return BlockEvent(
+            block,
+            set_index,
+            hit=False,
+            evicted=evicted,
+            victim_owner=victim_owner,
+            victim_block=victim_block * self.config.block_size
+            if victim_block is not None
+            else None,
+            writeback=writeback,
+            filled=True,
+        )
+
+    def is_compulsory(self, block: int) -> bool:
+        """True when ``block`` has never been cached before (cold miss).
+
+        Must be asked *before* the access that may fill it; the simulator
+        tracks first-touches itself, this helper serves ad-hoc queries.
+        """
+        return block not in self._ever_seen
+
+    def contains(self, addr: int) -> bool:
+        """Is the line holding ``addr`` currently resident?"""
+        block = self.config.block_of(addr)
+        set_index = block & (self.config.n_sets - 1)
+        tag = block >> self.config.index_bits
+        return self._find_way(set_index, tag) is not None
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines dropped."""
+        dirty = sum(1 for v, d in zip(self._valid, self._dirty) if v and d)
+        n = len(self._tags)
+        self._tags = [-1] * n
+        self._valid = [False] * n
+        self._dirty = [False] * n
+        self._owner = [None] * n
+        self._meta = [
+            self.policy.new_set(self.config.ways) for _ in range(self.config.n_sets)
+        ]
+        return dirty
+
+    def resident_blocks(self) -> Tuple[int, ...]:
+        """Line-aligned byte addresses of all valid lines (diagnostics)."""
+        cfg = self.config
+        out = []
+        for set_index in range(cfg.n_sets):
+            for way in range(cfg.ways):
+                i = set_index * cfg.ways + way
+                if self._valid[i]:
+                    block = (self._tags[i] << cfg.index_bits) | set_index
+                    out.append(block * cfg.block_size)
+        return tuple(sorted(out))
+
+    def set_occupancy(self, set_index: int) -> int:
+        """Number of valid ways in one set."""
+        base = set_index * self.config.ways
+        return sum(
+            1 for way in range(self.config.ways) if self._valid[base + way]
+        )

@@ -1,0 +1,166 @@
+"""Cache configuration: geometry, write policies, replacement policy.
+
+Geometry follows DineroIV conventions: total ``size`` in bytes,
+``block_size`` bytes per line, ``associativity`` ways per set (0 selects a
+fully associative cache).  All three must be powers of two and consistent
+(``size = sets * associativity * block_size``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CacheConfigError
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class WritePolicy(enum.Enum):
+    """What a write hit does to lower memory."""
+
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+
+class AllocatePolicy(enum.Enum):
+    """What a write miss does."""
+
+    WRITE_ALLOCATE = "write-allocate"
+    NO_WRITE_ALLOCATE = "no-write-allocate"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache level.
+
+    Parameters
+    ----------
+    size:
+        Total capacity in bytes.
+    block_size:
+        Line size in bytes.
+    associativity:
+        Ways per set; ``0`` means fully associative.
+    policy:
+        Replacement policy name: ``lru`` (default), ``fifo``,
+        ``round-robin``, ``random``, ``plru``.
+    write_policy / allocate_policy:
+        Write-back + write-allocate by default, like DineroIV's defaults.
+    name:
+        Label used in reports (``L1``...).
+    seed:
+        RNG seed for the random policy (ignored otherwise).
+    """
+
+    size: int
+    block_size: int
+    associativity: int = 1
+    policy: str = "lru"
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    allocate_policy: AllocatePolicy = AllocatePolicy.WRITE_ALLOCATE
+    name: str = "L1"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.size):
+            raise CacheConfigError(f"cache size must be a power of two, got {self.size}")
+        if not _is_pow2(self.block_size):
+            raise CacheConfigError(
+                f"block size must be a power of two, got {self.block_size}"
+            )
+        if self.block_size > self.size:
+            raise CacheConfigError("block size cannot exceed cache size")
+        assoc = self.associativity
+        if assoc < 0:
+            raise CacheConfigError(f"associativity must be >= 0, got {assoc}")
+        if assoc:
+            if not _is_pow2(assoc):
+                raise CacheConfigError(
+                    f"associativity must be a power of two, got {assoc}"
+                )
+            blocks = self.size // self.block_size
+            if assoc > blocks:
+                raise CacheConfigError(
+                    f"associativity {assoc} exceeds total blocks {blocks}"
+                )
+        # Derived geometry is consulted on every simulated access, so it is
+        # computed once here (the dataclass is frozen; use object.__setattr__).
+        n_blocks = self.size // self.block_size
+        ways = self.associativity if self.associativity else n_blocks
+        n_sets = n_blocks // ways
+        object.__setattr__(self, "_n_blocks", n_blocks)
+        object.__setattr__(self, "_ways", ways)
+        object.__setattr__(self, "_n_sets", n_sets)
+        object.__setattr__(self, "_offset_bits", self.block_size.bit_length() - 1)
+        object.__setattr__(self, "_index_bits", n_sets.bit_length() - 1)
+
+    # -- derived geometry ----------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of lines in the cache."""
+        return self._n_blocks
+
+    @property
+    def ways(self) -> int:
+        """Effective ways per set (fully associative -> all blocks)."""
+        return self._ways
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (``n_blocks / ways``)."""
+        return self._n_sets
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits of the block offset within an address."""
+        return self._offset_bits
+
+    @property
+    def index_bits(self) -> int:
+        """Bits of the set index within an address."""
+        return self._index_bits
+
+    def block_of(self, addr: int) -> int:
+        """Block (line) number of an address."""
+        return addr >> self._offset_bits
+
+    def set_of(self, addr: int) -> int:
+        """Set index of an address."""
+        return (addr >> self._offset_bits) & (self._n_sets - 1)
+
+    def tag_of(self, addr: int) -> int:
+        """Tag bits of an address (above offset and index bits)."""
+        return addr >> (self._offset_bits + self._index_bits)
+
+    def describe(self) -> str:
+        """A DineroIV-style one-line description."""
+        assoc = "fully-assoc" if self.associativity == 0 else f"{self.ways}-way"
+        return (
+            f"{self.name}: {self.size} bytes, {self.block_size} bytes/block, "
+            f"{assoc}, {self.n_sets} sets, {self.policy}, "
+            f"{self.write_policy.value}, {self.allocate_policy.value}"
+        )
+
+    # -- presets used by the paper's evaluation ------------------------------
+
+    @classmethod
+    def paper_direct_mapped(cls) -> "CacheConfig":
+        """Figures 3/4/6/7: 32 KiB, 32-byte blocks, direct mapped."""
+        return cls(size=32 * 1024, block_size=32, associativity=1, policy="lru")
+
+    @classmethod
+    def ppc440(cls) -> "CacheConfig":
+        """Figures 10/11: the PowerPC 440 data cache — 32 KiB, 32-byte
+        lines, 64 ways per set (16 sets), round-robin eviction."""
+        return cls(
+            size=32 * 1024,
+            block_size=32,
+            associativity=64,
+            policy="round-robin",
+            name="PPC440-L1D",
+        )

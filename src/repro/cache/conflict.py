@@ -1,0 +1,80 @@
+"""Eviction attribution between variables (the conflict matrix).
+
+The paper's modified DineroIV lets the user "observe conflicts between
+program structures".  We record, for every eviction, which variable's
+block was thrown out (*victim*) and which variable's access caused it
+(*evictor*).  High off-diagonal counts between two variables mean they
+contend for the same sets — the signal that a layout transformation
+(displacement, padding, set pinning) should be considered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Label used when a line's owner is unknown (unsymbolised access).
+UNKNOWN = "<unknown>"
+
+
+@dataclass
+class ConflictMatrix:
+    """Sparse (victim, evictor) -> eviction-count matrix."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, victim: Optional[str], evictor: Optional[str]) -> None:
+        """Count one eviction of ``victim``'s block caused by ``evictor``."""
+        self.counts[(victim or UNKNOWN, evictor or UNKNOWN)] += 1
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(self.counts.values())
+
+    def victims(self) -> Tuple[str, ...]:
+        """All labels that ever lost a block, sorted."""
+        return tuple(sorted({v for v, _ in self.counts}))
+
+    def evictors(self) -> Tuple[str, ...]:
+        """All labels that ever caused an eviction, sorted."""
+        return tuple(sorted({e for _, e in self.counts}))
+
+    def evictions_of(self, victim: str) -> int:
+        """Total times ``victim``'s blocks were evicted."""
+        return sum(c for (v, _), c in self.counts.items() if v == victim)
+
+    def evictions_by(self, evictor: str) -> int:
+        """Total evictions caused by ``evictor``'s accesses."""
+        return sum(c for (_, e), c in self.counts.items() if e == evictor)
+
+    def self_conflicts(self, name: str) -> int:
+        """Evictions where a variable evicts its own blocks (capacity-ish)."""
+        return self.counts.get((name, name), 0)
+
+    def cross_conflicts(self) -> Dict[Tuple[str, str], int]:
+        """Only the off-diagonal entries (true inter-variable conflicts)."""
+        return {
+            (v, e): c for (v, e), c in self.counts.items() if v != e
+        }
+
+    def top_pairs(self, n: int = 10) -> Tuple[Tuple[Tuple[str, str], int], ...]:
+        """The ``n`` most frequent (victim, evictor) pairs."""
+        return tuple(self.counts.most_common(n))
+
+    def render(self) -> str:
+        """Text table: victim rows, evictor columns."""
+        victims = self.victims()
+        evictors = self.evictors()
+        if not victims:
+            return "(no evictions)"
+        width = max((len(v) for v in victims), default=8)
+        col_w = max(max((len(e) for e in evictors), default=6), 6)
+        header = " " * (width + 2) + " ".join(f"{e:>{col_w}s}" for e in evictors)
+        rows = [header]
+        for v in victims:
+            cells = " ".join(
+                f"{self.counts.get((v, e), 0):>{col_w}d}" for e in evictors
+            )
+            rows.append(f"{v:<{width}s}  {cells}")
+        return "\n".join(rows)

@@ -1,0 +1,153 @@
+"""Vectorized direct-mapped simulation (numpy fast path).
+
+Large traces make per-record Python loops the bottleneck ("no optimization
+without measuring" — and we measured: this path runs ~45x faster than the
+reference simulator on a 200k-access stream; see
+``benchmarks/bench_fastsim_speedup.py`` for the live number on your
+machine).  A direct-mapped cache has a closed-form hit condition that
+vectorizes:
+
+    an access hits iff the *previous* access to the same set
+    had the same tag.
+
+So we group accesses by set with a stable argsort and compare each block
+number to its predecessor within the group — no sequential state needed.
+Accesses that straddle a block boundary are expanded to one entry per
+block first, mirroring the reference simulator's behaviour.
+
+This path is cross-validated against the reference simulator in
+``tests/cache/test_fastsim.py`` on random and kernel traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CacheConfigError
+from repro.cache.config import CacheConfig
+from repro.cache.stats import PerSetCounts
+
+
+@dataclass(frozen=True)
+class FastCounts:
+    """Results of the vectorized pass."""
+
+    hits: int
+    misses: int
+    compulsory_misses: int
+    per_set: PerSetCounts
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+def _expand_blocks(
+    addrs: np.ndarray, sizes: np.ndarray, block_size: int
+) -> np.ndarray:
+    """Per-access -> per-block expansion for straddling accesses."""
+    first = addrs // block_size
+    last = (addrs + np.maximum(sizes, 1).astype(np.uint64) - 1) // block_size
+    spans = (last - first + 1).astype(np.int64)
+    if int(spans.max(initial=1)) == 1:
+        return first.astype(np.int64)
+    # General case: repeat each first block by its span and add offsets.
+    repeated = np.repeat(first.astype(np.int64), spans)
+    offsets = np.concatenate([np.arange(s) for s in spans])
+    return repeated + offsets
+
+
+def fast_direct_mapped_counts(
+    addrs: np.ndarray,
+    config: CacheConfig,
+    sizes: np.ndarray | None = None,
+) -> FastCounts:
+    """Hit/miss counts of a direct-mapped cache over an address stream.
+
+    Parameters
+    ----------
+    addrs:
+        ``uint64`` array of access addresses, in trace order.
+    config:
+        Must be direct-mapped (``associativity == 1``); replacement policy
+        is irrelevant at associativity 1.
+    sizes:
+        Optional access sizes (defaults to all-1, i.e. no straddling).
+    """
+    if config.ways != 1:
+        raise CacheConfigError(
+            "fast path supports direct-mapped caches only; "
+            f"got {config.ways} ways"
+        )
+    addrs = np.asarray(addrs, dtype=np.uint64)
+    if sizes is None:
+        sizes = np.ones(len(addrs), dtype=np.uint32)
+    blocks = _expand_blocks(addrs, np.asarray(sizes, dtype=np.uint64), config.block_size)
+    n = len(blocks)
+    per_set = PerSetCounts.zeros(config.n_sets)
+    if n == 0:
+        return FastCounts(0, 0, 0, per_set)
+    sets = blocks & (config.n_sets - 1)
+    # Stable sort by set keeps trace order within each set.
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    sorted_blocks = blocks[order]
+    same_set_as_prev = np.empty(n, dtype=bool)
+    same_set_as_prev[0] = False
+    same_set_as_prev[1:] = sorted_sets[1:] == sorted_sets[:-1]
+    same_block_as_prev = np.empty(n, dtype=bool)
+    same_block_as_prev[0] = False
+    same_block_as_prev[1:] = sorted_blocks[1:] == sorted_blocks[:-1]
+    hit_sorted = same_set_as_prev & same_block_as_prev
+    hits_mask = np.empty(n, dtype=bool)
+    hits_mask[order] = hit_sorted
+    # Compulsory misses: first occurrence of each distinct block.
+    _, first_indices = np.unique(blocks, return_index=True)
+    compulsory = int(len(first_indices))
+    hits = int(hits_mask.sum())
+    misses = n - hits
+    np.add.at(per_set.hits, sets[hits_mask], 1)
+    np.add.at(per_set.misses, sets[~hits_mask], 1)
+    return FastCounts(hits, misses, compulsory, per_set)
+
+
+def fast_per_variable_counts(
+    addrs: np.ndarray,
+    var_ids: np.ndarray,
+    config: CacheConfig,
+) -> Tuple[FastCounts, dict[int, Tuple[int, int]]]:
+    """Fast path plus per-variable hit/miss totals.
+
+    ``var_ids`` assigns an integer label per access (e.g. an index into a
+    name table; negative = unattributed).  Returns the global counts and
+    ``{var_id: (hits, misses)}``.
+    """
+    counts = fast_direct_mapped_counts(addrs, config)
+    addrs = np.asarray(addrs, dtype=np.uint64)
+    blocks = (addrs // config.block_size).astype(np.int64)
+    n = len(blocks)
+    per_var: dict[int, Tuple[int, int]] = {}
+    if n == 0:
+        return counts, per_var
+    sets = blocks & (config.n_sets - 1)
+    order = np.argsort(sets, kind="stable")
+    ss, sb = sets[order], blocks[order]
+    hit_sorted = np.empty(n, dtype=bool)
+    hit_sorted[0] = False
+    hit_sorted[1:] = (ss[1:] == ss[:-1]) & (sb[1:] == sb[:-1])
+    hits_mask = np.empty(n, dtype=bool)
+    hits_mask[order] = hit_sorted
+    ids = np.asarray(var_ids, dtype=np.int64)
+    for vid in np.unique(ids):
+        mask = ids == vid
+        h = int((hits_mask & mask).sum())
+        m = int(mask.sum()) - h
+        per_var[int(vid)] = (h, m)
+    return counts, per_var

@@ -1,0 +1,155 @@
+"""Multi-level cache simulation (L1 -> L2 -> ... -> memory).
+
+The paper's tool targets private caches only (virtual addresses; see its
+Future Work), so the hierarchy is a single-core inclusive-style stack:
+
+- an access that misses level *i* is forwarded to level *i+1*;
+- a dirty eviction at level *i* becomes a write at level *i+1*;
+- with write-through at level *i*, every write is also forwarded.
+
+Each level keeps its own :class:`~repro.cache.stats.CacheStats` and
+conflict matrix, so per-variable attribution works at every level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, WritePolicy
+from repro.cache.conflict import ConflictMatrix
+from repro.cache.stats import CacheStats
+from repro.trace.record import AccessType, TraceRecord
+
+
+@dataclass
+class LevelState:
+    """One level's cache plus its accumulating counters."""
+
+    config: CacheConfig
+    cache: SetAssociativeCache
+    stats: CacheStats
+    conflicts: ConflictMatrix
+    seen_blocks: set
+
+
+@dataclass
+class HierarchyResult:
+    """Per-level results of a multi-level simulation."""
+
+    levels: Tuple[LevelState, ...]
+
+    def level(self, name: str) -> LevelState:
+        """Look up one level's state by its config name (``L1``...)."""
+        for lv in self.levels:
+            if lv.config.name == name:
+                return lv
+        raise KeyError(f"no cache level named {name!r}")
+
+    def summary(self) -> str:
+        """Stacked per-level DineroIV-style reports."""
+        blocks = []
+        for lv in self.levels:
+            blocks.append(lv.config.describe())
+            blocks.append(lv.stats.summary())
+            blocks.append("")
+        return "\n".join(blocks).rstrip()
+
+    @property
+    def l1(self) -> LevelState:
+        return self.levels[0]
+
+
+class CacheHierarchy:
+    """A stack of cache levels fed from a single trace."""
+
+    def __init__(self, configs: Sequence[CacheConfig]) -> None:
+        if not configs:
+            raise ValueError("hierarchy needs at least one level")
+        self._levels: List[LevelState] = [
+            LevelState(
+                config=cfg,
+                cache=SetAssociativeCache(cfg),
+                stats=CacheStats(cfg.n_sets),
+                conflicts=ConflictMatrix(),
+                seen_blocks=set(),
+            )
+            for cfg in configs
+        ]
+
+    def feed(self, records: Iterable[TraceRecord]) -> None:
+        """Simulate all records through every level of the stack."""
+        for record in records:
+            if record.op is AccessType.MISC:
+                continue
+            is_write = record.op in (AccessType.STORE, AccessType.MODIFY)
+            variable = record.var.base if record.var is not None else None
+            function = record.func or None
+            self._access_level(0, record.addr, record.size, is_write, variable, function)
+
+    def _access_level(
+        self,
+        index: int,
+        addr: int,
+        size: int,
+        is_write: bool,
+        variable: Optional[str],
+        function: Optional[str],
+    ) -> None:
+        if index >= len(self._levels):
+            return  # main memory
+        level = self._levels[index]
+        outcome = level.cache.access(addr, size, is_write, owner=variable)
+        level.stats.record_access(is_write, outcome.hit)
+        block_size = level.config.block_size
+        for event in outcome.events:
+            compulsory = not event.hit and event.block not in level.seen_blocks
+            if event.filled or event.hit:
+                level.seen_blocks.add(event.block)
+            level.stats.record_block(
+                event.set_index,
+                event.hit,
+                variable=variable,
+                function=function,
+                compulsory=compulsory,
+                evicted=event.evicted,
+                writeback=event.writeback,
+            )
+            if event.evicted:
+                level.conflicts.record(event.victim_owner, variable)
+            if not event.hit:
+                # Miss: fetch the whole line from the next level.
+                self._access_level(
+                    index + 1,
+                    event.block * block_size,
+                    block_size,
+                    False,
+                    variable,
+                    function,
+                )
+            if event.writeback and event.victim_block is not None:
+                # Dirty eviction: write the victim line downstream.
+                self._access_level(
+                    index + 1,
+                    event.victim_block,
+                    block_size,
+                    True,
+                    event.victim_owner,
+                    function,
+                )
+        if is_write and level.config.write_policy is WritePolicy.WRITE_THROUGH:
+            self._access_level(index + 1, addr, size, True, variable, function)
+
+    def result(self) -> HierarchyResult:
+        """Snapshot the per-level results."""
+        return HierarchyResult(tuple(self._levels))
+
+
+def simulate_hierarchy(
+    records: Iterable[TraceRecord], configs: Sequence[CacheConfig]
+) -> HierarchyResult:
+    """One-shot multi-level simulation."""
+    hierarchy = CacheHierarchy(configs)
+    hierarchy.feed(records)
+    return hierarchy.result()

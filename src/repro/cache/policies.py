@@ -1,0 +1,186 @@
+"""Replacement policies.
+
+Each policy manages opaque per-set state.  The cache consults the policy
+only when a set is full; invalid ways are always filled first (in way
+order), matching hardware fill behaviour and DineroIV.
+
+The round-robin policy models the PowerPC 440's scheme the paper relies on
+for its set-pinning experiment: a per-set victim pointer that advances by
+one on every replacement, independent of hits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List
+
+from repro.errors import CacheConfigError
+
+
+class ReplacementPolicy:
+    """Interface: per-set metadata plus victim selection."""
+
+    name = "abstract"
+
+    def new_set(self, ways: int) -> Any:
+        """Create fresh metadata for one set of ``ways`` ways."""
+        raise NotImplementedError
+
+    def on_hit(self, state: Any, way: int) -> None:
+        """Called on every hit to ``way``."""
+
+    def on_fill(self, state: Any, way: int) -> None:
+        """Called when ``way`` is (re)filled with a new block."""
+
+    def victim(self, state: Any, ways: int) -> int:
+        """Pick the way to evict from a full set (may update state)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least recently used — true LRU with a recency list per set.
+
+    State: list of way numbers, most recently used last.
+    """
+
+    name = "lru"
+
+    def new_set(self, ways: int) -> List[int]:
+        return []
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        if way in state:
+            state.remove(way)
+        state.append(way)
+
+    def victim(self, state: List[int], ways: int) -> int:
+        return state[0]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First in, first out — insertion order queue; hits don't promote."""
+
+    name = "fifo"
+
+    def new_set(self, ways: int) -> List[int]:
+        return []
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        if way in state:
+            state.remove(way)
+        state.append(way)
+
+    def victim(self, state: List[int], ways: int) -> int:
+        return state[0]
+
+
+class RoundRobinPolicy(ReplacementPolicy):
+    """PPC440-style round robin: per-set victim pointer, +1 per replacement.
+
+    State: single-element list holding the pointer (mutable int box).
+    """
+
+    name = "round-robin"
+
+    def new_set(self, ways: int) -> List[int]:
+        return [0]
+
+    def victim(self, state: List[int], ways: int) -> int:
+        way = state[0]
+        state[0] = (way + 1) % ways
+        return way
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim (deterministic under ``seed``)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def new_set(self, ways: int) -> None:
+        return None
+
+    def victim(self, state: None, ways: int) -> int:
+        return self._rng.randrange(ways)
+
+
+class PLRUTreePolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU (the common hardware LRU approximation).
+
+    State: list of ``ways - 1`` tree bits.  Each access flips the bits on
+    its root-to-leaf path to point *away* from the touched way; the victim
+    is found by following the bits.  Requires power-of-two ways.
+    """
+
+    name = "plru"
+
+    def new_set(self, ways: int) -> List[int]:
+        if ways & (ways - 1):
+            raise CacheConfigError("plru requires power-of-two associativity")
+        return [0] * max(ways - 1, 0)
+
+    def _touch(self, state: List[int], way: int, ways: int) -> None:
+        if ways == 1:
+            return
+        node = 0
+        span = ways
+        while span > 1:
+            half = span // 2
+            go_right = (way % span) >= half
+            # Point the bit away from the touched half.
+            state[node] = 0 if go_right else 1
+            node = 2 * node + (2 if go_right else 1)
+            span = half
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        self._ways_cache = len(state) + 1
+        self._touch(state, way, len(state) + 1)
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        self._touch(state, way, len(state) + 1)
+
+    def victim(self, state: List[int], ways: int) -> int:
+        if ways == 1:
+            return 0
+        node = 0
+        way = 0
+        span = ways
+        while span > 1:
+            half = span // 2
+            bit = state[node]
+            if bit:  # bit points right -> victim on the right half
+                way += half
+                node = 2 * node + 2
+            else:
+                node = 2 * node + 1
+            span = half
+        return way
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "round-robin": RoundRobinPolicy,
+    "rr": RoundRobinPolicy,
+    "random": RandomPolicy,
+    "plru": PLRUTreePolicy,
+}
+
+
+def make_policy(name: str, *, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by name (see :data:`_POLICIES` keys)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise CacheConfigError(
+            f"unknown replacement policy {name!r}; choose from {sorted(set(_POLICIES))}"
+        ) from None
+    if cls is RandomPolicy:
+        return RandomPolicy(seed)
+    return cls()

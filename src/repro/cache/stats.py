@@ -1,0 +1,218 @@
+"""Cache statistics: global, per-set, per-variable, per-function.
+
+The modified DineroIV of the paper "tracks cache statistics that pertain
+to function and variable level accuracy"; its gnuplot figures plot hits
+and misses *per cache set per variable*.  :class:`CacheStats` accumulates
+exactly those dimensions:
+
+- global demand counters (reads/writes x hits/misses, write-backs,
+  evictions, compulsory/capacity-or-conflict split);
+- ``per_set`` — numpy arrays of hits/misses indexed by set;
+- ``by_variable`` / ``by_function`` — totals per label;
+- ``per_var_set`` — per-variable per-set arrays (the figure series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PerSetCounts:
+    """Hits/misses per cache set for one label (or overall)."""
+
+    hits: np.ndarray
+    misses: np.ndarray
+
+    @classmethod
+    def zeros(cls, n_sets: int) -> "PerSetCounts":
+        return cls(
+            hits=np.zeros(n_sets, dtype=np.int64),
+            misses=np.zeros(n_sets, dtype=np.int64),
+        )
+
+    @property
+    def accesses(self) -> np.ndarray:
+        return self.hits + self.misses
+
+    def nonzero_sets(self) -> np.ndarray:
+        """Indices of sets that saw any traffic."""
+        return np.nonzero(self.accesses)[0]
+
+    def as_rows(self) -> Tuple[Tuple[int, int, int], ...]:
+        """(set, hits, misses) rows for sets with traffic."""
+        return tuple(
+            (int(s), int(self.hits[s]), int(self.misses[s]))
+            for s in self.nonzero_sets()
+        )
+
+
+@dataclass
+class LabelCounts:
+    """Scalar hit/miss counters for one attribution label."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class CacheStats:
+    """All counters for one simulated cache level."""
+
+    n_sets: int
+    #: demand access counters (per CPU access, not per block)
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    #: block-level event counters
+    block_hits: int = 0
+    block_misses: int = 0
+    compulsory_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    per_set: PerSetCounts = field(init=False)
+    by_variable: Dict[str, LabelCounts] = field(default_factory=dict)
+    by_function: Dict[str, LabelCounts] = field(default_factory=dict)
+    per_var_set: Dict[str, PerSetCounts] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.per_set = PerSetCounts.zeros(self.n_sets)
+
+    # -- accumulation ---------------------------------------------------------
+
+    def record_access(self, is_write: bool, all_hit: bool) -> None:
+        """Count one demand access (hit only when every block hit)."""
+        if is_write:
+            self.writes += 1
+            if all_hit:
+                self.write_hits += 1
+            else:
+                self.write_misses += 1
+        else:
+            self.reads += 1
+            if all_hit:
+                self.read_hits += 1
+            else:
+                self.read_misses += 1
+
+    def record_block(
+        self,
+        set_index: int,
+        hit: bool,
+        *,
+        variable: Optional[str] = None,
+        function: Optional[str] = None,
+        compulsory: bool = False,
+        evicted: bool = False,
+        writeback: bool = False,
+    ) -> None:
+        """Count one block-level event, attributing it to the given
+        set, variable and function."""
+        if hit:
+            self.block_hits += 1
+            self.per_set.hits[set_index] += 1
+        else:
+            self.block_misses += 1
+            self.per_set.misses[set_index] += 1
+            if compulsory:
+                self.compulsory_misses += 1
+        if evicted:
+            self.evictions += 1
+        if writeback:
+            self.writebacks += 1
+        if variable is not None:
+            counts = self.by_variable.setdefault(variable, LabelCounts())
+            var_sets = self.per_var_set.get(variable)
+            if var_sets is None:
+                var_sets = self.per_var_set.setdefault(
+                    variable, PerSetCounts.zeros(self.n_sets)
+                )
+            if hit:
+                counts.hits += 1
+                var_sets.hits[set_index] += 1
+            else:
+                counts.misses += 1
+                var_sets.misses[set_index] += 1
+        if function is not None:
+            fcounts = self.by_function.setdefault(function, LabelCounts())
+            if hit:
+                fcounts.hits += 1
+            else:
+                fcounts.misses += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def conflict_or_capacity_misses(self) -> int:
+        """Non-compulsory block misses (DineroIV folds these together
+        unless an infinite-cache pass separates them)."""
+        return self.block_misses - self.compulsory_misses
+
+    def summary(self) -> str:
+        """DineroIV-flavoured text report."""
+        lines = [
+            f"demand accesses : {self.accesses}",
+            f"  reads         : {self.reads} "
+            f"(hits {self.read_hits}, misses {self.read_misses})",
+            f"  writes        : {self.writes} "
+            f"(hits {self.write_hits}, misses {self.write_misses})",
+            f"demand miss rate: {self.miss_ratio:.4f}",
+            f"block hits      : {self.block_hits}",
+            f"block misses    : {self.block_misses} "
+            f"(compulsory {self.compulsory_misses}, "
+            f"conflict/capacity {self.conflict_or_capacity_misses})",
+            f"evictions       : {self.evictions}",
+            f"write-backs     : {self.writebacks}",
+        ]
+        if self.by_variable:
+            lines.append("per-variable:")
+            for name in sorted(
+                self.by_variable, key=lambda n: -self.by_variable[n].accesses
+            ):
+                c = self.by_variable[name]
+                lines.append(
+                    f"  {name:<28s} accesses {c.accesses:>8d}  "
+                    f"hits {c.hits:>8d}  misses {c.misses:>6d}  "
+                    f"miss-rate {c.miss_ratio:.4f}"
+                )
+        if self.by_function:
+            lines.append("per-function:")
+            for name in sorted(
+                self.by_function, key=lambda n: -self.by_function[n].accesses
+            ):
+                c = self.by_function[name]
+                lines.append(
+                    f"  {name:<28s} accesses {c.accesses:>8d}  "
+                    f"hits {c.hits:>8d}  misses {c.misses:>6d}"
+                )
+        return "\n".join(lines)

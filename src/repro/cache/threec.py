@@ -1,0 +1,133 @@
+"""Three-C miss classification: compulsory / capacity / conflict.
+
+DineroIV's documentation (and every architecture course since Hill's
+thesis) splits misses as:
+
+- **compulsory** — the block was never referenced before;
+- **capacity**  — not compulsory, and a *fully associative LRU* cache of
+  the same total capacity would also miss (the working set simply does
+  not fit);
+- **conflict**  — everything else: the block was resident recently
+  enough to fit, but set-index collisions evicted it.
+
+The distinction is the whole point of the paper's transformations: T1
+removes *conflict* misses between structure components; T3 deliberately
+*concentrates* conflicts into one set.  This module runs the target cache
+and the fully associative LRU reference side by side over one trace and
+attributes each class per variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import attribution_label
+from repro.trace.record import AccessType, TraceRecord
+
+
+@dataclass
+class ThreeCCounts:
+    """Miss-class counters for one label (or overall)."""
+
+    hits: int = 0
+    compulsory: int = 0
+    capacity: int = 0
+    conflict: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.compulsory + self.capacity + self.conflict
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class ThreeCReport:
+    """Per-variable and overall 3C classification for one trace."""
+
+    config: CacheConfig
+    overall: ThreeCCounts = field(default_factory=ThreeCCounts)
+    by_variable: Dict[str, ThreeCCounts] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Aligned text table: overall plus per-variable 3C counts."""
+        lines = [
+            self.config.describe(),
+            f"{'':<26s}{'accesses':>10s}{'compulsory':>11s}"
+            f"{'capacity':>9s}{'conflict':>9s}",
+            f"{'overall':<26s}{self.overall.accesses:>10d}"
+            f"{self.overall.compulsory:>11d}{self.overall.capacity:>9d}"
+            f"{self.overall.conflict:>9d}",
+        ]
+        for name in sorted(
+            self.by_variable, key=lambda n: -self.by_variable[n].accesses
+        ):
+            c = self.by_variable[name]
+            lines.append(
+                f"{name:<26s}{c.accesses:>10d}{c.compulsory:>11d}"
+                f"{c.capacity:>9d}{c.conflict:>9d}"
+            )
+        return "\n".join(lines)
+
+
+def classify_misses(
+    records: Iterable[TraceRecord],
+    config: CacheConfig,
+    *,
+    attribution: str = "base",
+) -> ThreeCReport:
+    """Run the 3C classification over a trace.
+
+    The target cache and a fully associative LRU cache of equal capacity
+    process every block access in lockstep; each target-cache miss is
+    classed by first-touch (compulsory) or the reference's outcome
+    (capacity if the reference missed too, else conflict).
+
+    A fully associative *target* cannot have conflict misses by
+    construction (the reference equals the target).
+    """
+    target = SetAssociativeCache(config)
+    reference = SetAssociativeCache(
+        CacheConfig(
+            size=config.size,
+            block_size=config.block_size,
+            associativity=0,
+            policy="lru",
+            name="fully-assoc-ref",
+        )
+    )
+    report = ThreeCReport(config)
+    seen: set[int] = set()
+    for record in records:
+        if record.op is AccessType.MISC:
+            continue
+        label = attribution_label(record, attribution)
+        is_write = record.op in (AccessType.STORE, AccessType.MODIFY)
+        out_t = target.access(record.addr, record.size, is_write, owner=label)
+        out_r = reference.access(record.addr, record.size, is_write)
+        for ev_t, ev_r in zip(out_t.events, out_r.events):
+            counts = [report.overall]
+            if label is not None:
+                counts.append(
+                    report.by_variable.setdefault(label, ThreeCCounts())
+                )
+            if ev_t.hit:
+                for c in counts:
+                    c.hits += 1
+            elif ev_t.block not in seen:
+                for c in counts:
+                    c.compulsory += 1
+            elif not ev_r.hit:
+                for c in counts:
+                    c.capacity += 1
+            else:
+                for c in counts:
+                    c.conflict += 1
+            if ev_t.filled or ev_t.hit:
+                seen.add(ev_t.block)
+    return report

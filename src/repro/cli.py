@@ -1,0 +1,358 @@
+"""Command-line interface: ``tdst`` (trace-driven structure transforms).
+
+Subcommands mirror the paper's analysis cycle (its Figure 2):
+
+- ``tdst trace``     — run a built-in kernel and write its Gleipnir trace
+  (stands in for running the application under Valgrind+Gleipnir);
+- ``tdst stats``     — quick trace statistics;
+- ``tdst simulate``  — DineroIV-style cache simulation of a trace file;
+- ``tdst transform`` — apply a rule file, write ``transformed_trace.out``;
+- ``tdst diff``      — structural diff of two traces (Figures 5/8/9);
+- ``tdst figure``    — per-set figure data (+ optional gnuplot output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.ascii_plot import render_figure
+from repro.analysis.gnuplot import write_gnuplot_data, write_gnuplot_script
+from repro.analysis.per_set import figure_series
+from repro.analysis.report import simulation_report
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.cache.threec import classify_misses
+from repro.memory.paging import PageTable
+from repro.trace.diff import diff_traces
+from repro.trace.physical import to_physical
+from repro.trace.stats import compute_stats
+from repro.trace.stream import Trace
+from repro.tracer.interp import trace_program
+from repro.transform.engine import TransformEngine
+from repro.transform.rule_parser import parse_rules_file
+from repro.workloads.paper_kernels import PAPER_KERNELS, paper_kernel
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", type=int, default=32 * 1024, help="cache bytes")
+    parser.add_argument("--block", type=int, default=32, help="block bytes")
+    parser.add_argument(
+        "--assoc", type=int, default=1, help="ways per set (0 = fully associative)"
+    )
+    parser.add_argument(
+        "--policy",
+        default="lru",
+        help="replacement policy: lru fifo round-robin random plru",
+    )
+    parser.add_argument(
+        "--ppc440",
+        action="store_true",
+        help="use the paper's PowerPC 440 preset (32K/32B/64-way round-robin)",
+    )
+    parser.add_argument(
+        "--attribution",
+        choices=("base", "member"),
+        default="base",
+        help="per-variable stat granularity",
+    )
+    parser.add_argument(
+        "--physical",
+        choices=("identity", "sequential", "random", "coloring"),
+        help="rewrite the trace to physical addresses first "
+        "(shared-cache study; see memory.paging)",
+    )
+    parser.add_argument(
+        "--colors", type=int, default=16, help="page colours for --physical coloring"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for --physical random"
+    )
+
+
+def _cache_config(args: argparse.Namespace) -> CacheConfig:
+    if getattr(args, "ppc440", False):
+        return CacheConfig.ppc440()
+    return CacheConfig(
+        size=args.size,
+        block_size=args.block,
+        associativity=args.assoc,
+        policy=args.policy,
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    program = paper_kernel(args.kernel, length=args.length)
+    trace = trace_program(program)
+    trace.save(args.output)
+    print(f"wrote {len(trace)} records to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    print(compute_stats(trace).summary())
+    return 0
+
+
+def _apply_physical(trace: Trace, args: argparse.Namespace) -> Trace:
+    if not getattr(args, "physical", None):
+        return trace
+    table = PageTable(args.physical, colors=args.colors, seed=args.seed)
+    return to_physical(trace, table)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = _apply_physical(Trace.load(args.trace), args)
+    result = simulate(trace, _cache_config(args), attribution=args.attribution)
+    print(simulation_report(result, title=str(args.trace), plot=args.plot))
+    return 0
+
+
+def _cmd_threec(args: argparse.Namespace) -> int:
+    trace = _apply_physical(Trace.load(args.trace), args)
+    report = classify_misses(
+        trace, _cache_config(args), attribution=args.attribution
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    rules = parse_rules_file(args.rules)
+    engine = TransformEngine(rules, strict=args.strict)
+    result = engine.transform(trace)
+    result.write(args.output)
+    print(result.report.summary())
+    print(f"wrote {len(result.trace)} records to {args.output}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    original = Trace.load(args.original)
+    transformed = Trace.load(args.transformed)
+    diff = diff_traces(original, transformed)
+    print(diff.render(context=args.context))
+    print(diff.summary())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import (
+        associativity_sweep,
+        sweep_configs,
+        sweep_table,
+    )
+
+    trace = _apply_physical(Trace.load(args.trace), args)
+    configs = associativity_sweep(
+        args.size, args.block, max_ways=args.max_ways, policy=args.policy
+    )
+    points = sweep_configs(
+        trace, configs, attribution=args.attribution, workers=args.workers
+    )
+    print(sweep_table(points))
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    from repro.analysis.heatmap import compute_heatmap
+
+    trace = _apply_physical(Trace.load(args.trace), args)
+    heat = compute_heatmap(
+        trace,
+        _cache_config(args),
+        window=args.window,
+        variable=args.variable,
+    )
+    print(heat.render(columns=args.columns, kind=args.kind))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.ctypes_model.parser import parse_declarations
+    from repro.transform.advisor import (
+        field_usage,
+        suggest_field_order,
+        suggest_hot_cold_split,
+    )
+
+    trace = Trace.load(args.trace)
+    decls = parse_declarations(Path(args.layout).read_text(encoding="utf-8"))
+    variables = dict(decls.variables)
+    for tag, ctype in decls.structs.items():
+        variables.setdefault(tag, ctype)
+    try:
+        layout = variables[args.variable]
+    except KeyError:
+        print(f"error: {args.variable!r} not declared in {args.layout}")
+        return 1
+    usage = field_usage(trace, args.variable)
+    print(f"field usage for {args.variable}:")
+    for name, count in usage.most_common():
+        print(f"  {name:<20s} {count}")
+    split = suggest_hot_cold_split(
+        trace, args.variable, layout, cold_threshold=args.cold_threshold
+    )
+    if split is not None:
+        print(f"\nhot/cold split suggestion (hot={split.hot} cold={split.cold}):")
+        print(split.rule_text(layout))
+    else:
+        print("\nno hot/cold split warranted")
+    order = suggest_field_order(trace, args.variable, layout)
+    print(f"field-order suggestion: {order.order}")
+    if args.rules_out:
+        text = (split.rule_text(layout) if split else order.rule_text(layout))
+        Path(args.rules_out).write_text(text, encoding="utf-8")
+        print(f"wrote rule file to {args.rules_out}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.trace.binformat import load_binary, save_binary
+    from repro.trace.dinero import read_dinero, write_dinero
+
+    readers = {
+        "text": Trace.load,
+        "binary": load_binary,
+        "din": read_dinero,
+    }
+    writers = {
+        "text": lambda t, p: t.save(p),
+        "binary": lambda t, p: save_binary(t, p),
+        "din": lambda t, p: write_dinero(t, p),
+    }
+    trace = readers[args.from_format](args.input)
+    writers[args.to_format](trace, args.output)
+    print(
+        f"converted {len(trace)} records: {args.input} ({args.from_format}) "
+        f"-> {args.output} ({args.to_format})"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    result = simulate(trace, _cache_config(args), attribution=args.attribution)
+    figure = figure_series(result, title=str(args.trace))
+    print(render_figure(figure))
+    if args.dat:
+        write_gnuplot_data(figure, args.dat)
+        print(f"wrote {args.dat}")
+        if args.gp:
+            write_gnuplot_script(figure, args.dat, args.gp)
+            print(f"wrote {args.gp}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tdst",
+        description="Trace-driven data structure transformations (SC 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace", help="trace a built-in kernel")
+    p.add_argument("kernel", choices=sorted(PAPER_KERNELS))
+    p.add_argument("--length", type=int, default=16)
+    p.add_argument("-o", "--output", default="trace.out")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("stats", help="trace statistics")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("simulate", help="cache-simulate a trace")
+    p.add_argument("trace")
+    _add_cache_args(p)
+    p.add_argument("--plot", action="store_true", help="include ASCII per-set plot")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "threec", help="compulsory/capacity/conflict miss classification"
+    )
+    p.add_argument("trace")
+    _add_cache_args(p)
+    p.set_defaults(func=_cmd_threec)
+
+    p = sub.add_parser("transform", help="apply a rule file to a trace")
+    p.add_argument("trace")
+    p.add_argument("rules", help="rule file (in:/out:/inject: sections)")
+    p.add_argument("-o", "--output", default="transformed_trace.out")
+    p.add_argument("--strict", action="store_true")
+    p.set_defaults(func=_cmd_transform)
+
+    p = sub.add_parser("diff", help="diff two traces")
+    p.add_argument("original")
+    p.add_argument("transformed")
+    p.add_argument("--context", type=int, default=2)
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "sweep", help="parallel associativity sweep over one trace"
+    )
+    p.add_argument("trace")
+    _add_cache_args(p)
+    p.add_argument("--max-ways", type=int, default=16)
+    p.add_argument(
+        "--workers", type=int, default=0, help="0 = serial, N = processes"
+    )
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("heatmap", help="time x set traffic heatmap")
+    p.add_argument("trace")
+    _add_cache_args(p)
+    p.add_argument("--window", type=int, default=1000, help="accesses per row")
+    p.add_argument("--columns", type=int, default=96)
+    p.add_argument(
+        "--kind", choices=("accesses", "hits", "misses"), default="accesses"
+    )
+    p.add_argument("--variable", help="restrict counting to one variable")
+    p.set_defaults(func=_cmd_heatmap)
+
+    p = sub.add_parser(
+        "advise",
+        help="suggest transformations for a structure from its trace",
+    )
+    p.add_argument("trace")
+    p.add_argument("layout", help="C declaration file defining the structure")
+    p.add_argument("variable", help="structure variable to analyse")
+    p.add_argument("--cold-threshold", type=float, default=0.2)
+    p.add_argument("--rules-out", help="write the best suggestion's rule file")
+    p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser(
+        "convert", help="convert between text, binary and din trace formats"
+    )
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument(
+        "--from", dest="from_format", choices=("text", "binary", "din"),
+        default="text",
+    )
+    p.add_argument(
+        "--to", dest="to_format", choices=("text", "binary", "din"),
+        default="binary",
+    )
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("figure", help="per-set figure data for a trace")
+    p.add_argument("trace")
+    _add_cache_args(p)
+    p.add_argument("--dat", help="write gnuplot data file")
+    p.add_argument("--gp", help="write gnuplot script (needs --dat)")
+    p.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""C type system with System-V x86-64 ABI layout rules.
+
+This package plays the role of the compiler's type layout engine in the
+paper's pipeline: Gleipnir reads gcc debug information to know where every
+struct field and array element lives; we compute the same information from
+first principles using the SysV ABI rules (natural alignment, struct padding,
+trailing padding to the struct's own alignment).
+
+Public surface:
+
+- :class:`~repro.ctypes_model.types.CType` hierarchy
+  (:class:`PrimitiveType`, :class:`PointerType`, :class:`ArrayType`,
+  :class:`StructType`, :class:`UnionType`) and the primitive registry
+  (:func:`primitive`, ``INT``, ``DOUBLE``...).
+- :class:`~repro.ctypes_model.path.VariablePath` — structured access paths
+  such as ``lAoS[3].mX`` with parse/format round-trip.
+- :func:`~repro.ctypes_model.parser.parse_declarations` — a C declaration
+  parser covering the subset used by the paper's rule files.
+"""
+
+from repro.ctypes_model.path import Field, Index, PathElement, VariablePath
+from repro.ctypes_model.types import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    POINTER_SIZE,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    USHORT,
+    ArrayType,
+    CType,
+    PointerType,
+    PrimitiveType,
+    StructField,
+    StructType,
+    UnionType,
+    primitive,
+)
+from repro.ctypes_model.parser import parse_declaration, parse_declarations
+
+__all__ = [
+    "CType",
+    "PrimitiveType",
+    "PointerType",
+    "ArrayType",
+    "StructField",
+    "StructType",
+    "UnionType",
+    "primitive",
+    "CHAR",
+    "UCHAR",
+    "SHORT",
+    "USHORT",
+    "INT",
+    "UINT",
+    "LONG",
+    "ULONG",
+    "FLOAT",
+    "DOUBLE",
+    "POINTER_SIZE",
+    "VariablePath",
+    "PathElement",
+    "Field",
+    "Index",
+    "parse_declaration",
+    "parse_declarations",
+]

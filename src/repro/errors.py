@@ -1,0 +1,66 @@
+"""Exception hierarchy shared by all repro subsystems.
+
+Every error raised intentionally by the package derives from
+:class:`ReproError` so callers can catch the library's failures without
+swallowing genuine programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class LayoutError(ReproError):
+    """A C type could not be laid out (zero-length array, unknown size...)."""
+
+
+class DeclarationSyntaxError(ReproError):
+    """A C declaration or rule file failed to parse.
+
+    Attributes
+    ----------
+    line:
+        1-based line number within the parsed source, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PathError(ReproError):
+    """A variable path string (``lAoS[3].mX``) is malformed or inapplicable."""
+
+
+class TraceFormatError(ReproError):
+    """A trace line does not conform to the Gleipnir text format."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"trace line {line_number}: {message}"
+        super().__init__(message)
+
+
+class MemoryModelError(ReproError):
+    """Invalid operation on the simulated address space (double free...)."""
+
+
+class InterpreterError(ReproError):
+    """The program interpreter hit an invalid program construct."""
+
+
+class CacheConfigError(ReproError):
+    """A cache configuration is invalid (non-power-of-two sizes...)."""
+
+
+class RuleError(ReproError):
+    """A transformation rule is semantically invalid or inapplicable."""
+
+
+class TransformError(ReproError):
+    """Applying a transformation to a trace failed."""

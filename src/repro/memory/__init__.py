@@ -1,0 +1,47 @@
+"""Simulated virtual address space: stack, globals, heap, and symbols.
+
+Gleipnir traces real virtual addresses assigned by the loader (globals), the
+stack pointer (locals) and malloc (heap), and uses Valgrind's debug-info
+parser to map each address back to a variable.  This package provides the
+same two facilities for our simulated programs:
+
+- allocation: :class:`~repro.memory.address_space.AddressSpace` hands out
+  addresses for globals (``.data``/``.bss`` style, upward from
+  ``GLOBAL_BASE``), stack frames (downward from ``STACK_TOP``, like x86-64),
+  and heap blocks (:class:`~repro.memory.heap.HeapAllocator`).
+- symbolisation: :class:`~repro.memory.symbols.SymbolTable` maps any address
+  back to ``(symbol, VariablePath, offset)`` — exactly the information the
+  compiler's ``-g`` debug section gives Gleipnir.
+
+The default base addresses are chosen to look like the paper's traces
+(globals near ``0x601040``, stack near ``0x7ff000xxx``).
+"""
+
+from repro.memory.layout_constants import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    STACK_ALIGNMENT,
+    STACK_TOP,
+)
+from repro.memory.symbols import Symbol, SymbolTable, Segment
+from repro.memory.stack import StackAllocator, StackFrame
+from repro.memory.heap import HeapAllocator, HeapBlock
+from repro.memory.address_space import AddressSpace
+from repro.memory.paging import PAGE_SIZE, PageTable
+
+__all__ = [
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "STACK_TOP",
+    "STACK_ALIGNMENT",
+    "Segment",
+    "Symbol",
+    "SymbolTable",
+    "StackAllocator",
+    "StackFrame",
+    "HeapAllocator",
+    "HeapBlock",
+    "AddressSpace",
+    "PageTable",
+    "PAGE_SIZE",
+]

@@ -1,0 +1,129 @@
+"""The complete simulated address space.
+
+:class:`AddressSpace` ties the three allocators and the symbol table into
+the single object the tracer works against:
+
+- ``declare_global(name, ctype)`` lays out a ``.data`` object;
+- ``push_frame`` / ``declare_local`` / ``pop_frame`` manage the stack;
+- ``malloc_object`` / ``free_object`` manage named heap objects;
+- ``symbolize(addr)`` recovers ``(symbol, path, scope)`` like debug info.
+
+Globals are laid out in declaration order with natural alignment, starting
+at :data:`~repro.memory.layout_constants.GLOBAL_BASE` — matching how a
+linker fills ``.bss``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MemoryModelError
+from repro.ctypes_model.types import CType
+from repro.memory.heap import HeapAllocator, HeapBlock
+from repro.memory.layout_constants import GLOBAL_BASE, HEAP_BASE, STACK_TOP
+from repro.memory.stack import StackAllocator, StackFrame
+from repro.memory.symbols import Segment, Symbol, SymbolTable, Symbolized
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+class AddressSpace:
+    """One process image: globals + stack + heap + symbol table."""
+
+    def __init__(
+        self,
+        *,
+        global_base: int = GLOBAL_BASE,
+        stack_top: int = STACK_TOP,
+        heap_base: int = HEAP_BASE,
+    ) -> None:
+        self.symbols = SymbolTable()
+        self.stack = StackAllocator(stack_top)
+        self.heap = HeapAllocator(heap_base)
+        self._global_cursor = global_base
+        #: symbols owned by each live frame, for pop-time retirement
+        self._frame_symbols: List[List[Symbol]] = []
+
+    # -- globals ---------------------------------------------------------
+
+    def declare_global(self, name: str, ctype: CType, *, thread: int = 1) -> Symbol:
+        """Lay out a global object at the next aligned ``.data`` address."""
+        base = _align_up(self._global_cursor, max(ctype.alignment, 1))
+        self._global_cursor = base + ctype.size
+        return self.symbols.add(
+            Symbol(name, ctype, base, Segment.GLOBAL, thread=thread)
+        )
+
+    # -- stack -----------------------------------------------------------
+
+    def push_frame(self, function: str) -> StackFrame:
+        """Enter a function: push a stack frame."""
+        frame = self.stack.push(function)
+        self._frame_symbols.append([])
+        return frame
+
+    def declare_local(
+        self, name: str, ctype: CType, *, thread: int = 1
+    ) -> Symbol:
+        """Declare a local in the current frame."""
+        frame = self.stack.current
+        base = frame.declare(name, ctype)
+        symbol = Symbol(
+            name,
+            ctype,
+            base,
+            Segment.STACK,
+            function=frame.function,
+            depth=frame.depth,
+            thread=thread,
+        )
+        self.symbols.add(symbol)
+        self._frame_symbols[-1].append(symbol)
+        return symbol
+
+    def pop_frame(self) -> StackFrame:
+        """Leave a function: retire every symbol the frame owned."""
+        if not self._frame_symbols:
+            raise MemoryModelError("no frame to pop")
+        for symbol in self._frame_symbols.pop():
+            self.symbols.remove(symbol)
+        return self.stack.pop()
+
+    def frame_distance_of(self, symbol: Symbol) -> int:
+        """Gleipnir's ``Frame`` field for a stack symbol (0 = own frame)."""
+        if symbol.segment is not Segment.STACK:
+            return 0
+        return max(self.stack.current.depth - symbol.depth, 0)
+
+    # -- heap ------------------------------------------------------------
+
+    def malloc_object(
+        self, name: str, ctype: CType, *, thread: int = 1
+    ) -> Symbol:
+        """Allocate a named heap object of ``sizeof(ctype)`` bytes."""
+        block = self.heap.malloc(ctype.size)
+        return self.symbols.add(
+            Symbol(name, ctype, block.base, Segment.HEAP, thread=thread)
+        )
+
+    def free_object(self, symbol: Symbol) -> None:
+        """Free a heap object and retire its symbol."""
+        if symbol.segment is not Segment.HEAP:
+            raise MemoryModelError(f"{symbol.name!r} is not a heap object")
+        self.heap.free(symbol.base)
+        self.symbols.remove(symbol)
+
+    # -- symbolisation ---------------------------------------------------
+
+    def symbolize(self, address: int) -> Optional[Symbolized]:
+        """Address -> (symbol, nested path, offset), or ``None``."""
+        return self.symbols.symbolize(address)
+
+    def lookup(self, name: str) -> Symbol:
+        """Name -> live symbol, innermost scope first."""
+        symbol = self.symbols.lookup_name(name)
+        if symbol is None:
+            raise MemoryModelError(f"no live symbol named {name!r}")
+        return symbol

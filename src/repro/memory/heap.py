@@ -1,0 +1,140 @@
+"""A small ``malloc`` model: first-fit free list over a bump arena.
+
+The paper's tool chain only handles *static* structures; heap support here
+backs the "dynamic structures" extension the paper lists as future work
+(Section VI).  The allocator is deliberately simple but realistic enough to
+produce the address patterns that matter for cache studies:
+
+- 16-byte aligned blocks (glibc behaviour);
+- first-fit reuse of freed blocks, so allocation order and free order
+  influence spatial locality exactly as they do in real programs;
+- optional per-block padding to emulate allocator headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MemoryModelError
+from repro.memory.layout_constants import HEAP_BASE
+
+#: glibc malloc alignment on x86-64.
+HEAP_ALIGNMENT = 16
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class HeapBlock:
+    """A live heap allocation."""
+
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+class HeapAllocator:
+    """First-fit free-list allocator with a bump-pointer fallback."""
+
+    def __init__(
+        self,
+        base: int = HEAP_BASE,
+        *,
+        header_size: int = 0,
+        alignment: int = HEAP_ALIGNMENT,
+    ) -> None:
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise MemoryModelError(
+                f"heap alignment must be a power of two, got {alignment}"
+            )
+        self._base = base
+        self._cursor = base
+        self._alignment = alignment
+        self._header = header_size
+        #: sorted list of (base, size) holes available for reuse
+        self._free: List[Tuple[int, int]] = []
+        self._live: Dict[int, HeapBlock] = {}
+        self.total_allocated = 0
+        self.total_freed = 0
+
+    # -- allocation ------------------------------------------------------
+
+    def malloc(self, size: int) -> HeapBlock:
+        """Allocate ``size`` bytes; returns the block (base is aligned)."""
+        if size <= 0:
+            raise MemoryModelError(f"malloc size must be positive, got {size}")
+        need = _align_up(size + self._header, self._alignment)
+        # First fit over the free list.
+        for i, (hole_base, hole_size) in enumerate(self._free):
+            if hole_size >= need:
+                remainder = hole_size - need
+                if remainder:
+                    self._free[i] = (hole_base + need, remainder)
+                else:
+                    del self._free[i]
+                block = HeapBlock(hole_base + self._header, size)
+                self._live[block.base] = block
+                self.total_allocated += size
+                return block
+        # Bump allocation.
+        base = _align_up(self._cursor, self._alignment)
+        self._cursor = base + need
+        block = HeapBlock(base + self._header, size)
+        self._live[block.base] = block
+        self.total_allocated += size
+        return block
+
+    def calloc(self, count: int, size: int) -> HeapBlock:
+        """``calloc`` is ``malloc(count*size)`` for trace purposes."""
+        return self.malloc(count * size)
+
+    def free(self, base: int) -> HeapBlock:
+        """Free a live block by its base address."""
+        block = self._live.pop(base, None)
+        if block is None:
+            raise MemoryModelError(f"free of non-live address {base:#x}")
+        hole_base = block.base - self._header
+        hole_size = _align_up(block.size + self._header, self._alignment)
+        self._insert_hole(hole_base, hole_size)
+        self.total_freed += block.size
+        return block
+
+    def _insert_hole(self, base: int, size: int) -> None:
+        """Insert a hole, coalescing with adjacent holes."""
+        self._free.append((base, size))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for hole in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == hole[0]:
+                merged[-1] = (merged[-1][0], merged[-1][1] + hole[1])
+            else:
+                merged.append(hole)
+        self._free = merged
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def live_blocks(self) -> Tuple[HeapBlock, ...]:
+        return tuple(sorted(self._live.values(), key=lambda b: b.base))
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(b.size for b in self._live.values())
+
+    @property
+    def high_water_mark(self) -> int:
+        """Highest address ever handed out (arena growth)."""
+        return self._cursor
+
+    def fragmentation(self) -> float:
+        """Fraction of the grown arena currently in holes (0 when pristine)."""
+        arena = self._cursor - self._base
+        if arena == 0:
+            return 0.0
+        return sum(size for _, size in self._free) / arena

@@ -1,0 +1,19 @@
+"""Base addresses of the simulated address space.
+
+Values are chosen so generated traces resemble the paper's listings:
+globals like ``0x601040``, stack locals like ``0x7ff0001b8``.  They are
+plain module constants so tests and workloads can compute expected
+addresses without instantiating an address space.
+"""
+
+#: First address used for global (``.data``/``.bss``) objects.
+GLOBAL_BASE = 0x601000
+
+#: First address handed out by the heap allocator (``malloc`` arena).
+HEAP_BASE = 0xA00000
+
+#: Address just *above* the first stack frame; frames grow downward.
+STACK_TOP = 0x7FF000200
+
+#: The ABI stack alignment (x86-64 requires 16-byte alignment at calls).
+STACK_ALIGNMENT = 16

@@ -1,0 +1,145 @@
+"""Virtual-to-physical page mapping — the paper's shared-cache caveat.
+
+Section VI: "the trace information is limited by the instrumentation tool
+to private caches only because the addresses used are virtual addresses
+... if we wish to simulate a shared level cache we must take physical
+addresses into account.  This can be remedied ... by mapping kernel
+page-maps information directly into the trace."
+
+This module provides that remedy for the simulated world: a page table
+that assigns physical frames to virtual pages under selectable OS
+allocation policies, so traces can be rewritten to physical addresses
+(:func:`repro.trace.physical.to_physical`) before feeding a physically
+indexed cache level.
+
+Policies:
+
+- ``identity``   — frame == page (what the paper's tool implicitly
+  assumes; physical behaviour equals virtual behaviour);
+- ``sequential`` — first-touch assigns consecutive frames (an idealised
+  fresh-boot allocator: destroys large-stride virtual patterns);
+- ``random``     — first-touch assigns uniformly random free frames
+  (a fragmented allocator; the realistic worst case for a physically
+  indexed cache);
+- ``coloring``   — first-touch assigns the next free frame *of the same
+  page colour* (frame mod colours == page mod colours), the classic OS
+  technique that preserves cache-set mappings across translation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Optional
+
+from repro.errors import MemoryModelError
+
+#: Default page size (x86-64 small pages).
+PAGE_SIZE = 4096
+
+_POLICIES = ("identity", "sequential", "random", "coloring")
+
+
+class PageTable:
+    """First-touch virtual->physical mapper.
+
+    Parameters
+    ----------
+    policy:
+        One of ``identity``, ``sequential``, ``random``, ``coloring``.
+    page_size:
+        Bytes per page (power of two).
+    colors:
+        Number of page colours for the ``coloring`` policy — typically
+        ``cache_size / (associativity * page_size)`` of the physically
+        indexed cache being studied.
+    frames:
+        Size of the physical frame pool for ``random`` (frames are drawn
+        without replacement from ``[0, frames)``).
+    seed:
+        RNG seed for the ``random`` policy.
+    """
+
+    def __init__(
+        self,
+        policy: str = "identity",
+        *,
+        page_size: int = PAGE_SIZE,
+        colors: int = 16,
+        frames: int = 1 << 20,
+        seed: int = 0,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise MemoryModelError(
+                f"unknown paging policy {policy!r}; choose from {_POLICIES}"
+            )
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise MemoryModelError(
+                f"page size must be a power of two, got {page_size}"
+            )
+        self.policy = policy
+        self.page_size = page_size
+        self.colors = colors
+        self._mapping: Dict[int, int] = {}
+        self._next_frame = 0
+        self._rng = random.Random(seed)
+        self._free_frames: Optional[set] = None
+        self._frames = frames
+        #: per-colour next-frame cursors for the coloring policy
+        self._color_cursor: Dict[int, int] = {}
+
+    # -- frame assignment ---------------------------------------------------
+
+    def _assign(self, page: int) -> int:
+        if self.policy == "identity":
+            return page
+        if self.policy == "sequential":
+            frame = self._next_frame
+            self._next_frame += 1
+            return frame
+        if self.policy == "random":
+            if self._free_frames is None:
+                self._free_frames = set()
+            while True:
+                frame = self._rng.randrange(self._frames)
+                if frame not in self._free_frames:
+                    self._free_frames.add(frame)
+                    return frame
+        # coloring: next free frame with frame % colors == page % colors
+        color = page % self.colors
+        cursor = self._color_cursor.get(color, color)
+        self._color_cursor[color] = cursor + self.colors
+        return cursor
+
+    # -- translation --------------------------------------------------------
+
+    def frame_of(self, page: int) -> int:
+        """The frame backing ``page`` (assigning on first touch)."""
+        frame = self._mapping.get(page)
+        if frame is None:
+            frame = self._assign(page)
+            self._mapping[page] = frame
+        return frame
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual address -> physical address."""
+        page, offset = divmod(vaddr, self.page_size)
+        return self.frame_of(page) * self.page_size + offset
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._mapping)
+
+    def mapping_items(self) -> Iterator[tuple[int, int]]:
+        """(page, frame) pairs in page order."""
+        return iter(sorted(self._mapping.items()))
+
+    def preserves_color(self, index_bits_beyond_page: int) -> bool:
+        """Whether every mapping so far keeps the low ``n`` page bits that
+        a physically indexed cache uses for set selection."""
+        mask = (1 << index_bits_beyond_page) - 1
+        return all(
+            (page & mask) == (frame & mask)
+            for page, frame in self._mapping.items()
+        )

@@ -1,0 +1,115 @@
+"""Downward-growing stack frame allocator.
+
+Each function call pushes a :class:`StackFrame`.  Locals are carved out of
+the frame top-down in declaration order, each aligned to its natural
+alignment, and the frame base is kept 16-byte aligned as the x86-64 ABI
+requires.  Addresses therefore come out looking like the paper's
+``0x7ff0001b8`` stack addresses, and re-entering a function after a return
+reuses the same addresses — which the paper's traces exhibit (``foo``'s
+``i`` is always ``0x7ff000044`` in Listing 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import MemoryModelError
+from repro.ctypes_model.types import CType
+from repro.memory.layout_constants import STACK_ALIGNMENT, STACK_TOP
+
+
+def _align_down(value: int, alignment: int) -> int:
+    return value // alignment * alignment
+
+
+@dataclass
+class StackFrame:
+    """One function activation's slice of the stack.
+
+    Attributes
+    ----------
+    function:
+        Name of the function this frame belongs to.
+    depth:
+        0 for the first (``main``) frame, increasing with call depth.
+    upper:
+        The address just above this frame (exclusive).
+    cursor:
+        Next free address (grows downward as locals are declared).
+    """
+
+    function: str
+    depth: int
+    upper: int
+    cursor: int = field(init=False)
+    locals: Dict[str, Tuple[int, CType]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.cursor = self.upper
+
+    def declare(self, name: str, ctype: CType) -> int:
+        """Allocate a local in this frame; returns its base address."""
+        if name in self.locals:
+            raise MemoryModelError(
+                f"local {name!r} already declared in frame of {self.function}"
+            )
+        addr = _align_down(self.cursor - ctype.size, max(ctype.alignment, 1))
+        self.locals[name] = (addr, ctype)
+        self.cursor = addr
+        return addr
+
+    @property
+    def lower(self) -> int:
+        """Lowest address currently used by the frame."""
+        return self.cursor
+
+
+class StackAllocator:
+    """Manages the stack of :class:`StackFrame` activations."""
+
+    def __init__(self, top: int = STACK_TOP) -> None:
+        self._top = top
+        self._frames: List[StackFrame] = []
+
+    @property
+    def frames(self) -> Tuple[StackFrame, ...]:
+        return tuple(self._frames)
+
+    @property
+    def current(self) -> StackFrame:
+        if not self._frames:
+            raise MemoryModelError("no active stack frame")
+        return self._frames[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def push(self, function: str, *, saved_words: int = 2) -> StackFrame:
+        """Push a frame for ``function``.
+
+        ``saved_words`` models the return address and saved base pointer
+        that a real call pushes (2 x 8 bytes by default), which is what
+        creates the small gaps visible between frames in Gleipnir traces.
+        """
+        upper = self._top if not self._frames else self._frames[-1].cursor
+        upper = _align_down(upper - 8 * saved_words, STACK_ALIGNMENT)
+        frame = StackFrame(function, len(self._frames), upper)
+        self._frames.append(frame)
+        return frame
+
+    def pop(self) -> StackFrame:
+        """Pop the current frame, releasing its addresses for reuse."""
+        if not self._frames:
+            raise MemoryModelError("stack underflow")
+        return self._frames.pop()
+
+    def frame_distance(self, frame: StackFrame) -> int:
+        """How many activations up ``frame`` is from the current one.
+
+        This is the ``Frame`` field Gleipnir prints: 0 for the executing
+        function's own locals, 1 for the caller's locals accessed through a
+        pointer parameter, and so on.
+        """
+        return self.current.depth - frame.depth

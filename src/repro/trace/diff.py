@@ -1,0 +1,201 @@
+"""Structural trace diff — the machine-checkable form of Figures 5/8/9.
+
+The paper compares an original trace with its transformed counterpart in a
+graphical diff tool.  The transformation engine preserves the untouched
+lines verbatim, rewrites lines that match a rule (same op/size, new
+address and variable path), and *inserts* extra lines for pointer
+indirection (T2) and index arithmetic (T3).  This module aligns the two
+streams and classifies every position:
+
+- ``EQUAL``    — byte-for-byte identical record;
+- ``CHANGED``  — aligned pair whose address/path differ (a remapped line);
+- ``INSERTED`` — present only in the transformed trace (injected access);
+- ``DELETED``  — present only in the original trace.
+
+Alignment walks both traces with a windowed-resync scan over a
+configurable *key* projection; the default key ``(op, size, func)``
+matches how remapped lines keep everything except address and variable,
+so rewrites align as CHANGED rather than delete+insert pairs, just as the
+paper's figures show the ``=>`` changed-line markers with inserted green
+lines in between.  The scan is O(n * window) — transformation diffs are
+*local* edits (a remap or a short insertion run), so a small window
+resynchronises exactly where a general LCS would, without the quadratic
+blow-up ``difflib`` hits on long, highly repetitive traces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace.record import TraceRecord
+from repro.trace.format import format_record
+
+
+class DiffOp(enum.Enum):
+    """Classification of one aligned diff position."""
+
+    EQUAL = "equal"
+    CHANGED = "changed"
+    INSERTED = "inserted"
+    DELETED = "deleted"
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One aligned position of the diff."""
+
+    op: DiffOp
+    original: Optional[TraceRecord]
+    transformed: Optional[TraceRecord]
+
+    def render(self) -> str:
+        """One line in a unified-diff-like text rendering."""
+        marker = {
+            DiffOp.EQUAL: "  ",
+            DiffOp.CHANGED: "=>",
+            DiffOp.INSERTED: "++",
+            DiffOp.DELETED: "--",
+        }[self.op]
+        left = format_record(self.original) if self.original else ""
+        right = format_record(self.transformed) if self.transformed else ""
+        if self.op is DiffOp.EQUAL:
+            return f"{marker} {left}"
+        if self.op is DiffOp.INSERTED:
+            return f"{marker} {'':<52s} | {right}"
+        if self.op is DiffOp.DELETED:
+            return f"{marker} {left}"
+        return f"{marker} {left:<52s} | {right}"
+
+
+@dataclass
+class TraceDiff:
+    """The full diff with summary counters."""
+
+    entries: List[DiffEntry] = field(default_factory=list)
+
+    @property
+    def equal(self) -> int:
+        return sum(1 for e in self.entries if e.op is DiffOp.EQUAL)
+
+    @property
+    def changed(self) -> int:
+        return sum(1 for e in self.entries if e.op is DiffOp.CHANGED)
+
+    @property
+    def inserted(self) -> int:
+        return sum(1 for e in self.entries if e.op is DiffOp.INSERTED)
+
+    @property
+    def deleted(self) -> int:
+        return sum(1 for e in self.entries if e.op is DiffOp.DELETED)
+
+    def changed_pairs(self) -> List[Tuple[TraceRecord, TraceRecord]]:
+        """All (original, transformed) pairs for CHANGED positions."""
+        return [
+            (e.original, e.transformed)
+            for e in self.entries
+            if e.op is DiffOp.CHANGED
+            and e.original is not None
+            and e.transformed is not None
+        ]
+
+    def inserted_records(self) -> List[TraceRecord]:
+        """All records injected by the transformation."""
+        return [
+            e.transformed
+            for e in self.entries
+            if e.op is DiffOp.INSERTED and e.transformed is not None
+        ]
+
+    def render(self, *, context: Optional[int] = None) -> str:
+        """Text rendering; ``context`` limits EQUAL runs around changes."""
+        entries = self.entries
+        if context is not None:
+            keep = [False] * len(entries)
+            for i, e in enumerate(entries):
+                if e.op is not DiffOp.EQUAL:
+                    for j in range(max(0, i - context), min(len(entries), i + context + 1)):
+                        keep[j] = True
+            lines: List[str] = []
+            skipping = False
+            for flag, e in zip(keep, entries):
+                if flag:
+                    lines.append(e.render())
+                    skipping = False
+                elif not skipping:
+                    lines.append("   ...")
+                    skipping = True
+            return "\n".join(lines)
+        return "\n".join(e.render() for e in entries)
+
+    def summary(self) -> str:
+        """One-line counts of the four diff classes."""
+        return (
+            f"equal={self.equal} changed={self.changed} "
+            f"inserted={self.inserted} deleted={self.deleted}"
+        )
+
+
+def _default_key(record: TraceRecord) -> Hashable:
+    """Alignment key: remaps keep op/size/func, so exclude addr/var."""
+    return (record.op, record.size, record.func)
+
+
+def diff_traces(
+    original: Sequence[TraceRecord],
+    transformed: Sequence[TraceRecord],
+    *,
+    key: Callable[[TraceRecord], Hashable] = _default_key,
+    window: int = 64,
+) -> TraceDiff:
+    """Align two traces and classify every position.
+
+    ``key`` controls alignment granularity; records whose keys match are
+    candidates for pairing.  Paired records that are not identical are
+    CHANGED; unpaired records are INSERTED/DELETED.  ``window`` bounds how
+    far ahead the scan looks to resynchronise after an insertion or
+    deletion run; transformation edits are local, so the default is ample.
+    """
+    a = list(original)
+    b = list(transformed)
+    a_keys = [key(r) for r in a]
+    b_keys = [key(r) for r in b]
+    diff = TraceDiff()
+    entries = diff.entries
+    i = j = 0
+    n_a, n_b = len(a), len(b)
+    while i < n_a and j < n_b:
+        if a_keys[i] == b_keys[j]:
+            op = DiffOp.EQUAL if a[i] == b[j] else DiffOp.CHANGED
+            entries.append(DiffEntry(op, a[i], b[j]))
+            i += 1
+            j += 1
+            continue
+        # Resynchronise: the smallest skip on either side wins.  Prefer
+        # insertions at equal distance — transformed traces grow.
+        resynced = False
+        for d in range(1, window + 1):
+            if j + d < n_b and a_keys[i] == b_keys[j + d]:
+                for k in range(d):
+                    entries.append(DiffEntry(DiffOp.INSERTED, None, b[j + k]))
+                j += d
+                resynced = True
+                break
+            if i + d < n_a and a_keys[i + d] == b_keys[j]:
+                for k in range(d):
+                    entries.append(DiffEntry(DiffOp.DELETED, a[i + k], None))
+                i += d
+                resynced = True
+                break
+        if not resynced:
+            # No nearby anchor: pair positionally as CHANGED.
+            entries.append(DiffEntry(DiffOp.CHANGED, a[i], b[j]))
+            i += 1
+            j += 1
+    for k in range(i, n_a):
+        entries.append(DiffEntry(DiffOp.DELETED, a[k], None))
+    for k in range(j, n_b):
+        entries.append(DiffEntry(DiffOp.INSERTED, None, b[k]))
+    return diff

@@ -1,0 +1,86 @@
+"""DineroIV ``din`` format interoperability.
+
+The *original* DineroIV consumes plain three-field traces — the paper:
+"for rudimentary analysis it is sufficient to analyze a trace consisting
+of a 3-tuple trace-line consisting of an access type, address, and the
+size of the data access".  The din format spells that as::
+
+    <label> <hex-address> <size>
+
+with label ``0`` = data read, ``1`` = data write, ``2`` = instruction
+fetch.  Exporting drops the Gleipnir metadata (that is the point: it is
+what the unmodified simulator would see); importing synthesises
+metadata-free records.  A Gleipnir ``M`` (modify) exports as a write,
+matching how cachegrind-style modifies collapse.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.errors import TraceFormatError
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace
+
+_EXPORT_LABEL = {
+    AccessType.LOAD: "0",
+    AccessType.STORE: "1",
+    AccessType.MODIFY: "1",
+    AccessType.MISC: "2",
+}
+
+_IMPORT_OP = {
+    "0": AccessType.LOAD,
+    "1": AccessType.STORE,
+    "2": AccessType.MISC,
+}
+
+
+def to_dinero(records: Iterable[TraceRecord]) -> str:
+    """Render records as din text (label, hex address, size)."""
+    lines = [
+        f"{_EXPORT_LABEL[r.op]} {r.addr:x} {r.size}" for r in records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_dinero(
+    records: Iterable[TraceRecord], path: Union[str, Path]
+) -> Path:
+    """Write a din-format trace file."""
+    target = Path(path)
+    target.write_text(to_dinero(records), encoding="utf-8")
+    return target
+
+
+def from_dinero(text: str) -> Trace:
+    """Parse din text into metadata-free records."""
+    records: List[TraceRecord] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) < 2:
+            raise TraceFormatError("din line needs label and address", lineno)
+        op = _IMPORT_OP.get(fields[0])
+        if op is None:
+            raise TraceFormatError(f"unknown din label {fields[0]!r}", lineno)
+        try:
+            addr = int(fields[1], 16)
+        except ValueError:
+            raise TraceFormatError(f"bad din address {fields[1]!r}", lineno) from None
+        size = 4
+        if len(fields) > 2:
+            try:
+                size = int(fields[2])
+            except ValueError:
+                raise TraceFormatError(f"bad din size {fields[2]!r}", lineno) from None
+        records.append(TraceRecord(op, addr, size))
+    return Trace(records)
+
+
+def read_dinero(path: Union[str, Path]) -> Trace:
+    """Read a din-format trace file."""
+    return from_dinero(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,177 @@
+"""Gleipnir text format: parse and emit trace files.
+
+Line grammar (whitespace separated), as printed in the paper's Listing 2
+and Figures 5/8/9::
+
+    START PID <pid>                                  # header
+    <op> <addr> <size>                               # bare access
+    <op> <addr> <size> <func>                        # no debug info
+    <op> <addr> <size> <func> GV <name>              # global variable
+    <op> <addr> <size> <func> GS <name[path]>        # global structure
+    <op> <addr> <size> <func> LV <frame> <thread> <name>
+    <op> <addr> <size> <func> LS <frame> <thread> <name[path]>
+
+where ``<op>`` is one of ``L S M X`` and ``<addr>`` is lowercase hex,
+zero-padded to 9 digits in our writer to match the paper's look
+(``7ff0001b0``, ``000601040``).  Globals omit frame and thread, exactly as
+the paper notes.  The parser is tolerant: it accepts unpadded hex, ``0x``
+prefixes, and optional frame/thread on global lines.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.errors import PathError, TraceFormatError
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import AccessType, TraceRecord
+
+_SCOPES = {"LV", "LS", "GV", "GS", "HV", "HS"}
+_OPS = {"L", "S", "M", "X"}
+
+#: Default process id stamped on the ``START PID`` header by the writer.
+DEFAULT_PID = 10000
+
+
+def format_record(record: TraceRecord) -> str:
+    """Render one record as a Gleipnir trace line."""
+    parts: List[str] = [record.op.value, f"{record.addr:09x}", str(record.size)]
+    if record.func:
+        parts.append(record.func)
+        if record.scope is not None:
+            parts.append(record.scope)
+            if not record.scope.startswith("G"):
+                parts.append(str(record.frame if record.frame is not None else 0))
+                parts.append(str(record.thread if record.thread is not None else 1))
+            if record.var is not None:
+                parts.append(str(record.var))
+    return " ".join(parts)
+
+
+def parse_line(line: str, *, line_number: Optional[int] = None) -> Optional[TraceRecord]:
+    """Parse one trace line; returns ``None`` for headers/blank lines."""
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    if text.startswith("START"):
+        return None
+    fields = text.split()
+    if fields[0] not in _OPS:
+        raise TraceFormatError(
+            f"unknown access type {fields[0]!r}", line_number
+        )
+    if len(fields) < 3:
+        raise TraceFormatError("need at least op, address, size", line_number)
+    op = AccessType(fields[0])
+    addr_text = fields[1].lower().removeprefix("0x")
+    try:
+        addr = int(addr_text, 16)
+    except ValueError:
+        raise TraceFormatError(f"bad address {fields[1]!r}", line_number) from None
+    try:
+        size = int(fields[2])
+    except ValueError:
+        raise TraceFormatError(f"bad size {fields[2]!r}", line_number) from None
+    func = fields[3] if len(fields) > 3 else ""
+    scope: Optional[str] = None
+    frame: Optional[int] = None
+    thread: Optional[int] = None
+    var: Optional[VariablePath] = None
+    rest = fields[4:]
+    if rest:
+        if rest[0] not in _SCOPES:
+            raise TraceFormatError(f"unknown scope {rest[0]!r}", line_number)
+        scope = rest[0]
+        rest = rest[1:]
+        # Local/heap lines carry frame and thread; global lines may.
+        if len(rest) >= 2 and rest[0].isdigit() and rest[1].isdigit():
+            frame = int(rest[0])
+            thread = int(rest[1])
+            rest = rest[2:]
+        if rest:
+            try:
+                var = VariablePath.parse(" ".join(rest))
+            except PathError as exc:
+                raise TraceFormatError(str(exc), line_number) from exc
+    return TraceRecord(
+        op=op,
+        addr=addr,
+        size=size,
+        func=func,
+        scope=scope,
+        frame=frame,
+        thread=thread,
+        var=var,
+    )
+
+
+def parse_trace(text: str) -> List[TraceRecord]:
+    """Parse a whole trace file's text into records (headers skipped)."""
+    records: List[TraceRecord] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        record = parse_line(line, line_number=i)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def format_trace(
+    records: Iterable[TraceRecord], *, pid: int = DEFAULT_PID, header: bool = True
+) -> str:
+    """Render records as trace-file text (with the ``START PID`` header)."""
+    out = io.StringIO()
+    if header:
+        out.write(f"START PID {pid}\n")
+    for record in records:
+        out.write(format_record(record))
+        out.write("\n")
+    return out.getvalue()
+
+
+def _open_text(path: Union[str, Path], mode: str):
+    """Open a trace file, transparently gzipped when it ends in ``.gz``."""
+    if str(path).endswith(".gz"):
+        import gzip
+
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_trace(
+    records: Iterable[TraceRecord],
+    destination: Union[str, Path, TextIO],
+    *,
+    pid: int = DEFAULT_PID,
+) -> None:
+    """Write records to a path (``.gz`` compresses) or open text file."""
+    if isinstance(destination, (str, Path)):
+        with _open_text(destination, "w") as handle:
+            _write(records, handle, pid)
+    else:
+        _write(records, destination, pid)
+
+
+def _write(records: Iterable[TraceRecord], handle: TextIO, pid: int) -> None:
+    handle.write(f"START PID {pid}\n")
+    for record in records:
+        handle.write(format_record(record))
+        handle.write("\n")
+
+
+def read_trace(source: Union[str, Path, TextIO]) -> List[TraceRecord]:
+    """Read records from a path (``.gz`` decompresses) or open file."""
+    if isinstance(source, (str, Path)):
+        with _open_text(source, "r") as handle:
+            return parse_trace(handle.read())
+    return parse_trace(source.read())
+
+
+def iter_trace_lines(source: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream records from a file without loading it whole (large traces)."""
+    with _open_text(source, "r") as handle:
+        for i, line in enumerate(handle, start=1):
+            record = parse_line(line, line_number=i)
+            if record is not None:
+                yield record

@@ -1,0 +1,115 @@
+"""Trace records: one memory access with Gleipnir metadata.
+
+The paper's Figure 1 format::
+
+    [ S ] 7ff000108 [ malloc ] [ LS ] [ 0 ] [ 1 ] [ _zzq_args[5] ]
+
+maps onto :class:`TraceRecord` fields as:
+
+========  =======================================================
+``op``    access type: ``L`` Load, ``S`` Store, ``M`` Modify,
+          ``X`` miscellaneous/other instructions
+``addr``  virtual address of the accessed data
+``size``  access size in bytes
+``func``  function whose code performed the access
+``scope`` ``LV``/``LS``/``GV``/``GS`` (+ ``HV``/``HS`` heap
+          extension), or ``None`` when no debug info resolves
+``frame`` activation distance (0 = executing function's own
+          frame); ``None`` for globals, which the paper's traces
+          omit "because global variables are globally visible"
+``thread`` originating thread id (``None`` when omitted)
+``var``   the accessed element's full path, e.g.
+          ``glStructArray[0].myArray[0]``
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.ctypes_model.path import VariablePath
+
+
+class AccessType(str, enum.Enum):
+    """Gleipnir access types."""
+
+    LOAD = "L"
+    STORE = "S"
+    MODIFY = "M"
+    MISC = "X"
+
+    @classmethod
+    def parse(cls, text: str) -> "AccessType":
+        try:
+            return cls(text)
+        except ValueError:
+            raise ValueError(f"unknown access type {text!r}") from None
+
+    @property
+    def reads(self) -> bool:
+        """Whether the access reads memory (Modify reads then writes)."""
+        return self in (AccessType.LOAD, AccessType.MODIFY)
+
+    @property
+    def writes(self) -> bool:
+        """Whether the access writes memory."""
+        return self in (AccessType.STORE, AccessType.MODIFY)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """A single trace line.  Immutable; use :meth:`evolve` to derive."""
+
+    op: AccessType
+    addr: int
+    size: int
+    func: str = ""
+    scope: Optional[str] = None
+    frame: Optional[int] = None
+    thread: Optional[int] = None
+    var: Optional[VariablePath] = None
+
+    def evolve(self, **changes) -> "TraceRecord":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # -- classification helpers -----------------------------------------
+
+    @property
+    def has_symbol(self) -> bool:
+        """True when debug info resolved the access to a variable."""
+        return self.var is not None
+
+    @property
+    def base_name(self) -> Optional[str]:
+        """The root variable name (``lSoA`` for ``lSoA.mX[3]``)."""
+        return self.var.base if self.var is not None else None
+
+    @property
+    def is_global(self) -> bool:
+        return self.scope is not None and self.scope.startswith("G")
+
+    @property
+    def is_local(self) -> bool:
+        return self.scope is not None and self.scope.startswith("L")
+
+    @property
+    def is_heap(self) -> bool:
+        return self.scope is not None and self.scope.startswith("H")
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True for ``*S`` scopes (the element is part of a structure)."""
+        return self.scope is not None and self.scope.endswith("S")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte touched by the access."""
+        return self.addr + self.size
+
+    def __str__(self) -> str:
+        from repro.trace.format import format_record
+
+        return format_record(self)

@@ -1,0 +1,131 @@
+"""Trace-level statistics (pre-simulation).
+
+These are the "rudimentary analysis" numbers the paper's introduction
+mentions: access mix, footprint, per-variable and per-function access
+counts, and a reuse-distance style locality indicator.  They require no
+cache model and are cheap enough to compute on every trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.trace.record import AccessType, TraceRecord
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics over one trace."""
+
+    total: int = 0
+    loads: int = 0
+    stores: int = 0
+    modifies: int = 0
+    misc: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: distinct byte addresses touched (footprint in bytes)
+    footprint_bytes: int = 0
+    #: accesses per function name
+    by_function: Dict[str, int] = field(default_factory=dict)
+    #: accesses per resolved base variable name
+    by_variable: Dict[str, int] = field(default_factory=dict)
+    #: accesses per scope code
+    by_scope: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def symbol_coverage(self) -> float:
+        """Fraction of accesses that resolved to a variable."""
+        if self.total == 0:
+            return 0.0
+        return sum(self.by_variable.values()) / self.total
+
+    def top_variables(self, n: int = 10) -> Tuple[Tuple[str, int], ...]:
+        """The ``n`` most-accessed variables (name, count), descending."""
+        return tuple(
+            sorted(self.by_variable.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"accesses    : {self.total}",
+            f"  loads     : {self.loads}",
+            f"  stores    : {self.stores}",
+            f"  modifies  : {self.modifies}",
+            f"  misc      : {self.misc}",
+            f"bytes read  : {self.bytes_read}",
+            f"bytes written: {self.bytes_written}",
+            f"footprint   : {self.footprint_bytes} bytes",
+            f"symbol cover: {self.symbol_coverage:.1%}",
+        ]
+        if self.by_variable:
+            lines.append("top variables:")
+            for name, count in self.top_variables(5):
+                lines.append(f"  {name:<24s} {count}")
+        return "\n".join(lines)
+
+
+def compute_stats(records: Iterable[TraceRecord]) -> TraceStats:
+    """Compute :class:`TraceStats` in one pass."""
+    stats = TraceStats()
+    touched: set[int] = set()
+    by_function: Counter[str] = Counter()
+    by_variable: Counter[str] = Counter()
+    by_scope: Counter[str] = Counter()
+    for r in records:
+        stats.total += 1
+        if r.op is AccessType.LOAD:
+            stats.loads += 1
+            stats.bytes_read += r.size
+        elif r.op is AccessType.STORE:
+            stats.stores += 1
+            stats.bytes_written += r.size
+        elif r.op is AccessType.MODIFY:
+            stats.modifies += 1
+            stats.bytes_read += r.size
+            stats.bytes_written += r.size
+        else:
+            stats.misc += 1
+        touched.update(range(r.addr, r.end))
+        if r.func:
+            by_function[r.func] += 1
+        if r.var is not None:
+            by_variable[r.var.base] += 1
+        if r.scope is not None:
+            by_scope[r.scope] += 1
+    stats.footprint_bytes = len(touched)
+    stats.by_function = dict(by_function)
+    stats.by_variable = dict(by_variable)
+    stats.by_scope = dict(by_scope)
+    return stats
+
+
+def reuse_distances(records: Iterable[TraceRecord], *, block_size: int = 1) -> list[int]:
+    """LRU reuse distance of each access at ``block_size`` granularity.
+
+    The reuse distance of an access is the number of *distinct* blocks
+    touched since the previous access to the same block (``-1`` encodes a
+    cold first touch).  A fully-associative LRU cache of capacity ``C``
+    blocks hits exactly the accesses with distance ``< C``, which makes
+    this the classic one-pass locality characterisation.
+
+    The implementation keeps an ordered dict as an LRU stack; distances are
+    positions from the top.  O(n * d) worst case but fine at trace scale.
+    """
+    stack: list[int] = []  # most recent block last
+    seen: set[int] = set()
+    distances: list[int] = []
+    for r in records:
+        block = r.addr // block_size
+        if block in seen:
+            idx = stack.index(block)
+            distances.append(len(stack) - 1 - idx)
+            stack.pop(idx)
+        else:
+            distances.append(-1)
+            seen.add(block)
+        stack.append(block)
+    return distances

@@ -1,0 +1,163 @@
+"""The :class:`Trace` container and stream utilities.
+
+A :class:`Trace` is an immutable-ish, list-backed sequence of records with
+the common query/derivation operations the analysis and transformation
+layers need: filtering by predicate, function, variable or scope; slicing
+into windows; projecting addresses into numpy arrays for the vectorized
+cache simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.trace.format import read_trace, write_trace
+from repro.trace.record import AccessType, TraceRecord
+
+
+class Trace(Sequence[TraceRecord]):
+    """An ordered sequence of trace records.
+
+    Supports the full :class:`Sequence` protocol plus trace-specific
+    filters.  Derivation methods return new ``Trace`` objects and never
+    mutate the receiver.
+    """
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: Iterable[TraceRecord] = ()) -> None:
+        self._records: List[TraceRecord] = list(records)
+
+    # -- Sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return Trace(self._records[item])
+        return self._records[item]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Trace):
+            return self._records == other._records
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<Trace of {len(self._records)} records>"
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Load a Gleipnir-format trace file."""
+        return cls(read_trace(path))
+
+    def save(self, path: Union[str, Path], *, pid: int = 10000) -> None:
+        """Write the trace in Gleipnir format."""
+        write_trace(self._records, path, pid=pid)
+
+    def append(self, record: TraceRecord) -> None:
+        """Append a record (used by trace builders/tracers only)."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    # -- derivation ----------------------------------------------------------
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> "Trace":
+        """Records satisfying ``predicate``, in order."""
+        return Trace(r for r in self._records if predicate(r))
+
+    def only_ops(self, *ops: AccessType) -> "Trace":
+        """Restrict to the given access types."""
+        wanted = set(ops)
+        return self.filter(lambda r: r.op in wanted)
+
+    def data_accesses(self) -> "Trace":
+        """Drop ``X`` (miscellaneous) lines; keep loads/stores/modifies."""
+        return self.filter(lambda r: r.op is not AccessType.MISC)
+
+    def in_function(self, func: str) -> "Trace":
+        """Accesses performed while executing ``func``."""
+        return self.filter(lambda r: r.func == func)
+
+    def touching_variable(self, base_name: str) -> "Trace":
+        """Accesses whose resolved variable has the given base name."""
+        return self.filter(lambda r: r.base_name == base_name)
+
+    def with_scope(self, *scopes: str) -> "Trace":
+        """Restrict to the given Gleipnir scopes (``LV``, ``GS``...)."""
+        wanted = set(scopes)
+        return self.filter(lambda r: r.scope in wanted)
+
+    def symbolized(self) -> "Trace":
+        """Only records that resolved to a variable."""
+        return self.filter(lambda r: r.var is not None)
+
+    def window(self, start: int, length: int) -> "Trace":
+        """A contiguous slice of the trace."""
+        return self[start : start + length]
+
+    def map(self, fn: Callable[[TraceRecord], TraceRecord]) -> "Trace":
+        """Apply ``fn`` to every record."""
+        return Trace(fn(r) for r in self._records)
+
+    def concat(self, other: "Trace") -> "Trace":
+        """This trace followed by ``other``."""
+        return Trace([*self._records, *other._records])
+
+    # -- projections ---------------------------------------------------------
+
+    def addresses(self) -> np.ndarray:
+        """All addresses as a ``uint64`` array (vectorized simulator input)."""
+        return np.fromiter(
+            (r.addr for r in self._records), dtype=np.uint64, count=len(self._records)
+        )
+
+    def sizes(self) -> np.ndarray:
+        """All access sizes as a ``uint32`` array."""
+        return np.fromiter(
+            (r.size for r in self._records), dtype=np.uint32, count=len(self._records)
+        )
+
+    def write_mask(self) -> np.ndarray:
+        """Boolean array marking accesses that write memory."""
+        return np.fromiter(
+            (r.op.writes for r in self._records), dtype=bool, count=len(self._records)
+        )
+
+    # -- quick queries ---------------------------------------------------------
+
+    def functions(self) -> Tuple[str, ...]:
+        """Distinct function names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for r in self._records:
+            if r.func and r.func not in seen:
+                seen[r.func] = None
+        return tuple(seen)
+
+    def variable_names(self) -> Tuple[str, ...]:
+        """Distinct resolved base variable names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for r in self._records:
+            name = r.base_name
+            if name is not None and name not in seen:
+                seen[name] = None
+        return tuple(seen)
+
+    def address_range(self) -> Optional[Tuple[int, int]]:
+        """``(lowest address, highest end)`` over all records."""
+        if not self._records:
+            return None
+        lo = min(r.addr for r in self._records)
+        hi = max(r.end for r in self._records)
+        return lo, hi

@@ -1,0 +1,218 @@
+"""Expression AST for the miniature C dialect.
+
+Expressions are immutable dataclasses with operator-overloading sugar so
+workload definitions read close to the paper's C listings::
+
+    V("lAoS")[V("lI")].fld("mX")        # lAoS[lI].mX
+    V("lS2")[V("lI")].arrow("mY")       # lS2[lI].mRarelyUsed->mY  (via .fld)
+    V("lI") / Const(8) % Const(128)     # (lI/8)%128 index arithmetic
+
+Semantics live in the interpreter; nodes here only describe shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.ctypes_model.types import CType
+
+
+@dataclass(frozen=True)
+class PointerValue:
+    """A runtime pointer: target address plus pointee type (may be None)."""
+
+    addr: int
+    pointee: Optional[CType] = None
+
+    def __repr__(self) -> str:
+        name = self.pointee.c_name() if self.pointee else "void"
+        return f"<ptr {self.addr:#x} to {name}>"
+
+
+class Expr:
+    """Base class for expression nodes, providing C-like sugar."""
+
+    # arithmetic -----------------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", _wrap(other), self)
+
+    def __floordiv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", self, _wrap(other))  # C integer division
+
+    def __truediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", self, _wrap(other))
+
+    def __mod__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("%", self, _wrap(other))
+
+    # bitwise ---------------------------------------------------------------
+    def __and__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("&", self, _wrap(other))
+
+    def __or__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("|", self, _wrap(other))
+
+    def __xor__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("^", self, _wrap(other))
+
+    def __lshift__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("<<", self, _wrap(other))
+
+    def __rshift__(self, other: "ExprLike") -> "BinOp":
+        return BinOp(">>", self, _wrap(other))
+
+    # comparisons ----------------------------------------------------------
+    def lt(self, other: "ExprLike") -> "BinOp":
+        """C comparison ``<`` (named method: Python chains ``==`` oddly)."""
+        return BinOp("<", self, _wrap(other))
+
+    def le(self, other: "ExprLike") -> "BinOp":
+        """C comparison ``<=`` (named method: Python chains ``==`` oddly)."""
+        return BinOp("<=", self, _wrap(other))
+
+    def gt(self, other: "ExprLike") -> "BinOp":
+        """C comparison ``>`` (named method: Python chains ``==`` oddly)."""
+        return BinOp(">", self, _wrap(other))
+
+    def ge(self, other: "ExprLike") -> "BinOp":
+        """C comparison ``>=`` (named method: Python chains ``==`` oddly)."""
+        return BinOp(">=", self, _wrap(other))
+
+    def eq(self, other: "ExprLike") -> "BinOp":
+        """C comparison ``==`` (named method: Python chains ``==`` oddly)."""
+        return BinOp("==", self, _wrap(other))
+
+    def ne(self, other: "ExprLike") -> "BinOp":
+        """C comparison ``!=`` (named method: Python chains ``==`` oddly)."""
+        return BinOp("!=", self, _wrap(other))
+
+    # access paths -----------------------------------------------------------
+    def __getitem__(self, index: "ExprLike") -> "Subscript":
+        return Subscript(self, _wrap(index))
+
+    def fld(self, name: str) -> "Member":
+        """Struct member access ``expr.name``."""
+        return Member(self, name)
+
+    def arrow(self, name: str) -> "Arrow":
+        """Pointer member access ``expr->name``."""
+        return Arrow(self, name)
+
+    def deref(self) -> "Deref":
+        """Pointer dereference ``*expr``."""
+        return Deref(self)
+
+    def addr(self) -> "AddrOf":
+        """Address-of ``&expr``."""
+        return AddrOf(self)
+
+
+ExprLike = Union[Expr, int, float]
+
+
+def _wrap(value: ExprLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} as an expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal; evaluating it touches no memory."""
+
+    value: Union[int, float]
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named variable reference, resolved innermost-scope-first."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"V({self.name!r})"
+
+
+def V(name: str) -> Var:
+    """Shorthand constructor used throughout workloads and tests."""
+    return Var(name)
+
+
+@dataclass(frozen=True)
+class Subscript(Expr):
+    """Array subscript ``base[index]`` (also valid on pointers)."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Member(Expr):
+    """Struct/union member access ``base.name``."""
+
+    base: Expr
+    name: str
+
+
+@dataclass(frozen=True)
+class Arrow(Expr):
+    """Pointer member access ``base->name``: loads the pointer, then
+    addresses ``name`` inside the pointee."""
+
+    base: Expr
+    name: str
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """Pointer dereference ``*base``."""
+
+    base: Expr
+
+
+@dataclass(frozen=True)
+class AddrOf(Expr):
+    """Address-of ``&base``; yields a :class:`PointerValue`, no access."""
+
+    base: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation.  Arithmetic ops follow C: ``/`` truncates on
+    integers; ``+``/``-`` on pointers scale by the pointee size."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """A C cast; affects the *declared* result type only (no access)."""
+
+    ctype: CType
+    operand: Expr

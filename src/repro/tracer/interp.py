@@ -1,0 +1,650 @@
+"""The trace-emitting interpreter (the "Gleipnir" of this reproduction).
+
+The interpreter executes a :class:`~repro.tracer.program.Program` against a
+simulated :class:`~repro.memory.address_space.AddressSpace`, maintaining
+real values in memory (so pointer indirection and computed indices work),
+and emits one :class:`~repro.trace.record.TraceRecord` per memory access
+while instrumentation is enabled.
+
+Every emitted record is symbolised through the address space's symbol
+table, producing the scope (``LV``/``LS``/``GV``/``GS``/``HV``/``HS``),
+frame distance, thread id and nested variable path exactly as Gleipnir
+derives them from debug information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.errors import InterpreterError
+from repro.ctypes_model.types import (
+    ArrayType,
+    CType,
+    PointerType,
+    PrimitiveType,
+    StructType,
+    ULONG,
+    UnionType,
+)
+from repro.memory.address_space import AddressSpace
+from repro.memory.symbols import Segment, Symbol
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace
+from repro.tracer.expr import (
+    AddrOf,
+    Arrow,
+    BinOp,
+    Cast,
+    Const,
+    Deref,
+    Expr,
+    Member,
+    PointerValue,
+    Subscript,
+    Var,
+)
+from repro.tracer.program import Function, Program
+from repro.tracer.stmt import (
+    Assign,
+    AugAssign,
+    Block,
+    Call,
+    CallAssign,
+    DeclLocal,
+    ExprStmt,
+    For,
+    HeapAlloc,
+    HeapFree,
+    If,
+    Return,
+    StartInstrumentation,
+    Stmt,
+    StopInstrumentation,
+    While,
+)
+
+Value = Union[int, float, PointerValue]
+
+_INT_NAMES = {
+    "char",
+    "unsigned char",
+    "short",
+    "unsigned short",
+    "int",
+    "unsigned int",
+    "long",
+    "unsigned long",
+    "_Bool",
+}
+
+
+@dataclass(frozen=True)
+class LValue:
+    """A resolved storage location: address plus the object's type."""
+
+    addr: int
+    ctype: CType
+
+
+class _ReturnSignal(Exception):
+    """Internal control flow for ``return``."""
+
+    def __init__(self, value: Optional[Value]) -> None:
+        self.value = value
+        super().__init__()
+
+
+class Interpreter:
+    """Executes a program and collects its memory trace.
+
+    Parameters
+    ----------
+    program:
+        The program to run.
+    address_space:
+        Pre-built address space (a fresh one is created by default).
+    emit_zzq:
+        Emit the ``_zzq_result`` store/load artefact when instrumentation
+        turns on, mirroring Valgrind's client-request machinery visible at
+        the top of every trace in the paper.
+    thread:
+        Thread id stamped on emitted records.
+    max_steps:
+        Safety valve: abort after this many executed statements/loop
+        iterations (guards against accidental infinite loops in workloads).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        address_space: Optional[AddressSpace] = None,
+        emit_zzq: bool = True,
+        thread: int = 1,
+        max_steps: int = 50_000_000,
+        trace_on: bool = False,
+        emit_instruction_fetches: bool = False,
+    ) -> None:
+        self.program = program
+        self.space = address_space if address_space is not None else AddressSpace()
+        self.trace = Trace()
+        self.tracing = trace_on
+        self.emit_zzq = emit_zzq
+        self.thread = thread
+        self.max_steps = max_steps
+        self._steps = 0
+        self._memory: Dict[int, Value] = {}
+        # Instruction-fetch modelling (the option the paper's authors
+        # disabled; see Section III): every statement gets a stable
+        # synthetic code region, so loop bodies re-fetch the same PCs and
+        # an I-cache sees realistic locality.
+        self.emit_instruction_fetches = emit_instruction_fetches
+        self._code_base = 0x400000
+        self._stmt_pc: Dict[int, int] = {}
+        self._stmt_region = 64  # bytes of code per statement
+        self._current_stmt_pc = self._code_base
+        self._access_index_in_stmt = 0
+        # Bounded well below Python's own recursion limit: each simulated
+        # call nests several interpreter frames.
+        self._call_depth_limit = 64
+        #: base addresses observed per symbol name (for reports/tests)
+        self.layout: Dict[str, int] = {}
+
+    # -- top level ---------------------------------------------------------
+
+    def run(self) -> Trace:
+        """Lay out globals, execute ``main``, return the collected trace."""
+        for decl in self.program.globals:
+            sym = self.space.declare_global(decl.name, decl.ctype, thread=self.thread)
+            self.layout[decl.name] = sym.base
+        self._call(self.program.main, [])
+        return self.trace
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise InterpreterError(
+                f"exceeded max_steps={self.max_steps}; likely runaway loop"
+            )
+
+    @property
+    def _current_function(self) -> str:
+        return self.space.stack.current.function
+
+    # -- trace emission --------------------------------------------------------
+
+    def _emit(
+        self,
+        op: AccessType,
+        addr: int,
+        size: int,
+        *,
+        symbolize: bool = True,
+    ) -> None:
+        if not self.tracing:
+            return
+        func = self._current_function
+        if self.emit_instruction_fetches and op is not AccessType.MISC:
+            # The instruction performing this access: a stable PC inside
+            # the executing statement's code region.
+            pc = self._current_stmt_pc + 4 * (
+                self._access_index_in_stmt % (self._stmt_region // 4)
+            )
+            self._access_index_in_stmt += 1
+            self.trace.append(
+                TraceRecord(op=AccessType.MISC, addr=pc, size=4, func=func)
+            )
+        scope = frame = thread = var = None
+        if symbolize:
+            resolved = self.space.symbolize(addr)
+            if resolved is not None:
+                scope = resolved.scope_code
+                var = resolved.path
+                if resolved.symbol.segment is not Segment.GLOBAL:
+                    frame = self.space.frame_distance_of(resolved.symbol)
+                    thread = resolved.symbol.thread
+        self.trace.append(
+            TraceRecord(
+                op=op,
+                addr=addr,
+                size=size,
+                func=func,
+                scope=scope,
+                frame=frame,
+                thread=thread,
+                var=var,
+            )
+        )
+
+    # -- memory values -----------------------------------------------------------
+
+    def _default_value(self, ctype: CType) -> Value:
+        if isinstance(ctype, PointerType):
+            return PointerValue(0, None)
+        if isinstance(ctype, PrimitiveType) and ctype.name in ("float", "double", "long double"):
+            return 0.0
+        return 0
+
+    def _load_value(self, lv: LValue) -> Value:
+        return self._memory.get(lv.addr, self._default_value(lv.ctype))
+
+    def _store_value(self, lv: LValue, value: Value) -> None:
+        self._memory[lv.addr] = self._coerce(lv.ctype, value)
+
+    def _coerce(self, ctype: CType, value: Value) -> Value:
+        """Apply C conversion on store/cast (truncation to int, etc.)."""
+        if isinstance(value, PointerValue):
+            return value
+        if isinstance(ctype, PointerType):
+            if isinstance(value, (int, float)):
+                return PointerValue(int(value), None)
+            return value
+        if isinstance(ctype, PrimitiveType):
+            if ctype.name in _INT_NAMES:
+                return int(value)
+            return float(value)
+        return value
+
+    # -- expression evaluation ----------------------------------------------------
+
+    def eval(self, expr: Expr) -> Value:
+        """Evaluate an rvalue, emitting the loads it performs."""
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, AddrOf):
+            lv = self.lvalue(expr.base)
+            return PointerValue(lv.addr, lv.ctype)
+        if isinstance(expr, Cast):
+            return self._coerce(expr.ctype, self.eval(expr.operand))
+        if isinstance(expr, BinOp):
+            return self._binop(expr)
+        # Everything else resolves through an lvalue.
+        lv = self.lvalue(expr)
+        if isinstance(lv.ctype, ArrayType):
+            # Array rvalue decays to a pointer to its first element.
+            return PointerValue(lv.addr, lv.ctype.element)
+        if isinstance(lv.ctype, (StructType, UnionType)):
+            raise InterpreterError(
+                f"cannot use aggregate {lv.ctype.c_name()} as an rvalue; "
+                "take its address or access a member"
+            )
+        self._emit(AccessType.LOAD, lv.addr, lv.ctype.size)
+        value = self._load_value(lv)
+        if isinstance(lv.ctype, PointerType) and isinstance(value, (int, float)):
+            value = PointerValue(int(value), None)
+        return value
+
+    def _binop(self, expr: BinOp) -> Value:
+        lhs = self.eval(expr.lhs)
+        rhs = self.eval(expr.rhs)
+        op = expr.op
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            a = lhs.addr if isinstance(lhs, PointerValue) else lhs
+            b = rhs.addr if isinstance(rhs, PointerValue) else rhs
+            result = {
+                "<": a < b,
+                "<=": a <= b,
+                ">": a > b,
+                ">=": a >= b,
+                "==": a == b,
+                "!=": a != b,
+            }[op]
+            return int(result)
+        if isinstance(lhs, PointerValue) or isinstance(rhs, PointerValue):
+            return self._pointer_arith(op, lhs, rhs)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                if rhs == 0:
+                    raise InterpreterError("integer division by zero")
+                # C semantics: truncation toward zero.
+                q = abs(lhs) // abs(rhs)
+                return q if (lhs >= 0) == (rhs >= 0) else -q
+            return lhs / rhs
+        if op == "%":
+            if not (isinstance(lhs, int) and isinstance(rhs, int)):
+                raise InterpreterError("% requires integer operands")
+            if rhs == 0:
+                raise InterpreterError("integer modulo by zero")
+            # C semantics: sign of the dividend.
+            return lhs - rhs * (abs(lhs) // abs(rhs) * (1 if (lhs >= 0) == (rhs >= 0) else -1))
+        if op in ("&", "|", "^", "<<", ">>"):
+            if not (isinstance(lhs, int) and isinstance(rhs, int)):
+                raise InterpreterError(f"{op} requires integer operands")
+            if op == "&":
+                return lhs & rhs
+            if op == "|":
+                return lhs | rhs
+            if op == "^":
+                return lhs ^ rhs
+            if op == "<<":
+                return lhs << rhs
+            return lhs >> rhs
+        raise InterpreterError(f"unsupported operator {op!r}")
+
+    def _pointer_arith(self, op: str, lhs: Value, rhs: Value) -> Value:
+        if isinstance(lhs, PointerValue) and isinstance(rhs, PointerValue):
+            if op != "-":
+                raise InterpreterError(f"invalid pointer op {op!r} between pointers")
+            scale = lhs.pointee.size if lhs.pointee else 1
+            return (lhs.addr - rhs.addr) // scale
+        if isinstance(rhs, PointerValue):  # n + p
+            lhs, rhs = rhs, lhs
+        assert isinstance(lhs, PointerValue)
+        if not isinstance(rhs, (int, float)):
+            raise InterpreterError("pointer arithmetic needs an integer")
+        scale = lhs.pointee.size if lhs.pointee else 1
+        offset = int(rhs) * scale
+        if op == "+":
+            return PointerValue(lhs.addr + offset, lhs.pointee)
+        if op == "-":
+            return PointerValue(lhs.addr - offset, lhs.pointee)
+        raise InterpreterError(f"invalid pointer op {op!r}")
+
+    # -- lvalue resolution ---------------------------------------------------------
+
+    def lvalue(self, expr: Expr) -> LValue:
+        """Resolve an expression to a storage location.
+
+        Emits the loads performed while *computing the address* (index
+        variables, pointer loads for ``->`` and pointer subscripts) but not
+        the access to the resulting location itself.
+        """
+        if isinstance(expr, Var):
+            symbol = self.space.lookup(expr.name)
+            return LValue(symbol.base, symbol.ctype)
+        if isinstance(expr, Subscript):
+            base = self.lvalue_or_pointer(expr.base)
+            index = self.eval(expr.index)
+            if isinstance(index, PointerValue):
+                raise InterpreterError("array index cannot be a pointer")
+            if isinstance(base.ctype, ArrayType):
+                elem = base.ctype.element
+                return LValue(base.addr + int(index) * elem.size, elem)
+            raise InterpreterError(
+                f"cannot subscript {base.ctype.c_name()}"
+            )
+        if isinstance(expr, Member):
+            base = self.lvalue(expr.base)
+            if not isinstance(base.ctype, (StructType, UnionType)):
+                raise InterpreterError(
+                    f".{expr.name} applied to non-struct {base.ctype.c_name()}"
+                )
+            fld = base.ctype.member(expr.name)
+            return LValue(base.addr + fld.offset, fld.ctype)
+        if isinstance(expr, Arrow):
+            ptr = self.eval(expr.base)  # emits the pointer load
+            return self._pointee_member(ptr, expr.name)
+        if isinstance(expr, Deref):
+            ptr = self.eval(expr.base)
+            if not isinstance(ptr, PointerValue):
+                raise InterpreterError("cannot dereference a non-pointer")
+            if ptr.pointee is None:
+                raise InterpreterError("dereference of untyped/null pointer")
+            return LValue(ptr.addr, ptr.pointee)
+        raise InterpreterError(f"{expr!r} is not an lvalue")
+
+    def lvalue_or_pointer(self, expr: Expr) -> LValue:
+        """Resolve a subscript base: arrays stay in place, pointers load.
+
+        ``p[i]`` where ``p`` is a pointer loads ``p`` (emitting ``L p``)
+        and produces an lvalue of the pointed-to array slice, which the
+        subscript then indexes — matching the ``L StrcParam`` lines in the
+        paper's Listing 2.
+        """
+        lv = self._try_lvalue_no_deref(expr)
+        if lv is not None and isinstance(lv.ctype, ArrayType):
+            return lv
+        if lv is not None and isinstance(lv.ctype, PointerType):
+            self._emit(AccessType.LOAD, lv.addr, lv.ctype.size)
+            ptr = self._load_value(lv)
+            if not isinstance(ptr, PointerValue) or ptr.pointee is None:
+                raise InterpreterError(
+                    f"subscript through uninitialised pointer at {lv.addr:#x}"
+                )
+            # Present the pointee as an unbounded array for indexing.
+            return LValue(ptr.addr, ArrayType(ptr.pointee, 1 << 30))
+        # Fall back: an expression producing a pointer value.
+        value = self.eval(expr)
+        if isinstance(value, PointerValue) and value.pointee is not None:
+            return LValue(value.addr, ArrayType(value.pointee, 1 << 30))
+        raise InterpreterError(f"cannot subscript {expr!r}")
+
+    def _try_lvalue_no_deref(self, expr: Expr) -> Optional[LValue]:
+        """lvalue() but returning None when the node isn't a plain lvalue."""
+        if isinstance(expr, (Var, Subscript, Member, Arrow, Deref)):
+            return self.lvalue(expr)
+        return None
+
+    def _pointee_member(self, ptr: Value, name: str) -> LValue:
+        if not isinstance(ptr, PointerValue):
+            raise InterpreterError(f"-> applied to non-pointer while accessing {name!r}")
+        pointee = ptr.pointee
+        if pointee is None:
+            # Untyped pointer: recover the type from the symbol table.
+            resolved = self.space.symbolize(ptr.addr)
+            if resolved is None:
+                raise InterpreterError(
+                    f"->{name} through pointer {ptr.addr:#x} with unknown pointee"
+                )
+            offset0, pointee = resolved.symbol.ctype.resolve(resolved.path.elements)
+            del offset0
+        if not isinstance(pointee, (StructType, UnionType)):
+            raise InterpreterError(
+                f"->{name} applied to pointer to {pointee.c_name()}"
+            )
+        fld = pointee.member(name)
+        return LValue(ptr.addr + fld.offset, fld.ctype)
+
+    # -- statement execution -----------------------------------------------------------
+
+    def exec(self, stmt: Stmt) -> None:
+        """Execute one statement (dispatching on its node type)."""
+        self._tick()
+        if self.emit_instruction_fetches:
+            pc = self._stmt_pc.get(id(stmt))
+            if pc is None:
+                pc = self._code_base + len(self._stmt_pc) * self._stmt_region
+                self._stmt_pc[id(stmt)] = pc
+            self._current_stmt_pc = pc
+            self._access_index_in_stmt = 0
+        method = getattr(self, f"_exec_{type(stmt).__name__}", None)
+        if method is None:
+            raise InterpreterError(f"unsupported statement {type(stmt).__name__}")
+        method(stmt)
+
+    def exec_block(self, block: Block) -> None:
+        """Execute a statement block in order."""
+        for stmt in block.statements:
+            self.exec(stmt)
+
+    def _exec_Block(self, stmt: Block) -> None:
+        self.exec_block(stmt)
+
+    def _exec_DeclLocal(self, stmt: DeclLocal) -> None:
+        sym = self.space.declare_local(stmt.name, stmt.ctype, thread=self.thread)
+        self.layout.setdefault(stmt.name, sym.base)
+        if stmt.init is not None:
+            self._exec_Assign(Assign(Var(stmt.name), stmt.init))
+
+    def _exec_Assign(self, stmt: Assign) -> None:
+        target = self.lvalue(stmt.target)
+        value = self.eval(stmt.value)
+        self._emit(AccessType.STORE, target.addr, target.ctype.size)
+        self._store_value(target, value)
+
+    def _exec_AugAssign(self, stmt: AugAssign) -> None:
+        target = self.lvalue(stmt.target)
+        rhs = self.eval(stmt.value)
+        old = self._load_value(target)
+        new = self._binop_values(stmt.op, old, rhs)
+        self._emit(AccessType.MODIFY, target.addr, target.ctype.size)
+        self._store_value(target, new)
+
+    def _binop_values(self, op: str, lhs: Value, rhs: Value) -> Value:
+        """Apply an arithmetic op to already-evaluated values (no loads)."""
+        if isinstance(lhs, PointerValue) or isinstance(rhs, PointerValue):
+            return self._pointer_arith(op, lhs, rhs)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                q = abs(lhs) // abs(rhs)
+                return q if (lhs >= 0) == (rhs >= 0) else -q
+            return lhs / rhs
+        if op == "%":
+            return lhs % rhs if (lhs >= 0) == (rhs >= 0) else -((-lhs) % rhs)
+        raise InterpreterError(f"unsupported compound op {op!r}")
+
+    def _exec_ExprStmt(self, stmt: ExprStmt) -> None:
+        self.eval(stmt.expr)
+
+    def _exec_If(self, stmt: If) -> None:
+        cond = self.eval(stmt.cond)
+        truth = cond.addr != 0 if isinstance(cond, PointerValue) else bool(cond)
+        if truth:
+            self.exec_block(stmt.then)
+        elif stmt.orelse is not None:
+            self.exec_block(stmt.orelse)
+
+    def _exec_While(self, stmt: While) -> None:
+        own_pc = self._current_stmt_pc
+        while True:
+            self._tick()
+            # Condition code belongs to the loop statement itself.
+            self._current_stmt_pc = own_pc
+            self._access_index_in_stmt = 0
+            cond = self.eval(stmt.cond)
+            truth = cond.addr != 0 if isinstance(cond, PointerValue) else bool(cond)
+            if not truth:
+                break
+            self.exec_block(stmt.body)
+
+    def _exec_For(self, stmt: For) -> None:
+        own_pc = self._current_stmt_pc
+        self.exec(stmt.init)
+        while True:
+            self._tick()
+            self._current_stmt_pc = own_pc
+            self._access_index_in_stmt = 0
+            cond = self.eval(stmt.cond)
+            truth = cond.addr != 0 if isinstance(cond, PointerValue) else bool(cond)
+            if not truth:
+                break
+            self.exec_block(stmt.body)
+            self.exec(stmt.step)
+
+    def _exec_Call(self, stmt: Call) -> None:
+        self._call(self.program.function(stmt.callee), [self.eval(a) for a in stmt.args])
+
+    def _exec_CallAssign(self, stmt: CallAssign) -> None:
+        args = [self.eval(a) for a in stmt.args]
+        target = self.lvalue(stmt.target)
+        result = self._call(self.program.function(stmt.callee), args)
+        if result is None:
+            raise InterpreterError(
+                f"{stmt.callee} returned no value but its result is used"
+            )
+        self._emit(AccessType.STORE, target.addr, target.ctype.size)
+        self._store_value(target, result)
+
+    def _exec_Return(self, stmt: Return) -> None:
+        value = self.eval(stmt.value) if stmt.value is not None else None
+        raise _ReturnSignal(value)
+
+    def _exec_HeapAlloc(self, stmt: HeapAlloc) -> None:
+        symbol = self.space.malloc_object(stmt.object_name, stmt.ctype, thread=self.thread)
+        self.layout.setdefault(stmt.object_name, symbol.base)
+        target = self.lvalue(stmt.target)
+        pointee: CType = stmt.ctype
+        if isinstance(pointee, ArrayType):
+            pointee = pointee.element
+        self._emit(AccessType.STORE, target.addr, target.ctype.size)
+        self._store_value(target, PointerValue(symbol.base, pointee))
+
+    def _exec_HeapFree(self, stmt: HeapFree) -> None:
+        symbol = self.space.lookup(stmt.object_name)
+        self.space.free_object(symbol)
+
+    def _exec_StartInstrumentation(self, stmt: StartInstrumentation) -> None:
+        self.tracing = True
+        if self.emit_zzq:
+            frame = self.space.stack.current
+            existing = frame.locals.get("_zzq_result")
+            if existing is None:
+                symbol = self.space.declare_local(
+                    "_zzq_result", ULONG, thread=self.thread
+                )
+                addr = symbol.base
+            else:
+                addr = existing[0]
+            self._emit(AccessType.STORE, addr, 8)
+            self._emit(AccessType.LOAD, addr, 8, symbolize=False)
+
+    def _exec_StopInstrumentation(self, stmt: StopInstrumentation) -> None:
+        self.tracing = False
+
+    # -- calls ---------------------------------------------------------------------
+
+    def _call(self, function: Function, args: List[Value]) -> Optional[Value]:
+        if len(args) != len(function.params):
+            raise InterpreterError(
+                f"{function.name} expects {len(function.params)} args, got {len(args)}"
+            )
+        if self.space.stack.depth >= self._call_depth_limit:
+            raise InterpreterError("call depth limit exceeded")
+        is_entry = self.space.stack.depth == 0
+        if not is_entry:
+            # Call overhead: push of the return address (attributed to the
+            # caller) mirrors the anonymous stores in the paper's traces.
+            ret_slot = self.space.stack.current.cursor - 8
+            self._emit(AccessType.STORE, ret_slot, 8, symbolize=False)
+        frame = self.space.push_frame(function.name)
+        if not is_entry:
+            # Saved frame pointer, attributed to the callee.
+            self._emit(AccessType.STORE, frame.upper, 8, symbolize=False)
+        for param, value in zip(function.params, args):
+            symbol = self.space.declare_local(param.name, param.ctype, thread=self.thread)
+            self._emit(AccessType.STORE, symbol.base, param.ctype.size)
+            # Arrays decay: a PointerValue argument stored into an array-
+            # typed param is kept as a pointer.
+            self._store_value(LValue(symbol.base, param.ctype), value)
+        result: Optional[Value] = None
+        try:
+            self.exec_block(function.body)
+        except _ReturnSignal as signal:
+            result = signal.value
+        finally:
+            self.space.pop_frame()
+        return result
+
+
+def trace_program(
+    program: Program,
+    *,
+    emit_zzq: bool = True,
+    thread: int = 1,
+    trace_on: bool = False,
+    emit_instruction_fetches: bool = False,
+) -> Trace:
+    """Run ``program`` and return its trace (convenience wrapper)."""
+    interp = Interpreter(
+        program,
+        emit_zzq=emit_zzq,
+        thread=thread,
+        trace_on=trace_on,
+        emit_instruction_fetches=emit_instruction_fetches,
+    )
+    return interp.run()

@@ -1,0 +1,99 @@
+"""Programs: globals + functions, the unit the tracer executes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InterpreterError
+from repro.ctypes_model.types import CType
+from repro.tracer.stmt import Block, Stmt
+
+
+@dataclass(frozen=True)
+class GlobalDecl:
+    """A file-scope object: laid out in the global segment before main."""
+
+    name: str
+    ctype: CType
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A function parameter.
+
+    Array-typed parameters decay to pointers, as in C — declare them with
+    a :class:`~repro.ctypes_model.types.PointerType` and pass ``&arr[0]``
+    or a bare array variable (which decays automatically).
+    """
+
+    name: str
+    ctype: CType
+
+
+@dataclass(frozen=True)
+class Function:
+    """A function definition."""
+
+    name: str
+    params: Tuple[Parameter, ...]
+    body: Block
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Parameter] = (),
+        body: Optional[Sequence[Stmt]] = None,
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "params", tuple(params))
+        statements = body if body is not None else ()
+        object.__setattr__(
+            self,
+            "body",
+            statements if isinstance(statements, Block) else Block(list(statements)),
+        )
+
+
+@dataclass
+class Program:
+    """A complete program: globals and functions, entered via ``main``.
+
+    The ``structs`` registry holds named struct types so tools (the rule
+    engine, reports) can look layouts up by tag, mirroring how Gleipnir
+    reads them from debug info.
+    """
+
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: Dict[str, Function] = field(default_factory=dict)
+    structs: Dict[str, CType] = field(default_factory=dict)
+    entry: str = "main"
+
+    def add_global(self, name: str, ctype: CType) -> "Program":
+        """Declare a file-scope object (chainable)."""
+        self.globals.append(GlobalDecl(name, ctype))
+        return self
+
+    def add_function(self, function: Function) -> "Program":
+        """Add a function definition (chainable); duplicate names error."""
+        if function.name in self.functions:
+            raise InterpreterError(f"function {function.name!r} already defined")
+        self.functions[function.name] = function
+        return self
+
+    def register_struct(self, tag: str, ctype: CType) -> "Program":
+        """Record a named struct type for tools to look up (chainable)."""
+        self.structs[tag] = ctype
+        return self
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name, erroring when undefined."""
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise InterpreterError(f"undefined function {name!r}") from None
+
+    @property
+    def main(self) -> Function:
+        """The entry function (``main`` unless ``entry`` says otherwise)."""
+        return self.function(self.entry)

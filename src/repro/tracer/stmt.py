@@ -1,0 +1,190 @@
+"""Statement AST for the miniature C dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.ctypes_model.types import CType, INT
+from repro.tracer.expr import Const, Expr, Var
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    """A sequence of statements (function bodies, loop bodies)."""
+
+    statements: Tuple[Stmt, ...]
+
+    def __init__(self, statements: Sequence[Stmt]) -> None:
+        object.__setattr__(self, "statements", tuple(statements))
+
+
+@dataclass(frozen=True)
+class DeclLocal(Stmt):
+    """``ctype name;`` — allocate a local in the current frame.
+
+    Declaration itself emits no accesses (like real codegen, storage is
+    just carved from the frame); an optional ``init`` expression turns it
+    into ``ctype name = init;`` which does store.
+    """
+
+    name: str
+    ctype: CType
+    init: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = value;`` — address computed first, then RHS, then ``S``."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class AugAssign(Stmt):
+    """``target op= value;`` (including ``++`` as ``+= 1``) — emits ``M``."""
+
+    target: Expr
+    op: str
+    value: Expr = Const(1)
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """Evaluate an expression for its side effects (its loads)."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if (cond) { then } else { orelse }``."""
+
+    cond: Expr
+    then: Block
+    orelse: Optional[Block] = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """``while (cond) { body }`` — condition evaluated before every
+    iteration and once more on exit, exactly as compiled code does."""
+
+    cond: Expr
+    body: Block
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """C-style ``for (init; cond; step) { body }``.
+
+    ``init`` and ``step`` are full statements, so any C for-loop shape can
+    be expressed.  See :func:`simple_for` for the common counting loop.
+    """
+
+    init: Stmt
+    cond: Expr
+    step: Stmt
+    body: Block
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    """``callee(args...);`` — see the package docstring for emitted lines."""
+
+    callee: str
+    args: Tuple[Expr, ...] = ()
+
+    def __init__(self, callee: str, args: Sequence[Expr] = ()) -> None:
+        object.__setattr__(self, "callee", callee)
+        object.__setattr__(self, "args", tuple(args))
+
+
+@dataclass(frozen=True)
+class CallAssign(Stmt):
+    """``target = callee(args...);``."""
+
+    target: Expr
+    callee: str
+    args: Tuple[Expr, ...] = ()
+
+    def __init__(self, target: Expr, callee: str, args: Sequence[Expr] = ()) -> None:
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "callee", callee)
+        object.__setattr__(self, "args", tuple(args))
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """``return;`` or ``return expr;``."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class HeapAlloc(Stmt):
+    """``target = malloc(sizeof(ctype));`` with a *named* heap object.
+
+    The symbol table registers the block under ``object_name`` so heap
+    accesses symbolise (``HV``/``HS`` scopes) — this backs the dynamic-
+    structures extension the paper lists as future work.
+    """
+
+    target: Expr
+    object_name: str
+    ctype: CType
+
+
+@dataclass(frozen=True)
+class HeapFree(Stmt):
+    """``free(ptr)`` for a named heap object."""
+
+    object_name: str
+
+
+@dataclass(frozen=True)
+class StartInstrumentation(Stmt):
+    """The ``GLEIPNIR_START_INSTRUMENTATION`` macro: turn tracing on.
+
+    Mirrors the Valgrind client-request artefact: stores the macro's
+    ``_zzq_result`` slot (symbolised) then reloads it (unsymbolised).
+    """
+
+
+@dataclass(frozen=True)
+class StopInstrumentation(Stmt):
+    """The ``GLEIPNIR_STOP_INSTRUMENTATION`` macro: turn tracing off."""
+
+
+def simple_for(
+    var: str,
+    start: int,
+    stop: Union[int, Expr],
+    body: Sequence[Stmt],
+    *,
+    declare: bool = False,
+    ctype: CType = INT,
+) -> Sequence[Stmt]:
+    """The common counting loop ``for (var = start; var < stop; var++)``.
+
+    Returns the statement list to splice into a body: an optional
+    declaration followed by the :class:`For`.  The shape matches the
+    paper's kernels, so traces show the canonical
+    ``S i / L i ... M i / L i`` pattern.
+    """
+    v = Var(var)
+    stop_expr = stop if isinstance(stop, Expr) else Const(stop)
+    loop = For(
+        init=Assign(v, Const(start)),
+        cond=v.lt(stop_expr),
+        step=AugAssign(v, "+", Const(1)),
+        body=Block(list(body)),
+    )
+    if declare:
+        return [DeclLocal(var, ctype), loop]
+    return [loop]

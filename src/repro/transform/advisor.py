@@ -1,0 +1,246 @@
+"""The transformation advisor: synthesise rules from a trace.
+
+The paper positions its engine as a way to "explore the transformation
+space of data structures".  The advisor closes the loop: instead of the
+user writing every rule by hand, it analyses a trace and *proposes* the
+rules —
+
+- :func:`field_usage` / :func:`field_affinity` — per-field access counts
+  and temporal co-access affinity for one structure;
+- :func:`suggest_hot_cold_split` — picks the cold member set a T2
+  outlining rule should move out, based on a usage-ratio threshold;
+- :func:`suggest_field_order` — orders AoS fields so that fields used
+  together sit together (greedy affinity clustering, hottest first);
+- each suggestion renders as **rule-file text** ready for
+  :func:`repro.transform.rule_parser.parse_rules`, so the advisor's
+  output feeds straight back into the engine.
+
+The advisor works from the same information the paper's user reads off
+the modified-DineroIV output (per-variable counts, conflicts) — it simply
+automates the reasoning.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.ctypes_model.types import ArrayType, CType, StructType
+from repro.trace.record import TraceRecord
+
+
+class AdvisorError(ReproError):
+    """The advisor could not produce a suggestion."""
+
+
+def _struct_of(layout: CType) -> StructType:
+    if isinstance(layout, ArrayType) and isinstance(layout.element, StructType):
+        return layout.element
+    if isinstance(layout, StructType):
+        return layout
+    raise AdvisorError(f"advisor needs a struct layout, got {layout.c_name()}")
+
+
+def field_usage(
+    records: Iterable[TraceRecord], variable: str
+) -> Counter:
+    """Access count per top-level field of ``variable``."""
+    counts: Counter = Counter()
+    for r in records:
+        if r.var is None or r.var.base != variable:
+            continue
+        names = r.var.field_names()
+        if names:
+            counts[names[0]] += 1
+    return counts
+
+
+def field_affinity(
+    records: Iterable[TraceRecord],
+    variable: str,
+    *,
+    window: int = 8,
+) -> Counter:
+    """Temporal co-access affinity between top-level fields.
+
+    Two fields gain affinity whenever they are accessed within ``window``
+    trace records of each other — the signal that they belong in the same
+    cache block.  Returns a Counter over frozensets of field pairs.
+    """
+    affinity: Counter = Counter()
+    recent: deque[Tuple[int, str]] = deque()
+    for i, r in enumerate(records):
+        if r.var is None or r.var.base != variable:
+            continue
+        names = r.var.field_names()
+        if not names:
+            continue
+        field = names[0]
+        while recent and i - recent[0][0] > window:
+            recent.popleft()
+        for _, other in recent:
+            if other != field:
+                affinity[frozenset((field, other))] += 1
+        recent.append((i, field))
+    return affinity
+
+
+@dataclass
+class HotColdSuggestion:
+    """A proposed T2 outlining."""
+
+    variable: str
+    hot: Tuple[str, ...]
+    cold: Tuple[str, ...]
+    usage: Dict[str, int]
+
+    def rule_text(
+        self,
+        layout: CType,
+        *,
+        out_name: Optional[str] = None,
+        storage_name: Optional[str] = None,
+        pointer_name: str = "mColdRef",
+    ) -> str:
+        """Render the suggestion as a flat hot/cold split rule.
+
+        The ``in`` struct reproduces the original declaration order (so
+        the engine's offset validation matches the traced layout); the
+        ``out`` section moves the cold fields into a storage pool reached
+        through ``pointer_name``.
+        """
+        struct = _struct_of(layout)
+        length = layout.length if isinstance(layout, ArrayType) else 1
+        out_name = out_name or f"{self.variable}_hot"
+        storage_name = storage_name or f"{self.variable}_coldPool"
+        in_members = "\n".join(
+            f"    {f.ctype.c_name()} {f.name};" for f in struct.fields
+        )
+        cold_members = "\n".join(
+            f"    {struct.member(name).ctype.c_name()} {name};"
+            for name in self.cold
+        )
+        hot_members = "\n".join(
+            f"    {struct.member(name).ctype.c_name()} {name};"
+            for name in self.hot
+        )
+        return (
+            f"in:\n"
+            f"struct {self.variable} {{\n{in_members}\n}}[{length}];\n"
+            f"out:\n"
+            f"struct {storage_name} {{\n{cold_members}\n}}[{length}];\n"
+            f"struct {out_name} {{\n{hot_members}\n"
+            f"    + {pointer_name}:{storage_name};\n"
+            f"}}[{length}];\n"
+        )
+
+
+def suggest_hot_cold_split(
+    records: Sequence[TraceRecord],
+    variable: str,
+    layout: CType,
+    *,
+    cold_threshold: float = 0.2,
+) -> Optional[HotColdSuggestion]:
+    """Propose outlining fields whose access share is below the threshold.
+
+    Returns ``None`` when no field is cold enough (or all are — there must
+    be at least one hot and one cold field to split).
+
+    Note: this advises on structures whose cold members are *direct*
+    fields; the generated rule nests them into a synthetic cold struct,
+    which models the transformed layout the engine will apply to traces
+    of the *restructured* program.  For structures that already have a
+    nested cold struct (the paper's Listing 6), write the T2 rule
+    directly.
+    """
+    struct = _struct_of(layout)
+    usage = field_usage(records, variable)
+    total = sum(usage.values())
+    if total == 0:
+        return None
+    hot: List[str] = []
+    cold: List[str] = []
+    for field in struct.member_names():
+        share = usage.get(field, 0) / total
+        (cold if share < cold_threshold else hot).append(field)
+    if not hot or not cold:
+        return None
+    return HotColdSuggestion(
+        variable=variable,
+        hot=tuple(hot),
+        cold=tuple(cold),
+        usage=dict(usage),
+    )
+
+
+@dataclass
+class FieldOrderSuggestion:
+    """A proposed AoS field reordering."""
+
+    variable: str
+    order: Tuple[str, ...]
+    affinity: Dict[frozenset, int]
+
+    def rule_text(self, layout: CType, *, out_name: Optional[str] = None) -> str:
+        """Render as a T1 layout rule (same fields, new order)."""
+        struct = _struct_of(layout)
+        length = layout.length if isinstance(layout, ArrayType) else 1
+        out_name = out_name or f"{self.variable}_reordered"
+        in_members = "\n".join(
+            f"    {f.ctype.c_name()} {f.name};" for f in struct.fields
+        )
+        out_members = "\n".join(
+            f"    {struct.member(name).ctype.c_name()} {name};"
+            for name in self.order
+        )
+        suffix = f"[{length}]" if isinstance(layout, ArrayType) else ""
+        return (
+            f"in:\n"
+            f"struct {self.variable} {{\n{in_members}\n}}{suffix};\n"
+            f"out:\n"
+            f"struct {out_name} {{\n{out_members}\n}}{suffix};\n"
+        )
+
+
+def suggest_field_order(
+    records: Sequence[TraceRecord],
+    variable: str,
+    layout: CType,
+    *,
+    window: int = 8,
+) -> FieldOrderSuggestion:
+    """Greedy affinity ordering: start from the hottest field, repeatedly
+    append the unplaced field with the highest affinity to the already
+    placed ones (count-weighted); unaccessed fields go last."""
+    struct = _struct_of(layout)
+    usage = field_usage(records, variable)
+    affinity = field_affinity(records, variable, window=window)
+    fields = list(struct.member_names())
+    if not fields:
+        raise AdvisorError(f"{variable}: struct has no fields")
+    placed: List[str] = []
+    remaining = set(fields)
+    # Seed with the most used field (declaration order breaks ties).
+    seed = max(fields, key=lambda f: (usage.get(f, 0), -fields.index(f)))
+    placed.append(seed)
+    remaining.discard(seed)
+    while remaining:
+        best = max(
+            sorted(remaining, key=fields.index),
+            key=lambda f: (
+                sum(
+                    affinity.get(frozenset((f, p)), 0) for p in placed
+                ),
+                usage.get(f, 0),
+            ),
+        )
+        placed.append(best)
+        remaining.discard(best)
+    return FieldOrderSuggestion(
+        variable=variable,
+        order=tuple(placed),
+        affinity=dict(affinity),
+    )

@@ -1,0 +1,86 @@
+"""Displacement rules: shift a variable's base address in the trace.
+
+Section V.3 of the paper closes with "a displacement may be used to yield
+another set" — shifting where a structure sits changes which cache sets
+it maps to without changing its internal layout.  A displacement is the
+smallest useful transformation for resolving the inter-variable conflicts
+the eviction-attribution matrix exposes (pad one of two structures that
+alias each other and the ping-pong stops).
+
+Rule-file syntax (its own section, no ``in:``/``out:`` pair needed)::
+
+    displace:
+    lArrayA + 4096
+    lArrayB - 64
+    lArrayC + 32 as lArrayC_shifted
+
+``as NEW`` optionally renames the variable in the transformed trace so
+downstream per-variable attribution can distinguish the layouts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import RuleError
+from repro.ctypes_model.path import PathElement
+from repro.transform.rules import OutAllocation, Rule, Translation
+
+_LINE_RE = re.compile(
+    r"^\s*([A-Za-z_$][A-Za-z0-9_$]*)\s*([+-])\s*(\d+)"
+    r"(?:\s+as\s+([A-Za-z_$][A-Za-z0-9_$]*))?\s*$"
+)
+
+
+class DisplaceRule(Rule):
+    """Shift every access to ``in_name`` by a constant byte offset.
+
+    Unlike the other rule kinds a displacement allocates nothing: the new
+    address is ``old address + offset``.  The structure's internal layout
+    (and therefore its hit/miss *count* on a large enough cache) is
+    unchanged; only its set mapping moves.
+    """
+
+    def __init__(
+        self, in_name: str, offset: int, *, new_name: Optional[str] = None
+    ) -> None:
+        if offset == 0:
+            raise RuleError(f"displacement of {in_name!r} must be non-zero")
+        self.in_name = in_name
+        self.offset = offset
+        self.new_name = new_name
+        self.name = f"displace:{in_name}{offset:+d}"
+
+    def out_allocations(self) -> Tuple[OutAllocation, ...]:
+        """Displacements allocate nothing (shift in place)."""
+        return ()
+
+    def out_names(self) -> Tuple[str, ...]:
+        """Only the optional rename is an output name."""
+        return (self.new_name,) if self.new_name else ()
+
+    def translate(self, elements: Sequence[PathElement]) -> Optional[Translation]:
+        # Every access to the variable is covered, whatever its path.
+        return Translation(
+            target=None,
+            address_delta=self.offset,
+            rename=self.new_name,
+        )
+
+
+def parse_displacements(text: str) -> list[DisplaceRule]:
+    """Parse the lines of a ``displace:`` rule section."""
+    rules: list[DisplaceRule] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("#", "//")):
+            continue
+        m = _LINE_RE.match(line)
+        if m is None:
+            raise RuleError(f"bad displacement line: {line!r}")
+        name, sign, amount, new_name = m.groups()
+        offset = int(amount) * (1 if sign == "+" else -1)
+        rules.append(DisplaceRule(name, offset, new_name=new_name))
+    return rules

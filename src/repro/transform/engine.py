@@ -1,0 +1,311 @@
+"""The transformation engine: applies rules to a trace stream.
+
+Implements the five-step process of the paper's Section IV:
+
+1. **Initialize the rules** — at construction every rule's out objects get
+   a fresh base address from the transformation arena (a reserved address
+   range that cannot collide with traced program objects).
+2. **Check validity** — each record's variable path is matched against the
+   rules; uncovered records pass through unchanged, and records that
+   reference *out* objects are never re-transformed (rules are one-way).
+3. **Apply transformation** — the matched rule maps the element to its
+   new location; indirect structures contribute inserted pointer loads,
+   stride rules contribute injected index-arithmetic accesses.
+4. **Print the transformation** — :meth:`TransformResult.write` emits
+   ``transformed_trace.out``.
+5. **Compare** — :func:`repro.trace.diff.diff_traces` on
+   ``result.original`` / ``result.trace``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import TransformError
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+from repro.transform.rules import (
+    InsertedAccess,
+    MappedAccess,
+    Rule,
+    RuleSet,
+    Translation,
+)
+
+#: Default base of the transformation arena: well above the program stack
+#: so synthesised objects never collide with traced addresses.
+ARENA_BASE = 0x7FF2_0000_0
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass
+class TransformReport:
+    """Counters describing what the engine did."""
+
+    total: int = 0
+    transformed: int = 0
+    inserted: int = 0
+    passthrough: int = 0
+    #: lines referencing rule *outputs* (ignored, mapping is one-way)
+    ignored_out: int = 0
+    #: lines whose variable matches a rule but whose path isn't covered
+    uncovered: int = 0
+    size_mismatches: int = 0
+    base_inconsistencies: int = 0
+    per_rule: Counter = field(default_factory=Counter)
+
+    def summary(self) -> str:
+        """Multi-line counters report (plus per-rule match counts)."""
+        lines = [
+            f"records in      : {self.total}",
+            f"  transformed   : {self.transformed}",
+            f"  inserted      : {self.inserted}",
+            f"  passthrough   : {self.passthrough}",
+            f"  ignored (out) : {self.ignored_out}",
+            f"  uncovered     : {self.uncovered}",
+            f"anomalies       : size={self.size_mismatches} "
+            f"base={self.base_inconsistencies}",
+        ]
+        for rule_name, count in sorted(self.per_rule.items()):
+            lines.append(f"  {rule_name:<36s} {count}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TransformResult:
+    """The transformed trace plus the report and allocation map."""
+
+    original: Trace
+    trace: Trace
+    report: TransformReport
+    allocations: Dict[str, int]
+
+    def write(self, path: Union[str, Path] = "transformed_trace.out") -> Path:
+        """Step 4: write the transformed trace (paper's default filename)."""
+        target = Path(path)
+        self.trace.save(target)
+        return target
+
+
+class TransformEngine:
+    """Applies a rule set to trace records.
+
+    Parameters
+    ----------
+    rules:
+        The rules to apply (at most one per in-variable).
+    arena_base:
+        First address of the transformation arena.
+    strict:
+        Raise on anomalies (size mismatch, inconsistent in-structure base
+        address) instead of counting them.
+    """
+
+    def __init__(
+        self,
+        rules: Union[RuleSet, Iterable[Rule]],
+        *,
+        arena_base: int = ARENA_BASE,
+        strict: bool = False,
+    ) -> None:
+        self.rules = rules if isinstance(rules, RuleSet) else _to_ruleset(rules)
+        self.strict = strict
+        self.report = TransformReport()
+        self._by_in: Dict[str, Rule] = {
+            r.in_name: r for r in self.rules if not r.is_pattern
+        }
+        self._pattern_rules = [r for r in self.rules if r.is_pattern]
+        self._out_names = {n for r in self.rules for n in r.out_names()}
+        self._alloc_scope: Dict[str, str] = {}
+        # Step 1: set up a new base address and size for every out object.
+        self.allocations: Dict[str, int] = {}
+        cursor = arena_base
+        for rule in self.rules:
+            for alloc in rule.out_allocations():
+                if alloc.name in self.allocations:
+                    raise TransformError(
+                        f"out object {alloc.name!r} allocated by two rules"
+                    )
+                cursor = _align_up(cursor, max(alloc.alignment, 1))
+                self.allocations[alloc.name] = cursor
+                self._alloc_scope[alloc.name] = alloc.scope
+                cursor += alloc.size
+        #: learned base address of each in variable (validity checking)
+        self._in_bases: Dict[str, int] = {}
+        #: last seen address/metadata per variable base name (for
+        #: ``existing`` inject specs)
+        self._last_seen: Dict[str, TraceRecord] = {}
+
+    # -- per-record transformation ------------------------------------------
+
+    def transform_record(self, record: TraceRecord) -> List[TraceRecord]:
+        """Steps 2-3 for one record; returns the replacement list."""
+        self.report.total += 1
+        if record.var is not None:
+            self._last_seen[record.var.base] = record
+        if record.var is None:
+            self.report.passthrough += 1
+            return [record]
+        base = record.var.base
+        if base in self._out_names:
+            # Same nesting as an out rule: "the simulator will simply
+            # ignore it" — mapping is not bi-directional.
+            self.report.ignored_out += 1
+            return [record]
+        rule = self._by_in.get(base)
+        if rule is None:
+            for candidate in self._pattern_rules:
+                if candidate.matches(base):
+                    rule = candidate
+                    break
+        if rule is None:
+            self.report.passthrough += 1
+            return [record]
+        if rule.is_pattern:
+            translation = rule.translate_named(base, record.var.elements)
+        else:
+            translation = rule.translate(record.var.elements)
+        if translation is None:
+            self.report.uncovered += 1
+            return [record]
+        self._check_consistency(rule, record)
+        out: List[TraceRecord] = []
+        for insert in translation.inserts:
+            out.append(self._materialise_insert(record, insert))
+            self.report.inserted += 1
+        out.append(self._materialise_target(record, translation))
+        self.report.transformed += 1
+        self.report.per_rule[rule.name] += 1
+        return out
+
+    def _check_consistency(self, rule: Rule, record: TraceRecord) -> None:
+        """Validate size and learned base address of the in structure."""
+        in_type = getattr(rule, "in_type", None)
+        if in_type is None:
+            return  # rule kinds without a declared in layout (displace)
+        try:
+            offset, leaf = in_type.resolve(record.var.elements)
+        except Exception:
+            return
+        if record.size != leaf.size:
+            self.report.size_mismatches += 1
+            if self.strict:
+                raise TransformError(
+                    f"{record.var}: access size {record.size} != "
+                    f"element size {leaf.size}"
+                )
+        base = record.addr - offset
+        known = self._in_bases.setdefault(rule.in_name, base)
+        if known != base:
+            self.report.base_inconsistencies += 1
+            if self.strict:
+                raise TransformError(
+                    f"{rule.in_name}: inconsistent base address "
+                    f"{base:#x} (expected {known:#x}) at {record.var}"
+                )
+
+    def _scope_for(self, record: TraceRecord, mapped: MappedAccess) -> str:
+        """New scope code: keep the L/G/H segment, recompute V vs S."""
+        prefix = record.scope[0] if record.scope else "L"
+        suffix = "S" if mapped.elements else "V"
+        return prefix + suffix
+
+    def _materialise_target(
+        self, record: TraceRecord, translation: Translation
+    ) -> TraceRecord:
+        if translation.address_delta is not None:
+            # Displacement mode: shift in place, optionally rename.
+            var = record.var
+            if translation.rename is not None and var is not None:
+                var = var.with_base(translation.rename)
+            return record.evolve(
+                addr=record.addr + translation.address_delta, var=var
+            )
+        mapped = translation.target
+        addr = self.allocations[mapped.alloc] + mapped.offset
+        return record.evolve(
+            addr=addr,
+            var=VariablePath(mapped.alloc, mapped.elements),
+            scope=self._scope_for(record, mapped),
+        )
+
+    def _materialise_insert(
+        self, record: TraceRecord, insert: InsertedAccess
+    ) -> TraceRecord:
+        if insert.existing_var is not None:
+            seen = self._last_seen.get(insert.existing_var)
+            if seen is not None:
+                return seen.evolve(op=insert.op, func=record.func)
+            raise TransformError(
+                f"inject references {insert.existing_var!r} which has not "
+                "appeared in the trace"
+            )
+        assert insert.mapped is not None
+        mapped = insert.mapped
+        addr = self.allocations[mapped.alloc] + mapped.offset
+        scope = self._alloc_scope.get(mapped.alloc, "LV")
+        if mapped.elements:
+            scope = scope[0] + "S"
+        else:
+            scope = scope[0] + "V"
+        return record.evolve(
+            op=insert.op,
+            addr=addr,
+            size=insert.size,
+            var=VariablePath(mapped.alloc, mapped.elements),
+            scope=scope,
+        )
+
+    # -- whole-trace APIs --------------------------------------------------------
+
+    def stream(self, records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+        """Transform lazily (for feeding a simulator without a copy)."""
+        for record in records:
+            yield from self.transform_record(record)
+
+    def transform(self, records: Iterable[TraceRecord]) -> TransformResult:
+        """Transform a full trace, keeping the original for diffing."""
+        original = records if isinstance(records, Trace) else Trace(records)
+        out = Trace()
+        for record in original:
+            out.extend(self.transform_record(record))
+        return TransformResult(
+            original=original,
+            trace=out,
+            report=self.report,
+            allocations=dict(self.allocations),
+        )
+
+
+def _to_ruleset(rules: Iterable[Rule]) -> RuleSet:
+    ruleset = RuleSet()
+    for rule in rules:
+        ruleset.add(rule)
+    return ruleset
+
+
+def transform_trace(
+    records: Iterable[TraceRecord],
+    rules: Union[RuleSet, Iterable[Rule], str],
+    *,
+    arena_base: int = ARENA_BASE,
+    strict: bool = False,
+) -> TransformResult:
+    """One-shot transformation.
+
+    ``rules`` may be a :class:`RuleSet`, an iterable of rules, or rule
+    file *text* (parsed with :func:`repro.transform.rule_parser.parse_rules`).
+    """
+    if isinstance(rules, str):
+        from repro.transform.rule_parser import parse_rules
+
+        rules = parse_rules(rules)
+    engine = TransformEngine(rules, arena_base=arena_base, strict=strict)
+    return engine.transform(records)

@@ -1,0 +1,154 @@
+"""Tiling rules: AoS -> AoSoA ("array of structures of arrays").
+
+A generalisation of the paper's T1 that the SIMD-era layout literature
+calls AoSoA or "hybrid SoA": elements are grouped into tiles of ``B``;
+within a tile each field's ``B`` values sit contiguously (vectorisable),
+while tiles keep the fields of nearby elements close (cache-friendly).
+T1's two extremes are special cases: ``B = 1`` is plain AoS and
+``B = length`` is full SoA — which makes the tile factor a one-knob sweep
+across the whole layout family, ideal for the paper's "explore the
+transformation space" goal.
+
+Mapping: element ``i``, field ``f``  ->  tile ``i // B``, lane ``i % B``::
+
+    lAoS[i].f   ==>   lAoSoA[i // B].f[i % B]
+
+Rule-file syntax (its own section)::
+
+    tile:
+    struct lAoS { int x; double y; }[16];
+    by 4 as lAoSoA;
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import RuleError
+from repro.ctypes_model.parser import parse_declarations
+from repro.ctypes_model.path import Field, Index, PathElement
+from repro.ctypes_model.types import ArrayType, CType, StructType
+from repro.transform.rules import MappedAccess, OutAllocation, Rule, Translation
+
+_BY_RE = re.compile(
+    r"^\s*by\s+(\d+)\s+as\s+([A-Za-z_$][A-Za-z0-9_$]*)\s*;\s*$",
+    re.MULTILINE,
+)
+
+
+def tiled_struct(elem: StructType, block: int, tag: str = "") -> StructType:
+    """The tile element type: each scalar field widened to ``B`` lanes."""
+    members: List[Tuple[str, CType]] = []
+    for f in elem.fields:
+        if not f.ctype.is_scalar:
+            raise RuleError(
+                f"tiling requires scalar fields; {f.name!r} is "
+                f"{f.ctype.c_name()}"
+            )
+        members.append((f.name, ArrayType(f.ctype, block)))
+    return StructType(tag or f"{elem.tag}_tile", members)
+
+
+class TileRule(Rule):
+    """Re-lay an array of structs into tiles of ``block`` elements."""
+
+    def __init__(
+        self,
+        in_name: str,
+        in_type: CType,
+        block: int,
+        out_name: str,
+        *,
+        scope: str = "LS",
+    ) -> None:
+        if not isinstance(in_type, ArrayType) or not isinstance(
+            in_type.element, StructType
+        ):
+            raise RuleError(
+                f"tile rule needs an array of structs, got {in_type.c_name()}"
+            )
+        if block <= 0:
+            raise RuleError(f"tile factor must be positive, got {block}")
+        if in_type.length % block:
+            raise RuleError(
+                f"tile factor {block} must divide the array length "
+                f"{in_type.length}"
+            )
+        self.in_name = in_name
+        self.in_type = in_type
+        self.elem: StructType = in_type.element
+        self.block = block
+        self._out_name = out_name
+        self.scope = scope
+        self.tile_elem = tiled_struct(self.elem, block)
+        self.n_tiles = in_type.length // block
+        self.out_type = ArrayType(self.tile_elem, self.n_tiles)
+        self.name = f"tile:{in_name}->{out_name} by {block}"
+
+    def out_allocations(self) -> Tuple[OutAllocation, ...]:
+        """One allocation: the tiled array."""
+        return (
+            OutAllocation(
+                self._out_name,
+                self.out_type.size,
+                self.out_type.alignment,
+                scope=self.scope,
+            ),
+        )
+
+    def translate(self, elements: Sequence[PathElement]) -> Optional[Translation]:
+        if (
+            len(elements) != 2
+            or not isinstance(elements[0], Index)
+            or not isinstance(elements[1], Field)
+        ):
+            return None
+        i = elements[0].value
+        if not 0 <= i < self.in_type.length:
+            return None
+        field_name = elements[1].name
+        try:
+            tile_field = self.tile_elem.member(field_name)
+        except Exception:
+            return None
+        tile, lane = divmod(i, self.block)
+        lane_type = tile_field.ctype.element
+        offset = (
+            tile * self.tile_elem.size
+            + tile_field.offset
+            + lane * lane_type.size
+        )
+        return Translation(
+            MappedAccess(
+                self._out_name,
+                (Index(tile), Field(field_name), Index(lane)),
+                offset,
+                lane_type.size,
+            )
+        )
+
+
+def parse_tile_rules(text: str) -> List[TileRule]:
+    """Parse the body of a ``tile:`` rule section."""
+    matches = list(_BY_RE.finditer(text))
+    if not matches:
+        raise RuleError("tile section needs a 'by <B> as <name>;' line")
+    decl_text = _BY_RE.sub("", text)
+    decls = parse_declarations(decl_text)
+    arrays = [
+        (name, ctype)
+        for name, ctype in decls.variables.items()
+        if isinstance(ctype, ArrayType) and isinstance(ctype.element, StructType)
+    ]
+    if len(arrays) != len(matches):
+        raise RuleError(
+            f"tile section declares {len(arrays)} arrays but has "
+            f"{len(matches)} 'by' lines"
+        )
+    rules = []
+    for (in_name, in_type), m in zip(arrays, matches):
+        rules.append(
+            TileRule(in_name, in_type, int(m.group(1)), m.group(2))
+        )
+    return rules

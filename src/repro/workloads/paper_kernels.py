@@ -1,0 +1,319 @@
+"""The paper's example programs, expressed in the tracer's C dialect.
+
+Naming follows the paper's Section V:
+
+- **1A** (`kernel_1a`): the structure-of-arrays original — a struct with
+  ``int mX[LEN]`` and ``double mY[LEN]`` filled in one loop (the paper's
+  Listing 4 code; the listing labels 3/4 are typeset inconsistently in the
+  paper, but Figure 5's left-hand trace shows ``lSoA`` is the original).
+- **1B** (`kernel_1b`): the hand-transformed array-of-structures version.
+- **2A** (`kernel_2a`): nested hot/cold struct (``mFrequentlyUsed`` inline
+  with a rarely used nested struct).
+- **2B** (`kernel_2b`): the hand-outlined version — cold fields moved to
+  ``lStorageForRarelyUsed`` and reached through the ``mRarelyUsed``
+  pointer; the pointer-setup loop runs *before* instrumentation starts,
+  exactly as in Listing 7.
+- **3A** (`kernel_3a`): contiguous array fill.
+- **3B** (`kernel_3b`): the set-pinning stride version with the
+  ``(lI/ITEMSPERLINE)*(SETS*ITEMSPERLINE) + (lI%ITEMSPERLINE)`` index
+  formula of Listing 10/11 (the paper's Listing 10 prints the first ``*``
+  as ``%``; Listing 11's rule and the 64 KiB size calculation in the text
+  confirm multiplication).
+- `listing1_program`: the paper's Listing 1 (globals, ``foo``, structure
+  parameters) used to validate trace shape against Listing 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.ctypes_model.types import (
+    ArrayType,
+    DOUBLE,
+    INT,
+    PointerType,
+    StructType,
+)
+from repro.tracer.expr import Cast, Const, V
+from repro.tracer.program import Function, Parameter, Program
+from repro.tracer.stmt import (
+    Assign,
+    Block,
+    Call,
+    DeclLocal,
+    For,
+    AugAssign,
+    StartInstrumentation,
+    StopInstrumentation,
+    simple_for,
+)
+
+#: Default array length; the paper's rules use 16, its cache figures use
+#: larger arrays so the structures span many cache sets.
+DEFAULT_LEN = 16
+
+#: Cache-geometry constants of the paper's Listing 10 (PowerPC 440 study).
+SETS = 16
+CACHELINE = 32
+ITEMS_PER_LINE = CACHELINE // INT.size  # 8
+
+
+def kernel_1a(length: int = DEFAULT_LEN) -> Program:
+    """T1 original: structure of arrays (``lSoA.mX[i]``, ``lSoA.mY[i]``)."""
+    soa = StructType(
+        "MyStructOfArrays",
+        [("mX", ArrayType(INT, length)), ("mY", ArrayType(DOUBLE, length))],
+    )
+    body = [
+        DeclLocal("lSoA", soa),
+        DeclLocal("lI", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            length,
+            [
+                Assign(V("lSoA").fld("mX")[V("lI")], Cast(INT, V("lI"))),
+                Assign(V("lSoA").fld("mY")[V("lI")], Cast(DOUBLE, V("lI"))),
+            ],
+        ),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.register_struct("MyStructOfArrays", soa)
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def kernel_1b(length: int = DEFAULT_LEN) -> Program:
+    """T1 hand-transformed: array of structures (``lAoS[i].mX``...)."""
+    elem = StructType("MyStruct", [("mX", INT), ("mY", DOUBLE)])
+    body = [
+        DeclLocal("lAoS", ArrayType(elem, length)),
+        DeclLocal("lI", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            length,
+            [
+                Assign(V("lAoS")[V("lI")].fld("mX"), Cast(INT, V("lI"))),
+                Assign(V("lAoS")[V("lI")].fld("mY"), Cast(DOUBLE, V("lI"))),
+            ],
+        ),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.register_struct("MyStruct", elem)
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def kernel_2a(length: int = DEFAULT_LEN) -> Program:
+    """T2 original: inline nested hot/cold struct (Listing 6)."""
+    rarely = StructType("mRarelyUsed", [("mY", DOUBLE), ("mZ", INT)])
+    inline = StructType(
+        "MyInlineStruct", [("mFrequentlyUsed", INT), ("mRarelyUsed", rarely)]
+    )
+    body = [
+        DeclLocal("lS1", ArrayType(inline, length)),
+        DeclLocal("lI", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            length,
+            [
+                Assign(V("lS1")[V("lI")].fld("mFrequentlyUsed"), V("lI")),
+                Assign(V("lS1")[V("lI")].fld("mRarelyUsed").fld("mY"), V("lI")),
+                Assign(V("lS1")[V("lI")].fld("mRarelyUsed").fld("mZ"), V("lI")),
+            ],
+        ),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.register_struct("mRarelyUsed", rarely)
+    program.register_struct("MyInlineStruct", inline)
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def kernel_2b(length: int = DEFAULT_LEN) -> Program:
+    """T2 hand-transformed: outlined cold fields behind a pointer.
+
+    The pointer-setup loop (``lS2[i].mRarelyUsed = lStorage + i``) runs
+    before ``GLEIPNIR_START_INSTRUMENTATION`` so the measured region
+    contains only the indirect accesses, as in Listing 7.
+    """
+    rarely = StructType("RarelyUsed", [("mY", DOUBLE), ("mZ", INT)])
+    outlined = StructType(
+        "MyOutlinedStruct",
+        [("mFrequentlyUsed", INT), ("mRarelyUsed", PointerType("RarelyUsed"))],
+    )
+    body = [
+        DeclLocal("lStorageForRarelyUsed", ArrayType(rarely, length)),
+        DeclLocal("lS2", ArrayType(outlined, length)),
+        DeclLocal("lI", INT),
+        *simple_for(
+            "lI",
+            0,
+            length,
+            [
+                Assign(
+                    V("lS2")[V("lI")].fld("mRarelyUsed"),
+                    V("lStorageForRarelyUsed") + V("lI"),
+                ),
+            ],
+        ),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            length,
+            [
+                Assign(V("lS2")[V("lI")].fld("mFrequentlyUsed"), V("lI")),
+                Assign(V("lS2")[V("lI")].fld("mRarelyUsed").arrow("mY"), V("lI")),
+                Assign(V("lS2")[V("lI")].fld("mRarelyUsed").arrow("mZ"), V("lI")),
+            ],
+        ),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.register_struct("RarelyUsed", rarely)
+    program.register_struct("MyOutlinedStruct", outlined)
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def kernel_3a(length: int = 1024) -> Program:
+    """T3 original: contiguous array fill (Listing 9)."""
+    body = [
+        DeclLocal("lContiguousArray", ArrayType(INT, length)),
+        DeclLocal("lI", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            length,
+            [Assign(V("lContiguousArray")[V("lI")], V("lI"))],
+        ),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def kernel_3b(
+    length: int = 1024, *, sets: int = SETS, cacheline: int = CACHELINE
+) -> Program:
+    """T3 hand-transformed: set-pinning stride access (Listing 10).
+
+    ``lSetHashingArray`` has ``length * sets`` elements; index
+    ``(lI/IPL)*(sets*IPL) + (lI%IPL)`` places each cache-line-sized group
+    of elements ``sets`` lines apart so every access maps to one set.
+    """
+    items_per_line = cacheline // INT.size
+    idx = (
+        (V("lI") / V("ITEMSPERLINE")) * (Const(sets) * V("ITEMSPERLINE"))
+        + V("lI") % V("ITEMSPERLINE")
+    )
+    body = [
+        DeclLocal("ITEMSPERLINE", INT, init=Const(items_per_line)),
+        DeclLocal("lSetHashingArray", ArrayType(INT, length * sets)),
+        DeclLocal("lI", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            length,
+            [Assign(V("lSetHashingArray")[idx], V("lI"))],
+        ),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def listing1_program() -> Program:
+    """The paper's Listing 1: globals, nested structs and a call to foo.
+
+    Used to validate the trace shape against Listing 2: global scalar
+    stores, loop-index traffic, the call-overhead stores, and ``foo``
+    writing through its structure parameter into main's frame
+    (``frame`` distance 1).
+    """
+    type_a = StructType("_typeA", [("dl", DOUBLE), ("myArray", ArrayType(INT, 10))])
+    program = Program()
+    program.register_struct("_typeA", type_a)
+    program.add_global("glStruct", type_a)
+    program.add_global("glStructArray", ArrayType(type_a, 10))
+    program.add_global("glScalar", INT)
+    program.add_global("glArray", ArrayType(INT, 10))
+
+    foo_body = [
+        DeclLocal("i", INT),
+        *simple_for(
+            "i",
+            0,
+            2,
+            [
+                Assign(
+                    V("glStructArray")[V("i")].fld("dl"), V("glScalar")
+                ),
+                Assign(
+                    V("glStructArray")[V("i")].fld("myArray")[V("i")],
+                    V("glArray")[V("i") + 1],
+                ),
+                Assign(
+                    V("StrcParam")[V("i")].fld("dl"), V("glArray")[V("i")]
+                ),
+            ],
+        ),
+    ]
+    program.add_function(
+        Function(
+            "foo",
+            params=[Parameter("StrcParam", PointerType("_typeA"))],
+            body=foo_body,
+        )
+    )
+
+    main_body = [
+        StartInstrumentation(),
+        DeclLocal("lcStrcArray", ArrayType(type_a, 5)),
+        DeclLocal("i", INT),
+        DeclLocal("lcScalar", INT),
+        DeclLocal("lcArray", ArrayType(INT, 10)),
+        Assign(V("glScalar"), Const(321)),
+        Assign(V("lcScalar"), Const(123)),
+        *simple_for("i", 0, 2, [Assign(V("lcArray")[V("i")], V("glScalar"))]),
+        Call("foo", [V("lcStrcArray")]),
+        StopInstrumentation(),
+    ]
+    program.add_function(Function("main", body=main_body))
+    return program
+
+
+#: Registry used by the CLI and the benchmarks: name -> factory(length).
+PAPER_KERNELS: Dict[str, Callable[..., Program]] = {
+    "1a": kernel_1a,
+    "1b": kernel_1b,
+    "2a": kernel_2a,
+    "2b": kernel_2b,
+    "3a": kernel_3a,
+    "3b": kernel_3b,
+    "listing1": lambda length=0: listing1_program(),
+}
+
+
+def paper_kernel(name: str, length: int = DEFAULT_LEN) -> Program:
+    """Build a paper kernel by name (``"1a"`` ... ``"3b"``)."""
+    try:
+        factory = PAPER_KERNELS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from {sorted(PAPER_KERNELS)}"
+        ) from None
+    return factory(length)

@@ -1,0 +1,207 @@
+"""Additional realistic workloads beyond the paper's micro-kernels.
+
+These drive the examples and the ablation benchmarks: they exhibit the
+memory behaviours the paper's introduction motivates (structure layouts
+interacting with cache geometry) at a more application-like scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.ctypes_model.types import ArrayType, DOUBLE, INT, PointerType, StructType
+from repro.tracer.expr import Const, V
+from repro.tracer.program import Function, Program
+from repro.tracer.stmt import (
+    Assign,
+    AugAssign,
+    Block,
+    DeclLocal,
+    HeapAlloc,
+    StartInstrumentation,
+    Stmt,
+    StopInstrumentation,
+    While,
+    simple_for,
+)
+
+
+def matrix_multiply(n: int = 16, *, order: str = "ijk") -> Program:
+    """Dense ``C += A * B`` on ``double[n][n]`` with a chosen loop order.
+
+    ``order`` permutes the three loops (``"ijk"``, ``"ikj"``, ``"jki"``...)
+    — the classic way loop order changes the stride pattern of the inner
+    loop, which the cache simulator makes visible per variable.
+    """
+    if sorted(order) != ["i", "j", "k"]:
+        raise ValueError(f"order must be a permutation of 'ijk', got {order!r}")
+    mat = ArrayType(ArrayType(DOUBLE, n), n)
+    update = AugAssign(
+        V("C")[V("i")][V("j")],
+        "+",
+        V("A")[V("i")][V("k")] * V("B")[V("k")][V("j")],
+    )
+    inner: List[Stmt] = [update]
+    for var in reversed(order):
+        inner = list(simple_for(var, 0, n, inner))
+    body: List[Stmt] = [
+        DeclLocal("A", mat),
+        DeclLocal("B", mat),
+        DeclLocal("C", mat),
+        DeclLocal("i", INT),
+        DeclLocal("j", INT),
+        DeclLocal("k", INT),
+        StartInstrumentation(),
+        *inner,
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def stencil_2d(n: int = 32, *, iterations: int = 1) -> Program:
+    """A 5-point Jacobi stencil over ``double grid[n][n]``.
+
+    Reads four neighbours and writes ``out`` — row-major traversal with a
+    vertical neighbour stride of one full row, a standard HPC access
+    pattern for studying block reuse.
+    """
+    mat = ArrayType(ArrayType(DOUBLE, n), n)
+    update = Assign(
+        V("out")[V("i")][V("j")],
+        (
+            V("grid")[V("i") - 1][V("j")]
+            + V("grid")[V("i") + 1][V("j")]
+            + V("grid")[V("i")][V("j") - 1]
+            + V("grid")[V("i")][V("j") + 1]
+        )
+        * Const(0.25),
+    )
+    sweep: List[Stmt] = list(
+        simple_for("i", 1, n - 1, simple_for("j", 1, n - 1, [update]))
+    )
+    body: List[Stmt] = [
+        DeclLocal("grid", mat),
+        DeclLocal("out", mat),
+        DeclLocal("i", INT),
+        DeclLocal("j", INT),
+        DeclLocal("t", INT),
+        StartInstrumentation(),
+        *simple_for("t", 0, iterations, sweep),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def linked_list_traversal(
+    n: int = 64,
+    *,
+    shuffled: bool = False,
+    seed: int = 0,
+    passes: int = 1,
+) -> Program:
+    """Build an ``n``-node singly linked list on the heap, then traverse it.
+
+    With ``shuffled=True`` the nodes are *allocated* in a random order but
+    *linked* in logical order, destroying spatial locality — the scenario
+    where collocating hot data into pools (the paper's T2 motivation,
+    "collocate elements of similar temporal locality into unique spatial
+    memory pools") pays off.  Building happens before instrumentation;
+    only the traversal is traced.
+    """
+    node = StructType("Node", [("value", INT), ("next", PointerType("Node"))])
+    alloc_order = list(range(n))
+    if shuffled:
+        random.Random(seed).shuffle(alloc_order)
+
+    build: List[Stmt] = [
+        DeclLocal("head", PointerType("Node")),
+        DeclLocal("cursor", PointerType("Node")),
+        DeclLocal("tmp", PointerType("Node")),
+        DeclLocal("sum", INT),
+        DeclLocal("p", INT),
+    ]
+    # Allocate in alloc_order; remember each node's handle variable name.
+    for k in alloc_order:
+        build.append(HeapAlloc(V("tmp"), f"node{k}", node))
+        build.append(DeclLocal(f"h{k}", PointerType("Node")))
+        build.append(Assign(V(f"h{k}"), V("tmp")))
+    # Link in logical order and set values.
+    build.append(Assign(V("head"), V("h0")))
+    for k in range(n):
+        build.append(Assign(V(f"h{k}").arrow("value"), Const(k)))
+        if k + 1 < n:
+            build.append(Assign(V(f"h{k}").arrow("next"), V(f"h{k+1}")))
+        else:
+            build.append(Assign(V(f"h{k}").arrow("next"), Const(0)))
+
+    traverse: List[Stmt] = [
+        Assign(V("sum"), Const(0)),
+        *simple_for(
+            "p",
+            0,
+            passes,
+            [
+                Assign(V("cursor"), V("head")),
+                While(
+                    V("cursor").ne(Const(0)),
+                    Block(
+                        [
+                            AugAssign(V("sum"), "+", V("cursor").arrow("value")),
+                            Assign(V("cursor"), V("cursor").arrow("next")),
+                        ]
+                    ),
+                ),
+            ],
+        ),
+    ]
+    body = [*build, StartInstrumentation(), *traverse, StopInstrumentation()]
+    program = Program()
+    program.register_struct("Node", node)
+    program.add_function(Function("main", body=body))
+    return program
+
+
+def particle_update(
+    n: int = 128, *, steps: int = 1, touch_cold: bool = False
+) -> Program:
+    """An N-body-style particle array with hot and cold fields.
+
+    Each particle has hot position/velocity fields and a cold block
+    (mass, charge, id).  The update loop touches only the hot fields
+    unless ``touch_cold`` — the exact hot/cold-splitting scenario the
+    paper's T2 addresses.
+    """
+    cold = StructType("ColdData", [("mass", DOUBLE), ("charge", DOUBLE), ("id", INT)])
+    particle = StructType(
+        "Particle",
+        [
+            ("x", DOUBLE),
+            ("vx", DOUBLE),
+            ("cold", cold),
+        ],
+    )
+    hot_updates: List[Stmt] = [
+        AugAssign(V("parts")[V("i")].fld("x"), "+", V("parts")[V("i")].fld("vx")),
+    ]
+    if touch_cold:
+        hot_updates.append(
+            AugAssign(V("parts")[V("i")].fld("cold").fld("mass"), "+", Const(0.0))
+        )
+    body: List[Stmt] = [
+        DeclLocal("parts", ArrayType(particle, n)),
+        DeclLocal("i", INT),
+        DeclLocal("t", INT),
+        StartInstrumentation(),
+        *simple_for("t", 0, steps, simple_for("i", 0, n, hot_updates)),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.register_struct("ColdData", cold)
+    program.register_struct("Particle", particle)
+    program.add_function(Function("main", body=body))
+    return program

@@ -1,0 +1,60 @@
+"""Tests for the time x set heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import compute_heatmap
+from repro.cache.config import CacheConfig
+from repro.tracer.interp import trace_program
+from repro.workloads.paper_kernels import paper_kernel
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return trace_program(paper_kernel("1a", length=256))
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return CacheConfig.paper_direct_mapped()
+
+
+class TestHeatmap:
+    def test_totals_match_flat_simulation(self, trace, cfg):
+        from repro.cache.simulator import simulate
+
+        heat = compute_heatmap(trace, cfg, window=100)
+        stats = simulate(trace, cfg).stats
+        assert int(heat.hits.sum()) == stats.block_hits
+        assert int(heat.misses.sum()) == stats.block_misses
+
+    def test_window_count(self, trace, cfg):
+        n_data = len(trace.data_accesses())
+        heat = compute_heatmap(trace, cfg, window=100)
+        assert heat.n_windows == (n_data + 99) // 100
+
+    def test_sequential_walk_moves_hot_spot(self, trace, cfg):
+        """A linear array fill's busiest set advances over time."""
+        heat = compute_heatmap(trace, cfg, window=200, variable="lSoA")
+        hot = heat.busiest_set_per_window()
+        # Monotone (modulo the mX->mY region switch): at least strictly
+        # increasing within the first half.
+        half = hot[: len(hot) // 2]
+        assert all(b >= a for a, b in zip(half, half[1:]))
+
+    def test_variable_filter_restricts_counts(self, trace, cfg):
+        all_heat = compute_heatmap(trace, cfg, window=100)
+        var_heat = compute_heatmap(trace, cfg, window=100, variable="lSoA")
+        assert int(var_heat.accesses.sum()) < int(all_heat.accesses.sum())
+        assert int(var_heat.accesses.sum()) == 512  # 2 per element
+
+    def test_render(self, trace, cfg):
+        heat = compute_heatmap(trace, cfg, window=500)
+        text = heat.render(columns=40)
+        assert "heatmap" in text
+        assert text.count("\n") == heat.n_windows
+
+    def test_empty_trace(self, cfg):
+        heat = compute_heatmap([], cfg, window=10)
+        assert heat.n_windows == 1
+        assert int(heat.accesses.sum()) == 0

@@ -1,0 +1,82 @@
+"""Tests for per-set figure data extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.per_set import SetSeries, figure_series
+from repro.cache.simulator import simulate
+from repro.tracer.interp import trace_program
+from repro.workloads.paper_kernels import paper_kernel
+
+
+@pytest.fixture(scope="module")
+def result(paper_cache=None):
+    from repro.cache.config import CacheConfig
+
+    trace = trace_program(paper_kernel("1a", length=256))
+    return simulate(
+        trace, CacheConfig.paper_direct_mapped(), attribution="member"
+    )
+
+
+class TestSetSeries:
+    def test_span_and_active(self):
+        s = SetSeries(
+            "x",
+            hits=np.array([0, 2, 0, 3]),
+            misses=np.array([0, 1, 0, 0]),
+        )
+        assert s.span() == (1, 3)
+        assert list(s.active_sets()) == [1, 3]
+        assert s.rows() == ((1, 2, 1), (3, 3, 0))
+
+    def test_empty_series(self):
+        s = SetSeries("x", hits=np.zeros(4, int), misses=np.zeros(4, int))
+        assert s.span() is None
+        assert s.concentration() == 0.0
+        assert s.uniformity() == 0.0
+
+    def test_concentration_pinned(self):
+        s = SetSeries("x", hits=np.array([10, 0]), misses=np.array([2, 0]))
+        assert s.concentration() == 1.0
+
+    def test_uniformity_even(self):
+        s = SetSeries("x", hits=np.array([5, 5, 5]), misses=np.zeros(3, int))
+        assert s.uniformity() == 1.0
+
+
+class TestFigureSeries:
+    def test_series_extracted_per_variable(self, result):
+        fig = figure_series(result, title="fig3")
+        assert fig.title == "fig3"
+        assert "lSoA.mX" in fig.labels()
+        assert "lSoA.mY" in fig.labels()
+
+    def test_figure3_claim_disjoint_clusters(self, result):
+        """The SoA layout puts mX and mY in (nearly) disjoint set ranges:
+        the two series share at most the boundary set where mX ends and
+        mY begins."""
+        fig = figure_series(result)
+        mx = set(fig.by_label("lSoA.mX").active_sets().tolist())
+        my = set(fig.by_label("lSoA.mY").active_sets().tolist())
+        assert len(mx) >= 30 and len(my) >= 60
+        assert len(mx & my) <= 1
+
+    def test_overall_sums_all_variables(self, result):
+        fig = figure_series(result)
+        total = int(fig.overall.accesses.sum())
+        assert total == result.stats.block_hits + result.stats.block_misses
+
+    def test_explicit_variable_selection(self, result):
+        fig = figure_series(result, variables=["lSoA.mX", "ghost"])
+        assert fig.labels() == ("lSoA.mX", "ghost")
+        assert fig.by_label("ghost").span() is None
+
+    def test_busiest_first_ordering(self, result):
+        fig = figure_series(result)
+        totals = [int(s.accesses.sum()) for s in fig.series]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_by_label_missing(self, result):
+        with pytest.raises(KeyError):
+            figure_series(result).by_label("nope")

@@ -1,0 +1,101 @@
+"""Tests for ASCII plots, gnuplot writers and text reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_bars, render_figure, render_series
+from repro.analysis.gnuplot import write_gnuplot_data, write_gnuplot_script
+from repro.analysis.per_set import SetSeries, figure_series
+from repro.analysis.report import comparison_report, simulation_report
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.trace.diff import diff_traces
+from repro.tracer.interp import trace_program
+from repro.transform.engine import transform_trace
+from repro.transform.paper_rules import rule_t1
+from repro.workloads.paper_kernels import paper_kernel
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    trace = trace_program(paper_kernel("1a", length=64))
+    return simulate(trace, CacheConfig.paper_direct_mapped())
+
+
+class TestAsciiPlots:
+    def test_ascii_bars_basic(self):
+        text = ascii_bars([0, 5, 10], label="demo")
+        assert "demo" in text
+        assert text.count("\n") == 3
+
+    def test_render_series_two_rows(self):
+        s = SetSeries("v", hits=np.array([1, 2]), misses=np.array([0, 1]))
+        text = render_series(s)
+        assert "hits" in text and "misses" in text
+
+    def test_render_figure(self, sim_result):
+        fig = figure_series(sim_result, title="demo fig")
+        text = render_figure(fig)
+        assert "demo fig" in text
+        assert "lSoA" in text
+
+    def test_downsampling_keeps_totals_visible(self):
+        s = SetSeries(
+            "v", hits=np.ones(1000, dtype=int), misses=np.zeros(1000, dtype=int)
+        )
+        text = render_series(s, buckets=10)
+        assert "peak=100" in text
+
+
+class TestGnuplot:
+    def test_data_file_shape(self, sim_result, tmp_path):
+        fig = figure_series(sim_result)
+        path = write_gnuplot_data(fig, tmp_path / "fig.dat")
+        lines = path.read_text().splitlines()
+        data = [l for l in lines if not l.startswith("#")]
+        assert len(data) == fig.n_sets
+        # columns: set + 2 per series
+        assert len(data[0].split()) == 1 + 2 * len(fig.series)
+
+    def test_data_values_match_series(self, sim_result, tmp_path):
+        fig = figure_series(sim_result)
+        path = write_gnuplot_data(fig, tmp_path / "fig.dat")
+        data = [
+            l.split()
+            for l in path.read_text().splitlines()
+            if not l.startswith("#")
+        ]
+        s0 = fig.series[0]
+        for row in data[:50]:
+            set_index = int(row[0])
+            assert int(row[1]) == int(s0.hits[set_index])
+            assert int(row[2]) == int(s0.misses[set_index])
+
+    def test_script_references_columns(self, sim_result, tmp_path):
+        fig = figure_series(sim_result)
+        dat = write_gnuplot_data(fig, tmp_path / "fig.dat")
+        gp = write_gnuplot_script(fig, dat, tmp_path / "fig.gp")
+        text = gp.read_text()
+        assert "logscale" in text
+        assert "fig.dat" in text
+
+
+class TestReports:
+    def test_simulation_report(self, sim_result):
+        text = simulation_report(sim_result, title="T1 original")
+        assert "T1 original" in text
+        assert "demand accesses" in text
+
+    def test_comparison_report_includes_delta(self):
+        cfg = CacheConfig.paper_direct_mapped()
+        trace = trace_program(paper_kernel("1a", length=64))
+        result = transform_trace(trace, rule_t1(64))
+        before = simulate(trace, cfg)
+        after = simulate(result.trace, cfg)
+        diff = diff_traces(result.original, result.trace)
+        text = comparison_report(
+            before, after, transform=result, diff=diff
+        )
+        assert "miss delta" in text
+        assert "transformed" in text
+        assert "trace diff" in text

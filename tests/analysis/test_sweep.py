@@ -1,0 +1,90 @@
+"""Tests for the parallel configuration sweep."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    SweepPoint,
+    associativity_sweep,
+    sweep_configs,
+    sweep_table,
+)
+from repro.cache.config import CacheConfig
+
+
+class TestAssociativitySweepHelper:
+    def test_doubles_up_to_max(self):
+        configs = associativity_sweep(4096, 32, max_ways=16)
+        assert [c.ways for c in configs] == [1, 2, 4, 8, 16]
+
+    def test_capped_by_block_count(self):
+        configs = associativity_sweep(128, 32, max_ways=64)
+        assert [c.ways for c in configs] == [1, 2, 4]
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.tracer.interp import trace_program
+        from repro.workloads.paper_kernels import paper_kernel
+
+        return trace_program(paper_kernel("1a", length=128))
+
+    def test_serial_sweep(self, trace):
+        configs = associativity_sweep(2048, 32, max_ways=4)
+        points = sweep_configs(trace, configs, workers=0)
+        assert len(points) == 3
+        assert all(isinstance(p, SweepPoint) for p in points)
+        assert all(p.accesses == points[0].accesses for p in points)
+
+    def test_parallel_matches_serial(self, trace):
+        configs = associativity_sweep(2048, 32, max_ways=8)
+        serial = sweep_configs(trace, configs, workers=0)
+        parallel = sweep_configs(trace, configs, workers=2)
+        assert serial == parallel
+
+    def test_monotone_misses_for_fully_assoc_growth(self, trace):
+        """Growing a fully associative LRU cache never increases misses
+        — the stack property, observed through the sweep API."""
+        configs = [
+            CacheConfig(size=s, block_size=32, associativity=0)
+            for s in (512, 1024, 2048, 4096)
+        ]
+        points = sweep_configs(trace, configs, workers=0)
+        misses = [p.misses for p in points]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_variable_misses_lookup(self, trace):
+        configs = associativity_sweep(2048, 32, max_ways=1)
+        (point,) = sweep_configs(trace, configs, workers=0)
+        assert point.variable_misses("lSoA") > 0
+        assert point.variable_misses("ghost") == 0
+
+    def test_table_rendering(self, trace):
+        configs = associativity_sweep(2048, 32, max_ways=2)
+        table = sweep_table(sweep_configs(trace, configs, workers=0))
+        assert "ratio" in table
+        assert table.count("\n") == 2
+
+
+class TestGzipTraces:
+    def test_gz_round_trip(self, tmp_path):
+        from repro.tracer.interp import trace_program
+        from repro.trace.stream import Trace
+        from repro.workloads.paper_kernels import paper_kernel
+
+        trace = trace_program(paper_kernel("1a", length=16))
+        path = tmp_path / "t.out.gz"
+        trace.save(path)
+        assert Trace.load(path) == trace
+        # It is actually compressed (gzip magic).
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_gz_streaming(self, tmp_path):
+        from repro.trace.format import iter_trace_lines
+        from repro.tracer.interp import trace_program
+        from repro.workloads.paper_kernels import paper_kernel
+
+        trace = trace_program(paper_kernel("1a", length=8))
+        path = tmp_path / "t.out.gz"
+        trace.save(path)
+        assert list(iter_trace_lines(path)) == list(trace)

@@ -1,0 +1,160 @@
+"""Unit tests for the set-associative cache core."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import AllocatePolicy, CacheConfig, WritePolicy
+
+
+def tiny(assoc=1, policy="lru", **kw):
+    """4 blocks of 16 bytes (64-byte cache) for hand-computable tests."""
+    return SetAssociativeCache(
+        CacheConfig(size=64, block_size=16, associativity=assoc, policy=policy, **kw)
+    )
+
+
+class TestDirectMapped:
+    def test_cold_miss_then_hit(self):
+        c = tiny()
+        assert not c.access(0x00, 4, False).hit
+        assert c.access(0x04, 4, False).hit  # same block
+        assert c.access(0x0F, 1, False).hit
+
+    def test_conflict_eviction(self):
+        c = tiny()  # 4 sets
+        c.access(0x00, 4, False, owner="a")
+        out = c.access(0x40, 4, False, owner="b")  # same set 0
+        ev = out.events[0]
+        assert not ev.hit and ev.evicted
+        assert ev.victim_owner == "a"
+        assert ev.victim_block == 0x00
+        assert not c.contains(0x00)
+        assert c.contains(0x40)
+
+    def test_straddling_access_touches_two_blocks(self):
+        c = tiny()
+        out = c.access(0x0C, 8, False)  # bytes 12..19 span blocks 0 and 1
+        assert len(out.events) == 2
+        assert out.misses == 2
+        assert c.access(0x10, 4, False).hit
+
+    def test_different_sets_no_conflict(self):
+        c = tiny()
+        c.access(0x00, 4, False)
+        c.access(0x10, 4, False)
+        assert c.contains(0x00) and c.contains(0x10)
+
+
+class TestWritePolicies:
+    def test_write_back_dirty_eviction(self):
+        c = tiny()
+        c.access(0x00, 4, True, owner="a")  # dirty fill
+        ev = c.access(0x40, 4, False).events[0]
+        assert ev.evicted and ev.writeback
+
+    def test_clean_eviction_no_writeback(self):
+        c = tiny()
+        c.access(0x00, 4, False)
+        ev = c.access(0x40, 4, False).events[0]
+        assert ev.evicted and not ev.writeback
+
+    def test_write_through_never_dirty(self):
+        c = SetAssociativeCache(
+            CacheConfig(
+                size=64,
+                block_size=16,
+                associativity=1,
+                write_policy=WritePolicy.WRITE_THROUGH,
+            )
+        )
+        c.access(0x00, 4, True)
+        ev = c.access(0x40, 4, False).events[0]
+        assert not ev.writeback
+
+    def test_no_write_allocate_skips_fill(self):
+        c = SetAssociativeCache(
+            CacheConfig(
+                size=64,
+                block_size=16,
+                associativity=1,
+                allocate_policy=AllocatePolicy.NO_WRITE_ALLOCATE,
+            )
+        )
+        out = c.access(0x00, 4, True)
+        assert not out.hit
+        assert not out.events[0].filled
+        assert not c.contains(0x00)
+        # reads still allocate
+        c.access(0x00, 4, False)
+        assert c.contains(0x00)
+
+
+class TestAssociativity:
+    def test_two_way_holds_two_conflicting_blocks(self):
+        c = tiny(assoc=2)  # 2 sets
+        c.access(0x00, 4, False)
+        c.access(0x40, 4, False)  # same set, second way
+        assert c.contains(0x00) and c.contains(0x40)
+        # third conflicting block evicts LRU (0x00)
+        c.access(0x80, 4, False)
+        assert not c.contains(0x00)
+        assert c.contains(0x40) and c.contains(0x80)
+
+    def test_lru_order_respected(self):
+        c = tiny(assoc=2)
+        c.access(0x00, 4, False)
+        c.access(0x40, 4, False)
+        c.access(0x00, 4, False)  # touch 0x00 -> LRU is 0x40
+        c.access(0x80, 4, False)
+        assert c.contains(0x00) and not c.contains(0x40)
+
+    def test_fully_associative_capacity(self):
+        c = SetAssociativeCache(
+            CacheConfig(size=64, block_size=16, associativity=0)
+        )
+        for i in range(4):
+            c.access(i * 16, 4, False)
+        assert all(c.contains(i * 16) for i in range(4))
+        c.access(4 * 16, 4, False)
+        assert not c.contains(0)  # LRU evicted
+
+    def test_round_robin_eviction_order(self):
+        c = SetAssociativeCache(
+            CacheConfig(size=64, block_size=16, associativity=4, policy="round-robin")
+        )
+        for i in range(4):
+            c.access(i * 16, 4, False)
+        c.access(4 * 16, 4, False)  # evicts way 0 (block 0)
+        assert not c.contains(0)
+        c.access(5 * 16, 4, False)  # evicts way 1 (block 16)
+        assert not c.contains(16)
+        assert c.contains(32) and c.contains(48)
+
+
+class TestMaintenance:
+    def test_flush(self):
+        c = tiny()
+        c.access(0x00, 4, True)
+        c.access(0x10, 4, False)
+        dirty = c.flush()
+        assert dirty == 1
+        assert not c.contains(0x00) and not c.contains(0x10)
+
+    def test_resident_blocks(self):
+        c = tiny()
+        c.access(0x00, 4, False)
+        c.access(0x30, 4, False)
+        assert c.resident_blocks() == (0x00, 0x30)
+
+    def test_set_occupancy(self):
+        c = tiny(assoc=2)
+        assert c.set_occupancy(0) == 0
+        c.access(0x00, 4, False)
+        c.access(0x40, 4, False)
+        assert c.set_occupancy(0) == 2
+
+    def test_is_compulsory_tracking(self):
+        c = tiny()
+        assert c.is_compulsory(0)
+        c.access(0x00, 4, False)
+        assert not c.is_compulsory(0)

@@ -1,0 +1,107 @@
+"""Property-based invariants of the cache simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.trace.record import AccessType, TraceRecord
+
+_geometries = st.sampled_from(
+    [
+        (128, 16, 1, "lru"),
+        (256, 32, 2, "lru"),
+        (256, 32, 4, "fifo"),
+        (512, 32, 8, "round-robin"),
+        (256, 32, 0, "lru"),
+        (256, 32, 2, "plru"),
+    ]
+)
+
+_streams = st.lists(
+    st.tuples(
+        st.integers(0, 2047),
+        st.booleans(),
+    ),
+    max_size=200,
+)
+
+
+def _records(stream):
+    return [
+        TraceRecord(
+            AccessType.STORE if w else AccessType.LOAD, a, 1, "f"
+        )
+        for a, w in stream
+    ]
+
+
+class TestInvariants:
+    @given(_geometries, _streams)
+    @settings(max_examples=80, deadline=None)
+    def test_accounting_identities(self, geometry, stream):
+        size, block, assoc, policy = geometry
+        cfg = CacheConfig(size=size, block_size=block, associativity=assoc, policy=policy)
+        stats = simulate(_records(stream), cfg).stats
+        assert stats.hits + stats.misses == stats.accesses == len(stream)
+        assert stats.block_hits + stats.block_misses == len(stream)
+        assert int(stats.per_set.hits.sum()) == stats.block_hits
+        assert int(stats.per_set.misses.sum()) == stats.block_misses
+        assert stats.compulsory_misses <= stats.block_misses
+        assert stats.evictions <= stats.block_misses
+        assert stats.writebacks <= stats.evictions
+
+    @given(_geometries, _streams)
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_ways(self, geometry, stream):
+        size, block, assoc, policy = geometry
+        cfg = CacheConfig(size=size, block_size=block, associativity=assoc, policy=policy)
+        cache = SetAssociativeCache(cfg)
+        for a, w in stream:
+            cache.access(a, 1, w)
+        for s in range(cfg.n_sets):
+            assert cache.set_occupancy(s) <= cfg.ways
+        assert len(cache.resident_blocks()) <= cfg.n_blocks
+
+    @given(_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_bigger_lru_cache_never_misses_more(self, stream):
+        """LRU inclusion: doubling a fully-associative LRU cache cannot
+        increase misses (the classic stack property)."""
+        small = CacheConfig(size=128, block_size=16, associativity=0)
+        big = CacheConfig(size=256, block_size=16, associativity=0)
+        records = _records(stream)
+        misses_small = simulate(records, small).stats.block_misses
+        misses_big = simulate(records, big).stats.block_misses
+        assert misses_big <= misses_small
+
+    @given(_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_repeat_trace_on_warm_cache_all_hits_if_fits(self, stream):
+        """A footprint that fits entirely re-runs with zero misses."""
+        cfg = CacheConfig(size=4096, block_size=16, associativity=0)
+        records = _records(stream)
+        from repro.cache.simulator import CacheSimulator
+
+        sim = CacheSimulator(cfg)
+        sim.feed(records)
+        first = sim.result().stats.block_misses
+        sim.feed(records)
+        assert sim.result().stats.block_misses == first
+
+    @given(_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_reuse_distance_predicts_fully_assoc_lru(self, stream):
+        """Cross-validation: the trace-level reuse-distance analysis
+        predicts exactly the hits of a fully associative LRU cache."""
+        from repro.trace.stats import reuse_distances
+
+        cfg = CacheConfig(size=256, block_size=16, associativity=0)
+        capacity = cfg.n_blocks
+        records = _records(stream)
+        distances = reuse_distances(records, block_size=cfg.block_size)
+        predicted_hits = sum(1 for d in distances if 0 <= d < capacity)
+        stats = simulate(records, cfg).stats
+        assert stats.block_hits == predicted_hits

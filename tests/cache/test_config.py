@@ -1,0 +1,66 @@
+"""Unit tests for cache configuration."""
+
+import pytest
+
+from repro.errors import CacheConfigError
+from repro.cache.config import AllocatePolicy, CacheConfig, WritePolicy
+
+
+class TestGeometry:
+    def test_paper_direct_mapped(self):
+        cfg = CacheConfig.paper_direct_mapped()
+        assert cfg.size == 32768
+        assert cfg.block_size == 32
+        assert cfg.n_sets == 1024
+        assert cfg.ways == 1
+        assert cfg.offset_bits == 5
+        assert cfg.index_bits == 10
+
+    def test_ppc440_preset(self):
+        cfg = CacheConfig.ppc440()
+        assert cfg.ways == 64
+        assert cfg.n_sets == 16
+        assert cfg.policy == "round-robin"
+        # The paper: 64 ways x 32 bytes = 2048 bytes per set.
+        assert cfg.ways * cfg.block_size == 2048
+
+    def test_fully_associative(self):
+        cfg = CacheConfig(size=1024, block_size=64, associativity=0)
+        assert cfg.n_sets == 1
+        assert cfg.ways == 16
+
+    def test_address_decomposition(self):
+        cfg = CacheConfig(size=1024, block_size=32, associativity=2)
+        # 16 sets
+        addr = (5 << 9) | (3 << 5) | 7
+        assert cfg.block_of(addr) == addr >> 5
+        assert cfg.set_of(addr) == 3
+        assert cfg.tag_of(addr) == 5
+
+    def test_set_of_wraps(self):
+        cfg = CacheConfig(size=1024, block_size=32, associativity=1)
+        assert cfg.set_of(1024 + 32) == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size=1000, block_size=32),
+            dict(size=1024, block_size=33),
+            dict(size=1024, block_size=32, associativity=3),
+            dict(size=1024, block_size=32, associativity=-1),
+            dict(size=1024, block_size=32, associativity=64),
+            dict(size=32, block_size=64),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(**kwargs)
+
+    def test_describe(self):
+        text = CacheConfig.paper_direct_mapped().describe()
+        assert "32768" in text and "1-way" in text
+
+    def test_default_policies(self):
+        cfg = CacheConfig(size=1024, block_size=32)
+        assert cfg.write_policy is WritePolicy.WRITE_BACK
+        assert cfg.allocate_policy is AllocatePolicy.WRITE_ALLOCATE

@@ -1,0 +1,54 @@
+"""Unit tests for the conflict (eviction attribution) matrix."""
+
+from repro.cache.conflict import UNKNOWN, ConflictMatrix
+
+
+class TestConflictMatrix:
+    def test_record_and_totals(self):
+        m = ConflictMatrix()
+        m.record("a", "b")
+        m.record("a", "b")
+        m.record("b", "a")
+        m.record("a", "a")
+        assert m.total_evictions == 4
+        assert m.counts[("a", "b")] == 2
+
+    def test_victim_evictor_queries(self):
+        m = ConflictMatrix()
+        m.record("a", "b")
+        m.record("a", "c")
+        m.record("c", "a")
+        assert m.evictions_of("a") == 2
+        assert m.evictions_by("a") == 1
+        assert m.victims() == ("a", "c")
+        assert m.evictors() == ("a", "b", "c")
+
+    def test_self_vs_cross_conflicts(self):
+        m = ConflictMatrix()
+        m.record("a", "a")
+        m.record("a", "b")
+        assert m.self_conflicts("a") == 1
+        assert m.cross_conflicts() == {("a", "b"): 1}
+
+    def test_unknown_label(self):
+        m = ConflictMatrix()
+        m.record(None, "b")
+        m.record("a", None)
+        assert m.counts[(UNKNOWN, "b")] == 1
+        assert m.counts[("a", UNKNOWN)] == 1
+
+    def test_top_pairs(self):
+        m = ConflictMatrix()
+        for _ in range(3):
+            m.record("x", "y")
+        m.record("y", "x")
+        assert m.top_pairs(1) == ((("x", "y"), 3),)
+
+    def test_render_empty(self):
+        assert "no evictions" in ConflictMatrix().render()
+
+    def test_render_table(self):
+        m = ConflictMatrix()
+        m.record("a", "b")
+        text = m.render()
+        assert "a" in text and "b" in text

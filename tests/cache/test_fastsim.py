@@ -1,0 +1,89 @@
+"""Cross-validation of the vectorized direct-mapped fast path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CacheConfigError
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import fast_direct_mapped_counts, fast_per_variable_counts
+from repro.cache.simulator import simulate
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import AccessType, TraceRecord
+
+
+def reference_counts(addrs, cfg):
+    records = [TraceRecord(AccessType.LOAD, int(a), 1, "f") for a in addrs]
+    stats = simulate(records, cfg).stats
+    return stats.block_hits, stats.block_misses, stats.compulsory_misses, stats.per_set
+
+
+def small_cfg():
+    return CacheConfig(size=512, block_size=32, associativity=1)
+
+
+class TestEquivalence:
+    def test_simple_stream(self):
+        addrs = np.array([0, 4, 32, 0, 512, 0], dtype=np.uint64)
+        cfg = small_cfg()
+        fast = fast_direct_mapped_counts(addrs, cfg)
+        h, m, comp, per_set = reference_counts(addrs, cfg)
+        assert (fast.hits, fast.misses, fast.compulsory_misses) == (h, m, comp)
+        assert np.array_equal(fast.per_set.hits, per_set.hits)
+        assert np.array_equal(fast.per_set.misses, per_set.misses)
+
+    @given(
+        st.lists(st.integers(0, 4095), min_size=0, max_size=300),
+        st.sampled_from([(256, 32), (512, 32), (1024, 64), (128, 16)]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_streams_match_reference(self, addr_list, geometry):
+        size, block = geometry
+        cfg = CacheConfig(size=size, block_size=block, associativity=1)
+        addrs = np.array(addr_list, dtype=np.uint64)
+        fast = fast_direct_mapped_counts(addrs, cfg)
+        h, m, comp, per_set = reference_counts(addrs, cfg)
+        assert fast.hits == h
+        assert fast.misses == m
+        assert fast.compulsory_misses == comp
+        assert np.array_equal(fast.per_set.hits, per_set.hits)
+        assert np.array_equal(fast.per_set.misses, per_set.misses)
+
+    def test_kernel_trace_matches_reference(self, trace_1a_16, paper_cache):
+        data = trace_1a_16.data_accesses()
+        addrs = data.addresses()
+        sizes = data.sizes()
+        fast = fast_direct_mapped_counts(addrs, paper_cache, sizes)
+        stats = simulate(trace_1a_16, paper_cache).stats
+        assert fast.hits == stats.block_hits
+        assert fast.misses == stats.block_misses
+
+    def test_straddling_accesses_expand(self):
+        cfg = small_cfg()
+        addrs = np.array([30], dtype=np.uint64)  # bytes 30..37 span 2 blocks
+        sizes = np.array([8], dtype=np.uint32)
+        fast = fast_direct_mapped_counts(addrs, cfg, sizes)
+        assert fast.accesses == 2
+
+    def test_rejects_associative_configs(self):
+        cfg = CacheConfig(size=512, block_size=32, associativity=2)
+        with pytest.raises(CacheConfigError):
+            fast_direct_mapped_counts(np.array([0], dtype=np.uint64), cfg)
+
+    def test_empty(self):
+        fast = fast_direct_mapped_counts(np.array([], dtype=np.uint64), small_cfg())
+        assert fast.accesses == 0
+        assert fast.miss_ratio == 0.0
+
+
+class TestPerVariable:
+    def test_totals_partition(self):
+        cfg = small_cfg()
+        addrs = np.array([0, 0, 512, 512, 0], dtype=np.uint64)
+        ids = np.array([1, 1, 2, 2, 1], dtype=np.int64)
+        counts, per_var = fast_per_variable_counts(addrs, ids, cfg)
+        total = sum(h + m for h, m in per_var.values())
+        assert total == counts.accesses
+        h1, m1 = per_var[1]
+        assert (h1, m1) == (1, 2)  # 0 miss, 0 hit, 0 miss again after evict

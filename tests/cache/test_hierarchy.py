@@ -1,0 +1,105 @@
+"""Unit tests for multi-level cache simulation."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, WritePolicy
+from repro.cache.hierarchy import CacheHierarchy, simulate_hierarchy
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import AccessType, TraceRecord
+
+
+def _rec(op, addr, size=4, var=None):
+    return TraceRecord(
+        op, addr, size, "main",
+        scope="LS" if var else None,
+        frame=0 if var else None,
+        thread=1 if var else None,
+        var=VariablePath.parse(var) if var else None,
+    )
+
+
+def two_level():
+    return [
+        CacheConfig(size=128, block_size=32, associativity=1, name="L1"),
+        CacheConfig(size=1024, block_size=32, associativity=4, name="L2"),
+    ]
+
+
+class TestPropagation:
+    def test_l1_miss_reaches_l2(self):
+        result = simulate_hierarchy([_rec(AccessType.LOAD, 0x00)], two_level())
+        assert result.level("L1").stats.misses == 1
+        assert result.level("L2").stats.accesses == 1
+        assert result.level("L2").stats.misses == 1
+
+    def test_l1_hit_shields_l2(self):
+        records = [_rec(AccessType.LOAD, 0x00), _rec(AccessType.LOAD, 0x04)]
+        result = simulate_hierarchy(records, two_level())
+        assert result.level("L1").stats.hits == 1
+        assert result.level("L2").stats.accesses == 1
+
+    def test_l2_absorbs_l1_conflicts(self):
+        """Blocks that conflict in a small L1 can coexist in L2."""
+        records = [
+            _rec(AccessType.LOAD, 0x00),
+            _rec(AccessType.LOAD, 0x80),  # L1 conflict (4 sets of 32B)
+            _rec(AccessType.LOAD, 0x00),
+            _rec(AccessType.LOAD, 0x80),
+        ]
+        result = simulate_hierarchy(records, two_level())
+        assert result.level("L1").stats.misses == 4
+        # L2 misses only the two cold blocks, then hits.
+        assert result.level("L2").stats.misses == 2
+        assert result.level("L2").stats.hits == 2
+
+    def test_dirty_eviction_writes_downstream(self):
+        records = [
+            _rec(AccessType.STORE, 0x00),
+            _rec(AccessType.LOAD, 0x80),  # evicts dirty block 0
+        ]
+        result = simulate_hierarchy(records, two_level())
+        l2 = result.level("L2").stats
+        assert l2.writes == 1  # the write-back
+        assert result.level("L1").stats.writebacks == 1
+
+    def test_write_through_forwards_every_write(self):
+        configs = [
+            CacheConfig(
+                size=128,
+                block_size=32,
+                associativity=1,
+                name="L1",
+                write_policy=WritePolicy.WRITE_THROUGH,
+            ),
+            CacheConfig(size=1024, block_size=32, associativity=4, name="L2"),
+        ]
+        records = [_rec(AccessType.STORE, 0x00), _rec(AccessType.STORE, 0x00)]
+        result = simulate_hierarchy(records, configs)
+        assert result.level("L2").stats.writes == 2
+
+    def test_per_variable_attribution_at_l2(self):
+        records = [_rec(AccessType.LOAD, 0x00, var="a[0]")]
+        result = simulate_hierarchy(records, two_level())
+        assert "a" in result.level("L2").stats.by_variable
+
+    def test_level_lookup_error(self):
+        result = simulate_hierarchy([], two_level())
+        with pytest.raises(KeyError):
+            result.level("L3")
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_summary_mentions_all_levels(self):
+        text = simulate_hierarchy([_rec(AccessType.LOAD, 0)], two_level()).summary()
+        assert "L1" in text and "L2" in text
+
+    def test_single_level_matches_flat_simulator(self, trace_1a_16, paper_cache):
+        from repro.cache.simulator import simulate
+
+        flat = simulate(trace_1a_16, paper_cache).stats
+        hier = simulate_hierarchy(trace_1a_16, [paper_cache]).levels[0].stats
+        assert flat.hits == hier.hits
+        assert flat.misses == hier.misses
+        assert flat.block_misses == hier.block_misses

@@ -1,0 +1,119 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.errors import CacheConfigError
+from repro.cache.policies import (
+    FIFOPolicy,
+    LRUPolicy,
+    PLRUTreePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        p = LRUPolicy()
+        s = p.new_set(4)
+        for way in range(4):
+            p.on_fill(s, way)
+        p.on_hit(s, 0)  # 0 becomes most recent
+        assert p.victim(s, 4) == 1
+
+    def test_fill_promotes(self):
+        p = LRUPolicy()
+        s = p.new_set(2)
+        p.on_fill(s, 0)
+        p.on_fill(s, 1)
+        p.on_fill(s, 0)  # refill promotes 0
+        assert p.victim(s, 2) == 1
+
+
+class TestFIFO:
+    def test_hits_do_not_promote(self):
+        p = FIFOPolicy()
+        s = p.new_set(2)
+        p.on_fill(s, 0)
+        p.on_fill(s, 1)
+        p.on_hit(s, 0)
+        assert p.victim(s, 2) == 0
+
+
+class TestRoundRobin:
+    def test_pointer_advances_per_replacement(self):
+        p = RoundRobinPolicy()
+        s = p.new_set(4)
+        assert [p.victim(s, 4) for _ in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_hits_do_not_move_pointer(self):
+        p = RoundRobinPolicy()
+        s = p.new_set(4)
+        p.on_hit(s, 3)
+        assert p.victim(s, 4) == 0
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        sa, sb = a.new_set(8), b.new_set(8)
+        assert [a.victim(sa, 8) for _ in range(20)] == [
+            b.victim(sb, 8) for _ in range(20)
+        ]
+
+    def test_victims_in_range(self):
+        p = RandomPolicy(seed=1)
+        s = p.new_set(4)
+        assert all(0 <= p.victim(s, 4) < 4 for _ in range(50))
+
+
+class TestPLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(CacheConfigError):
+            PLRUTreePolicy().new_set(3)
+
+    def test_victim_avoids_recently_touched(self):
+        p = PLRUTreePolicy()
+        s = p.new_set(4)
+        for way in range(4):
+            p.on_fill(s, way)
+        p.on_hit(s, 2)
+        assert p.victim(s, 4) != 2
+
+    def test_single_way(self):
+        p = PLRUTreePolicy()
+        s = p.new_set(1)
+        assert p.victim(s, 1) == 0
+
+    def test_covers_all_ways_over_time(self):
+        p = PLRUTreePolicy()
+        s = p.new_set(8)
+        victims = set()
+        for _ in range(64):
+            v = p.victim(s, 8)
+            victims.add(v)
+            p.on_fill(s, v)
+        assert victims == set(range(8))
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("lru", LRUPolicy),
+            ("fifo", FIFOPolicy),
+            ("round-robin", RoundRobinPolicy),
+            ("rr", RoundRobinPolicy),
+            ("random", RandomPolicy),
+            ("plru", PLRUTreePolicy),
+            ("LRU", LRUPolicy),
+        ],
+    )
+    def test_make(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(CacheConfigError):
+            make_policy("belady")

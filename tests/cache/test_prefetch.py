@@ -1,0 +1,108 @@
+"""Tests for the sequential prefetcher."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.prefetch import (
+    PrefetchPolicy,
+    PrefetchingSimulator,
+    simulate_with_prefetch,
+)
+from repro.cache.simulator import simulate
+from repro.trace.record import AccessType, TraceRecord
+
+
+def _rec(addr, op=AccessType.LOAD):
+    return TraceRecord(op, addr, 4, "main")
+
+
+def cfg():
+    return CacheConfig(size=1024, block_size=32, associativity=2)
+
+
+def stream(n_blocks):
+    """One access per block, sequential — the prefetcher's best case."""
+    return [_rec(i * 32) for i in range(n_blocks)]
+
+
+class TestPolicies:
+    def test_demand_policy_matches_plain_simulator(self):
+        records = stream(16)
+        plain = simulate(records, cfg()).stats
+        result = simulate_with_prefetch(records, cfg(), PrefetchPolicy.DEMAND)
+        assert result.stats.misses == plain.misses
+        assert result.prefetches == 0
+
+    def test_miss_prefetch_halves_sequential_misses(self):
+        records = stream(16)
+        result = simulate_with_prefetch(records, cfg(), PrefetchPolicy.MISS)
+        # miss -> prefetch next -> hit -> miss -> ... : every other block.
+        assert result.stats.misses == 8
+        assert result.accuracy == pytest.approx(1.0)
+
+    def test_tagged_covers_whole_stream(self):
+        records = stream(16)
+        result = simulate_with_prefetch(records, cfg(), PrefetchPolicy.TAGGED)
+        # One cold miss, then the tagged chain keeps one block ahead.
+        assert result.stats.misses == 1
+        assert result.useful_prefetches == 15
+
+    def test_always_equals_tagged_on_pure_stream(self):
+        records = stream(16)
+        tagged = simulate_with_prefetch(records, cfg(), PrefetchPolicy.TAGGED)
+        always = simulate_with_prefetch(records, cfg(), PrefetchPolicy.ALWAYS)
+        assert always.stats.misses == tagged.stats.misses
+
+    def test_random_access_defeats_prefetch(self):
+        import random
+
+        rng = random.Random(3)
+        records = [_rec(rng.randrange(0, 256) * 32) for _ in range(200)]
+        result = simulate_with_prefetch(records, cfg(), PrefetchPolicy.TAGGED)
+        assert result.accuracy < 0.5
+
+    def test_no_duplicate_prefetch_of_resident_block(self):
+        records = [_rec(0), _rec(32), _rec(0), _rec(32)]
+        result = simulate_with_prefetch(records, cfg(), PrefetchPolicy.ALWAYS)
+        # block1 prefetched once (after first access), block2 once, block
+        # 1/2 already resident afterwards.
+        assert result.prefetches <= 3
+
+    def test_summary(self):
+        result = simulate_with_prefetch(stream(4), cfg())
+        assert "prefetch" in result.summary()
+
+
+class TestLayoutInteraction:
+    def test_aos_stream_prefetches_better_than_soa_pair(self):
+        """The design-space observation: one sequential stream (AoS) is
+        covered by tagged prefetch; two interleaved streams (SoA) still
+        work (both are sequential) but need twice the cold start and keep
+        two tags alive — accuracy stays high in both, miss counts equal,
+        confirming prefetch does NOT substitute for T1's conflict-miss
+        removal (different miss class entirely)."""
+        from repro.tracer.interp import trace_program
+        from repro.transform.engine import transform_trace
+        from repro.transform.paper_rules import rule_t1
+        from repro.workloads.paper_kernels import paper_kernel
+
+        big = CacheConfig(size=32 * 1024, block_size=32, associativity=1)
+        trace = trace_program(paper_kernel("1a", length=512))
+        aos = transform_trace(trace, rule_t1(512)).trace
+        soa_result = simulate_with_prefetch(trace, big, PrefetchPolicy.TAGGED)
+        aos_result = simulate_with_prefetch(aos, big, PrefetchPolicy.TAGGED)
+        plain_soa = simulate(trace, big).stats.misses
+        # Prefetching removes most cold misses for both layouts...
+        assert soa_result.stats.misses < plain_soa / 3
+        # ...and the single-stream AoS needs no more misses than SoA.
+        assert aos_result.stats.misses <= soa_result.stats.misses
+
+    def test_prefetch_does_not_fix_conflict_misses(self):
+        """Next-line prefetch cannot recover the SoA alias ping-pong the
+        way T1 or a victim cache can: the conflicting block is the one
+        just evicted, not the next sequential one."""
+        small = CacheConfig(size=128, block_size=32, associativity=1)
+        pingpong = [_rec(a) for a in (0, 128, 0, 128, 0, 128)]
+        plain = simulate(pingpong, small).stats.misses
+        pf = simulate_with_prefetch(pingpong, small, PrefetchPolicy.TAGGED)
+        assert pf.stats.misses >= plain  # no help (may even pollute)

@@ -1,0 +1,130 @@
+"""Unit tests for the trace-driven simulator front-end."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import CacheSimulator, attribution_label, simulate
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace
+
+
+def _rec(op, addr, size=4, var=None, func="main"):
+    return TraceRecord(
+        op, addr, size, func,
+        scope="LS" if var else None,
+        frame=0 if var else None,
+        thread=1 if var else None,
+        var=VariablePath.parse(var) if var else None,
+    )
+
+
+def small_cfg():
+    return CacheConfig(size=256, block_size=32, associativity=1)
+
+
+class TestAccounting:
+    def test_hits_plus_misses_equals_accesses(self, trace_1a_16, paper_cache):
+        result = simulate(trace_1a_16, paper_cache)
+        s = result.stats
+        assert s.hits + s.misses == s.accesses
+        assert s.accesses == len(trace_1a_16.data_accesses())
+
+    def test_per_set_sums_match_block_totals(self, trace_1a_16, paper_cache):
+        s = simulate(trace_1a_16, paper_cache).stats
+        assert int(s.per_set.hits.sum()) == s.block_hits
+        assert int(s.per_set.misses.sum()) == s.block_misses
+
+    def test_per_variable_sums_bounded_by_totals(self, trace_1a_16, paper_cache):
+        s = simulate(trace_1a_16, paper_cache).stats
+        var_total = sum(c.accesses for c in s.by_variable.values())
+        assert var_total <= s.block_hits + s.block_misses
+
+    def test_modify_counts_once_as_write(self):
+        t = [_rec(AccessType.MODIFY, 0x00)]
+        s = simulate(t, small_cfg()).stats
+        assert s.writes == 1 and s.reads == 0
+        assert s.write_misses == 1
+
+    def test_misc_skipped(self):
+        t = [_rec(AccessType.MISC, 0x00), _rec(AccessType.LOAD, 0x00)]
+        s = simulate(t, small_cfg()).stats
+        assert s.accesses == 1
+
+    def test_compulsory_classification(self):
+        t = [
+            _rec(AccessType.LOAD, 0x00),       # compulsory
+            _rec(AccessType.LOAD, 0x100),      # compulsory, evicts 0x00
+            _rec(AccessType.LOAD, 0x00),       # conflict (seen before)
+        ]
+        s = simulate(t, small_cfg()).stats
+        assert s.block_misses == 3
+        assert s.compulsory_misses == 2
+        assert s.conflict_or_capacity_misses == 1
+
+    def test_eviction_and_conflict_matrix(self):
+        t = [
+            _rec(AccessType.LOAD, 0x00, var="a[0]"),
+            _rec(AccessType.LOAD, 0x100, var="b[0]"),
+        ]
+        result = simulate(t, small_cfg())
+        assert result.stats.evictions == 1
+        assert result.conflicts.counts[("a", "b")] == 1
+        assert result.conflicts.evictions_of("a") == 1
+        assert result.conflicts.evictions_by("b") == 1
+
+    def test_empty_trace(self):
+        s = simulate([], small_cfg()).stats
+        assert s.accesses == 0
+        assert s.miss_ratio == 0.0
+
+
+class TestAttribution:
+    def test_base_mode(self):
+        r = _rec(AccessType.LOAD, 0, var="lSoA.mX[3]")
+        assert attribution_label(r, "base") == "lSoA"
+
+    def test_member_mode(self):
+        r = _rec(AccessType.LOAD, 0, var="lSoA.mX[3]")
+        assert attribution_label(r, "member") == "lSoA.mX"
+        r2 = _rec(AccessType.LOAD, 0, var="lAoS[3].mX")
+        assert attribution_label(r2, "member") == "lAoS.mX"
+
+    def test_member_mode_bare(self):
+        r = _rec(AccessType.LOAD, 0, var="i")
+        assert attribution_label(r, "member") == "i"
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            attribution_label(_rec(AccessType.LOAD, 0, var="x"), "weird")
+
+    def test_member_attribution_splits_series(self, trace_1a_16, paper_cache):
+        result = simulate(trace_1a_16, paper_cache, attribution="member")
+        assert "lSoA.mX" in result.stats.per_var_set
+        assert "lSoA.mY" in result.stats.per_var_set
+
+    def test_unsymbolized_not_attributed(self):
+        t = [_rec(AccessType.LOAD, 0x00)]
+        s = simulate(t, small_cfg()).stats
+        assert s.by_variable == {}
+
+
+class TestIncrementalFeeding:
+    def test_feed_accumulates(self, trace_1a_16, paper_cache):
+        sim = CacheSimulator(paper_cache)
+        sim.feed(trace_1a_16)
+        once = sim.result().stats.accesses
+        sim.feed(trace_1a_16)
+        assert sim.result().stats.accesses == 2 * once
+
+    def test_warm_cache_second_pass_hits(self, trace_1a_16, paper_cache):
+        sim = CacheSimulator(paper_cache)
+        sim.feed(trace_1a_16)
+        first_misses = sim.result().stats.misses
+        sim.feed(trace_1a_16)
+        assert sim.result().stats.misses == first_misses  # all warm
+
+    def test_summary_text(self, trace_1a_16, paper_cache):
+        text = simulate(trace_1a_16, paper_cache).summary()
+        assert "demand accesses" in text
+        assert "per-variable" in text

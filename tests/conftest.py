@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.ctypes_model.types import (
+    ArrayType,
+    DOUBLE,
+    INT,
+    StructType,
+)
+from repro.tracer.interp import trace_program
+from repro.workloads.paper_kernels import paper_kernel
+
+
+@pytest.fixture
+def point_struct() -> StructType:
+    """struct Point { int x; double y; } — size 16, alignment 8."""
+    return StructType("Point", [("x", INT), ("y", DOUBLE)])
+
+
+@pytest.fixture
+def soa_struct() -> StructType:
+    """struct SoA { int mX[8]; double mY[8]; }."""
+    return StructType(
+        "SoA", [("mX", ArrayType(INT, 8)), ("mY", ArrayType(DOUBLE, 8))]
+    )
+
+
+@pytest.fixture
+def paper_cache() -> CacheConfig:
+    return CacheConfig.paper_direct_mapped()
+
+
+@pytest.fixture
+def ppc440_cache() -> CacheConfig:
+    return CacheConfig.ppc440()
+
+
+@pytest.fixture(scope="session")
+def trace_1a_16():
+    return trace_program(paper_kernel("1a", length=16))
+
+
+@pytest.fixture(scope="session")
+def trace_1b_16():
+    return trace_program(paper_kernel("1b", length=16))
+
+
+@pytest.fixture(scope="session")
+def trace_2a_16():
+    return trace_program(paper_kernel("2a", length=16))
+
+
+@pytest.fixture(scope="session")
+def trace_2b_16():
+    return trace_program(paper_kernel("2b", length=16))
+
+
+@pytest.fixture(scope="session")
+def trace_3a_64():
+    return trace_program(paper_kernel("3a", length=64))

@@ -1,0 +1,152 @@
+"""Unit tests for the C declaration parser."""
+
+import pytest
+
+from repro.errors import DeclarationSyntaxError
+from repro.ctypes_model.parser import parse_declaration, parse_declarations
+from repro.ctypes_model.types import ArrayType, PointerType, StructType, UnionType
+
+
+class TestPrimitiveDeclarations:
+    def test_simple_variable(self):
+        decl = parse_declaration("int x;")
+        assert decl.name == "x"
+        assert decl.ctype.size == 4
+
+    def test_multiword_type(self):
+        decl = parse_declaration("unsigned long counter;")
+        assert decl.ctype.size == 8
+
+    def test_array(self):
+        decl = parse_declaration("int a[16];")
+        assert isinstance(decl.ctype, ArrayType)
+        assert decl.ctype.length == 16
+
+    def test_multi_dim_array_row_major(self):
+        decl = parse_declaration("double m[2][3];")
+        assert decl.ctype.length == 2
+        assert decl.ctype.element.length == 3
+
+    def test_pointer(self):
+        decl = parse_declaration("int *p;")
+        assert isinstance(decl.ctype, PointerType)
+
+    def test_declarator_list(self):
+        decls = parse_declarations("int a, b[4];")
+        assert decls.variables["a"].size == 4
+        assert decls.variables["b"].size == 16
+
+
+class TestStructDeclarations:
+    def test_paper_listing5_in_rule(self):
+        decls = parse_declarations(
+            "struct lSoA { int mX[16]; double mY[16]; };"
+        )
+        s = decls.struct("lSoA")
+        assert s.size == 16 * 4 + 16 * 8
+        assert s.member("mY").offset == 64
+
+    def test_paper_listing5_out_rule_arrayed(self):
+        decls = parse_declarations("struct lAoS { int mX; double mY; }[16];")
+        v = decls.variable("lAoS")
+        assert isinstance(v, ArrayType)
+        assert v.length == 16
+        assert v.element.size == 16
+
+    def test_embedded_struct_by_tag(self):
+        """Listing 8's `struct mRarelyUsed;` member convention."""
+        decls = parse_declarations(
+            """
+            struct mRarelyUsed { double mY; int mZ; };
+            struct lS1 {
+                int mFrequentlyUsed;
+                struct mRarelyUsed;
+            }[16];
+            """
+        )
+        outer = decls.struct("lS1")
+        member = outer.member("mRarelyUsed")
+        assert isinstance(member.ctype, StructType)
+        assert member.offset == 8
+        assert outer.size == 24
+        assert decls.variable("lS1").length == 16
+
+    def test_struct_reference_by_tag(self):
+        decls = parse_declarations(
+            "struct P { int x; }; struct Q { struct P p; int y; };"
+        )
+        q = decls.struct("Q")
+        assert q.member("p").ctype is decls.struct("P")
+
+    def test_inline_anonymous_struct_member(self):
+        decls = parse_declarations(
+            "struct O { int a; struct { double y; int z; } inner; };"
+        )
+        inner = decls.struct("O").member("inner")
+        assert isinstance(inner.ctype, StructType)
+        assert inner.ctype.size == 16
+
+    def test_union(self):
+        decls = parse_declarations("union U { int i; double d; };")
+        assert isinstance(decls.struct("U"), UnionType)
+
+    def test_typedef_style_reference(self):
+        decls = parse_declarations(
+            "struct Pt { int x; }; Pt origin;"
+        )
+        assert decls.variables["origin"].size == 4
+
+    def test_paper_digit_identifiers_tolerated(self):
+        """OCR of the paper prints lSoA as 1SoA; the tokenizer accepts it."""
+        decls = parse_declarations("struct 1SoA { int mX[4]; };")
+        assert decls.struct("1SoA").size == 16
+
+    def test_comments_skipped(self):
+        decls = parse_declarations(
+            """
+            // a line comment
+            struct S { int a; /* inline */ double b; };
+            # hash comment
+            """
+        )
+        assert decls.struct("S").size == 16
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "int;",
+            "int x",  # missing semicolon
+            "struct { int a; };",  # anonymous bare struct member-less use
+            "struct X { };",
+            "int a[0];",
+            "bogus x;",
+            "struct Undeclared y;",
+            "int a[x];",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(DeclarationSyntaxError):
+            parse_declarations(bad)
+
+    def test_parse_declaration_requires_exactly_one(self):
+        with pytest.raises(DeclarationSyntaxError):
+            parse_declaration("int a; int b;")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_declarations("int a;\nint b\nint c;")
+        except DeclarationSyntaxError as exc:
+            assert "line" in str(exc)
+        else:
+            pytest.fail("expected syntax error")
+
+
+class TestRegistry:
+    def test_external_registry(self):
+        base = parse_declarations("struct P { int x; };")
+        decls = parse_declarations(
+            "struct Q { struct P p; };", registry=dict(base.structs)
+        )
+        assert decls.struct("Q").member("p").ctype.size == 4

@@ -1,0 +1,94 @@
+"""Unit tests for VariablePath parsing and manipulation."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.ctypes_model.path import Deref, Field, Index, VariablePath
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,base,elements",
+        [
+            ("glScalar", "glScalar", ()),
+            ("lcArray[0]", "lcArray", (Index(0),)),
+            ("lSoA.mX[3]", "lSoA", (Field("mX"), Index(3))),
+            ("lAoS[3].mX", "lAoS", (Index(3), Field("mX"))),
+            (
+                "glStructArray[0].myArray[1]",
+                "glStructArray",
+                (Index(0), Field("myArray"), Index(1)),
+            ),
+            ("p->next", "p", (Deref("next"),)),
+            ("lS1[2].mRarelyUsed.mZ", "lS1", (Index(2), Field("mRarelyUsed"), Field("mZ"))),
+            ("_zzq_args[5]", "_zzq_args", (Index(5),)),
+        ],
+    )
+    def test_parse(self, text, base, elements):
+        path = VariablePath.parse(text)
+        assert path.base == base
+        assert path.elements == elements
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "glScalar",
+            "lSoA.mX[3]",
+            "lAoS[15].mY",
+            "a[1][2][3]",
+            "p->next->next.val[7]",
+        ],
+    )
+    def test_round_trip(self, text):
+        assert str(VariablePath.parse(text)) == text
+
+    @pytest.mark.parametrize(
+        "bad", ["", "[3]", "a.", "a->", "a..b", "a[x]", "a[3", "3a b"]
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(PathError):
+            VariablePath.parse(bad)
+
+    def test_whitespace_stripped(self):
+        assert VariablePath.parse("  x[1] ").base == "x"
+
+
+class TestQueries:
+    def test_is_bare(self):
+        assert VariablePath.parse("x").is_bare
+        assert not VariablePath.parse("x[0]").is_bare
+
+    def test_leading_index(self):
+        assert VariablePath.parse("a[4].f").leading_index == 4
+        assert VariablePath.parse("a.f[4]").leading_index is None
+
+    def test_field_names(self):
+        p = VariablePath.parse("a[1].f.g[2]->h")
+        assert p.field_names() == ("f", "g", "h")
+
+    def test_indices(self):
+        p = VariablePath.parse("a[1].f[2][3]")
+        assert p.indices() == (1, 2, 3)
+
+
+class TestDerivation:
+    def test_child_and_extend(self):
+        p = VariablePath("a")
+        q = p.child(Index(1)).extend([Field("f")])
+        assert str(q) == "a[1].f"
+        assert str(p) == "a"  # immutable
+
+    def test_with_base(self):
+        p = VariablePath.parse("old[2].f")
+        assert str(p.with_base("new")) == "new[2].f"
+
+    def test_parent(self):
+        p = VariablePath.parse("a[1].f")
+        assert str(p.parent()) == "a[1]"
+        with pytest.raises(PathError):
+            VariablePath("a").parent()
+
+    def test_equality(self):
+        assert VariablePath.parse("a[1].f") == VariablePath(
+            "a", (Index(1), Field("f"))
+        )

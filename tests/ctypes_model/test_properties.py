@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for layout and path invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+_SETTINGS = settings(
+    max_examples=100, suppress_health_check=[HealthCheck.too_slow]
+)
+
+from repro.ctypes_model.path import Field, Index, VariablePath
+from repro.ctypes_model.types import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    StructType,
+)
+
+_PRIMS = st.sampled_from([CHAR, SHORT, INT, LONG, FLOAT, DOUBLE])
+
+_IDENT = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,8}", fullmatch=True)
+
+
+@st.composite
+def ctypes(draw, depth: int = 2):
+    """Random C types: primitives, arrays, structs (bounded depth)."""
+    if depth == 0:
+        return draw(_PRIMS)
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(_PRIMS)
+    if kind == 1:
+        return ArrayType(draw(ctypes(depth=depth - 1)), draw(st.integers(1, 5)))
+    n = draw(st.integers(1, 4))
+    names = draw(
+        st.lists(_IDENT, min_size=n, max_size=n, unique=True)
+    )
+    members = [(name, draw(ctypes(depth=depth - 1))) for name in names]
+    return StructType("S", members)
+
+
+class TestLayoutInvariants:
+    @given(ctypes())
+    @_SETTINGS
+    def test_size_multiple_of_alignment(self, ctype):
+        assert ctype.size % ctype.alignment == 0
+
+    @given(ctypes())
+    @_SETTINGS
+    def test_leaves_are_aligned_and_disjoint(self, ctype):
+        leaves = sorted(ctype.iter_leaves(), key=lambda t: t[1])
+        prev_end = 0
+        for elements, offset, leaf in leaves:
+            assert offset % leaf.alignment == 0
+            assert offset >= prev_end  # no overlap
+            assert offset + leaf.size <= ctype.size
+            prev_end = offset + leaf.size
+
+    @given(ctypes())
+    @_SETTINGS
+    def test_resolve_inverts_iter_leaves(self, ctype):
+        for elements, offset, leaf in ctype.iter_leaves():
+            r_offset, r_leaf = ctype.resolve(elements)
+            assert r_offset == offset
+            assert r_leaf is leaf
+
+    @given(ctypes())
+    @_SETTINGS
+    def test_path_at_round_trips_through_resolve(self, ctype):
+        for offset in range(0, ctype.size, max(ctype.size // 16, 1)):
+            elements = ctype.path_at(offset)
+            r_offset, leaf = ctype.resolve(elements)
+            # path_at returns the containing leaf; its extent covers offset
+            # unless offset fell into padding (empty path, offset 0).
+            if elements:
+                assert r_offset <= offset < r_offset + leaf.size
+
+    @given(ctypes(), st.integers(1, 8))
+    @_SETTINGS
+    def test_array_stride_equals_element_size(self, elem, length):
+        a = ArrayType(elem, length)
+        assert a.size == elem.size * length
+        off0, _ = a.resolve((Index(0),))
+        if length > 1:
+            off1, _ = a.resolve((Index(1),))
+            assert off1 - off0 == elem.size
+
+
+class TestPathProperties:
+    _paths = st.builds(
+        VariablePath,
+        _IDENT,
+        st.lists(
+            st.one_of(
+                st.builds(Index, st.integers(0, 999)),
+                st.builds(Field, _IDENT),
+            ),
+            max_size=6,
+        ).map(tuple),
+    )
+
+    @given(_paths)
+    @_SETTINGS
+    def test_parse_format_round_trip(self, path):
+        assert VariablePath.parse(str(path)) == path
+
+    @given(_paths, _IDENT)
+    def test_with_base_preserves_elements(self, path, base):
+        assert path.with_base(base).elements == path.elements

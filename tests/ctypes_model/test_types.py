@@ -1,0 +1,212 @@
+"""Unit tests for the C type system and ABI layout."""
+
+import pytest
+
+from repro.errors import LayoutError, PathError
+from repro.ctypes_model.path import Field, Index
+from repro.ctypes_model.types import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    POINTER_SIZE,
+    PointerType,
+    SHORT,
+    StructType,
+    UnionType,
+    primitive,
+)
+
+
+class TestPrimitives:
+    def test_sizes_match_sysv_abi(self):
+        assert CHAR.size == 1
+        assert SHORT.size == 2
+        assert INT.size == 4
+        assert LONG.size == 8
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_natural_alignment(self):
+        for t in (CHAR, SHORT, INT, LONG, FLOAT, DOUBLE):
+            assert t.alignment == t.size
+
+    def test_registry_aliases(self):
+        assert primitive("unsigned") is primitive("unsigned int")
+        assert primitive("size_t").size == 8
+        assert primitive("uint32_t").size == 4
+
+    def test_unknown_primitive(self):
+        with pytest.raises(LayoutError):
+            primitive("quadword")
+
+    def test_primitives_are_scalar(self):
+        assert INT.is_scalar
+        assert DOUBLE.is_scalar
+
+
+class TestPointer:
+    def test_pointer_is_8_bytes(self):
+        p = PointerType("Node")
+        assert p.size == POINTER_SIZE == 8
+        assert p.alignment == 8
+        assert p.is_scalar
+
+    def test_c_name(self):
+        assert PointerType("Node").c_name() == "Node *"
+
+
+class TestArray:
+    def test_size_and_stride(self):
+        a = ArrayType(INT, 10)
+        assert a.size == 40
+        assert a.stride == 4
+        assert a.alignment == 4
+        assert not a.is_scalar
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(LayoutError):
+            ArrayType(INT, 0)
+
+    def test_multi_dim(self):
+        m = ArrayType(ArrayType(DOUBLE, 3), 2)  # double[2][3]
+        assert m.size == 48
+        assert m.stride == 24
+
+    def test_resolve_index(self):
+        a = ArrayType(DOUBLE, 4)
+        offset, leaf = a.resolve((Index(2),))
+        assert offset == 16
+        assert leaf is DOUBLE
+
+    def test_resolve_out_of_bounds(self):
+        a = ArrayType(INT, 4)
+        with pytest.raises(PathError):
+            a.resolve((Index(4),))
+        with pytest.raises(PathError):
+            a.resolve((Index(-1),))
+
+    def test_resolve_wrong_element_kind(self):
+        with pytest.raises(PathError):
+            ArrayType(INT, 4).resolve((Field("x"),))
+
+    def test_path_at(self):
+        a = ArrayType(INT, 4)
+        assert a.path_at(9) == (Index(2),)
+
+    def test_path_at_outside(self):
+        with pytest.raises(PathError):
+            ArrayType(INT, 4).path_at(16)
+
+
+class TestStructLayout:
+    def test_padding_between_members(self, point_struct):
+        # int x at 0, double y aligned to 8.
+        assert point_struct.member("x").offset == 0
+        assert point_struct.member("y").offset == 8
+        assert point_struct.size == 16
+        assert point_struct.alignment == 8
+
+    def test_trailing_padding(self):
+        s = StructType("S", [("a", DOUBLE), ("b", CHAR)])
+        assert s.size == 16  # padded to alignment 8
+
+    def test_packed(self):
+        s = StructType("S", [("a", CHAR), ("b", DOUBLE)], packed=True)
+        assert s.member("b").offset == 1
+        assert s.size == 9
+        assert s.alignment == 1
+
+    def test_nested_struct_alignment(self):
+        inner = StructType("I", [("d", DOUBLE)])
+        outer = StructType("O", [("c", CHAR), ("i", inner)])
+        assert outer.member("i").offset == 8
+        assert outer.alignment == 8
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(LayoutError):
+            StructType("S", [("a", INT), ("a", INT)])
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(LayoutError):
+            StructType("S", [])
+
+    def test_member_lookup_missing(self, point_struct):
+        with pytest.raises(PathError):
+            point_struct.member("z")
+
+    def test_resolve_nested(self, soa_struct):
+        offset, leaf = soa_struct.resolve((Field("mY"), Index(3)))
+        assert offset == 32 + 24
+        assert leaf is DOUBLE
+
+    def test_path_at_inverse_of_resolve(self, soa_struct):
+        for elements, offset, leaf in soa_struct.iter_leaves():
+            assert soa_struct.path_at(offset) == elements
+
+    def test_path_at_padding_attributes_to_struct(self):
+        s = StructType("S", [("c", CHAR), ("d", DOUBLE)])
+        # offset 4 is in padding between c and d
+        assert s.path_at(4) == ()
+
+    def test_iter_leaves_count(self, soa_struct):
+        leaves = list(soa_struct.iter_leaves())
+        assert len(leaves) == 16
+        offsets = [off for _, off, _ in leaves]
+        assert offsets == sorted(offsets)
+
+    def test_equality_and_hash(self, point_struct):
+        other = StructType("Point", [("x", INT), ("y", DOUBLE)])
+        assert point_struct == other
+        assert hash(point_struct) == hash(other)
+        assert point_struct != StructType("Point", [("x", INT), ("y", FLOAT)])
+
+    def test_member_names_order(self, soa_struct):
+        assert soa_struct.member_names() == ("mX", "mY")
+
+
+class TestArrayOfStructs:
+    def test_aos_element_addressing(self, point_struct):
+        aos = ArrayType(point_struct, 16)
+        offset, leaf = aos.resolve((Index(3), Field("y")))
+        assert offset == 3 * 16 + 8
+        assert leaf is DOUBLE
+
+    def test_path_at_round_trip(self, point_struct):
+        aos = ArrayType(point_struct, 16)
+        assert aos.path_at(3 * 16 + 8) == (Index(3), Field("y"))
+
+
+class TestUnion:
+    def test_layout(self):
+        u = UnionType("U", [("i", INT), ("d", DOUBLE)])
+        assert u.size == 8
+        assert u.alignment == 8
+        assert u.member("i").offset == 0
+        assert u.member("d").offset == 0
+
+    def test_resolve(self):
+        u = UnionType("U", [("i", INT), ("d", DOUBLE)])
+        assert u.resolve((Field("d"),)) == (0, DOUBLE)
+
+    def test_path_at_prefers_first_covering_member(self):
+        u = UnionType("U", [("i", INT), ("d", DOUBLE)])
+        assert u.path_at(0) == (Field("i"),)
+        assert u.path_at(6) == (Field("d"),)
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(LayoutError):
+            UnionType("U", [])
+
+
+class TestScalarsRejectNavigation:
+    def test_step_into_primitive(self):
+        with pytest.raises(PathError):
+            INT.resolve((Field("x"),))
+
+    def test_path_at_scalar(self):
+        assert INT.path_at(2) == ()
+        with pytest.raises(PathError):
+            INT.path_at(4)

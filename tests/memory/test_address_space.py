@@ -1,0 +1,98 @@
+"""Unit tests for the combined address space."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.ctypes_model.types import ArrayType, DOUBLE, INT, StructType
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout_constants import GLOBAL_BASE
+from repro.memory.symbols import Segment
+
+
+class TestGlobals:
+    def test_layout_in_order(self):
+        space = AddressSpace()
+        a = space.declare_global("a", INT)
+        b = space.declare_global("b", DOUBLE)
+        assert a.base >= GLOBAL_BASE
+        assert b.base >= a.end
+        assert b.base % 8 == 0
+
+    def test_symbolize_global_struct(self, point_struct):
+        space = AddressSpace()
+        s = space.declare_global("gs", ArrayType(point_struct, 2))
+        resolved = space.symbolize(s.base + 16 + 8)
+        assert str(resolved.path) == "gs[1].y"
+        assert resolved.scope_code == "GS"
+
+
+class TestStackLifecycle:
+    def test_locals_retired_on_pop(self):
+        space = AddressSpace()
+        space.push_frame("main")
+        sym = space.declare_local("x", INT)
+        assert space.symbolize(sym.base) is not None
+        space.pop_frame()
+        assert space.symbolize(sym.base) is None
+
+    def test_pop_without_push(self):
+        with pytest.raises(MemoryModelError):
+            AddressSpace().pop_frame()
+
+    def test_frame_distance(self):
+        space = AddressSpace()
+        space.push_frame("main")
+        sym = space.declare_local("arr", ArrayType(INT, 4))
+        space.push_frame("foo")
+        assert space.frame_distance_of(sym) == 1
+        own = space.declare_local("i", INT)
+        assert space.frame_distance_of(own) == 0
+
+    def test_lookup_innermost(self):
+        space = AddressSpace()
+        space.push_frame("main")
+        outer = space.declare_local("i", INT)
+        space.push_frame("foo")
+        inner = space.declare_local("i", INT)
+        assert space.lookup("i") is inner
+        space.pop_frame()
+        assert space.lookup("i") is outer
+
+    def test_lookup_missing(self):
+        with pytest.raises(MemoryModelError):
+            AddressSpace().lookup("ghost")
+
+
+class TestHeapObjects:
+    def test_malloc_and_symbolize(self, point_struct):
+        space = AddressSpace()
+        sym = space.malloc_object("node", point_struct)
+        resolved = space.symbolize(sym.base + 8)
+        assert resolved.scope_code == "HS"
+        assert str(resolved.path) == "node.y"
+
+    def test_free_retires(self, point_struct):
+        space = AddressSpace()
+        sym = space.malloc_object("node", point_struct)
+        space.free_object(sym)
+        assert space.symbolize(sym.base) is None
+
+    def test_free_non_heap(self):
+        space = AddressSpace()
+        g = space.declare_global("g", INT)
+        with pytest.raises(MemoryModelError):
+            space.free_object(g)
+
+
+class TestSegmentsDisjoint:
+    def test_no_cross_segment_overlap(self, point_struct):
+        space = AddressSpace()
+        g = space.declare_global("g", ArrayType(INT, 1024))
+        space.push_frame("main")
+        l = space.declare_local("l", ArrayType(DOUBLE, 512))
+        h = space.malloc_object("h", ArrayType(point_struct, 64))
+        spans = sorted(
+            [(g.base, g.end), (l.base, l.end), (h.base, h.end)]
+        )
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0

@@ -1,0 +1,83 @@
+"""Unit tests for the heap allocator."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.heap import HEAP_ALIGNMENT, HeapAllocator
+
+
+class TestMalloc:
+    def test_alignment(self):
+        heap = HeapAllocator()
+        for size in (1, 3, 17, 100):
+            block = heap.malloc(size)
+            assert block.base % HEAP_ALIGNMENT == 0
+
+    def test_blocks_disjoint(self):
+        heap = HeapAllocator()
+        blocks = [heap.malloc(24) for _ in range(10)]
+        spans = sorted((b.base, b.end) for b in blocks)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_invalid_size(self):
+        with pytest.raises(MemoryModelError):
+            HeapAllocator().malloc(0)
+
+    def test_calloc(self):
+        block = HeapAllocator().calloc(4, 8)
+        assert block.size == 32
+
+
+class TestFree:
+    def test_first_fit_reuse(self):
+        heap = HeapAllocator()
+        a = heap.malloc(32)
+        heap.malloc(32)
+        heap.free(a.base)
+        c = heap.malloc(16)
+        assert c.base == a.base  # reuses the first hole
+
+    def test_double_free(self):
+        heap = HeapAllocator()
+        a = heap.malloc(8)
+        heap.free(a.base)
+        with pytest.raises(MemoryModelError):
+            heap.free(a.base)
+
+    def test_free_unknown(self):
+        with pytest.raises(MemoryModelError):
+            HeapAllocator().free(0xDEAD)
+
+    def test_coalescing(self):
+        heap = HeapAllocator()
+        a = heap.malloc(16)
+        b = heap.malloc(16)
+        heap.malloc(16)  # guard
+        heap.free(a.base)
+        heap.free(b.base)
+        big = heap.malloc(32)  # fits only if holes coalesced
+        assert big.base == a.base
+
+    def test_accounting(self):
+        heap = HeapAllocator()
+        a = heap.malloc(10)
+        heap.malloc(20)
+        heap.free(a.base)
+        assert heap.total_allocated == 30
+        assert heap.total_freed == 10
+        assert heap.live_bytes == 20
+
+    def test_fragmentation_metric(self):
+        heap = HeapAllocator()
+        assert heap.fragmentation() == 0.0
+        a = heap.malloc(16)
+        heap.malloc(16)
+        heap.free(a.base)
+        assert 0.0 < heap.fragmentation() < 1.0
+
+    def test_header_reserved(self):
+        heap = HeapAllocator(header_size=16)
+        a = heap.malloc(8)
+        b = heap.malloc(8)
+        assert b.base - a.base >= 24

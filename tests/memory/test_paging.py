@@ -1,0 +1,78 @@
+"""Tests for the virtual->physical page mapping."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.paging import PAGE_SIZE, PageTable
+
+
+class TestPolicies:
+    def test_identity(self):
+        pt = PageTable("identity")
+        assert pt.translate(0x12345) == 0x12345
+
+    def test_sequential_first_touch(self):
+        pt = PageTable("sequential")
+        a = pt.translate(7 * PAGE_SIZE + 5)
+        b = pt.translate(99 * PAGE_SIZE + 8)
+        assert a == 0 * PAGE_SIZE + 5
+        assert b == 1 * PAGE_SIZE + 8
+
+    def test_mapping_is_stable(self):
+        pt = PageTable("sequential")
+        first = pt.translate(7 * PAGE_SIZE)
+        again = pt.translate(7 * PAGE_SIZE + 100)
+        assert again == first + 100
+
+    def test_random_deterministic_and_injective(self):
+        a = PageTable("random", seed=3)
+        b = PageTable("random", seed=3)
+        pages = list(range(0, 50))
+        frames_a = [a.frame_of(p) for p in pages]
+        frames_b = [b.frame_of(p) for p in pages]
+        assert frames_a == frames_b
+        assert len(set(frames_a)) == len(frames_a)  # no double mapping
+
+    def test_coloring_preserves_color_bits(self):
+        pt = PageTable("coloring", colors=16)
+        for page in (0, 1, 17, 33, 160, 161, 1000):
+            frame = pt.frame_of(page)
+            assert frame % 16 == page % 16
+
+    def test_coloring_frames_unique(self):
+        pt = PageTable("coloring", colors=4)
+        frames = [pt.frame_of(p) for p in range(64)]
+        assert len(set(frames)) == 64
+
+    def test_unknown_policy(self):
+        with pytest.raises(MemoryModelError):
+            PageTable("buddy")
+
+    def test_bad_page_size(self):
+        with pytest.raises(MemoryModelError):
+            PageTable(page_size=1000)
+
+
+class TestIntrospection:
+    def test_mapped_pages_counted(self):
+        pt = PageTable("sequential")
+        pt.translate(0)
+        pt.translate(PAGE_SIZE)
+        pt.translate(10)  # same page as 0
+        assert pt.mapped_pages == 2
+
+    def test_preserves_color_check(self):
+        good = PageTable("coloring", colors=8)
+        for p in range(32):
+            good.frame_of(p)
+        assert good.preserves_color(3)  # 8 colours = 3 bits
+        bad = PageTable("random", seed=1)
+        for p in range(64):
+            bad.frame_of(p)
+        assert not bad.preserves_color(3)
+
+    def test_mapping_items_sorted(self):
+        pt = PageTable("sequential")
+        pt.frame_of(9)
+        pt.frame_of(2)
+        assert [p for p, _ in pt.mapping_items()] == [2, 9]

@@ -1,0 +1,75 @@
+"""Unit tests for the stack allocator."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.ctypes_model.types import ArrayType, CHAR, DOUBLE, INT
+from repro.memory.stack import StackAllocator
+from repro.memory.layout_constants import STACK_ALIGNMENT, STACK_TOP
+
+
+class TestFrames:
+    def test_first_frame_below_top(self):
+        stack = StackAllocator()
+        frame = stack.push("main")
+        assert frame.upper <= STACK_TOP
+        assert frame.upper % STACK_ALIGNMENT == 0
+        assert frame.depth == 0
+
+    def test_nested_frames_grow_down(self):
+        stack = StackAllocator()
+        main = stack.push("main")
+        main.declare("x", ArrayType(INT, 16))
+        foo = stack.push("foo")
+        assert foo.upper < main.cursor
+        assert foo.depth == 1
+
+    def test_pop_restores_reuse(self):
+        stack = StackAllocator()
+        stack.push("main")
+        f1 = stack.push("foo")
+        addr1 = f1.declare("i", INT)
+        stack.pop()
+        f2 = stack.push("foo")
+        addr2 = f2.declare("i", INT)
+        assert addr1 == addr2  # paper's traces show identical reuse
+
+    def test_underflow(self):
+        with pytest.raises(MemoryModelError):
+            StackAllocator().pop()
+
+    def test_current_requires_frame(self):
+        with pytest.raises(MemoryModelError):
+            _ = StackAllocator().current
+
+
+class TestLocals:
+    def test_alignment(self):
+        stack = StackAllocator()
+        frame = stack.push("main")
+        frame.declare("c", CHAR)
+        addr = frame.declare("d", DOUBLE)
+        assert addr % 8 == 0
+
+    def test_duplicate_rejected(self):
+        frame = StackAllocator().push("main")
+        frame.declare("x", INT)
+        with pytest.raises(MemoryModelError):
+            frame.declare("x", INT)
+
+    def test_locals_disjoint(self):
+        frame = StackAllocator().push("main")
+        spans = []
+        for i, ctype in enumerate([INT, DOUBLE, ArrayType(CHAR, 3), INT]):
+            addr = frame.declare(f"v{i}", ctype)
+            spans.append((addr, addr + ctype.size))
+        spans.sort()
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_frame_distance(self):
+        stack = StackAllocator()
+        main = stack.push("main")
+        stack.push("foo")
+        assert stack.frame_distance(main) == 1
+        assert stack.frame_distance(stack.current) == 0

@@ -1,0 +1,45 @@
+"""Facade tests: the documented end-to-end workflow works as advertised."""
+
+from repro import api
+
+
+class TestWorkflow:
+    def test_readme_quickstart(self):
+        program = api.paper_kernel("1a", length=64)
+        trace = api.trace_program(program)
+        rules = api.paper_rule("t1", length=64)
+        transformed = api.transform_trace(trace, rules)
+        before = api.simulate(trace)
+        after = api.simulate(transformed.trace)
+        report = api.comparison_report(before, after, transform=transformed)
+        assert "miss delta" in report
+        assert after.stats.accesses == before.stats.accesses + 0  # no inserts in T1
+
+    def test_figure_pipeline(self, tmp_path):
+        trace = api.trace_program(api.paper_kernel("1a", length=64))
+        result = api.simulate(
+            trace, api.CacheConfig.paper_direct_mapped(), attribution="member"
+        )
+        fig = api.figure_series(result, title="Fig 3")
+        text = api.render_figure(fig)
+        assert "Fig 3" in text
+        api.write_gnuplot_data(fig, tmp_path / "fig3.dat")
+        assert (tmp_path / "fig3.dat").exists()
+
+    def test_diff_pipeline(self):
+        trace = api.trace_program(api.paper_kernel("2a", length=8))
+        transformed = api.transform_trace(trace, api.paper_rule("t2", length=8))
+        diff = api.diff_traces(transformed.original, transformed.trace)
+        assert diff.inserted == 16
+
+    def test_rule_text_accepted_directly(self):
+        trace = api.trace_program(api.paper_kernel("1a", length=8))
+        from repro.transform.paper_rules import RULE_T1_SOA_TO_AOS
+
+        result = api.transform_trace(trace, RULE_T1_SOA_TO_AOS.format(length=8))
+        assert result.report.transformed == 16
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,296 @@
+"""End-to-end tests of the ``tdst`` CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.stream import Trace
+from repro.transform.paper_rules import RULE_T1_SOA_TO_AOS
+
+
+@pytest.fixture
+def traced_kernel(tmp_path):
+    out = tmp_path / "t1a.out"
+    assert main(["trace", "1a", "--length", "16", "-o", str(out)]) == 0
+    return out
+
+
+class TestTrace:
+    def test_trace_writes_file(self, traced_kernel):
+        trace = Trace.load(traced_kernel)
+        assert len(trace) > 0
+
+    def test_all_kernels(self, tmp_path):
+        for kernel in ("1b", "2a", "2b", "3a", "3b", "listing1"):
+            out = tmp_path / f"{kernel}.out"
+            assert main(["trace", kernel, "--length", "8", "-o", str(out)]) == 0
+
+
+class TestStats:
+    def test_stats_prints(self, traced_kernel, capsys):
+        assert main(["stats", str(traced_kernel)]) == 0
+        out = capsys.readouterr().out
+        assert "accesses" in out
+        assert "lSoA" in out
+
+
+class TestSimulate:
+    def test_default_cache(self, traced_kernel, capsys):
+        assert main(["simulate", str(traced_kernel)]) == 0
+        assert "demand accesses" in capsys.readouterr().out
+
+    def test_custom_geometry(self, traced_kernel, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(traced_kernel),
+                    "--size",
+                    "1024",
+                    "--block",
+                    "64",
+                    "--assoc",
+                    "2",
+                    "--policy",
+                    "fifo",
+                ]
+            )
+            == 0
+        )
+        assert "fifo" in capsys.readouterr().out
+
+    def test_ppc440_preset(self, traced_kernel, capsys):
+        assert main(["simulate", str(traced_kernel), "--ppc440"]) == 0
+        assert "round-robin" in capsys.readouterr().out
+
+    def test_plot_flag(self, traced_kernel, capsys):
+        assert main(["simulate", str(traced_kernel), "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "cache sets" in out
+
+
+class TestThreeC:
+    def test_threec_report(self, traced_kernel, capsys):
+        assert main(["threec", str(traced_kernel)]) == 0
+        out = capsys.readouterr().out
+        assert "compulsory" in out and "conflict" in out
+        assert "lSoA" in out
+
+
+class TestPhysical:
+    def test_simulate_with_coloring(self, traced_kernel, capsys):
+        assert (
+            main(["simulate", str(traced_kernel), "--physical", "coloring"]) == 0
+        )
+        assert "demand accesses" in capsys.readouterr().out
+
+    def test_simulate_with_random_frames(self, traced_kernel, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(traced_kernel),
+                    "--physical",
+                    "random",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert "demand accesses" in capsys.readouterr().out
+
+
+class TestExtendedRules:
+    def test_displace_rule_file(self, traced_kernel, tmp_path, capsys):
+        rules = tmp_path / "d.rules"
+        rules.write_text("displace:\nlSoA + 4096\n")
+        out = tmp_path / "out.trace"
+        assert (
+            main(["transform", str(traced_kernel), str(rules), "-o", str(out)])
+            == 0
+        )
+        assert "transformed   : 32" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_table(self, traced_kernel, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    str(traced_kernel),
+                    "--size",
+                    "2048",
+                    "--block",
+                    "32",
+                    "--max-ways",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ratio" in out
+        assert out.count("2048 bytes") == 3  # 1,2,4-way rows
+
+
+class TestHeatmap:
+    def test_heatmap_renders(self, traced_kernel, capsys):
+        assert main(["heatmap", str(traced_kernel), "--window", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "heatmap" in out
+
+    def test_heatmap_variable_filter(self, traced_kernel, capsys):
+        assert (
+            main(
+                [
+                    "heatmap",
+                    str(traced_kernel),
+                    "--window",
+                    "20",
+                    "--variable",
+                    "lSoA",
+                    "--kind",
+                    "misses",
+                ]
+            )
+            == 0
+        )
+        assert "misses heatmap" in capsys.readouterr().out
+
+
+class TestAdvise:
+    def test_advise_suggests_split(self, tmp_path, capsys):
+        # Build a hot/cold workload trace via the library.
+        from repro.ctypes_model.types import ArrayType, DOUBLE, INT, StructType
+        from repro.tracer.expr import V
+        from repro.tracer.interp import trace_program
+        from repro.tracer.program import Function, Program
+        from repro.tracer.stmt import (
+            Assign,
+            DeclLocal,
+            StartInstrumentation,
+            simple_for,
+        )
+
+        layout_text = (
+            "struct parts { double x; double vx; double mass; }[32];"
+        )
+        layout_file = tmp_path / "layout.h"
+        layout_file.write_text(layout_text)
+        p = StructType(
+            "parts", [("x", DOUBLE), ("vx", DOUBLE), ("mass", DOUBLE)]
+        )
+        body = [
+            DeclLocal("parts", ArrayType(p, 32)),
+            DeclLocal("i", INT),
+            StartInstrumentation(),
+            *simple_for(
+                "i",
+                0,
+                32,
+                [Assign(V("parts")[V("i")].fld("x"), V("parts")[V("i")].fld("vx"))],
+            ),
+        ]
+        program = Program()
+        program.add_function(Function("main", body=body))
+        trace_path = tmp_path / "t.out"
+        trace_program(program).save(trace_path)
+
+        rules_out = tmp_path / "suggested.rules"
+        assert (
+            main(
+                [
+                    "advise",
+                    str(trace_path),
+                    str(layout_file),
+                    "parts",
+                    "--rules-out",
+                    str(rules_out),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hot/cold split suggestion" in out
+        assert rules_out.exists()
+        from repro.transform.rule_parser import parse_rules
+
+        assert len(parse_rules(rules_out.read_text())) == 1
+
+    def test_advise_unknown_variable(self, traced_kernel, tmp_path, capsys):
+        layout_file = tmp_path / "layout.h"
+        layout_file.write_text("struct s { int a; };")
+        assert (
+            main(["advise", str(traced_kernel), str(layout_file), "ghost"]) == 1
+        )
+
+
+class TestConvert:
+    def test_text_to_binary_and_back(self, traced_kernel, tmp_path, capsys):
+        binary = tmp_path / "t.tdst"
+        assert main(["convert", str(traced_kernel), str(binary)]) == 0
+        back = tmp_path / "back.out"
+        assert (
+            main(
+                [
+                    "convert",
+                    str(binary),
+                    str(back),
+                    "--from",
+                    "binary",
+                    "--to",
+                    "text",
+                ]
+            )
+            == 0
+        )
+        assert Trace.load(back) == Trace.load(traced_kernel)
+
+    def test_text_to_din(self, traced_kernel, tmp_path):
+        din = tmp_path / "t.din"
+        assert (
+            main(["convert", str(traced_kernel), str(din), "--to", "din"]) == 0
+        )
+        first = din.read_text().splitlines()[0].split()
+        assert first[0] in ("0", "1", "2")
+
+
+class TestTransformAndDiff:
+    def test_transform_pipeline(self, traced_kernel, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text(RULE_T1_SOA_TO_AOS.format(length=16))
+        out = tmp_path / "transformed_trace.out"
+        assert (
+            main(["transform", str(traced_kernel), str(rules), "-o", str(out)])
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "transformed   : 32" in text
+        transformed = Trace.load(out)
+        assert any(r.base_name == "lAoS" for r in transformed)
+
+        assert main(["diff", str(traced_kernel), str(out)]) == 0
+        diff_text = capsys.readouterr().out
+        assert "changed=" in diff_text
+
+    def test_figure_with_gnuplot_output(self, traced_kernel, tmp_path, capsys):
+        dat = tmp_path / "f.dat"
+        gp = tmp_path / "f.gp"
+        assert (
+            main(
+                [
+                    "figure",
+                    str(traced_kernel),
+                    "--attribution",
+                    "member",
+                    "--dat",
+                    str(dat),
+                    "--gp",
+                    str(gp),
+                ]
+            )
+            == 0
+        )
+        assert dat.exists() and gp.exists()
+        assert "lSoA.mX" in dat.read_text()

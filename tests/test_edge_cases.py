@@ -1,0 +1,191 @@
+"""Edge cases across modules, collected from review of the public API."""
+
+import pytest
+
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace
+
+
+def _rec(op, addr, size=4, func="main", var=None):
+    local = var is not None
+    return TraceRecord(
+        op, addr, size, func,
+        scope="LS" if local else None,
+        frame=0 if local else None,
+        thread=1 if local else None,
+        var=VariablePath.parse(var) if var else None,
+    )
+
+
+class TestDiffWindow:
+    def test_distant_insert_beyond_window_degrades_gracefully(self):
+        """An insertion run longer than the window cannot resync; the
+        diff falls back to CHANGED pairs plus a tail — total positions
+        still cover both traces."""
+        from repro.trace.diff import diff_traces
+
+        a = [_rec(AccessType.LOAD, i) for i in range(4)]
+        inserts = [_rec(AccessType.STORE, 0x900 + i, size=8) for i in range(10)]
+        b = inserts + a
+        diff = diff_traces(a, b, window=3)
+        total_a = sum(1 for e in diff.entries if e.original is not None)
+        total_b = sum(1 for e in diff.entries if e.transformed is not None)
+        assert total_a == len(a)
+        assert total_b == len(b)
+
+    def test_wide_window_finds_distant_anchor(self):
+        from repro.trace.diff import diff_traces
+
+        a = [_rec(AccessType.LOAD, 1)]
+        b = [_rec(AccessType.STORE, i, size=8) for i in range(10)] + a
+        diff = diff_traces(a, b, window=16)
+        assert diff.inserted == 10
+        assert diff.equal == 1
+
+
+class TestTraceEdges:
+    def test_single_record_trace_roundtrip(self, tmp_path):
+        t = Trace([_rec(AccessType.MODIFY, 0x10, var="x")])
+        p = tmp_path / "one.out"
+        t.save(p)
+        assert Trace.load(p) == t
+
+    def test_empty_trace_operations(self):
+        t = Trace()
+        assert t.functions() == ()
+        assert t.variable_names() == ()
+        assert len(t.data_accesses()) == 0
+        assert t.addresses().shape == (0,)
+
+    def test_huge_address(self):
+        from repro.trace.format import format_record, parse_line
+
+        r = _rec(AccessType.LOAD, (1 << 47) - 8)
+        assert parse_line(format_record(r)) == r
+
+
+class TestEngineEdges:
+    def test_empty_trace_transform(self):
+        from repro.transform.engine import transform_trace
+        from repro.transform.paper_rules import rule_t1
+
+        result = transform_trace(Trace(), rule_t1(4))
+        assert len(result.trace) == 0
+        assert result.report.total == 0
+
+    def test_trace_with_only_unsymbolized_records(self):
+        from repro.transform.engine import transform_trace
+        from repro.transform.paper_rules import rule_t1
+
+        t = Trace([TraceRecord(AccessType.LOAD, 0x10, 8, "main")])
+        result = transform_trace(t, rule_t1(4))
+        assert result.report.passthrough == 1
+        assert list(result.trace) == list(t)
+
+    def test_misc_records_pass_through(self):
+        from repro.transform.engine import transform_trace
+        from repro.transform.paper_rules import rule_t1
+
+        t = Trace([TraceRecord(AccessType.MISC, 0x400000, 4, "main")])
+        result = transform_trace(t, rule_t1(4))
+        assert list(result.trace) == list(t)
+
+
+class TestCacheEdges:
+    def test_single_set_cache(self):
+        from repro.cache.cache import SetAssociativeCache
+        from repro.cache.config import CacheConfig
+
+        cache = SetAssociativeCache(
+            CacheConfig(size=64, block_size=32, associativity=2)
+        )
+        cache.access(0, 4, False)
+        cache.access(32, 4, False)
+        assert cache.set_occupancy(0) == 2
+        cache.access(64, 4, False)  # evicts LRU
+        assert not cache.contains(0)
+
+    def test_block_equals_cache_size(self):
+        from repro.cache.cache import SetAssociativeCache
+        from repro.cache.config import CacheConfig
+
+        cache = SetAssociativeCache(
+            CacheConfig(size=64, block_size=64, associativity=1)
+        )
+        assert not cache.access(0, 8, False).hit
+        assert cache.access(63, 1, False).hit
+
+    def test_zero_size_access_counts_one_byte(self):
+        from repro.cache.cache import SetAssociativeCache
+        from repro.cache.config import CacheConfig
+
+        cache = SetAssociativeCache(
+            CacheConfig(size=64, block_size=32, associativity=1)
+        )
+        out = cache.access(0, 0, False)
+        assert len(out.events) == 1
+
+
+class TestInterleaveEdges:
+    def test_single_trace_round_robin(self):
+        from repro.trace.interleave import round_robin
+
+        t = Trace([_rec(AccessType.LOAD, i) for i in range(3)])
+        assert list(round_robin([t])) == list(t)
+
+    def test_empty_traces_skipped(self):
+        from repro.trace.interleave import proportional, round_robin
+
+        t = Trace([_rec(AccessType.LOAD, 1)])
+        assert len(round_robin([Trace(), t])) == 1
+        assert len(proportional([Trace(), t])) == 1
+
+
+class TestPagingEdges:
+    def test_address_zero(self):
+        from repro.memory.paging import PageTable
+
+        assert PageTable("sequential").translate(0) == 0
+
+    def test_single_color(self):
+        from repro.memory.paging import PageTable
+
+        pt = PageTable("coloring", colors=1)
+        frames = [pt.frame_of(p) for p in range(8)]
+        assert frames == list(range(8))
+
+
+class TestFormulaEdges:
+    def test_large_indices(self):
+        from repro.transform.formula import IndexFormula
+
+        f = IndexFormula("(i/8)*(16*8)+(i%8)")
+        assert f(10**6) == (10**6 // 8) * 128 + 0
+
+    def test_whitespace_tolerated(self):
+        from repro.transform.formula import IndexFormula
+
+        assert IndexFormula("  ( i / 2 ) * 4  ")(6) == 12
+
+
+class TestAdvisorEdges:
+    def test_field_affinity_window_zero_like(self):
+        from repro.transform.advisor import field_affinity
+
+        records = [
+            _rec(AccessType.LOAD, 0, var="s[0].a"),
+            _rec(AccessType.LOAD, 8, var="s[0].b"),
+        ]
+        affinity = field_affinity(records, "s", window=1)
+        assert affinity[frozenset(("a", "b"))] == 1
+
+    def test_suggest_order_with_no_accesses_keeps_declaration_order(self):
+        from repro.ctypes_model.types import ArrayType, INT, StructType
+        from repro.transform.advisor import suggest_field_order
+
+        layout = ArrayType(
+            StructType("s", [("a", INT), ("b", INT), ("c", INT)]), 4
+        )
+        order = suggest_field_order([], "s", layout)
+        assert order.order == ("a", "b", "c")

@@ -1,0 +1,85 @@
+"""Tests for the compact binary trace format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.ctypes_model.path import Field, Index, VariablePath
+from repro.trace.binformat import load_binary, save_binary
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace
+
+_IDENT = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,8}", fullmatch=True)
+
+_paths = st.builds(
+    VariablePath,
+    _IDENT,
+    st.lists(
+        st.one_of(
+            st.builds(Index, st.integers(0, 4000)),
+            st.builds(Field, _IDENT),
+        ),
+        max_size=3,
+    ).map(tuple),
+)
+
+
+@st.composite
+def records(draw):
+    op = draw(st.sampled_from(list(AccessType)))
+    addr = draw(st.integers(0, 2**48 - 1))
+    size = draw(st.sampled_from([1, 2, 4, 8, 16]))
+    func = draw(st.one_of(st.just(""), _IDENT))
+    scope = draw(
+        st.one_of(st.none(), st.sampled_from(["LV", "LS", "GV", "GS", "HV", "HS"]))
+    )
+    if not func or scope is None:
+        return TraceRecord(op, addr, size, func)
+    var = draw(st.one_of(st.none(), _paths))
+    if scope.startswith("G"):
+        return TraceRecord(op, addr, size, func, scope, None, None, var)
+    return TraceRecord(
+        op, addr, size, func, scope,
+        draw(st.integers(0, 200)), draw(st.integers(1, 200)), var,
+    )
+
+
+class TestRoundTrip:
+    def test_kernel_trace_round_trips(self, trace_1a_16, tmp_path):
+        path = save_binary(trace_1a_16, tmp_path / "t.tdst")
+        assert load_binary(path) == trace_1a_16
+
+    @given(st.lists(records(), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_random_records_round_trip(self, recs):
+        import tempfile, os
+
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "t.tdst")
+            save_binary(recs, path)
+            assert list(load_binary(path)) == recs
+
+    def test_empty_trace(self, tmp_path):
+        path = save_binary([], tmp_path / "e.tdst")
+        assert len(load_binary(path)) == 0
+
+    def test_smaller_than_text(self, trace_1a_16, tmp_path):
+        text_path = tmp_path / "t.out"
+        trace_1a_16.save(text_path)
+        bin_path = save_binary(trace_1a_16, tmp_path / "t.tdst")
+        assert bin_path.stat().st_size < text_path.stat().st_size
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.tdst"
+        path.write_bytes(b"NOPE" + b"\x00" * 30)
+        with pytest.raises(TraceFormatError):
+            load_binary(path)
+
+    def test_bad_version(self, tmp_path, trace_1a_16):
+        path = save_binary(trace_1a_16, tmp_path / "t.tdst")
+        data = bytearray(path.read_bytes())
+        data[4] = 99
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError):
+            load_binary(path)

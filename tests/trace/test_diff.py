@@ -1,0 +1,106 @@
+"""Unit tests for the structural trace diff."""
+
+from repro.ctypes_model.path import VariablePath
+from repro.trace.diff import DiffOp, diff_traces
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace
+
+
+def _rec(op, addr, size=4, func="main", var=None):
+    return TraceRecord(
+        op, addr, size, func,
+        scope="LS" if var else None,
+        frame=0 if var else None,
+        thread=1 if var else None,
+        var=VariablePath.parse(var) if var else None,
+    )
+
+
+class TestAlignment:
+    def test_identical_traces(self):
+        t = [_rec(AccessType.LOAD, 0x100), _rec(AccessType.STORE, 0x104)]
+        diff = diff_traces(t, list(t))
+        assert diff.equal == 2
+        assert diff.changed == diff.inserted == diff.deleted == 0
+
+    def test_pure_remap_is_changed(self):
+        """Address/path rewrites align as CHANGED, like Figure 5."""
+        orig = [
+            _rec(AccessType.LOAD, 0x200, var="lI"),
+            _rec(AccessType.STORE, 0x100, var="lSoA.mX[0]"),
+        ]
+        new = [
+            _rec(AccessType.LOAD, 0x200, var="lI"),
+            _rec(AccessType.STORE, 0x900, var="lAoS[0].mX"),
+        ]
+        diff = diff_traces(orig, new)
+        assert diff.equal == 1
+        assert diff.changed == 1
+        pairs = diff.changed_pairs()
+        assert str(pairs[0][0].var) == "lSoA.mX[0]"
+        assert str(pairs[0][1].var) == "lAoS[0].mX"
+
+    def test_insertion_detected(self):
+        """Injected pointer loads align as INSERTED, like Figure 8."""
+        orig = [
+            _rec(AccessType.STORE, 0x100, size=8, var="s[0].y"),
+        ]
+        new = [
+            _rec(AccessType.LOAD, 0x500, size=8, var="s2[0].p"),
+            _rec(AccessType.STORE, 0x900, size=8, var="st[0].y"),
+        ]
+        diff = diff_traces(orig, new)
+        assert diff.inserted == 1
+        assert str(diff.inserted_records()[0].var) == "s2[0].p"
+        assert diff.changed == 1
+
+    def test_deletion_detected(self):
+        orig = [
+            _rec(AccessType.LOAD, 0x100),
+            _rec(AccessType.STORE, 0x104),
+        ]
+        new = [_rec(AccessType.STORE, 0x104)]
+        diff = diff_traces(orig, new)
+        assert diff.deleted == 1
+        assert diff.equal == 1
+
+    def test_replace_run_pairs_positionally(self):
+        """A replace block pairs records positionally as CHANGED; the
+        surplus on the longer side spills to INSERTED/DELETED."""
+        orig = [_rec(AccessType.LOAD, 0x100, size=4)]
+        new = [
+            _rec(AccessType.LOAD, 0x100, size=8),
+            _rec(AccessType.LOAD, 0x104, size=8),
+        ]
+        diff = diff_traces(orig, new)
+        assert diff.changed == 1 and diff.inserted == 1
+
+    def test_custom_key(self):
+        orig = [_rec(AccessType.LOAD, 0x100, size=4)]
+        new = [_rec(AccessType.LOAD, 0x100, size=8)]
+        diff = diff_traces(orig, new, key=lambda r: r.op)
+        assert diff.changed == 1
+
+
+class TestRendering:
+    def test_render_markers(self):
+        orig = [_rec(AccessType.STORE, 0x100, var="a[0]")]
+        new = [
+            _rec(AccessType.LOAD, 0x500, size=8, var="p"),
+            _rec(AccessType.STORE, 0x900, var="b[0]"),
+        ]
+        text = diff_traces(orig, new).render()
+        assert "++" in text
+        assert "=>" in text
+
+    def test_render_with_context_elides_equal_runs(self):
+        orig = [_rec(AccessType.LOAD, 0x100 + i) for i in range(20)]
+        new = list(orig)
+        new[10] = _rec(AccessType.LOAD, 0x999)
+        text = diff_traces(orig, new).render(context=1)
+        assert "..." in text
+        assert text.count("\n") < 20
+
+    def test_summary(self):
+        diff = diff_traces([], [_rec(AccessType.LOAD, 1)])
+        assert "inserted=1" in diff.summary()

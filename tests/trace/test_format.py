@@ -1,0 +1,139 @@
+"""Unit tests for the Gleipnir text format."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.ctypes_model.path import VariablePath
+from repro.trace.format import (
+    format_record,
+    format_trace,
+    iter_trace_lines,
+    parse_line,
+    parse_trace,
+    read_trace,
+    write_trace,
+)
+from repro.trace.record import AccessType, TraceRecord
+
+
+class TestParseLine:
+    def test_local_variable_line(self):
+        r = parse_line("S 7ff0001bc 4 main LV 0 1 lcScalar")
+        assert r.op is AccessType.STORE
+        assert r.addr == 0x7FF0001BC
+        assert r.size == 4
+        assert r.func == "main"
+        assert r.scope == "LV"
+        assert r.frame == 0
+        assert r.thread == 1
+        assert str(r.var) == "lcScalar"
+
+    def test_global_line_no_frame_thread(self):
+        r = parse_line("S 000601040 4 main GV glScalar")
+        assert r.scope == "GV"
+        assert r.frame is None
+        assert r.thread is None
+
+    def test_global_struct_nested(self):
+        r = parse_line("S 0006010e8 4 foo GS glStructArray[0].myArray[0]")
+        assert str(r.var) == "glStructArray[0].myArray[0]"
+
+    def test_bare_access(self):
+        r = parse_line("L 7ff0001b0 8 main")
+        assert r.func == "main"
+        assert r.scope is None and r.var is None
+
+    def test_minimal_three_fields(self):
+        r = parse_line("L 1000 8")
+        assert r.addr == 0x1000 and r.func == ""
+
+    def test_header_skipped(self):
+        assert parse_line("START PID 13063") is None
+
+    def test_blank_and_comment(self):
+        assert parse_line("") is None
+        assert parse_line("# comment") is None
+
+    def test_hex_prefix_tolerated(self):
+        assert parse_line("L 0x1000 4").addr == 0x1000
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "Q 1000 4",
+            "L zzz 4",
+            "L 1000 four",
+            "L 1000",
+            "L 1000 4 main QQ x",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(TraceFormatError):
+            parse_line(bad, line_number=7)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(TraceFormatError) as info:
+            parse_line("Q 1 1", line_number=42)
+        assert "42" in str(info.value)
+
+
+class TestRoundTrip:
+    def _records(self):
+        return [
+            TraceRecord(AccessType.STORE, 0x7FF0001B0, 8, "main", "LV", 0, 1,
+                        VariablePath.parse("_zzq_result")),
+            TraceRecord(AccessType.LOAD, 0x7FF0001B0, 8, "main"),
+            TraceRecord(AccessType.STORE, 0x601040, 4, "main", "GV", None, None,
+                        VariablePath.parse("glScalar")),
+            TraceRecord(AccessType.MODIFY, 0x7FF0001B8, 4, "foo", "LV", 1, 2,
+                        VariablePath.parse("i")),
+            TraceRecord(AccessType.STORE, 0x6010E0, 8, "foo", "GS", None, None,
+                        VariablePath.parse("glStructArray[0].dl")),
+        ]
+
+    def test_format_parse_round_trip(self):
+        records = self._records()
+        text = format_trace(records, pid=13063)
+        assert text.startswith("START PID 13063\n")
+        assert parse_trace(text) == records
+
+    def test_file_round_trip(self, tmp_path):
+        records = self._records()
+        path = tmp_path / "trace.out"
+        write_trace(records, path)
+        assert read_trace(path) == records
+
+    def test_stream_round_trip(self):
+        records = self._records()
+        buf = io.StringIO()
+        write_trace(records, buf)
+        buf.seek(0)
+        assert read_trace(buf) == records
+
+    def test_iter_trace_lines(self, tmp_path):
+        records = self._records()
+        path = tmp_path / "trace.out"
+        write_trace(records, path)
+        assert list(iter_trace_lines(path)) == records
+
+    def test_paper_listing2_snippet_parses(self):
+        snippet = """START PID 13063
+S 7ff0001b0 8 main LV 0 1 _zzq_result
+L 7ff0001b0 8 main
+S 000601040 4 main GV glScalar
+S 7ff0001bc 4 main LV 0 1 lcScalar
+L 7ff0001b8 4 main LV 0 1 i
+S 7ff000180 4 main LS 0 1 lcArray[0]
+M 7ff0001b8 4 main LV 0 1 i
+S 0006010e0 8 foo GS glStructArray[0].dl
+S 7ff000060 8 foo LS 1 1 lcStrcArray[0].dl
+"""
+        records = parse_trace(snippet)
+        assert len(records) == 9
+        assert records[8].frame == 1  # foo touching main's array
+
+    def test_address_zero_padded_to_nine(self):
+        r = TraceRecord(AccessType.LOAD, 0x1000, 4, "f")
+        assert format_record(r) == "L 000001000 4 f"

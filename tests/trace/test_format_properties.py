@@ -1,0 +1,57 @@
+"""Property-based round-trip tests for the Gleipnir format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctypes_model.path import Field, Index, VariablePath
+from repro.trace.format import format_trace, parse_trace
+from repro.trace.record import AccessType, TraceRecord
+
+_IDENT = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True)
+
+_paths = st.builds(
+    VariablePath,
+    _IDENT,
+    st.lists(
+        st.one_of(
+            st.builds(Index, st.integers(0, 4095)),
+            st.builds(Field, _IDENT),
+        ),
+        max_size=4,
+    ).map(tuple),
+)
+
+
+@st.composite
+def records(draw):
+    op = draw(st.sampled_from(list(AccessType)))
+    addr = draw(st.integers(0, 2**40 - 1))
+    size = draw(st.sampled_from([1, 2, 4, 8, 16]))
+    func = draw(st.one_of(st.just(""), _IDENT))
+    if not func:
+        return TraceRecord(op, addr, size)
+    scope = draw(
+        st.one_of(st.none(), st.sampled_from(["LV", "LS", "GV", "GS", "HV", "HS"]))
+    )
+    if scope is None:
+        return TraceRecord(op, addr, size, func)
+    var = draw(st.one_of(st.none(), _paths))
+    if scope.startswith("G"):
+        return TraceRecord(op, addr, size, func, scope, None, None, var)
+    frame = draw(st.integers(0, 30))
+    thread = draw(st.integers(1, 8))
+    return TraceRecord(op, addr, size, func, scope, frame, thread, var)
+
+
+class TestFormatProperties:
+    @given(st.lists(records(), max_size=30))
+    @settings(max_examples=200)
+    def test_round_trip(self, recs):
+        text = format_trace(recs)
+        assert parse_trace(text) == recs
+
+    @given(records())
+    def test_single_line_no_newline(self, rec):
+        from repro.trace.format import format_record
+
+        assert "\n" not in format_record(rec)

@@ -1,0 +1,71 @@
+"""Unit tests for trace records."""
+
+import pytest
+
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import AccessType, TraceRecord
+
+
+class TestAccessType:
+    def test_parse(self):
+        assert AccessType.parse("L") is AccessType.LOAD
+        assert AccessType.parse("S") is AccessType.STORE
+        assert AccessType.parse("M") is AccessType.MODIFY
+        assert AccessType.parse("X") is AccessType.MISC
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            AccessType.parse("Z")
+
+    def test_read_write_semantics(self):
+        assert AccessType.LOAD.reads and not AccessType.LOAD.writes
+        assert AccessType.STORE.writes and not AccessType.STORE.reads
+        assert AccessType.MODIFY.reads and AccessType.MODIFY.writes
+        assert not AccessType.MISC.reads and not AccessType.MISC.writes
+
+
+class TestTraceRecord:
+    def _record(self, **kw):
+        defaults = dict(
+            op=AccessType.STORE,
+            addr=0x601040,
+            size=4,
+            func="main",
+            scope="GV",
+            var=VariablePath.parse("glScalar"),
+        )
+        defaults.update(kw)
+        return TraceRecord(**defaults)
+
+    def test_classification(self):
+        r = self._record()
+        assert r.is_global and not r.is_local and not r.is_heap
+        assert not r.is_aggregate
+        assert r.base_name == "glScalar"
+        assert r.has_symbol
+
+    def test_aggregate_scope(self):
+        r = self._record(scope="LS", var=VariablePath.parse("a[0].f"))
+        assert r.is_local and r.is_aggregate
+
+    def test_no_symbol(self):
+        r = self._record(scope=None, var=None)
+        assert not r.has_symbol
+        assert r.base_name is None
+
+    def test_end(self):
+        assert self._record(addr=100, size=8).end == 108
+
+    def test_evolve(self):
+        r = self._record()
+        r2 = r.evolve(addr=0x1234)
+        assert r2.addr == 0x1234
+        assert r2.op is r.op
+        assert r.addr == 0x601040  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            self._record().addr = 1
+
+    def test_str_formats_like_gleipnir(self):
+        assert str(self._record()) == "S 000601040 4 main GV glScalar"

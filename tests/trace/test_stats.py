@@ -1,0 +1,83 @@
+"""Unit tests for trace statistics."""
+
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stats import compute_stats, reuse_distances
+from repro.trace.stream import Trace
+
+
+def _rec(op, addr, size=4, func="main", var=None, scope=None):
+    return TraceRecord(
+        op, addr, size, func,
+        scope=scope,
+        var=VariablePath.parse(var) if var else None,
+    )
+
+
+class TestComputeStats:
+    def test_counts(self):
+        stats = compute_stats(
+            [
+                _rec(AccessType.LOAD, 0x100),
+                _rec(AccessType.STORE, 0x104),
+                _rec(AccessType.MODIFY, 0x100),
+                _rec(AccessType.MISC, 0x200),
+            ]
+        )
+        assert stats.total == 4
+        assert (stats.loads, stats.stores, stats.modifies, stats.misc) == (1, 1, 1, 1)
+        assert stats.bytes_read == 8  # load + modify
+        assert stats.bytes_written == 8  # store + modify
+
+    def test_footprint_distinct_bytes(self):
+        stats = compute_stats(
+            [
+                _rec(AccessType.LOAD, 0x100, size=4),
+                _rec(AccessType.LOAD, 0x102, size=4),  # overlaps 2 bytes
+            ]
+        )
+        assert stats.footprint_bytes == 6
+
+    def test_attribution(self):
+        stats = compute_stats(
+            [
+                _rec(AccessType.LOAD, 0x100, var="a[0]", scope="LS"),
+                _rec(AccessType.LOAD, 0x104, var="a[1]", scope="LS"),
+                _rec(AccessType.LOAD, 0x200, var="i", scope="LV"),
+                _rec(AccessType.LOAD, 0x300),
+            ]
+        )
+        assert stats.by_variable == {"a": 2, "i": 1}
+        assert stats.by_scope == {"LS": 2, "LV": 1}
+        assert stats.by_function == {"main": 4}
+        assert stats.symbol_coverage == 0.75
+        assert stats.top_variables(1) == (("a", 2),)
+
+    def test_summary_renders(self, trace_1a_16):
+        text = compute_stats(trace_1a_16).summary()
+        assert "accesses" in text
+        assert "lSoA" in text
+
+    def test_empty(self):
+        stats = compute_stats([])
+        assert stats.total == 0
+        assert stats.symbol_coverage == 0.0
+
+
+class TestReuseDistance:
+    def test_cold_misses_are_minus_one(self):
+        records = [_rec(AccessType.LOAD, a) for a in (0, 64, 128)]
+        assert reuse_distances(records, block_size=64) == [-1, -1, -1]
+
+    def test_immediate_reuse_is_zero(self):
+        records = [_rec(AccessType.LOAD, 0), _rec(AccessType.LOAD, 0)]
+        assert reuse_distances(records) == [-1, 0]
+
+    def test_distance_counts_distinct_blocks(self):
+        addrs = [0, 64, 128, 0]
+        records = [_rec(AccessType.LOAD, a) for a in addrs]
+        assert reuse_distances(records, block_size=64) == [-1, -1, -1, 2]
+
+    def test_block_granularity(self):
+        records = [_rec(AccessType.LOAD, 0), _rec(AccessType.LOAD, 32)]
+        assert reuse_distances(records, block_size=64) == [-1, 0]

@@ -1,0 +1,90 @@
+"""Tests for instruction-fetch emission (the paper's disabled option)."""
+
+import pytest
+
+from repro.ctypes_model.types import ArrayType, INT
+from repro.trace.record import AccessType
+from repro.tracer.expr import V
+from repro.tracer.interp import trace_program
+from repro.tracer.program import Function, Program
+from repro.tracer.stmt import (
+    Assign,
+    DeclLocal,
+    StartInstrumentation,
+    simple_for,
+)
+
+
+def loop_program(n=8):
+    body = [
+        DeclLocal("a", ArrayType(INT, n)),
+        DeclLocal("i", INT),
+        StartInstrumentation(),
+        *simple_for("i", 0, n, [Assign(V("a")[V("i")], V("i"))]),
+    ]
+    program = Program()
+    program.add_function(Function("main", body=body))
+    return program
+
+
+class TestInstructionFetches:
+    def test_disabled_by_default(self):
+        trace = trace_program(loop_program(), emit_zzq=False)
+        assert all(r.op is not AccessType.MISC for r in trace)
+
+    def test_one_fetch_per_data_access(self):
+        trace = trace_program(
+            loop_program(), emit_zzq=False, emit_instruction_fetches=True
+        )
+        fetches = [r for r in trace if r.op is AccessType.MISC]
+        data = [r for r in trace if r.op is not AccessType.MISC]
+        assert len(fetches) == len(data)
+
+    def test_fetch_precedes_its_access(self):
+        trace = list(
+            trace_program(
+                loop_program(), emit_zzq=False, emit_instruction_fetches=True
+            )
+        )
+        for i, r in enumerate(trace):
+            if r.op is not AccessType.MISC:
+                assert trace[i - 1].op is AccessType.MISC
+
+    def test_loop_iterations_refetch_same_pcs(self):
+        """The whole point of stable PCs: iteration k's fetch addresses
+        equal iteration k+1's (I-cache temporal locality)."""
+        trace = trace_program(
+            loop_program(8), emit_zzq=False, emit_instruction_fetches=True
+        )
+        pcs = [r.addr for r in trace if r.op is AccessType.MISC]
+        # Iterations have identical shape: cond fetch + body fetches + step.
+        # Drop the init store's fetch, group the rest by iteration.
+        per_iter = 4  # L i (cond), L i (idx), L i (rhs), ... see below
+        # Identify iteration boundaries via the store fetches instead:
+        data = [r for r in trace if r.op is not AccessType.MISC]
+        stores = [
+            i
+            for i, r in enumerate(data)
+            if r.op is AccessType.STORE and r.base_name == "a"
+        ]
+        pc_of_store = [pcs[i] for i in stores]
+        assert len(set(pc_of_store)) == 1  # same instruction every time
+
+    def test_fetch_addresses_in_code_segment(self):
+        trace = trace_program(
+            loop_program(), emit_zzq=False, emit_instruction_fetches=True
+        )
+        for r in trace:
+            if r.op is AccessType.MISC:
+                assert 0x400000 <= r.addr < 0x500000
+                assert r.size == 4
+                assert r.var is None
+
+    def test_data_accesses_unchanged_by_option(self):
+        plain = trace_program(loop_program(), emit_zzq=False)
+        with_fetch = trace_program(
+            loop_program(), emit_zzq=False, emit_instruction_fetches=True
+        )
+        assert list(plain) == [
+            r for r in with_fetch if r.op is not AccessType.MISC
+        ]

@@ -1,0 +1,331 @@
+"""Interpreter basics: declarations, assignment, loops, emission rules."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.ctypes_model.types import ArrayType, DOUBLE, INT, StructType
+from repro.tracer.expr import Cast, Const, V
+from repro.tracer.interp import Interpreter, trace_program
+from repro.tracer.program import Function, Program
+from repro.tracer.stmt import (
+    Assign,
+    AugAssign,
+    Block,
+    DeclLocal,
+    ExprStmt,
+    For,
+    If,
+    StartInstrumentation,
+    StopInstrumentation,
+    While,
+    simple_for,
+)
+from repro.trace.record import AccessType
+
+
+def run(body, *, emit_zzq=False, globals_=(), structs=()):
+    program = Program()
+    for name, ctype in globals_:
+        program.add_global(name, ctype)
+    program.add_function(Function("main", body=body))
+    return trace_program(program, emit_zzq=emit_zzq)
+
+
+def ops(trace):
+    return [r.op.value for r in trace]
+
+
+def names(trace):
+    return [str(r.var) if r.var else None for r in trace]
+
+
+class TestEmissionRules:
+    def test_declaration_emits_nothing(self):
+        t = run([StartInstrumentation(), DeclLocal("x", INT)])
+        assert len(t) == 0
+
+    def test_declaration_with_init_stores(self):
+        t = run([StartInstrumentation(), DeclLocal("x", INT, init=Const(5))])
+        assert ops(t) == ["S"]
+        assert names(t) == ["x"]
+
+    def test_assign_const_emits_single_store(self):
+        t = run(
+            [
+                DeclLocal("x", INT),
+                StartInstrumentation(),
+                Assign(V("x"), Const(1)),
+            ]
+        )
+        assert ops(t) == ["S"]
+
+    def test_assign_var_loads_rhs_then_stores(self):
+        t = run(
+            [
+                DeclLocal("x", INT),
+                DeclLocal("y", INT),
+                StartInstrumentation(),
+                Assign(V("x"), V("y")),
+            ]
+        )
+        assert ops(t) == ["L", "S"]
+        assert names(t) == ["y", "x"]
+
+    def test_array_store_loads_index_first(self):
+        """Address computation (index load) precedes the RHS loads."""
+        t = run(
+            [
+                DeclLocal("a", ArrayType(INT, 4)),
+                DeclLocal("i", INT),
+                DeclLocal("v", INT),
+                StartInstrumentation(),
+                Assign(V("a")[V("i")], V("v")),
+            ]
+        )
+        assert ops(t) == ["L", "L", "S"]
+        assert names(t) == ["i", "v", "a[0]"]
+
+    def test_augassign_emits_modify(self):
+        t = run(
+            [
+                DeclLocal("x", INT),
+                StartInstrumentation(),
+                AugAssign(V("x"), "+", Const(1)),
+            ]
+        )
+        assert ops(t) == ["M"]
+
+    def test_no_emission_before_start(self):
+        t = run([DeclLocal("x", INT), Assign(V("x"), Const(1))])
+        assert len(t) == 0
+
+    def test_stop_instrumentation(self):
+        t = run(
+            [
+                DeclLocal("x", INT),
+                StartInstrumentation(),
+                Assign(V("x"), Const(1)),
+                StopInstrumentation(),
+                Assign(V("x"), Const(2)),
+            ]
+        )
+        assert len(t) == 1
+
+    def test_zzq_artifact(self):
+        t = run([DeclLocal("x", INT), StartInstrumentation()], emit_zzq=True)
+        assert ops(t) == ["S", "L"]
+        assert names(t) == ["_zzq_result", None]
+        assert t[0].addr == t[1].addr
+
+
+class TestValues:
+    def test_values_flow_through_memory(self):
+        """b = a + 1 actually computes, visible via final index access."""
+        t = run(
+            [
+                DeclLocal("a", INT, init=Const(2)),
+                DeclLocal("arr", ArrayType(INT, 8)),
+                StartInstrumentation(),
+                Assign(V("arr")[V("a") + 1], Const(9)),
+            ]
+        )
+        store = [r for r in t if r.op is AccessType.STORE and r.base_name == "arr"]
+        assert str(store[0].var) == "arr[3]"
+
+    def test_cast_truncates(self):
+        t = run(
+            [
+                DeclLocal("d", DOUBLE, init=Const(3.7)),
+                DeclLocal("arr", ArrayType(INT, 8)),
+                StartInstrumentation(),
+                Assign(V("arr")[Cast(INT, V("d"))], Const(0)),
+            ]
+        )
+        store = [r for r in t if r.base_name == "arr"]
+        assert str(store[0].var) == "arr[3]"
+
+    def test_c_integer_division(self):
+        t = run(
+            [
+                DeclLocal("arr", ArrayType(INT, 8)),
+                StartInstrumentation(),
+                Assign(V("arr")[Const(7) / Const(2)], Const(0)),
+            ]
+        )
+        assert str(t[0].var) == "arr[3]"
+
+    def test_modulo(self):
+        t = run(
+            [
+                DeclLocal("arr", ArrayType(INT, 8)),
+                StartInstrumentation(),
+                Assign(V("arr")[Const(11) % Const(8)], Const(0)),
+            ]
+        )
+        assert str(t[0].var) == "arr[3]"
+
+    def test_bitwise_operators(self):
+        t = run(
+            [
+                DeclLocal("arr", ArrayType(INT, 64)),
+                DeclLocal("i", INT, init=Const(21)),
+                StartInstrumentation(),
+                Assign(V("arr")[(V("i") >> 2) & 7], Const(0)),     # 21>>2=5 &7=5
+                Assign(V("arr")[(V("i") << 1) % 64], Const(0)),    # 42
+                Assign(V("arr")[V("i") ^ 1], Const(0)),            # 20
+                Assign(V("arr")[(V("i") | 8) % 64], Const(0)),     # 29
+            ]
+        )
+        stores = [str(r.var) for r in t if r.base_name == "arr"]
+        assert stores == ["arr[5]", "arr[42]", "arr[20]", "arr[29]"]
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpreterError):
+            run(
+                [
+                    DeclLocal("arr", ArrayType(INT, 8)),
+                    StartInstrumentation(),
+                    Assign(V("arr")[Const(1) / Const(0)], Const(0)),
+                ]
+            )
+
+
+class TestControlFlow:
+    def test_for_loop_pattern_matches_paper(self):
+        """for (i=0;i<2;i++) a[i]=g; reproduces Listing 2's line shape:
+        S i, then per iteration L i (cond), RHS/index loads, S a[i], M i,
+        and a final failing-condition L i."""
+        t = run(
+            [
+                DeclLocal("a", ArrayType(INT, 4)),
+                DeclLocal("g", INT),
+                DeclLocal("i", INT),
+                StartInstrumentation(),
+                *simple_for("i", 0, 2, [Assign(V("a")[V("i")], V("g"))]),
+            ]
+        )
+        expected = [
+            ("S", "i"),
+            ("L", "i"),  # cond 0<2
+            ("L", "i"),  # index
+            ("L", "g"),  # rhs
+            ("S", "a[0]"),
+            ("M", "i"),
+            ("L", "i"),
+            ("L", "i"),
+            ("L", "g"),
+            ("S", "a[1]"),
+            ("M", "i"),
+            ("L", "i"),  # final failing cond
+        ]
+        assert list(zip(ops(t), names(t))) == [
+            (op, name) for op, name in expected
+        ]
+
+    def test_while_evaluates_cond_each_iteration(self):
+        t = run(
+            [
+                DeclLocal("i", INT),
+                StartInstrumentation(),
+                While(V("i").lt(2), Block([AugAssign(V("i"), "+", Const(1))])),
+            ]
+        )
+        # L i (cond), M i, L i, M i, L i(final)
+        assert ops(t) == ["L", "M", "L", "M", "L"]
+
+    def test_if_true_branch(self):
+        t = run(
+            [
+                DeclLocal("x", INT, init=Const(1)),
+                DeclLocal("a", INT),
+                DeclLocal("b", INT),
+                StartInstrumentation(),
+                If(
+                    V("x").eq(1),
+                    Block([Assign(V("a"), Const(1))]),
+                    Block([Assign(V("b"), Const(1))]),
+                ),
+            ]
+        )
+        assert names(t) == ["x", "a"]
+
+    def test_if_false_branch(self):
+        t = run(
+            [
+                DeclLocal("x", INT),
+                DeclLocal("a", INT),
+                DeclLocal("b", INT),
+                StartInstrumentation(),
+                If(
+                    V("x").eq(1),
+                    Block([Assign(V("a"), Const(1))]),
+                    Block([Assign(V("b"), Const(1))]),
+                ),
+            ]
+        )
+        assert names(t) == ["x", "b"]
+
+    def test_runaway_loop_guard(self):
+        program = Program()
+        program.add_function(
+            Function(
+                "main",
+                body=[
+                    DeclLocal("i", INT),
+                    While(Const(1), Block([AugAssign(V("i"), "+", Const(1))])),
+                ],
+            )
+        )
+        interp = Interpreter(program, max_steps=1000)
+        with pytest.raises(InterpreterError, match="max_steps"):
+            interp.run()
+
+
+class TestStructAccess:
+    def test_member_store(self, point_struct):
+        t = run(
+            [
+                DeclLocal("p", point_struct),
+                StartInstrumentation(),
+                Assign(V("p").fld("y"), Const(1.5)),
+            ]
+        )
+        assert names(t) == ["p.y"]
+        assert t[0].size == 8
+        assert t[0].scope == "LS"
+
+    def test_nested_member(self):
+        inner = StructType("Inner", [("z", INT)])
+        outer = StructType("Outer", [("a", INT), ("in_", inner)])
+        t = run(
+            [
+                DeclLocal("o", outer),
+                StartInstrumentation(),
+                Assign(V("o").fld("in_").fld("z"), Const(1)),
+            ]
+        )
+        assert names(t) == ["o.in_.z"]
+
+    def test_aggregate_rvalue_rejected(self, point_struct):
+        with pytest.raises(InterpreterError):
+            run(
+                [
+                    DeclLocal("p", point_struct),
+                    DeclLocal("q", point_struct),
+                    StartInstrumentation(),
+                    ExprStmt(V("p") + V("q")),
+                ]
+            )
+
+    def test_global_scope_codes(self, point_struct):
+        t = run(
+            [
+                StartInstrumentation(),
+                Assign(V("gp").fld("x"), Const(1)),
+                Assign(V("gi"), Const(2)),
+            ],
+            globals_=[("gp", point_struct), ("gi", INT)],
+        )
+        assert t[0].scope == "GS"
+        assert t[0].frame is None and t[0].thread is None
+        assert t[1].scope == "GV"

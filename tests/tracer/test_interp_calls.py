@@ -1,0 +1,162 @@
+"""Interpreter tests: function calls, parameters, frames, returns."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.ctypes_model.types import ArrayType, INT, PointerType, StructType
+from repro.tracer.expr import Const, V
+from repro.tracer.interp import trace_program
+from repro.tracer.program import Function, Parameter, Program
+from repro.tracer.stmt import (
+    Assign,
+    Call,
+    CallAssign,
+    DeclLocal,
+    Return,
+    StartInstrumentation,
+)
+from repro.trace.record import AccessType
+
+
+def build(main_body, *funcs):
+    program = Program()
+    for f in funcs:
+        program.add_function(f)
+    program.add_function(Function("main", body=main_body))
+    return trace_program(program, emit_zzq=False)
+
+
+class TestCalls:
+    def test_call_overhead_stores(self):
+        """A call emits the two anonymous 8-byte stores seen in Listing 2
+        (return address attributed to the caller, saved frame pointer to
+        the callee)."""
+        t = build(
+            [StartInstrumentation(), Call("leaf", [])],
+            Function("leaf", body=[Return()]),
+        )
+        anon = [r for r in t if r.var is None]
+        assert [(r.op.value, r.size, r.func) for r in anon] == [
+            ("S", 8, "main"),
+            ("S", 8, "leaf"),
+        ]
+
+    def test_parameter_store_attributed_to_callee(self):
+        t = build(
+            [StartInstrumentation(), Call("f", [Const(3)])],
+            Function("f", params=[Parameter("n", INT)], body=[]),
+        )
+        param_stores = [r for r in t if r.base_name == "n"]
+        assert len(param_stores) == 1
+        assert param_stores[0].op is AccessType.STORE
+        assert param_stores[0].func == "f"
+        assert param_stores[0].scope == "LV"
+        assert param_stores[0].frame == 0
+
+    def test_arg_evaluated_in_caller(self):
+        t = build(
+            [
+                DeclLocal("x", INT),
+                StartInstrumentation(),
+                Call("f", [V("x")]),
+            ],
+            Function("f", params=[Parameter("n", INT)], body=[]),
+        )
+        arg_load = [r for r in t if r.base_name == "x"][0]
+        assert arg_load.func == "main"
+
+    def test_return_value(self):
+        t = build(
+            [
+                DeclLocal("out", INT),
+                DeclLocal("arr", ArrayType(INT, 8)),
+                StartInstrumentation(),
+                CallAssign(V("out"), "five", []),
+                Assign(V("arr")[V("out")], Const(0)),
+            ],
+            Function("five", body=[Return(Const(5))]),
+        )
+        store = [r for r in t if r.base_name == "arr"][0]
+        assert str(store.var) == "arr[5]"
+
+    def test_missing_return_value(self):
+        with pytest.raises(InterpreterError):
+            build(
+                [
+                    DeclLocal("out", INT),
+                    CallAssign(V("out"), "void_fn", []),
+                ],
+                Function("void_fn", body=[]),
+            )
+
+    def test_wrong_arity(self):
+        with pytest.raises(InterpreterError):
+            build([Call("f", [])], Function("f", params=[Parameter("n", INT)], body=[]))
+
+    def test_undefined_function(self):
+        with pytest.raises(InterpreterError):
+            build([Call("ghost", [])])
+
+    def test_recursion_depth_limit(self):
+        with pytest.raises(InterpreterError, match="depth"):
+            build(
+                [Call("r", [])],
+                Function("r", body=[Call("r", [])]),
+            )
+
+
+class TestFrameDistance:
+    def test_callee_writing_callers_array_shows_frame_1(self, point_struct):
+        """The Listing 2 pattern: foo writes main's lcStrcArray through a
+        pointer parameter — the trace shows frame distance 1."""
+        t = build(
+            [
+                DeclLocal("arr", ArrayType(point_struct, 4)),
+                StartInstrumentation(),
+                Call("foo", [V("arr")]),
+            ],
+            Function(
+                "foo",
+                params=[Parameter("P", PointerType("Point"))],
+                body=[Assign(V("P")[Const(0)].fld("x"), Const(7))],
+            ),
+        )
+        writes = [r for r in t if r.base_name == "arr"]
+        assert len(writes) == 1
+        w = writes[0]
+        assert w.func == "foo"
+        assert w.frame == 1
+        assert str(w.var) == "arr[0].x"
+        assert w.scope == "LS"
+
+    def test_pointer_param_load_visible(self, point_struct):
+        """Subscripting a pointer parameter loads the pointer itself
+        (`L StrcParam` in Listing 2)."""
+        t = build(
+            [
+                DeclLocal("arr", ArrayType(point_struct, 4)),
+                StartInstrumentation(),
+                Call("foo", [V("arr")]),
+            ],
+            Function(
+                "foo",
+                params=[Parameter("P", PointerType("Point"))],
+                body=[Assign(V("P")[Const(1)].fld("x"), Const(7))],
+            ),
+        )
+        ptr_loads = [r for r in t if r.base_name == "P" and r.op is AccessType.LOAD]
+        assert len(ptr_loads) == 1
+        assert ptr_loads[0].size == 8
+
+    def test_local_addresses_reused_across_calls(self):
+        t = build(
+            [
+                StartInstrumentation(),
+                Call("f", []),
+                Call("f", []),
+            ],
+            Function("f", body=[DeclLocal("i", INT, init=Const(1))]),
+        )
+        stores = [r for r in t if r.base_name == "i"]
+        assert len(stores) == 2
+        assert stores[0].addr == stores[1].addr

@@ -1,0 +1,229 @@
+"""Additional interpreter semantics: values, conversions, control flow."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.ctypes_model.types import (
+    ArrayType,
+    DOUBLE,
+    FLOAT,
+    INT,
+    PointerType,
+    StructType,
+)
+from repro.tracer.expr import AddrOf, Cast, Const, V
+from repro.tracer.interp import trace_program
+from repro.tracer.program import Function, Parameter, Program
+from repro.tracer.stmt import (
+    Assign,
+    AugAssign,
+    Block,
+    Call,
+    CallAssign,
+    DeclLocal,
+    If,
+    Return,
+    StartInstrumentation,
+    While,
+    simple_for,
+)
+from repro.trace.record import AccessType
+
+
+def run(body, *funcs, structs=()):
+    program = Program()
+    for tag, t in structs:
+        program.register_struct(tag, t)
+    for f in funcs:
+        program.add_function(f)
+    program.add_function(Function("main", body=body))
+    return trace_program(program, emit_zzq=False)
+
+
+def stores_of(trace, base):
+    return [
+        str(r.var) for r in trace if r.base_name == base and r.op is AccessType.STORE
+    ]
+
+
+class TestNumericSemantics:
+    def test_float_comparison_in_if(self):
+        t = run(
+            [
+                DeclLocal("d", DOUBLE, init=Const(2.5)),
+                DeclLocal("hit", INT),
+                StartInstrumentation(),
+                If(V("d").gt(2.0), Block([Assign(V("hit"), Const(1))])),
+            ]
+        )
+        assert stores_of(t, "hit") == ["hit"]
+
+    def test_float_arithmetic_flows(self):
+        t = run(
+            [
+                DeclLocal("f", FLOAT, init=Const(1.5)),
+                DeclLocal("arr", ArrayType(INT, 8)),
+                StartInstrumentation(),
+                Assign(V("arr")[Cast(INT, V("f") * 2)], Const(0)),
+            ]
+        )
+        assert stores_of(t, "arr") == ["arr[3]"]
+
+    def test_negative_c_division(self):
+        t = run(
+            [
+                DeclLocal("x", INT, init=Const(-7)),
+                DeclLocal("arr", ArrayType(INT, 8)),
+                StartInstrumentation(),
+                # C: -7 / 2 == -3 (truncation), so -(x/2) - 1 == 2
+                Assign(V("arr")[Const(0) - (V("x") / 2) - 1], Const(0)),
+            ]
+        )
+        assert stores_of(t, "arr") == ["arr[2]"]
+
+    def test_augassign_compound_ops(self):
+        t = run(
+            [
+                DeclLocal("x", INT, init=Const(10)),
+                DeclLocal("arr", ArrayType(INT, 32)),
+                StartInstrumentation(),
+                AugAssign(V("x"), "*", Const(3)),   # 30
+                AugAssign(V("x"), "-", Const(5)),   # 25
+                AugAssign(V("x"), "/", Const(2)),   # 12
+                Assign(V("arr")[V("x")], Const(0)),
+            ]
+        )
+        assert stores_of(t, "arr") == ["arr[12]"]
+
+
+class TestPointerSemantics:
+    def test_pointer_truthiness_in_while(self):
+        point = StructType("P", [("x", INT)])
+        t = run(
+            [
+                DeclLocal("s", point),
+                DeclLocal("p", PointerType("P")),
+                Assign(V("p"), AddrOf(V("s"))),
+                StartInstrumentation(),
+                While(
+                    V("p").ne(Const(0)),
+                    Block(
+                        [
+                            Assign(V("p").arrow("x"), Const(1)),
+                            Assign(V("p"), Const(0)),  # null out -> exit
+                        ]
+                    ),
+                ),
+            ],
+            structs=[("P", point)],
+        )
+        assert stores_of(t, "s") == ["s.x"]
+
+    def test_pointer_difference(self):
+        t = run(
+            [
+                DeclLocal("a", ArrayType(DOUBLE, 16)),
+                DeclLocal("arr", ArrayType(INT, 16)),
+                StartInstrumentation(),
+                # (&a[5] - &a[2]) == 3 elements
+                Assign(
+                    V("arr")[AddrOf(V("a")[Const(5)]) - AddrOf(V("a")[Const(2)])],
+                    Const(0),
+                ),
+            ]
+        )
+        assert stores_of(t, "arr") == ["arr[3]"]
+
+    def test_call_returning_pointer(self):
+        point = StructType("P", [("x", INT)])
+        t = run(
+            [
+                DeclLocal("s", point),
+                DeclLocal("p", PointerType("P")),
+                StartInstrumentation(),
+                CallAssign(V("p"), "pick", [V("s").addr()]),
+                Assign(V("p").arrow("x"), Const(9)),
+            ],
+            Function(
+                "pick",
+                params=[Parameter("q", PointerType("P"))],
+                body=[Return(V("q"))],
+            ),
+            structs=[("P", point)],
+        )
+        assert stores_of(t, "s") == ["s.x"]
+
+    def test_comparison_of_pointer_and_int(self):
+        t = run(
+            [
+                DeclLocal("a", ArrayType(INT, 4)),
+                DeclLocal("flag", INT),
+                StartInstrumentation(),
+                If(
+                    AddrOf(V("a")).ne(Const(0)),
+                    Block([Assign(V("flag"), Const(1))]),
+                ),
+            ]
+        )
+        assert stores_of(t, "flag") == ["flag"]
+
+
+class TestScoping:
+    def test_inner_function_shadows_variable(self):
+        t = run(
+            [
+                DeclLocal("v", INT, init=Const(1)),
+                StartInstrumentation(),
+                Call("f", []),
+            ],
+            Function(
+                "f",
+                body=[
+                    DeclLocal("v", INT),
+                    Assign(V("v"), Const(2)),
+                ],
+            ),
+        )
+        f_stores = [
+            r for r in t if r.base_name == "v" and r.op is AccessType.STORE
+            and r.func == "f"
+        ]
+        assert len(f_stores) == 1
+        assert f_stores[0].frame == 0  # its own v, not main's
+
+    def test_global_visible_in_all_functions(self):
+        program = Program()
+        program.add_global("g", INT)
+        program.add_function(
+            Function("f", body=[Assign(V("g"), Const(1))])
+        )
+        program.add_function(
+            Function(
+                "main",
+                body=[StartInstrumentation(), Call("f", [])],
+            )
+        )
+        t = trace_program(program, emit_zzq=False)
+        g_store = [r for r in t if r.base_name == "g"][0]
+        assert g_store.scope == "GV"
+        assert g_store.func == "f"
+
+    def test_nested_loops_independent_counters(self):
+        t = run(
+            [
+                DeclLocal("m", ArrayType(ArrayType(INT, 3), 2)),
+                DeclLocal("i", INT),
+                DeclLocal("j", INT),
+                StartInstrumentation(),
+                *simple_for(
+                    "i",
+                    0,
+                    2,
+                    simple_for("j", 0, 3, [Assign(V("m")[V("i")][V("j")], Const(0))]),
+                ),
+            ]
+        )
+        assert stores_of(t, "m") == [
+            "m[0][0]", "m[0][1]", "m[0][2]",
+            "m[1][0]", "m[1][1]", "m[1][2]",
+        ]

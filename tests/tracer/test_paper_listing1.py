@@ -1,0 +1,121 @@
+"""Validate the tracer against the paper's Listing 1 / Listing 2 pair.
+
+These tests pin down the trace *shape* the paper prints: the global scalar
+store, the loop pattern, the call-overhead stores, foo's global structure
+writes with element offsets, and the frame-1 accesses through the
+structure parameter.
+"""
+
+import pytest
+
+from repro.tracer.interp import trace_program
+from repro.trace.record import AccessType
+from repro.workloads.paper_kernels import listing1_program
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return trace_program(listing1_program())
+
+
+def lines(trace):
+    return [
+        (r.op.value, r.func, r.scope, r.frame, str(r.var) if r.var else None)
+        for r in trace
+    ]
+
+
+class TestListing2Shape:
+    def test_starts_with_zzq_artifact(self, trace):
+        assert trace[0].op is AccessType.STORE
+        assert str(trace[0].var) == "_zzq_result"
+        assert trace[1].op is AccessType.LOAD
+        assert trace[1].var is None
+
+    def test_global_scalar_store(self, trace):
+        """`glScalar = 321;` -> `S ... main GV glScalar` without frame."""
+        row = [r for r in trace if r.base_name == "glScalar"][0]
+        assert row.op is AccessType.STORE
+        assert row.scope == "GV"
+        assert row.frame is None and row.thread is None
+
+    def test_main_loop_writes_lcarray(self, trace):
+        stores = [r for r in trace if r.base_name == "lcArray"]
+        assert [str(r.var) for r in stores] == ["lcArray[0]", "lcArray[1]"]
+        assert all(r.scope == "LS" and r.frame == 0 for r in stores)
+
+    def test_call_overhead_anonymous_stores(self, trace):
+        """Listing 2 lines 18-19: `S ... main` then `S ... foo`."""
+        anon = [r for r in trace if r.var is None and r.op is AccessType.STORE]
+        assert [(r.func, r.size) for r in anon] == [("main", 8), ("foo", 8)]
+
+    def test_strcparam_store_on_entry(self, trace):
+        row = [
+            r
+            for r in trace
+            if r.base_name == "StrcParam" and r.op is AccessType.STORE
+        ][0]
+        assert row.func == "foo"
+        assert row.scope == "LV"
+        assert row.size == 8
+
+    def test_foo_writes_global_struct_array_elements(self, trace):
+        stores = [
+            r
+            for r in trace
+            if r.base_name == "glStructArray" and r.op is AccessType.STORE
+        ]
+        assert [str(r.var) for r in stores] == [
+            "glStructArray[0].dl",
+            "glStructArray[0].myArray[0]",
+            "glStructArray[1].dl",
+            "glStructArray[1].myArray[1]",
+        ]
+        assert all(r.scope == "GS" for r in stores)
+
+    def test_foo_reads_glarray_shifted_index(self, trace):
+        """`glStructArray[i].myArray[i] = glArray[i+1]` reads glArray[1],
+        glArray[2] (plus glArray[0], glArray[1] for StrcParam line)."""
+        loads = [
+            str(r.var)
+            for r in trace
+            if r.base_name == "glArray" and r.op is AccessType.LOAD
+        ]
+        assert loads == ["glArray[1]", "glArray[0]", "glArray[2]", "glArray[1]"]
+
+    def test_frame_distance_1_for_callers_array(self, trace):
+        """`StrcParam[i].dl = ...` writes main's lcStrcArray at frame 1."""
+        stores = [
+            r
+            for r in trace
+            if r.base_name == "lcStrcArray" and r.op is AccessType.STORE
+        ]
+        assert [str(r.var) for r in stores] == [
+            "lcStrcArray[0].dl",
+            "lcStrcArray[1].dl",
+        ]
+        assert all(r.frame == 1 and r.func == "foo" and r.scope == "LS" for r in stores)
+
+    def test_pointer_param_loads_before_indirect_store(self, trace):
+        """Each StrcParam[i].dl store is preceded by an `L StrcParam`."""
+        records = list(trace)
+        for i, r in enumerate(records):
+            if r.base_name == "lcStrcArray" and r.op is AccessType.STORE:
+                window = records[max(0, i - 4) : i]
+                assert any(
+                    w.base_name == "StrcParam" and w.op is AccessType.LOAD
+                    for w in window
+                )
+
+    def test_loop_index_traffic_dominates(self, trace):
+        """Like the paper's traces, loop-index loads dominate the trace."""
+        i_accesses = [r for r in trace if r.base_name == "i"]
+        assert len(i_accesses) > len(trace) / 3
+
+    def test_addresses_look_like_the_paper(self, trace):
+        """Globals near 0x601xxx, locals near 0x7ffxxxxxx."""
+        for r in trace:
+            if r.scope in ("GV", "GS"):
+                assert 0x601000 <= r.addr < 0x700000
+            if r.scope in ("LV", "LS"):
+                assert 0x7FE000000 <= r.addr <= 0x7FF000200

@@ -1,0 +1,212 @@
+"""Tests for the transformation advisor and the flat hot/cold split."""
+
+import pytest
+
+from repro.ctypes_model.types import ArrayType, DOUBLE, INT, PointerType, StructType
+from repro.errors import RuleError
+from repro.trace.record import AccessType
+from repro.tracer.expr import Const, V
+from repro.tracer.interp import trace_program
+from repro.tracer.program import Function, Program
+from repro.tracer.stmt import (
+    Assign,
+    AugAssign,
+    DeclLocal,
+    StartInstrumentation,
+    simple_for,
+)
+from repro.transform.advisor import (
+    AdvisorError,
+    field_affinity,
+    field_usage,
+    suggest_field_order,
+    suggest_hot_cold_split,
+)
+from repro.transform.engine import transform_trace
+from repro.transform.rule_parser import parse_rules
+from repro.transform.rules import HotColdSplitRule
+
+N = 64
+
+
+def particle_layout():
+    return ArrayType(
+        StructType(
+            "parts",
+            [
+                ("x", DOUBLE),
+                ("vx", DOUBLE),
+                ("mass", DOUBLE),
+                ("charge", DOUBLE),
+                ("id", INT),
+            ],
+        ),
+        N,
+    )
+
+
+@pytest.fixture(scope="module")
+def hot_cold_trace():
+    layout = particle_layout()
+    body = [
+        DeclLocal("parts", layout),
+        DeclLocal("i", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "i",
+            0,
+            N,
+            [AugAssign(V("parts")[V("i")].fld("x"), "+", V("parts")[V("i")].fld("vx"))],
+        ),
+        *simple_for("i", 0, 4, [Assign(V("parts")[V("i")].fld("mass"), V("i"))]),
+    ]
+    program = Program()
+    program.add_function(Function("main", body=body))
+    return trace_program(program)
+
+
+class TestUsageAndAffinity:
+    def test_field_usage(self, hot_cold_trace):
+        usage = field_usage(hot_cold_trace, "parts")
+        assert usage["x"] == N
+        assert usage["vx"] == N
+        assert usage["mass"] == 4
+        assert "charge" not in usage
+
+    def test_affinity_pairs_co_accessed_fields(self, hot_cold_trace):
+        affinity = field_affinity(hot_cold_trace, "parts", window=4)
+        assert affinity[frozenset(("x", "vx"))] > 0
+        assert affinity.get(frozenset(("x", "mass")), 0) <= 1
+
+    def test_unknown_variable_empty(self, hot_cold_trace):
+        assert field_usage(hot_cold_trace, "ghost") == {}
+
+
+class TestHotColdSuggestion:
+    def test_split_identified(self, hot_cold_trace):
+        suggestion = suggest_hot_cold_split(
+            hot_cold_trace, "parts", particle_layout()
+        )
+        assert set(suggestion.hot) == {"x", "vx"}
+        assert set(suggestion.cold) == {"mass", "charge", "id"}
+
+    def test_rule_text_round_trips_through_engine(self, hot_cold_trace):
+        layout = particle_layout()
+        suggestion = suggest_hot_cold_split(hot_cold_trace, "parts", layout)
+        rules = parse_rules(suggestion.rule_text(layout))
+        result = transform_trace(hot_cold_trace, rules)
+        assert result.report.uncovered == 0
+        assert result.report.transformed == 2 * N + 4
+        # cold accesses gained the pointer indirection
+        assert result.report.inserted == 4
+        pool = [r for r in result.trace if r.base_name == "parts_coldPool"]
+        assert all(str(r.var).endswith(".mass") for r in pool)
+
+    def test_transformed_hot_loop_improves(self, hot_cold_trace):
+        from repro.cache.config import CacheConfig
+        from repro.cache.simulator import simulate
+
+        layout = particle_layout()
+        suggestion = suggest_hot_cold_split(hot_cold_trace, "parts", layout)
+        rules = parse_rules(suggestion.rule_text(layout))
+        cfg = CacheConfig(size=1024, block_size=64, associativity=2)
+        before = simulate(hot_cold_trace, cfg).stats.by_variable["parts"]
+        after = simulate(
+            transform_trace(hot_cold_trace, rules).trace, cfg
+        ).stats.by_variable["parts_hot"]
+        assert after.misses < before.misses
+
+    def test_no_split_when_all_hot(self):
+        layout = ArrayType(StructType("s", [("a", INT), ("b", INT)]), 8)
+        body = [
+            DeclLocal("s", layout),
+            DeclLocal("i", INT),
+            StartInstrumentation(),
+            *simple_for(
+                "i",
+                0,
+                8,
+                [
+                    Assign(V("s")[V("i")].fld("a"), V("i")),
+                    Assign(V("s")[V("i")].fld("b"), V("i")),
+                ],
+            ),
+        ]
+        program = Program()
+        program.add_function(Function("main", body=body))
+        trace = trace_program(program)
+        assert suggest_hot_cold_split(trace, "s", layout) is None
+
+    def test_none_on_untouched_variable(self, hot_cold_trace):
+        layout = particle_layout()
+        assert suggest_hot_cold_split(hot_cold_trace, "ghost", layout) is None
+
+
+class TestFieldOrderSuggestion:
+    def test_hot_fields_lead(self, hot_cold_trace):
+        order = suggest_field_order(hot_cold_trace, "parts", particle_layout())
+        assert set(order.order[:2]) == {"x", "vx"}
+        assert set(order.order) == {"x", "vx", "mass", "charge", "id"}
+
+    def test_rule_text_parses_and_applies(self, hot_cold_trace):
+        layout = particle_layout()
+        order = suggest_field_order(hot_cold_trace, "parts", layout)
+        rules = parse_rules(order.rule_text(layout))
+        result = transform_trace(hot_cold_trace, rules)
+        assert result.report.uncovered == 0
+        assert result.report.transformed == 2 * N + 4
+
+    def test_scalar_layout_rejected(self, hot_cold_trace):
+        with pytest.raises(AdvisorError):
+            suggest_field_order(hot_cold_trace, "parts", INT)
+
+
+class TestHotColdSplitRule:
+    def _types(self):
+        in_t = ArrayType(
+            StructType("s", [("h", INT), ("c", DOUBLE)]), 4
+        )
+        out_t = ArrayType(
+            StructType("s_hot", [("h", INT), ("p", PointerType("pool"))]), 4
+        )
+        pool_t = ArrayType(StructType("pool", [("c", DOUBLE)]), 4)
+        return in_t, out_t, pool_t
+
+    def test_validation_covers_all_fields(self):
+        in_t, out_t, pool_t = self._types()
+        rule = HotColdSplitRule("s", in_t, "s_hot", out_t, "pool", pool_t, "p")
+        assert rule.out_names() == ("s_hot", "pool")
+
+    def test_overlapping_hot_cold_rejected(self):
+        in_t = ArrayType(StructType("s", [("h", INT), ("c", DOUBLE)]), 4)
+        out_t = ArrayType(
+            StructType("o", [("h", INT), ("c", DOUBLE), ("p", PointerType("pool"))]),
+            4,
+        )
+        pool_t = ArrayType(StructType("pool", [("c", DOUBLE)]), 4)
+        with pytest.raises(RuleError):
+            HotColdSplitRule("s", in_t, "o", out_t, "pool", pool_t, "p")
+
+    def test_missing_field_rejected(self):
+        in_t = ArrayType(
+            StructType("s", [("h", INT), ("c", DOUBLE), ("extra", INT)]), 4
+        )
+        out_t = ArrayType(
+            StructType("o", [("h", INT), ("p", PointerType("pool"))]), 4
+        )
+        pool_t = ArrayType(StructType("pool", [("c", DOUBLE)]), 4)
+        with pytest.raises(RuleError):
+            HotColdSplitRule("s", in_t, "o", out_t, "pool", pool_t, "p")
+
+    def test_cold_access_inserts_pointer_load(self):
+        from repro.ctypes_model.path import Field, Index
+
+        in_t, out_t, pool_t = self._types()
+        rule = HotColdSplitRule("s", in_t, "s_hot", out_t, "pool", pool_t, "p")
+        tr = rule.translate((Index(2), Field("c")))
+        assert tr.target.alloc == "pool"
+        assert len(tr.inserts) == 1
+        assert tr.inserts[0].mapped.alloc == "s_hot"
+        hot = rule.translate((Index(1), Field("h")))
+        assert hot.target.alloc == "s_hot"
+        assert hot.inserts == ()

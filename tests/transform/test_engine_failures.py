@@ -1,0 +1,108 @@
+"""Failure injection: the engine's anomaly detection and strict mode."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace
+from repro.transform.engine import TransformEngine, transform_trace
+from repro.transform.paper_rules import rule_t1
+
+
+def _soa_record(path, addr, size=4, op=AccessType.STORE):
+    return TraceRecord(
+        op, addr, size, "main",
+        scope="LS", frame=0, thread=1,
+        var=VariablePath.parse(path),
+    )
+
+
+BASE = 0x7FF000000
+
+
+def good_trace():
+    """Consistent lSoA accesses for a 16-element rule (mX at 0, mY at 64)."""
+    return Trace(
+        [
+            _soa_record("lSoA.mX[0]", BASE + 0),
+            _soa_record("lSoA.mX[1]", BASE + 4),
+            _soa_record("lSoA.mY[0]", BASE + 64, size=8),
+        ]
+    )
+
+
+class TestAnomalyCounting:
+    def test_clean_trace_no_anomalies(self):
+        result = transform_trace(good_trace(), rule_t1(16))
+        assert result.report.size_mismatches == 0
+        assert result.report.base_inconsistencies == 0
+
+    def test_size_mismatch_counted(self):
+        trace = Trace([_soa_record("lSoA.mX[0]", BASE, size=8)])
+        result = transform_trace(trace, rule_t1(16))
+        assert result.report.size_mismatches == 1
+        # still transformed (lenient mode)
+        assert result.report.transformed == 1
+
+    def test_size_mismatch_strict_raises(self):
+        trace = Trace([_soa_record("lSoA.mX[0]", BASE, size=8)])
+        with pytest.raises(TransformError, match="size"):
+            transform_trace(trace, rule_t1(16), strict=True)
+
+    def test_base_inconsistency_counted(self):
+        trace = Trace(
+            [
+                _soa_record("lSoA.mX[0]", BASE),
+                # mX[1] should be at BASE+4; corrupt it.
+                _soa_record("lSoA.mX[1]", BASE + 400),
+            ]
+        )
+        result = transform_trace(trace, rule_t1(16))
+        assert result.report.base_inconsistencies == 1
+
+    def test_base_inconsistency_strict_raises(self):
+        trace = Trace(
+            [
+                _soa_record("lSoA.mX[0]", BASE),
+                _soa_record("lSoA.mX[1]", BASE + 400),
+            ]
+        )
+        with pytest.raises(TransformError, match="base"):
+            transform_trace(trace, rule_t1(16), strict=True)
+
+    def test_unresolvable_path_is_uncovered_not_fatal(self):
+        trace = Trace([_soa_record("lSoA.mZ[0]", BASE)])
+        result = transform_trace(trace, rule_t1(16), strict=True)
+        assert result.report.uncovered == 1
+
+    def test_engine_reuse_rejected_allocations(self):
+        """Two rules producing the same out object collide."""
+        from repro.errors import RuleError, TransformError
+        from repro.transform.rules import RuleSet
+
+        rs1 = rule_t1(16)
+        rs2 = rule_t1(16)
+        combined = RuleSet()
+        combined.add(list(rs1)[0])
+        with pytest.raises(RuleError):
+            combined.add(list(rs2)[0])  # duplicate in-name
+
+
+class TestArenaPlacement:
+    def test_arena_does_not_collide_with_trace_addresses(self):
+        trace = good_trace()
+        result = transform_trace(trace, rule_t1(16))
+        lo, hi = trace.address_range()
+        for base in result.allocations.values():
+            assert base > hi or base + 256 < lo
+
+    def test_custom_arena_base_respected(self):
+        result = transform_trace(
+            good_trace(), rule_t1(16), arena_base=0x9000_0000
+        )
+        assert result.allocations["lAoS"] == 0x9000_0000
+
+    def test_alignment_of_allocations(self):
+        result = transform_trace(good_trace(), rule_t1(16))
+        assert result.allocations["lAoS"] % 8 == 0

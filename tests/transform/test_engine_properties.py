@@ -1,0 +1,94 @@
+"""Property-based tests for the transformation engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctypes_model.path import Field, Index
+from repro.ctypes_model.types import ArrayType, DOUBLE, INT, LONG, SHORT, StructType
+from repro.transform.formula import IndexFormula
+from repro.transform.rules import LayoutRule, StrideRule, leaf_key
+
+_PRIMS = st.sampled_from([SHORT, INT, LONG, DOUBLE])
+
+
+@st.composite
+def soa_aos_pair(draw):
+    """A random SoA struct and its AoS counterpart."""
+    n_fields = draw(st.integers(1, 4))
+    length = draw(st.integers(1, 12))
+    names = [f"m{chr(65 + i)}" for i in range(n_fields)]
+    types = [draw(_PRIMS) for _ in range(n_fields)]
+    soa = StructType(
+        "in_s", [(nm, ArrayType(t, length)) for nm, t in zip(names, types)]
+    )
+    aos = ArrayType(StructType("e", list(zip(names, types))), length)
+    return soa, aos, names, length
+
+
+class TestLayoutRuleProperties:
+    @given(soa_aos_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_mapping_is_bijective(self, pair):
+        soa, aos, names, length = pair
+        rule = LayoutRule("A", soa, "B", aos)
+        targets = set()
+        for elements, offset, leaf in soa.iter_leaves():
+            tr = rule.translate(elements)
+            assert tr is not None
+            key = (tr.target.offset, tr.target.size)
+            assert key not in targets
+            targets.add(key)
+        assert len(targets) == sum(1 for _ in soa.iter_leaves())
+
+    @given(soa_aos_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_target_offsets_in_bounds_and_aligned(self, pair):
+        soa, aos, names, length = pair
+        rule = LayoutRule("A", soa, "B", aos)
+        for elements, offset, leaf in soa.iter_leaves():
+            tr = rule.translate(elements)
+            assert 0 <= tr.target.offset
+            assert tr.target.offset + tr.target.size <= aos.size
+            assert tr.target.offset % leaf.alignment == 0
+
+    @given(soa_aos_pair())
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_through_reverse_rule(self, pair):
+        """Applying the forward rule then the reverse rule is identity on
+        (field names, indices)."""
+        soa, aos, names, length = pair
+        fwd = LayoutRule("A", soa, "B", aos)
+        rev = LayoutRule("B", aos, "A", soa)
+        for elements, offset, leaf in soa.iter_leaves():
+            mid = fwd.translate(elements)
+            back = rev.translate(mid.target.elements)
+            assert leaf_key(back.target.elements) == leaf_key(elements)
+            r_off, r_leaf = soa.resolve(back.target.elements)
+            assert r_off == offset
+
+
+class TestStrideRuleProperties:
+    @given(
+        st.integers(1, 64),
+        st.integers(2, 16),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_paper_formula_family_is_injective(self, length, sets, ipl):
+        formula = IndexFormula(
+            f"(i/{ipl})*({sets}*{ipl})+(i%{ipl})"
+        )
+        rule = StrideRule(
+            "a",
+            ArrayType(INT, length),
+            "b",
+            formula.max_index(length) + 1,
+            formula,
+        )
+        seen = set()
+        for i in range(length):
+            tr = rule.translate((Index(i),))
+            target = tr.target.elements[0].value
+            assert target not in seen
+            seen.add(target)
+            assert tr.target.offset == target * 4

@@ -1,0 +1,141 @@
+"""Engine tests for transformation T1 (SoA -> AoS) — the Figure 5 claims."""
+
+import pytest
+
+from repro.trace.diff import diff_traces
+from repro.trace.record import AccessType
+from repro.tracer.interp import trace_program
+from repro.transform.engine import TransformEngine, transform_trace
+from repro.transform.paper_rules import rule_t1
+from repro.workloads.paper_kernels import paper_kernel
+
+
+@pytest.fixture(scope="module")
+def t1_result():
+    trace = trace_program(paper_kernel("1a", length=16))
+    return transform_trace(trace, rule_t1(16))
+
+
+class TestT1Transformation:
+    def test_every_soa_access_transformed(self, t1_result):
+        assert t1_result.report.transformed == 32  # 16 mX + 16 mY stores
+        assert t1_result.report.uncovered == 0
+        assert t1_result.report.inserted == 0
+
+    def test_line_count_preserved(self, t1_result):
+        assert len(t1_result.trace) == len(t1_result.original)
+
+    def test_no_soa_references_remain(self, t1_result):
+        assert all(r.base_name != "lSoA" for r in t1_result.trace)
+
+    def test_variable_paths_renamed(self, t1_result):
+        news = [str(r.var) for r in t1_result.trace if r.base_name == "lAoS"]
+        assert news[0] == "lAoS[0].mX"
+        assert news[1] == "lAoS[0].mY"
+        assert news[-1] == "lAoS[15].mY"
+
+    def test_addresses_interleave_like_aos(self, t1_result):
+        """In the transformed trace mX[i] and mY[i] are 8 bytes apart and
+        consecutive iterations are 16 bytes apart (the AoS stride)."""
+        stores = [
+            r
+            for r in t1_result.trace
+            if r.base_name == "lAoS" and r.op is AccessType.STORE
+        ]
+        base = t1_result.allocations["lAoS"]
+        for i in range(16):
+            assert stores[2 * i].addr == base + 16 * i
+            assert stores[2 * i + 1].addr == base + 16 * i + 8
+
+    def test_untouched_lines_identical(self, t1_result):
+        originals = [r for r in t1_result.original if r.base_name != "lSoA"]
+        news = [r for r in t1_result.trace if r.base_name != "lAoS"]
+        assert originals == news
+
+    def test_ops_sizes_functions_preserved(self, t1_result):
+        olds = [r for r in t1_result.original if r.base_name == "lSoA"]
+        news = [r for r in t1_result.trace if r.base_name == "lAoS"]
+        for old, new in zip(olds, news):
+            assert old.op is new.op
+            assert old.size == new.size
+            assert old.func == new.func
+            assert old.frame == new.frame
+            assert old.thread == new.thread
+
+
+class TestFigure5Equivalence:
+    """The simulator-transformed 1A trace must match a natively-traced 1B
+    program field-for-field, modulo base addresses (Figure 5)."""
+
+    def test_transformed_equals_native_1b_modulo_base(self, t1_result):
+        native = trace_program(paper_kernel("1b", length=16))
+        diff = diff_traces(t1_result.trace, native)
+        # Every line aligns 1:1 (no inserts/deletes) ...
+        assert diff.inserted == 0
+        assert diff.deleted == 0
+        # ... symbolised lines agree on the variable path exactly ...
+        deltas = set()
+        for ours, theirs in diff.changed_pairs():
+            if ours.var is not None or theirs.var is not None:
+                assert str(ours.var) == str(theirs.var)
+            assert ours.op is theirs.op
+            assert ours.size == theirs.size
+            if ours.base_name == "lAoS":
+                deltas.add(ours.addr - theirs.addr)
+        # ... and all lAoS addresses differ by one constant base offset.
+        assert len(deltas) <= 1
+
+    def test_per_element_layout_matches_native(self, t1_result):
+        """Offsets from the structure base agree with the native layout."""
+        native = trace_program(paper_kernel("1b", length=16))
+        ours_stores = [
+            r for r in t1_result.trace if r.base_name == "lAoS" and r.op is AccessType.STORE
+        ]
+        native_stores = [
+            r for r in native if r.base_name == "lAoS" and r.op is AccessType.STORE
+        ]
+        ours_base = min(r.addr for r in ours_stores)
+        native_base = min(r.addr for r in native_stores)
+        assert [r.addr - ours_base for r in ours_stores] == [
+            r.addr - native_base for r in native_stores
+        ]
+
+
+class TestEngineBehaviours:
+    def test_ignores_out_structure_lines(self):
+        """Feeding an already-transformed trace back through the engine
+        leaves it untouched (paper: mapping is not bi-directional)."""
+        trace = trace_program(paper_kernel("1a", length=16))
+        once = transform_trace(trace, rule_t1(16))
+        engine = TransformEngine(rule_t1(16))
+        twice = engine.transform(once.trace)
+        assert list(twice.trace) == list(once.trace)
+        assert engine.report.transformed == 0
+        assert engine.report.ignored_out == 32
+
+    def test_report_counts_consistent(self, t1_result):
+        rep = t1_result.report
+        assert rep.total == len(t1_result.original)
+        assert (
+            rep.transformed + rep.passthrough + rep.ignored_out + rep.uncovered
+            == rep.total
+        )
+        assert len(t1_result.trace) == rep.total + rep.inserted
+
+    def test_write_transformed_trace(self, t1_result, tmp_path):
+        out = t1_result.write(tmp_path / "transformed_trace.out")
+        from repro.trace.stream import Trace
+
+        assert Trace.load(out) == t1_result.trace
+
+    def test_strict_mode_passes_on_clean_trace(self):
+        trace = trace_program(paper_kernel("1a", length=16))
+        result = transform_trace(trace, rule_t1(16), strict=True)
+        assert result.report.transformed == 32
+
+    def test_wrong_length_rule_counts_uncovered(self):
+        """A rule sized for 8 elements leaves accesses beyond it alone."""
+        trace = trace_program(paper_kernel("1a", length=16))
+        result = transform_trace(trace, rule_t1(8))
+        assert result.report.transformed == 16
+        assert result.report.uncovered == 16

@@ -1,0 +1,125 @@
+"""Engine tests for transformation T2 (outlining) — the Figure 8 claims."""
+
+import pytest
+
+from repro.trace.record import AccessType
+from repro.tracer.interp import trace_program
+from repro.transform.engine import transform_trace
+from repro.transform.paper_rules import rule_t2
+from repro.workloads.paper_kernels import paper_kernel
+
+LENGTH = 16
+
+
+@pytest.fixture(scope="module")
+def t2_result():
+    trace = trace_program(paper_kernel("2a", length=LENGTH))
+    return transform_trace(trace, rule_t2(LENGTH))
+
+
+class TestT2Transformation:
+    def test_counts(self, t2_result):
+        # 3 stores per element: 1 hot + 2 cold.
+        assert t2_result.report.transformed == 3 * LENGTH
+        # One pointer load inserted per cold access.
+        assert t2_result.report.inserted == 2 * LENGTH
+
+    def test_hot_accesses_relocate_to_ls2(self, t2_result):
+        hot = [
+            str(r.var)
+            for r in t2_result.trace
+            if r.base_name == "lS2" and r.op is AccessType.STORE
+        ]
+        assert hot == [f"lS2[{i}].mFrequentlyUsed" for i in range(LENGTH)]
+
+    def test_cold_accesses_relocate_to_storage(self, t2_result):
+        cold = [
+            str(r.var)
+            for r in t2_result.trace
+            if r.base_name == "lStorageForRarelyUsed"
+        ]
+        expected = []
+        for i in range(LENGTH):
+            expected.append(f"lStorageForRarelyUsed[{i}].mY")
+            expected.append(f"lStorageForRarelyUsed[{i}].mZ")
+        assert cold == expected
+
+    def test_pointer_load_precedes_every_cold_access(self, t2_result):
+        """The Figure 8 highlight: each outlined access is immediately
+        preceded by `L lS2[i].mRarelyUsed` (8 bytes)."""
+        records = list(t2_result.trace)
+        for idx, r in enumerate(records):
+            if r.base_name == "lStorageForRarelyUsed":
+                prev = records[idx - 1]
+                assert prev.op is AccessType.LOAD
+                assert prev.size == 8
+                i = r.var.elements[0].value
+                assert str(prev.var) == f"lS2[{i}].mRarelyUsed"
+
+    def test_pointer_loads_hit_the_pointer_slot_address(self, t2_result):
+        base = t2_result.allocations["lS2"]
+        loads = [
+            r
+            for r in t2_result.trace
+            if r.base_name == "lS2" and r.op is AccessType.LOAD
+        ]
+        # out struct: int (offset 0, pad) pointer at offset 8, stride 16.
+        for load in loads:
+            i = load.var.elements[0].value
+            assert load.addr == base + 16 * i + 8
+
+    def test_no_ls1_references_remain(self, t2_result):
+        assert all(r.base_name != "lS1" for r in t2_result.trace)
+
+    def test_trace_grew_by_insertions(self, t2_result):
+        assert len(t2_result.trace) == len(t2_result.original) + 2 * LENGTH
+
+
+class TestNativeComparison:
+    """Cross-validate against the natively traced hand-transformed 2B."""
+
+    def test_same_access_multiset_per_iteration(self, t2_result):
+        native = trace_program(paper_kernel("2b", length=LENGTH))
+        # Compare the multiset of (op, size, var-kind) of structure accesses.
+        def profile(trace, outer, storage):
+            out = []
+            for r in trace:
+                if r.base_name == outer:
+                    kind = "ptr" if r.op is AccessType.LOAD else "hot"
+                    out.append((r.op.value, r.size, kind, str(r.var)))
+                elif r.base_name == storage:
+                    out.append((r.op.value, r.size, "cold", str(r.var)))
+            return out
+
+        ours = profile(t2_result.trace, "lS2", "lStorageForRarelyUsed")
+        theirs = profile(native, "lS2", "lStorageForRarelyUsed")
+        assert sorted(ours) == sorted(theirs)
+
+    def test_same_relative_layout_as_native(self, t2_result):
+        """Element offsets inside lS2 and the storage pool match the
+        natively compiled layout."""
+        native = trace_program(paper_kernel("2b", length=LENGTH))
+
+        def offsets(trace, base_name):
+            addrs = [r.addr for r in trace if r.base_name == base_name]
+            base = min(addrs)
+            return [a - base for a in addrs]
+
+        assert offsets(t2_result.trace, "lS2") == offsets(native, "lS2")
+        assert offsets(t2_result.trace, "lStorageForRarelyUsed") == offsets(
+            native, "lStorageForRarelyUsed"
+        )
+
+    def test_cache_behaviour_matches_native(self, t2_result, paper_cache):
+        """Simulating the auto-transformed trace gives the same per-variable
+        hit/miss profile as the native 2B program (bases aligned)."""
+        from repro.cache.simulator import simulate
+
+        ours = simulate(t2_result.trace, paper_cache).stats
+        native = simulate(
+            trace_program(paper_kernel("2b", length=LENGTH)), paper_cache
+        ).stats
+        for name in ("lS2", "lStorageForRarelyUsed"):
+            o = ours.by_variable[name]
+            n = native.by_variable[name]
+            assert o.accesses == n.accesses

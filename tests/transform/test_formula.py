@@ -1,0 +1,78 @@
+"""Unit tests for stride index formulas."""
+
+import pytest
+
+from repro.transform.formula import FormulaError, IndexFormula
+
+
+class TestParsing:
+    def test_paper_formula(self):
+        f = IndexFormula("(lI/8)*(16*8)+(lI%8)")
+        assert f.index_name == "lI"
+        assert f(0) == 0
+        assert f(7) == 7
+        assert f(8) == 128
+        assert f(9) == 129
+        assert f(1023) == 127 * 128 + 7
+
+    def test_constants(self):
+        f = IndexFormula(
+            "(i/IPL)*(SETS*IPL)+(i%IPL)", constants={"IPL": 8, "SETS": 16}
+        )
+        assert f(8) == 128
+
+    def test_identity(self):
+        f = IndexFormula("i")
+        assert [f(k) for k in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_constant_formula(self):
+        f = IndexFormula("42")
+        assert f(7) == 42
+
+    def test_precedence(self):
+        f = IndexFormula("i+2*3")
+        assert f(1) == 7
+
+    def test_parentheses(self):
+        f = IndexFormula("(i+2)*3")
+        assert f(1) == 9
+
+    def test_unary_minus(self):
+        f = IndexFormula("-i+10")
+        assert f(3) == 7
+
+    def test_c_division_truncates(self):
+        assert IndexFormula("i/4")(7) == 1
+
+    @pytest.mark.parametrize("bad", ["", "i+", "(i", "i &", "i j", "1 2"])
+    def test_malformed(self, bad):
+        with pytest.raises(FormulaError):
+            IndexFormula(bad)
+
+    def test_two_free_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            IndexFormula("i+j")
+
+    def test_division_by_zero(self):
+        with pytest.raises(FormulaError):
+            IndexFormula("i/0")(1)
+
+
+class TestAnalysis:
+    def test_image(self):
+        f = IndexFormula("i*2")
+        assert f.image(4) == (0, 2, 4, 6)
+
+    def test_max_index(self):
+        f = IndexFormula("(lI/8)*(16*8)+(lI%8)")
+        assert f.max_index(1024) == 127 * 128 + 7
+
+    def test_injective_paper_formula(self):
+        f = IndexFormula("(lI/8)*(16*8)+(lI%8)")
+        assert f.is_injective(1024)
+
+    def test_non_injective_detected(self):
+        assert not IndexFormula("i%4").is_injective(8)
+
+    def test_empty_image(self):
+        assert IndexFormula("i").max_index(0) == 0

@@ -1,0 +1,145 @@
+"""Integration: several rule kinds applied in one engine pass."""
+
+import pytest
+
+from repro.ctypes_model.types import ArrayType, DOUBLE, INT, StructType
+from repro.tracer.expr import Cast, Const, V
+from repro.tracer.interp import trace_program
+from repro.tracer.program import Function, Program
+from repro.tracer.stmt import (
+    Assign,
+    DeclLocal,
+    HeapAlloc,
+    StartInstrumentation,
+    simple_for,
+)
+from repro.ctypes_model.types import PointerType
+from repro.transform.engine import transform_trace
+from repro.transform.rule_parser import parse_rules
+
+N = 32
+
+COMBINED_RULES = f"""
+in:
+struct lSoA {{
+    int mX[{N}];
+    double mY[{N}];
+}};
+out:
+struct lAoS {{
+    int mX;
+    double mY;
+}}[{N}];
+displace:
+lScratch + 4096
+pool:
+struct Node {{ int value; Node *next; }};
+objects obj* : objPool[{N}];
+"""
+
+
+@pytest.fixture(scope="module")
+def combined_trace():
+    """A program exercising all three rule targets plus bystanders."""
+    node = StructType("Node", [("value", INT), ("next", PointerType("Node"))])
+    soa = StructType(
+        "lSoA", [("mX", ArrayType(INT, N)), ("mY", ArrayType(DOUBLE, N))]
+    )
+    body = [
+        DeclLocal("lSoA", soa),
+        DeclLocal("lScratch", ArrayType(INT, N)),
+        DeclLocal("untouched", ArrayType(INT, 8)),
+        DeclLocal("p", PointerType("Node")),
+        DeclLocal("q", PointerType("Node")),
+        DeclLocal("lI", INT),
+        HeapAlloc(V("p"), "obj0", node),
+        HeapAlloc(V("q"), "obj1", node),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            N,
+            [
+                Assign(V("lSoA").fld("mX")[V("lI")], Cast(INT, V("lI"))),
+                Assign(V("lSoA").fld("mY")[V("lI")], Cast(DOUBLE, V("lI"))),
+                Assign(V("lScratch")[V("lI")], V("lI")),
+            ],
+        ),
+        Assign(V("p").arrow("value"), Const(1)),
+        Assign(V("q").arrow("value"), Const(2)),
+        Assign(V("untouched")[Const(0)], Const(9)),
+    ]
+    program = Program()
+    program.register_struct("Node", node)
+    program.add_function(Function("main", body=body))
+    return trace_program(program)
+
+
+class TestCombinedRules:
+    def test_all_rules_fire(self, combined_trace):
+        result = transform_trace(combined_trace, parse_rules(COMBINED_RULES))
+        per_rule = dict(result.report.per_rule)
+        assert per_rule[f"layout:lSoA->lAoS"] == 2 * N
+        assert per_rule["displace:lScratch+4096"] == N
+        assert per_rule[f"pool:obj*->objPool[{N}]"] == 2
+
+    def test_each_rule_targets_only_its_variable(self, combined_trace):
+        result = transform_trace(combined_trace, parse_rules(COMBINED_RULES))
+        names = {r.base_name for r in result.trace if r.var is not None}
+        assert "lSoA" not in names
+        assert "lAoS" in names
+        assert "lScratch" in names  # displaced, not renamed
+        assert "objPool" in names
+        assert "obj0" not in names
+        assert "untouched" in names  # bystander intact
+
+    def test_bystanders_byte_identical(self, combined_trace):
+        result = transform_trace(combined_trace, parse_rules(COMBINED_RULES))
+        olds = [
+            r
+            for r in combined_trace
+            if r.base_name in ("untouched", "lI", "p", "q")
+        ]
+        news = [
+            r
+            for r in result.trace
+            if r.base_name in ("untouched", "lI", "p", "q")
+        ]
+        assert olds == news
+
+    def test_allocations_disjoint(self, combined_trace):
+        result = transform_trace(combined_trace, parse_rules(COMBINED_RULES))
+        assert set(result.allocations) == {"lAoS", "objPool"}
+        spans = sorted(
+            (base, base + size)
+            for base, size in [
+                (result.allocations["lAoS"], 16 * N),
+                (result.allocations["objPool"], 16 * N),
+            ]
+        )
+        assert spans[0][1] <= spans[1][0]
+
+    def test_displacement_applied(self, combined_trace):
+        result = transform_trace(combined_trace, parse_rules(COMBINED_RULES))
+        olds = [r for r in combined_trace if r.base_name == "lScratch"]
+        news = [r for r in result.trace if r.base_name == "lScratch"]
+        assert all(n.addr == o.addr + 4096 for o, n in zip(olds, news))
+
+    def test_report_identity(self, combined_trace):
+        result = transform_trace(combined_trace, parse_rules(COMBINED_RULES))
+        rep = result.report
+        assert rep.total == len(combined_trace)
+        assert len(result.trace) == rep.total + rep.inserted
+        assert (
+            rep.transformed + rep.passthrough + rep.ignored_out + rep.uncovered
+            == rep.total
+        )
+
+    def test_simulation_of_combined_output(self, combined_trace, paper_cache):
+        from repro.cache.simulator import simulate
+
+        result = transform_trace(combined_trace, parse_rules(COMBINED_RULES))
+        stats = simulate(result.trace, paper_cache).stats
+        assert stats.accesses == len(result.trace.data_accesses())
+        assert "lAoS" in stats.by_variable
+        assert "objPool" in stats.by_variable

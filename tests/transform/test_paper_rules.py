@@ -1,0 +1,60 @@
+"""Tests for the canned paper rules (Listings 5, 8, 11)."""
+
+import pytest
+
+from repro.transform.paper_rules import (
+    RULE_T1_SOA_TO_AOS,
+    RULE_T2_OUTLINE,
+    RULE_T3_STRIDE,
+    paper_rule,
+    rule_t1,
+    rule_t2,
+    rule_t3,
+)
+from repro.transform.rules import LayoutRule, OutlineRule, StrideRule
+
+
+class TestFactories:
+    def test_t1_kind_and_names(self):
+        (rule,) = list(rule_t1(16))
+        assert isinstance(rule, LayoutRule)
+        assert rule.in_name == "lSoA"
+        assert rule.out_names() == ("lAoS",)
+
+    def test_t2_kind_and_names(self):
+        (rule,) = list(rule_t2(16))
+        assert isinstance(rule, OutlineRule)
+        assert rule.in_name == "lS1"
+
+    def test_t3_kind_and_geometry(self):
+        (rule,) = list(rule_t3(1024))
+        assert isinstance(rule, StrideRule)
+        assert rule.out_length == 16384
+        assert rule.formula(8) == 128
+        assert len(rule.inject) == 2
+
+    def test_t3_custom_geometry(self):
+        (rule,) = list(rule_t3(64, sets=8, cacheline=64))
+        # ITEMSPERLINE = 64/4 = 16; out length = 64*8.
+        assert rule.out_length == 512
+        assert rule.formula(16) == 8 * 16
+
+    def test_paper_rule_registry(self):
+        assert len(paper_rule("t1", 8)) == 1
+        assert len(paper_rule("T2", 8)) == 1
+        with pytest.raises(KeyError):
+            paper_rule("t9")
+
+    @pytest.mark.parametrize("length", [1, 4, 16, 256])
+    def test_lengths_parameterise(self, length):
+        (rule,) = list(rule_t1(length))
+        assert rule.out_type.size == 16 * length
+
+
+class TestTextTemplates:
+    def test_templates_format(self):
+        assert "lSoA" in RULE_T1_SOA_TO_AOS.format(length=4)
+        assert "+ mRarelyUsed" in RULE_T2_OUTLINE.format(length=4)
+        assert "inject:" in RULE_T3_STRIDE.format(
+            length=4, out_length=64, ipl=8, sets=16
+        )

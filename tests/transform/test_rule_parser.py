@@ -1,0 +1,164 @@
+"""Unit tests for the rule-file parser (paper Listings 5, 8, 11)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.ctypes_model.path import Field, Index
+from repro.transform.rule_parser import parse_rules, parse_rules_file
+from repro.transform.rules import LayoutRule, OutlineRule, StrideRule
+
+LISTING5 = """
+in:
+struct lSoA {
+    int mX[16];
+    double mY[16];
+};
+out:
+struct lAoS {
+    int mX;
+    double mY;
+}[16];
+"""
+
+LISTING8 = """
+in:
+struct mRarelyUsed {
+    double mY;
+    int mZ;
+};
+struct lS1 {
+    int mFrequentlyUsed;
+    struct mRarelyUsed;
+}[16];
+out:
+struct lStorageForRarelyUsed {
+    double mY;
+    int mZ;
+}[16];
+struct lS2 {
+    int mFrequentlyUsed;
+    + mRarelyUsed:lStorageForRarelyUsed;
+}[16];
+"""
+
+LISTING11 = """
+in:
+int lContiguousArray[1024]:lSetHashingArray;
+out:
+int lSetHashingArray[16384((lI/8)*(16*8)+(lI%8))];
+inject:
+L ITEMSPERLINE 4 x3
+L lI 4 x2 existing
+"""
+
+
+class TestListing5:
+    def test_parses_to_layout_rule(self):
+        rules = parse_rules(LISTING5)
+        assert len(rules) == 1
+        rule = list(rules)[0]
+        assert isinstance(rule, LayoutRule)
+        assert rule.in_name == "lSoA"
+        assert rule.out_names() == ("lAoS",)
+
+    def test_mapping_works(self):
+        rule = list(parse_rules(LISTING5))[0]
+        tr = rule.translate((Field("mY"), Index(2)))
+        assert tr.target.elements == (Index(2), Field("mY"))
+
+
+class TestListing8:
+    def test_parses_to_outline_rule(self):
+        rules = parse_rules(LISTING8)
+        rule = list(rules)[0]
+        assert isinstance(rule, OutlineRule)
+        assert rule.in_name == "lS1"
+        assert set(rule.out_names()) == {"lS2", "lStorageForRarelyUsed"}
+        assert rule.pointer_member == "mRarelyUsed"
+
+    def test_pointer_member_layout(self):
+        rule = list(parse_rules(LISTING8))[0]
+        ptr = rule.out_elem.member("mRarelyUsed")
+        assert ptr.ctype.size == 8
+        assert ptr.offset == 8
+        assert rule.out_elem.size == 16
+
+    def test_cold_translation_through_parsed_rule(self):
+        rule = list(parse_rules(LISTING8))[0]
+        tr = rule.translate((Index(1), Field("mRarelyUsed"), Field("mY")))
+        assert tr.target.alloc == "lStorageForRarelyUsed"
+        assert len(tr.inserts) == 1
+
+
+class TestListing11:
+    def test_parses_to_stride_rule(self):
+        rule = list(parse_rules(LISTING11))[0]
+        assert isinstance(rule, StrideRule)
+        assert rule.in_name == "lContiguousArray"
+        assert rule.out_length == 16384
+        assert rule.formula(8) == 128
+
+    def test_inject_specs(self):
+        rule = list(parse_rules(LISTING11))[0]
+        assert len(rule.inject) == 2
+        ipl, li = rule.inject
+        assert (ipl.name, ipl.count, ipl.existing) == ("ITEMSPERLINE", 3, False)
+        assert (li.name, li.count, li.existing) == ("lI", 2, True)
+
+    def test_defines_feed_formula(self):
+        text = """
+in:
+int a[8]:b;
+out:
+define K = 4
+int b[32((i*K)%32)];
+"""
+        rule = list(parse_rules(text))[0]
+        assert rule.formula(3) == 12
+
+
+class TestMultiRuleFiles:
+    def test_two_rules_in_one_file(self):
+        rules = parse_rules(LISTING5 + LISTING11)
+        assert len(rules) == 2
+        kinds = {type(r) for r in rules}
+        assert kinds == {LayoutRule, StrideRule}
+
+    def test_file_loading(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text(LISTING5)
+        rules = parse_rules_file(path)
+        assert len(rules) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "struct x { int a; };",  # no sections
+            "in:\nstruct x { int a; };",  # missing out
+            "out:\nstruct x { int a; };",  # out before in
+            "in:\nint a[4]:b;\nout:\nint b[64];",  # stride without formula
+            LISTING5 + "inject:\nL x 4",  # inject on layout rule
+            "in:\nbroken {{{\nout:\nint b[4];",
+            "in:\nint a[4]:b;\nout:\nint b[4((i*i]);",  # unbalanced
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(RuleError):
+            parse_rules(bad)
+
+    def test_bad_inject_line(self):
+        text = LISTING11.replace("L ITEMSPERLINE 4 x3", "LOAD what")
+        with pytest.raises(RuleError):
+            parse_rules(text)
+
+    def test_stride_alias_without_target(self):
+        text = """
+in:
+int a[4]:missing;
+out:
+int b[64((i*2))];
+"""
+        with pytest.raises(RuleError):
+            parse_rules(text)

@@ -1,0 +1,98 @@
+"""Property-based tests: rule text generation <-> parsing round trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctypes_model.path import Field, Index
+from repro.transform.rule_parser import parse_rules
+from repro.transform.rules import LayoutRule, StrideRule
+
+_FIELD_NAMES = st.lists(
+    st.from_regex(r"m[A-Z][a-z]{0,4}", fullmatch=True),
+    min_size=1,
+    max_size=5,
+    unique=True,
+)
+_PRIM_NAMES = st.sampled_from(["char", "short", "int", "long", "float", "double"])
+
+
+@st.composite
+def soa_aos_rule_text(draw):
+    """Random Listing-5-shaped rule text plus its ground truth."""
+    names = draw(_FIELD_NAMES)
+    types = [draw(_PRIM_NAMES) for _ in names]
+    length = draw(st.integers(1, 32))
+    in_members = "\n".join(
+        f"    {t} {n}[{length}];" for n, t in zip(names, types)
+    )
+    out_members = "\n".join(f"    {t} {n};" for n, t in zip(names, types))
+    text = (
+        f"in:\nstruct inS {{\n{in_members}\n}};\n"
+        f"out:\nstruct outS {{\n{out_members}\n}}[{length}];\n"
+    )
+    return text, names, types, length
+
+
+class TestGeneratedLayoutRules:
+    @given(soa_aos_rule_text())
+    @settings(max_examples=100, deadline=None)
+    def test_parses_to_layout_rule(self, case):
+        text, names, types, length = case
+        rules = parse_rules(text)
+        (rule,) = list(rules)
+        assert isinstance(rule, LayoutRule)
+        assert rule.in_name == "inS"
+
+    @given(soa_aos_rule_text())
+    @settings(max_examples=100, deadline=None)
+    def test_every_element_translates_bijectively(self, case):
+        text, names, types, length = case
+        (rule,) = list(parse_rules(text))
+        seen_offsets = set()
+        for name in names:
+            for i in range(length):
+                tr = rule.translate((Field(name), Index(i)))
+                assert tr is not None
+                assert tr.target.elements == (Index(i), Field(name))
+                assert tr.target.offset not in seen_offsets
+                seen_offsets.add(tr.target.offset)
+
+    @given(soa_aos_rule_text())
+    @settings(max_examples=50, deadline=None)
+    def test_target_offsets_within_allocation(self, case):
+        text, names, types, length = case
+        (rule,) = list(parse_rules(text))
+        (alloc,) = rule.out_allocations()
+        for name in names:
+            tr = rule.translate((Field(name), Index(length - 1)))
+            assert tr.target.offset + tr.target.size <= alloc.size
+
+
+@st.composite
+def stride_rule_text(draw):
+    length = draw(st.integers(1, 64))
+    ipl = draw(st.integers(1, 8))
+    sets = draw(st.integers(2, 16))
+    out_length = ((length - 1) // ipl) * (sets * ipl) + ipl
+    text = (
+        f"in:\nint a[{length}]:b;\n"
+        f"out:\nint b[{out_length}((i/{ipl})*({sets}*{ipl})+(i%{ipl}))];\n"
+    )
+    return text, length, ipl, sets
+
+
+class TestGeneratedStrideRules:
+    @given(stride_rule_text())
+    @settings(max_examples=100, deadline=None)
+    def test_parses_and_maps_injectively(self, case):
+        text, length, ipl, sets = case
+        (rule,) = list(parse_rules(text))
+        assert isinstance(rule, StrideRule)
+        targets = set()
+        for i in range(length):
+            tr = rule.translate((Index(i),))
+            assert tr is not None
+            target = tr.target.elements[0].value
+            assert target not in targets
+            targets.add(target)
+            assert 0 <= target < rule.out_length

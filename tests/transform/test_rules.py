@@ -1,0 +1,267 @@
+"""Unit tests for the rule model and its mapping math."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.ctypes_model.path import Field, Index
+from repro.ctypes_model.types import (
+    ArrayType,
+    DOUBLE,
+    INT,
+    PointerType,
+    StructType,
+)
+from repro.trace.record import AccessType
+from repro.transform.formula import IndexFormula
+from repro.transform.rules import (
+    InjectSpec,
+    LayoutRule,
+    OutlineRule,
+    RuleSet,
+    StrideRule,
+    leaf_key,
+)
+
+
+def soa_type(n=16):
+    return StructType(
+        "lSoA", [("mX", ArrayType(INT, n)), ("mY", ArrayType(DOUBLE, n))]
+    )
+
+
+def aos_type(n=16):
+    elem = StructType("elem", [("mX", INT), ("mY", DOUBLE)])
+    return ArrayType(elem, n)
+
+
+class TestLeafKey:
+    def test_order_insensitive_identity(self):
+        assert leaf_key((Field("mX"), Index(3))) == leaf_key((Index(3), Field("mX")))
+
+    def test_distinct_indices_distinct_keys(self):
+        assert leaf_key((Index(1),)) != leaf_key((Index(2),))
+
+    def test_distinct_fields_distinct_keys(self):
+        assert leaf_key((Field("a"),)) != leaf_key((Field("b"),))
+
+
+class TestLayoutRule:
+    def test_soa_to_aos_mapping(self):
+        rule = LayoutRule("lSoA", soa_type(), "lAoS", aos_type())
+        tr = rule.translate((Field("mX"), Index(3)))
+        assert tr is not None
+        assert tr.target.alloc == "lAoS"
+        assert tr.target.elements == (Index(3), Field("mX"))
+        assert tr.target.offset == 3 * 16
+        assert tr.target.size == 4
+        assert tr.inserts == ()
+
+    def test_aos_to_soa_reverse_direction(self):
+        rule = LayoutRule("lAoS", aos_type(), "lSoA", soa_type())
+        tr = rule.translate((Index(5), Field("mY")))
+        assert tr.target.elements == (Field("mY"), Index(5))
+        assert tr.target.offset == 64 + 5 * 8
+
+    def test_uncovered_path_returns_none(self):
+        rule = LayoutRule("lSoA", soa_type(), "lAoS", aos_type())
+        assert rule.translate((Field("mZ"), Index(0))) is None
+        assert rule.translate((Field("mX"), Index(99))) is None
+        assert rule.translate(()) is None
+
+    def test_out_allocations(self):
+        rule = LayoutRule("lSoA", soa_type(), "lAoS", aos_type())
+        (alloc,) = rule.out_allocations()
+        assert alloc.name == "lAoS"
+        assert alloc.size == 16 * 16
+
+    def test_element_count_mismatch_rejected(self):
+        with pytest.raises(RuleError):
+            LayoutRule("a", soa_type(16), "b", aos_type(8))
+
+    def test_name_mismatch_rejected(self):
+        other = StructType(
+            "x", [("mA", ArrayType(INT, 16)), ("mY", ArrayType(DOUBLE, 16))]
+        )
+        with pytest.raises(RuleError):
+            LayoutRule("lSoA", soa_type(), "x", other)
+
+    def test_size_change_rejected(self):
+        bad = StructType(
+            "x", [("mX", ArrayType(DOUBLE, 16)), ("mY", ArrayType(DOUBLE, 16))]
+        )
+        with pytest.raises(RuleError):
+            LayoutRule("lSoA", soa_type(), "x", bad)
+
+    def test_oversized_structure_rejected(self):
+        from repro.transform.rules import MAX_LAYOUT_ELEMENTS
+
+        big = StructType(
+            "huge", [("a", ArrayType(INT, MAX_LAYOUT_ELEMENTS + 1))]
+        )
+        out = ArrayType(StructType("e", [("a", INT)]), MAX_LAYOUT_ELEMENTS + 1)
+        with pytest.raises(RuleError, match="elements"):
+            LayoutRule("huge", big, "out", out)
+
+    def test_field_reorder_rule(self):
+        """Reordering fields is a valid layout transformation."""
+        before = StructType("s", [("a", INT), ("b", DOUBLE)])
+        after = StructType("s2", [("b", DOUBLE), ("a", INT)])
+        rule = LayoutRule("s", before, "s2", after)
+        tr = rule.translate((Field("a"),))
+        assert tr.target.offset == 8
+
+
+def outline_fixture(n=16):
+    rarely = StructType("mRarelyUsed", [("mY", DOUBLE), ("mZ", INT)])
+    inner = StructType(
+        "lS1", [("mFrequentlyUsed", INT), ("mRarelyUsed", rarely)]
+    )
+    storage = StructType("stor", [("mY", DOUBLE), ("mZ", INT)])
+    outer = StructType(
+        "lS2",
+        [("mFrequentlyUsed", INT), ("mRarelyUsed", PointerType("stor"))],
+    )
+    return OutlineRule(
+        "lS1",
+        ArrayType(inner, n),
+        "lS2",
+        ArrayType(outer, n),
+        "lStorage",
+        ArrayType(storage, n),
+        "mRarelyUsed",
+    )
+
+
+class TestOutlineRule:
+    def test_hot_member_relocates(self):
+        rule = outline_fixture()
+        tr = rule.translate((Index(2), Field("mFrequentlyUsed")))
+        assert tr.target.alloc == "lS2"
+        assert tr.target.offset == 2 * 16 + 0
+        assert tr.inserts == ()
+
+    def test_cold_member_gets_pointer_insert(self):
+        rule = outline_fixture()
+        tr = rule.translate((Index(2), Field("mRarelyUsed"), Field("mZ")))
+        assert tr.target.alloc == "lStorage"
+        assert tr.target.offset == 2 * 16 + 8
+        assert len(tr.inserts) == 1
+        ins = tr.inserts[0]
+        assert ins.op is AccessType.LOAD
+        assert ins.mapped.alloc == "lS2"
+        assert ins.mapped.offset == 2 * 16 + 8  # pointer slot
+        assert ins.mapped.size == 8
+
+    def test_out_allocations_two_objects(self):
+        rule = outline_fixture()
+        names = [a.name for a in rule.out_allocations()]
+        assert names == ["lS2", "lStorage"]
+
+    def test_uncovered_paths(self):
+        rule = outline_fixture()
+        assert rule.translate((Index(0),)) is None
+        assert rule.translate((Field("mFrequentlyUsed"),)) is None
+        assert rule.translate((Index(0), Field("nope"))) is None
+
+    def test_length_mismatch_rejected(self):
+        rarely = StructType("r", [("mY", DOUBLE)])
+        inner = StructType("i", [("h", INT), ("c", rarely)])
+        storage = StructType("s", [("mY", DOUBLE)])
+        outer = StructType("o", [("h", INT), ("c", PointerType("s"))])
+        with pytest.raises(RuleError):
+            OutlineRule(
+                "a",
+                ArrayType(inner, 8),
+                "b",
+                ArrayType(outer, 16),
+                "st",
+                ArrayType(storage, 8),
+                "c",
+            )
+
+    def test_pointer_member_must_be_pointer(self):
+        rarely = StructType("r", [("mY", DOUBLE)])
+        inner = StructType("i", [("h", INT), ("c", rarely)])
+        bad_outer = StructType("o", [("h", INT), ("c", INT)])
+        with pytest.raises(RuleError):
+            OutlineRule(
+                "a",
+                ArrayType(inner, 4),
+                "b",
+                ArrayType(bad_outer, 4),
+                "st",
+                ArrayType(rarely, 4),
+                "c",
+            )
+
+
+class TestStrideRule:
+    def _rule(self, inject=()):
+        return StrideRule(
+            "lContiguousArray",
+            ArrayType(INT, 64),
+            "lSetHashingArray",
+            64 * 16,
+            IndexFormula("(lI/8)*(16*8)+(lI%8)"),
+            inject=inject,
+        )
+
+    def test_index_remap(self):
+        rule = self._rule()
+        tr = rule.translate((Index(9),))
+        assert tr.target.elements == (Index(129),)
+        assert tr.target.offset == 129 * 4
+
+    def test_inject_synthetic_and_existing(self):
+        rule = self._rule(
+            inject=[
+                InjectSpec(AccessType.LOAD, "IPL", 4, count=2),
+                InjectSpec(AccessType.LOAD, "lI", 4, existing=True),
+            ]
+        )
+        tr = rule.translate((Index(0),))
+        assert len(tr.inserts) == 3
+        assert tr.inserts[0].mapped.alloc == "IPL"
+        assert tr.inserts[2].existing_var == "lI"
+        alloc_names = [a.name for a in rule.out_allocations()]
+        assert alloc_names == ["lSetHashingArray", "IPL"]
+
+    def test_formula_overflow_rejected(self):
+        with pytest.raises(RuleError):
+            StrideRule(
+                "a",
+                ArrayType(INT, 64),
+                "b",
+                64,  # too small for the stride image
+                IndexFormula("(lI/8)*(16*8)+(lI%8)"),
+            )
+
+    def test_non_array_rejected(self):
+        with pytest.raises(RuleError):
+            StrideRule("a", INT, "b", 16, IndexFormula("i"))
+
+    def test_out_of_range_index_uncovered(self):
+        rule = self._rule()
+        assert rule.translate((Index(64),)) is None
+        assert rule.translate((Field("x"),)) is None
+
+
+class TestRuleSet:
+    def test_duplicate_in_name_rejected(self):
+        rs = RuleSet()
+        rs.add(LayoutRule("lSoA", soa_type(), "lAoS", aos_type()))
+        with pytest.raises(RuleError):
+            rs.add(LayoutRule("lSoA", soa_type(), "other", aos_type()))
+
+    def test_chained_rules_rejected(self):
+        """A rule cannot consume another rule's output (not bidirectional)."""
+        rs = RuleSet()
+        rs.add(LayoutRule("lSoA", soa_type(), "lAoS", aos_type()))
+        with pytest.raises(RuleError):
+            rs.add(LayoutRule("lAoS", aos_type(), "lSoA2", soa_type()))
+
+    def test_iteration_and_len(self):
+        rs = RuleSet()
+        rs.add(LayoutRule("lSoA", soa_type(), "lAoS", aos_type()))
+        assert len(rs) == 1
+        assert list(rs)[0].in_name == "lSoA"

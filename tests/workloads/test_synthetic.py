@@ -1,0 +1,125 @@
+"""Tests for the synthetic workloads."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.trace.record import AccessType
+from repro.trace.stats import compute_stats
+from repro.tracer.interp import trace_program
+from repro.workloads.synthetic import (
+    linked_list_traversal,
+    matrix_multiply,
+    particle_update,
+    stencil_2d,
+)
+
+
+class TestMatrixMultiply:
+    def test_access_counts(self):
+        n = 4
+        trace = trace_program(matrix_multiply(n))
+        stats = compute_stats(trace)
+        # ijk: C modified n^2 * n times (M), A and B loaded n^3 times.
+        assert stats.by_variable["A"] == n**3
+        assert stats.by_variable["B"] == n**3
+        assert stats.by_variable["C"] == n**3
+
+    def test_loop_order_changes_locality(self):
+        """ikj streams B rows (good); jki strides B columns (bad) — the
+        miss counts must reflect it on a small cache."""
+        cfg = CacheConfig(size=1024, block_size=32, associativity=1)
+        n = 12
+        good = simulate(trace_program(matrix_multiply(n, order="ikj")), cfg)
+        bad = simulate(trace_program(matrix_multiply(n, order="jki")), cfg)
+        assert good.stats.misses < bad.stats.misses
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            matrix_multiply(4, order="abc")
+
+
+class TestStencil:
+    def test_reads_four_neighbours(self):
+        n = 6
+        trace = trace_program(stencil_2d(n))
+        interior = (n - 2) ** 2
+        loads = [
+            r
+            for r in trace
+            if r.base_name == "grid" and r.op is AccessType.LOAD
+        ]
+        assert len(loads) == 4 * interior
+        stores = [r for r in trace if r.base_name == "out"]
+        assert len(stores) == interior
+
+    def test_multiple_iterations(self):
+        t1 = trace_program(stencil_2d(6, iterations=1))
+        t2 = trace_program(stencil_2d(6, iterations=2))
+        c1 = compute_stats(t1).by_variable["out"]
+        c2 = compute_stats(t2).by_variable["out"]
+        assert c2 == 2 * c1
+
+
+class TestLinkedList:
+    def test_traversal_visits_every_node(self):
+        n = 16
+        trace = trace_program(linked_list_traversal(n))
+        values = [
+            str(r.var)
+            for r in trace
+            if r.scope == "HS" and str(r.var).endswith(".value")
+        ]
+        assert values == [f"node{i}.value" for i in range(n)]
+
+    def test_shuffled_allocation_hurts_spatial_locality(self):
+        """Sequential allocation packs nodes into shared cache lines;
+        shuffled allocation spreads them — more misses."""
+        cfg = CacheConfig(size=256, block_size=64, associativity=2)
+        n = 48
+        seq = simulate(trace_program(linked_list_traversal(n)), cfg)
+        rnd = simulate(
+            trace_program(linked_list_traversal(n, shuffled=True, seed=3)), cfg
+        )
+
+        def node_misses(result):
+            return sum(
+                c.misses
+                for name, c in result.stats.by_variable.items()
+                if name.startswith("node")
+            )
+
+        assert node_misses(rnd) > node_misses(seq)
+
+    def test_multiple_passes_reuse(self):
+        n = 8
+        t = trace_program(linked_list_traversal(n, passes=3))
+        values = [r for r in t if r.scope == "HS" and str(r.var).endswith(".value")]
+        assert len(values) == 3 * n
+
+    def test_shuffle_deterministic(self):
+        a = trace_program(linked_list_traversal(12, shuffled=True, seed=5))
+        b = trace_program(linked_list_traversal(12, shuffled=True, seed=5))
+        assert list(a) == list(b)
+
+
+class TestParticles:
+    def test_hot_only_by_default(self):
+        trace = trace_program(particle_update(8))
+        cold = [r for r in trace if "cold" in str(r.var or "")]
+        assert cold == []
+
+    def test_touch_cold_flag(self):
+        trace = trace_program(particle_update(8, touch_cold=True))
+        cold = [r for r in trace if "cold" in str(r.var or "")]
+        assert len(cold) == 8
+
+    def test_hot_field_stride_is_struct_size(self):
+        trace = trace_program(particle_update(4))
+        xs = [
+            r.addr
+            for r in trace
+            if str(r.var or "").endswith(".x") and r.op is AccessType.MODIFY
+        ]
+        strides = {b - a for a, b in zip(xs, xs[1:])}
+        assert strides == {40}  # x,vx + cold{mass,charge,id,pad} = 40 bytes
