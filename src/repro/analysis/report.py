@@ -7,7 +7,7 @@ reads after step 5 of the process.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.per_set import figure_series
 from repro.analysis.ascii_plot import render_figure
@@ -71,4 +71,77 @@ def comparison_report(
         lines.extend("  " + l for l in transform.report.summary().splitlines())
     if diff is not None:
         lines.append(f"trace diff: {diff.summary()}")
+    return "\n".join(lines)
+
+
+def _split_job_id(job_id: str) -> Tuple[str, str, str, str]:
+    """``(program, rule, cache, attribution)`` parts of a campaign job id.
+
+    Split from the right because ``file:`` rule references may contain
+    ``/`` themselves.
+    """
+    head, cache, attribution = job_id.rsplit("/", 2)
+    program, _, rule = head.partition("/")
+    return program, rule, cache, attribution
+
+
+def campaign_report(rows: Sequence[Dict[str, Any]]) -> str:
+    """Before/after table of a campaign's terminal manifest rows.
+
+    ``rows`` are the per-job terminal events of a run manifest
+    (``RunManifest.result_rows``) — or any dicts with the same shape:
+    ``job_id``, ``event`` (``job-done``/``job-failed``/``job-skipped``),
+    and for completed jobs a ``result`` payload with the simulation
+    counters.  Grid points are compared against the ``baseline`` rule of
+    the same (program, cache, attribution) group, reproducing the
+    paper's per-transformation before/after miss tables.
+    """
+    grid = [r for r in rows if not r.get("job_id", "").startswith("trace/")]
+    baselines: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    for row in grid:
+        program, rule, cache, attribution = _split_job_id(row["job_id"])
+        if rule in ("baseline", "none") and row.get("result"):
+            baselines[(program, cache, attribution)] = row["result"]
+    header = (
+        f"{'point':<56s}{'status':>8s}{'accesses':>10s}"
+        f"{'misses':>8s}{'ratio':>8s}{'vs base':>9s}"
+    )
+    lines = [header]
+    statuses = {"done": 0, "failed": 0, "skipped": 0}
+    sim_hits = 0
+    with_result = 0
+    for row in grid:
+        program, rule, cache, attribution = _split_job_id(row["job_id"])
+        status = {
+            "job-done": "done",
+            "job-failed": "failed",
+            "job-skipped": "skipped",
+        }.get(row.get("event", ""), row.get("event", "?"))
+        if status in statuses:
+            statuses[status] += 1
+        result = row.get("result")
+        if result is None:
+            lines.append(
+                f"{row['job_id']:<56s}{status:>8s}{'-':>10s}{'-':>8s}{'-':>8s}"
+                f"{'-':>9s}"
+            )
+            continue
+        with_result += 1
+        if result.get("cache_hits", {}).get("simulation") or status == "skipped":
+            sim_hits += 1
+        base = baselines.get((program, cache, attribution))
+        if base is None or rule in ("baseline", "none") or not base.get("misses"):
+            delta = "-"
+        else:
+            pct = (result["misses"] - base["misses"]) / base["misses"] * 100.0
+            delta = f"{pct:+.1f}%"
+        lines.append(
+            f"{row['job_id']:<56s}{status:>8s}{result['accesses']:>10d}"
+            f"{result['misses']:>8d}{result['miss_ratio']:>8.4f}{delta:>9s}"
+        )
+    lines.append(
+        f"totals: {statuses['done']} done, {statuses['failed']} failed, "
+        f"{statuses['skipped']} skipped; "
+        f"artifact-cache simulation hits: {sim_hits}/{with_result}"
+    )
     return "\n".join(lines)

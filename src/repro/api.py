@@ -13,12 +13,35 @@ DineroIV + transformation -> plots)::
     before = api.simulate(trace)                        # "DineroIV"
     after = api.simulate(transformed.trace)
     print(api.comparison_report(before, after, transform=transformed))
+
+Whole experiment grids (every paper figure) run through the campaign
+layer instead of hand-chained calls::
+
+    result = api.run_campaign(api.paper_figures_spec(), "campaign_out",
+                              workers=4)
+    print(result.summary())
 """
 
 from __future__ import annotations
 
 from repro.cache.config import CacheConfig
+from repro.cache.fastsim import (
+    FastCounts,
+    fast_direct_mapped_counts,
+    fast_per_variable_counts,
+)
 from repro.cache.simulator import CacheSimulator, SimulationResult, simulate
+from repro.campaign import (
+    ArtifactStore,
+    CacheSpec,
+    CampaignResult,
+    CampaignSpec,
+    GridEntry,
+    RunManifest,
+    Scheduler,
+    paper_figures_spec,
+    run_campaign,
+)
 from repro.cache.hierarchy import CacheHierarchy, simulate_hierarchy
 from repro.cache.threec import classify_misses
 from repro.cache.split import simulate_split
@@ -34,6 +57,7 @@ from repro.transform.advisor import (
     suggest_field_order,
     suggest_hot_cold_split,
 )
+from repro.trace.binformat import load_binary, save_binary
 from repro.trace.format import read_trace, write_trace
 from repro.trace.stats import compute_stats
 from repro.trace.stream import Trace
@@ -45,7 +69,11 @@ from repro.transform.rule_parser import parse_rules, parse_rules_file
 from repro.analysis.per_set import figure_series
 from repro.analysis.ascii_plot import render_figure
 from repro.analysis.gnuplot import write_gnuplot_data, write_gnuplot_script
-from repro.analysis.report import comparison_report, simulation_report
+from repro.analysis.report import (
+    campaign_report,
+    comparison_report,
+    simulation_report,
+)
 from repro.workloads.paper_kernels import paper_kernel
 from repro.workloads import (
     linked_list_traversal,
@@ -62,11 +90,16 @@ __all__ = [
     "Trace",
     "read_trace",
     "write_trace",
+    "load_binary",
+    "save_binary",
     "compute_stats",
     "CacheConfig",
     "CacheSimulator",
     "SimulationResult",
     "simulate",
+    "FastCounts",
+    "fast_direct_mapped_counts",
+    "fast_per_variable_counts",
     "CacheHierarchy",
     "simulate_hierarchy",
     "classify_misses",
@@ -108,4 +141,15 @@ __all__ = [
     "write_gnuplot_script",
     "simulation_report",
     "comparison_report",
+    "campaign_report",
+    # campaigns
+    "ArtifactStore",
+    "CacheSpec",
+    "CampaignResult",
+    "CampaignSpec",
+    "GridEntry",
+    "RunManifest",
+    "Scheduler",
+    "paper_figures_spec",
+    "run_campaign",
 ]

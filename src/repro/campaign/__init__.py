@@ -1,0 +1,77 @@
+"""Experiment-campaign orchestration: the whole paper grid in one run.
+
+The one-shot pipeline (trace -> transform -> simulate -> report) scales
+to full studies through this subpackage:
+
+- :mod:`repro.campaign.spec` — declarative :class:`CampaignSpec` (TOML
+  or dict): a grid of kernels x rules x cache geometries x attribution;
+- :mod:`repro.campaign.jobs` — grid expansion with shared-stage
+  deduplication and the idempotent per-job pipeline workers execute;
+- :mod:`repro.campaign.artifacts` — content-addressed
+  :class:`ArtifactStore` (SHA-256 of kernel + rule text + config) that
+  makes re-runs and ``--resume`` incremental;
+- :mod:`repro.campaign.manifest` — append-only JSONL
+  :class:`RunManifest` of every job start/retry/failure/completion;
+- :mod:`repro.campaign.scheduler` — the parallel :class:`Scheduler`
+  with per-job timeouts, bounded retry with exponential backoff, and
+  graceful degradation (a failed point never aborts the grid).
+
+Quick start::
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec.load("paper.toml")     # or paper_figures_spec()
+    result = run_campaign(spec, "campaign_out", workers=4)
+    print(result.summary())
+"""
+
+from repro.campaign.artifacts import ArtifactStore, content_key
+from repro.campaign.jobs import (
+    Job,
+    TraceTask,
+    execute_job,
+    execute_task,
+    execute_trace_task,
+    expand_jobs,
+    resolve_rule_text,
+    simulation_key,
+    trace_key,
+    transform_key,
+)
+from repro.campaign.manifest import RunManifest
+from repro.campaign.scheduler import (
+    CampaignResult,
+    JobOutcome,
+    Scheduler,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CacheSpec,
+    CampaignSpec,
+    GridEntry,
+    paper_figures_spec,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CacheSpec",
+    "CampaignResult",
+    "CampaignSpec",
+    "GridEntry",
+    "Job",
+    "JobOutcome",
+    "RunManifest",
+    "Scheduler",
+    "TraceTask",
+    "content_key",
+    "execute_job",
+    "execute_task",
+    "execute_trace_task",
+    "expand_jobs",
+    "paper_figures_spec",
+    "resolve_rule_text",
+    "run_campaign",
+    "simulation_key",
+    "trace_key",
+    "transform_key",
+]

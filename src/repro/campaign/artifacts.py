@@ -1,0 +1,137 @@
+"""Content-addressed artifact store for campaign stages.
+
+Every expensive pipeline stage (trace generation, transformation,
+simulation) writes its output under a SHA-256 key derived from the
+stage's *complete* input description — program identity, rule text,
+cache-config tuple.  Re-running a campaign therefore costs only the
+points whose inputs changed; ``--resume`` and iterative spec editing are
+incremental for free.
+
+Layout on disk (two-level fan-out keeps directories small at scale)::
+
+    <root>/ab/abcdef....trace.tdst    # binary trace artifact
+    <root>/ab/abcdef....json          # simulation-result artifact
+
+Writes are atomic (temp file + ``os.replace``) so parallel workers
+racing to produce the same artifact cannot leave a torn file; the loser
+of the race simply overwrites with identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Union
+
+from repro.trace.binformat import load_binary, save_binary
+from repro.trace.stream import Trace
+
+#: Artifact filename suffixes by kind.
+TRACE_SUFFIX = ".trace.tdst"
+JSON_SUFFIX = ".json"
+
+
+def content_key(*parts: Union[str, int, bytes]) -> str:
+    """SHA-256 hex digest of the canonical join of ``parts``.
+
+    Parts are length-prefixed before hashing so ``("ab", "c")`` and
+    ``("a", "bc")`` cannot collide.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            blob = part
+        else:
+            blob = str(part).encode("utf-8")
+        digest.update(f"{len(blob)}:".encode("ascii"))
+        digest.update(blob)
+    return digest.hexdigest()
+
+
+class ArtifactStore:
+    """Disk-backed, content-addressed cache of stage outputs."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing ----------------------------------------------------------
+
+    def path_for(self, key: str, suffix: str) -> Path:
+        """Where an artifact with this key/kind lives (may not exist)."""
+        return self.root / key[:2] / f"{key}{suffix}"
+
+    def has_trace(self, key: str) -> bool:
+        """True when a trace artifact exists for ``key``."""
+        return self.path_for(key, TRACE_SUFFIX).exists()
+
+    def has_json(self, key: str) -> bool:
+        """True when a JSON artifact exists for ``key``."""
+        return self.path_for(key, JSON_SUFFIX).exists()
+
+    # -- traces --------------------------------------------------------------
+
+    def put_trace(self, key: str, trace: Trace) -> Path:
+        """Store a trace artifact (binary format, atomic replace)."""
+        target = self.path_for(key, TRACE_SUFFIX)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(target.suffix + f".tmp{os.getpid()}")
+        save_binary(trace, tmp)
+        os.replace(tmp, target)
+        return target
+
+    def get_trace(self, key: str) -> Optional[Trace]:
+        """Load a trace artifact, or ``None`` on a cache miss."""
+        target = self.path_for(key, TRACE_SUFFIX)
+        if not target.exists():
+            return None
+        return load_binary(target)
+
+    # -- JSON results --------------------------------------------------------
+
+    def put_json(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Store a JSON artifact (atomic replace)."""
+        target = self.path_for(key, JSON_SUFFIX)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_suffix(target.suffix + f".tmp{os.getpid()}")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        os.replace(tmp, target)
+        return target
+
+    def get_json(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load a JSON artifact, or ``None`` on a cache miss."""
+        target = self.path_for(key, JSON_SUFFIX)
+        if not target.exists():
+            return None
+        return json.loads(target.read_text(encoding="utf-8"))
+
+    # -- maintenance ---------------------------------------------------------
+
+    def keys(self) -> Iterable[str]:
+        """All distinct artifact keys currently stored."""
+        seen = set()
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                key = entry.name.split(".", 1)[0]
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def size_bytes(self) -> int:
+        """Total bytes of all stored artifacts."""
+        return sum(
+            f.stat().st_size for f in self.root.rglob("*") if f.is_file()
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ArtifactStore {self.root} ({len(self)} artifacts)>"

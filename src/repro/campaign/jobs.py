@@ -1,0 +1,267 @@
+"""Campaign jobs: grid expansion and the per-job pipeline workers run.
+
+A :class:`CampaignSpec` expands into two picklable task kinds:
+
+- :class:`TraceTask` — generate (or reuse) the trace of one
+  ``(kernel, length)`` pair.  Trace generation is the expensive shared
+  stage: every rule x cache x attribution point of the same program
+  reuses one trace artifact, so the scheduler runs these first and
+  exactly once per distinct program.
+- :class:`Job` — one grid point: take the shared trace, optionally
+  transform it under a rule, simulate against one cache geometry at one
+  attribution granularity, and store the result JSON.
+
+All stage outputs are content-addressed through the
+:class:`~repro.campaign.artifacts.ArtifactStore` (SHA-256 of kernel
+identity + rule text + config tuple), so both functions are idempotent
+and safe to retry; workers only ever exchange plain dicts with the
+parent process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.campaign.artifacts import ArtifactStore, content_key
+from repro.campaign.spec import BASELINE_NAMES, CacheSpec, CampaignSpec
+from repro.cache.simulator import simulate
+from repro.trace.stream import Trace
+from repro.tracer.interp import trace_program
+from repro.transform.engine import TransformEngine
+from repro.transform.paper_rules import (
+    RULE_T1_SOA_TO_AOS,
+    RULE_T2_OUTLINE,
+    RULE_T3_STRIDE,
+)
+from repro.transform.rule_parser import parse_rules
+from repro.workloads.paper_kernels import paper_kernel
+
+#: Stage-schema versions folded into every content key: bump one to
+#: invalidate that stage's cached artifacts after a semantic change.
+TRACE_STAGE = "trace-v1"
+TRANSFORM_STAGE = "transform-v1"
+SIMULATE_STAGE = "simulate-v1"
+
+
+@dataclass(frozen=True)
+class TraceTask:
+    """Shared-stage task: materialise one program's trace artifact."""
+
+    kernel: str
+    length: int
+
+    @property
+    def job_id(self) -> str:
+        """Stable id used in the manifest."""
+        return f"trace/{self.kernel}-L{self.length}"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One grid point of a campaign."""
+
+    kernel: str
+    length: int
+    rule: str
+    cache: CacheSpec
+    attribution: str = "base"
+
+    @property
+    def job_id(self) -> str:
+        """Stable id used in the manifest and reports."""
+        return (
+            f"{self.kernel}-L{self.length}/{self.rule}"
+            f"/{self.cache.label()}/{self.attribution}"
+        )
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when this point simulates the untransformed trace."""
+        return self.rule.lower() in BASELINE_NAMES
+
+
+def expand_jobs(spec: CampaignSpec) -> Tuple[List[TraceTask], List[Job]]:
+    """Expand a spec into deduplicated trace tasks plus all grid points.
+
+    Both lists are deduplicated: overlapping grid entries (the same
+    kernel appearing in several entries with intersecting rule sets)
+    collapse to one job per distinct ``job_id``, so every manifest row
+    names distinct work.
+    """
+    traces: Dict[Tuple[str, int], TraceTask] = {}
+    jobs: Dict[str, Job] = {}
+    for entry in spec.grid:
+        key = (entry.kernel.lower(), entry.length)
+        if key not in traces:
+            traces[key] = TraceTask(kernel=key[0], length=entry.length)
+        for rule in entry.rules:
+            for cache in spec.caches_for(entry):
+                for attribution in spec.attribution:
+                    job = Job(
+                        kernel=key[0],
+                        length=entry.length,
+                        rule=rule,
+                        cache=cache,
+                        attribution=attribution,
+                    )
+                    jobs.setdefault(job.job_id, job)
+    return list(traces.values()), list(jobs.values())
+
+
+# -- stage keys ---------------------------------------------------------------
+
+
+def trace_key(kernel: str, length: int) -> str:
+    """Content key of one program's trace artifact."""
+    return content_key(TRACE_STAGE, kernel.lower(), length)
+
+
+def resolve_rule_text(rule: str, length: int) -> Optional[str]:
+    """The rule-file source text a rule reference denotes.
+
+    ``None`` for baseline points; paper rules are instantiated at the
+    job's array length (exactly what :func:`repro.api.paper_rule`
+    parses); ``file:`` references read the file — a missing or
+    unreadable file raises here, inside the worker, where the
+    scheduler's retry/degradation policy owns the failure.
+    """
+    lowered = rule.lower()
+    if lowered in BASELINE_NAMES:
+        return None
+    if lowered == "t1":
+        return RULE_T1_SOA_TO_AOS.format(length=length)
+    if lowered == "t2":
+        return RULE_T2_OUTLINE.format(length=length)
+    if lowered == "t3":
+        sets, cacheline = 16, 32
+        ipl = cacheline // 4
+        return RULE_T3_STRIDE.format(
+            length=length, out_length=length * sets, ipl=ipl, sets=sets
+        )
+    if rule.startswith("file:"):
+        return Path(rule[len("file:"):]).read_text(encoding="utf-8")
+    raise ValueError(f"unresolvable rule reference {rule!r}")
+
+
+def transform_key(base_trace_key: str, rule_text: str) -> str:
+    """Content key of a transformed-trace artifact."""
+    return content_key(TRANSFORM_STAGE, base_trace_key, rule_text)
+
+
+def simulation_key(input_trace_key: str, job: Job) -> str:
+    """Content key of one simulation-result artifact."""
+    return content_key(
+        SIMULATE_STAGE, input_trace_key, job.cache.label(), job.attribution
+    )
+
+
+# -- worker entry points ------------------------------------------------------
+
+
+def _materialise_trace(
+    store: ArtifactStore, kernel: str, length: int
+) -> Tuple[Trace, bool]:
+    """Fetch or generate one program's trace; returns (trace, cache_hit)."""
+    key = trace_key(kernel, length)
+    cached = store.get_trace(key)
+    if cached is not None:
+        return cached, True
+    trace = trace_program(paper_kernel(kernel, length=length))
+    store.put_trace(key, trace)
+    return trace, False
+
+
+def execute_trace_task(
+    task: TraceTask, store_root: Union[str, Path]
+) -> Dict[str, Any]:
+    """Worker body for the shared trace stage."""
+    store = ArtifactStore(store_root)
+    started = time.monotonic()
+    trace, hit = _materialise_trace(store, task.kernel, task.length)
+    return {
+        "kind": "trace",
+        "trace_key": trace_key(task.kernel, task.length),
+        "records": len(trace),
+        "cache_hits": {"trace": hit},
+        "compute_seconds": round(time.monotonic() - started, 6),
+    }
+
+
+def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
+    """Worker body for one grid point.
+
+    Consults the artifact store stage by stage; a fully cached point
+    returns without touching the tracer, engine or simulator at all.
+    Raises on unrecoverable input problems (bad rule file, invalid
+    config) — the scheduler turns that into retry-then-degrade.
+    """
+    store = ArtifactStore(store_root)
+    started = time.monotonic()
+    tkey = trace_key(job.kernel, job.length)
+    rule_text = resolve_rule_text(job.rule, job.length)
+    if rule_text is None:
+        input_key = tkey
+    else:
+        input_key = transform_key(tkey, rule_text)
+    skey = simulation_key(input_key, job)
+
+    hits: Dict[str, bool] = {}
+    cached = store.get_json(skey)
+    if cached is not None:
+        hits["simulation"] = True
+        cached = dict(cached)
+        cached["cache_hits"] = hits
+        cached["compute_seconds"] = round(time.monotonic() - started, 6)
+        return cached
+    hits["simulation"] = False
+
+    trace, trace_hit = _materialise_trace(store, job.kernel, job.length)
+    hits["trace"] = trace_hit
+    transformed_records = None
+    if rule_text is not None:
+        cached_trace = store.get_trace(input_key)
+        hits["transform"] = cached_trace is not None
+        if cached_trace is None:
+            engine = TransformEngine(parse_rules(rule_text))
+            result = engine.transform(trace)
+            cached_trace = result.trace
+            store.put_trace(input_key, cached_trace)
+        trace = cached_trace
+        transformed_records = len(trace)
+
+    sim = simulate(trace, job.cache.to_config(), attribution=job.attribution)
+    stats = sim.stats
+    payload: Dict[str, Any] = {
+        "kind": "simulation",
+        "simulation_key": skey,
+        "config": sim.config.describe(),
+        "records": len(trace),
+        "transformed_records": transformed_records,
+        "accesses": stats.accesses,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "miss_ratio": round(stats.miss_ratio, 6),
+        "evictions": stats.evictions,
+        "compulsory_misses": stats.compulsory_misses,
+        "by_variable_misses": {
+            name: counts.misses
+            for name, counts in sorted(stats.by_variable.items())
+        },
+    }
+    store.put_json(skey, payload)
+    payload = dict(payload)
+    payload["cache_hits"] = hits
+    payload["compute_seconds"] = round(time.monotonic() - started, 6)
+    return payload
+
+
+def execute_task(
+    task: Union[TraceTask, Job], store_root: Union[str, Path]
+) -> Dict[str, Any]:
+    """Dispatch either task kind (the single entry point workers import)."""
+    if isinstance(task, TraceTask):
+        return execute_trace_task(task, store_root)
+    return execute_job(task, store_root)

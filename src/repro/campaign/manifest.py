@@ -1,0 +1,100 @@
+"""Run manifests: append-only JSONL observability for campaign runs.
+
+Every scheduler event — job start, completion, retry, terminal failure,
+resume-skip — is appended as one JSON object per line, flushed
+immediately, so a crashed or killed run leaves a readable record up to
+the moment of death.  The manifest doubles as the ``--resume`` source
+(completed job ids are skipped) and the ``--report`` source (the summary
+table renders from ``job-done`` rows without re-running anything).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+#: Event names written by the scheduler.
+EVENT_CAMPAIGN_START = "campaign-start"
+EVENT_CAMPAIGN_END = "campaign-end"
+EVENT_JOB_START = "job-start"
+EVENT_JOB_DONE = "job-done"
+EVENT_JOB_RETRY = "job-retry"
+EVENT_JOB_FAILED = "job-failed"
+EVENT_JOB_SKIPPED = "job-skipped"
+
+
+class RunManifest:
+    """Append-only JSONL event log for one campaign directory."""
+
+    def __init__(
+        self, path: Union[str, Path], *, append: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if append else "w"
+        self._handle = open(self.path, mode, encoding="utf-8")
+
+    # -- writing -------------------------------------------------------------
+
+    def record(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event row (flushed immediately) and return it."""
+        row = {"ts": round(time.time(), 3), "event": event, **fields}
+        self._handle.write(json.dumps(row, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+        return row
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunManifest":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> List[Dict[str, Any]]:
+        """All event rows of an existing manifest, in write order.
+
+        Tolerates a torn final line (crashed writer): incomplete JSON at
+        EOF is dropped rather than raised.
+        """
+        rows: List[Dict[str, Any]] = []
+        text = Path(path).read_text(encoding="utf-8")
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        return rows
+
+    @staticmethod
+    def completed_jobs(
+        rows: List[Dict[str, Any]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """``job_id -> last job-done row`` across all rows (for resume)."""
+        done: Dict[str, Dict[str, Any]] = {}
+        for row in rows:
+            if row.get("event") == EVENT_JOB_DONE and "job_id" in row:
+                done[row["job_id"]] = row
+        return done
+
+    @staticmethod
+    def result_rows(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Terminal per-job rows (done, failed, skipped), in event order."""
+        terminal = {EVENT_JOB_DONE, EVENT_JOB_FAILED, EVENT_JOB_SKIPPED}
+        latest: Dict[str, Dict[str, Any]] = {}
+        for row in rows:
+            if row.get("event") in terminal and "job_id" in row:
+                latest[row["job_id"]] = row
+        return list(latest.values())

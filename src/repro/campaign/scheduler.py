@@ -1,0 +1,577 @@
+"""The campaign scheduler: fan jobs out, survive failures, stay observable.
+
+Execution model:
+
+- **Phase 1** runs the deduplicated :class:`TraceTask` list — one task
+  per distinct ``(kernel, length)`` — so the expensive shared stage is
+  computed exactly once no matter how many grid points reuse it.
+- **Phase 2** fans every :class:`Job` out over a pool of worker
+  *processes* (one dedicated task queue per worker, one shared result
+  queue).  The parent knows which worker owns which job and when it
+  started, which is what makes per-job **timeouts** enforceable: a
+  worker that blows its deadline is terminated and replaced, and the job
+  re-enters the queue under the retry policy.
+- **Bounded retry with exponential backoff**: a failing job is re-queued
+  up to ``retries`` times with ``backoff * 2^(attempt-1)`` seconds of
+  delay; after that it is recorded as *failed* in the manifest and the
+  rest of the grid continues — a broken rule file costs one point, not
+  the campaign.
+- ``workers <= 1`` runs everything inline (deterministic, easily
+  debugged, no subprocesses); timeouts are not enforceable inline and
+  are ignored there.
+
+Every state change is appended to the JSONL
+:class:`~repro.campaign.manifest.RunManifest`; ``resume=True`` reads the
+previous manifest, skips already-completed jobs, and appends to it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.artifacts import ArtifactStore
+from repro.campaign.jobs import Job, TraceTask, execute_task, expand_jobs
+from repro.campaign.manifest import (
+    EVENT_CAMPAIGN_END,
+    EVENT_CAMPAIGN_START,
+    EVENT_JOB_DONE,
+    EVENT_JOB_FAILED,
+    EVENT_JOB_RETRY,
+    EVENT_JOB_SKIPPED,
+    EVENT_JOB_START,
+    RunManifest,
+)
+from repro.campaign.spec import CampaignSpec
+
+#: Upper bound on one backoff delay, seconds.
+MAX_BACKOFF = 30.0
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one task after scheduling."""
+
+    job_id: str
+    status: str  #: ``"done"`` | ``"failed"`` | ``"skipped"``
+    attempts: int = 1
+    elapsed: float = 0.0
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the task exhausted its retries."""
+        return self.status != "failed"
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced, plus aggregate views."""
+
+    spec: CampaignSpec
+    trace_outcomes: List[JobOutcome] = field(default_factory=list)
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def by_status(self, status: str) -> List[JobOutcome]:
+        """Grid-point outcomes with the given terminal status."""
+        return [o for o in self.outcomes if o.status == status]
+
+    @property
+    def n_done(self) -> int:
+        """Points that produced a result this run."""
+        return len(self.by_status("done"))
+
+    @property
+    def n_failed(self) -> int:
+        """Points that exhausted their retries."""
+        return len(self.by_status("failed"))
+
+    @property
+    def n_skipped(self) -> int:
+        """Points skipped because a resumed manifest already had them."""
+        return len(self.by_status("skipped"))
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of successful points served from the artifact cache.
+
+        A point counts as a hit when its simulation-stage artifact was
+        already stored (or the point was skipped entirely on resume).
+        """
+        served = [o for o in self.outcomes if o.status in ("done", "skipped")]
+        if not served:
+            return 0.0
+        hits = 0
+        for outcome in served:
+            if outcome.status == "skipped":
+                hits += 1
+                continue
+            stage_hits = (outcome.result or {}).get("cache_hits", {})
+            if stage_hits.get("simulation"):
+                hits += 1
+        return hits / len(served)
+
+    def summary(self) -> str:
+        """Multi-line aggregate summary of the run."""
+        hit_rate = self.cache_hit_rate()
+        served = self.n_done + self.n_skipped
+        lines = [
+            f"campaign {self.spec.name!r}: "
+            f"{len(self.outcomes)} points, "
+            f"{len(self.trace_outcomes)} shared trace stages",
+            f"  done: {self.n_done}  failed: {self.n_failed}  "
+            f"skipped: {self.n_skipped}",
+            f"  artifact-cache hit rate: {hit_rate:.1%} "
+            f"({round(hit_rate * served)}/{served} points)",
+            f"  wall time: {self.wall_seconds:.2f}s",
+        ]
+        for outcome in self.by_status("failed"):
+            lines.append(
+                f"  FAILED {outcome.job_id} "
+                f"after {outcome.attempts} attempts: {outcome.error}"
+            )
+        return "\n".join(lines)
+
+
+class _WorkerSlot:
+    """Parent-side bookkeeping for one worker process.
+
+    ``busy`` holds the ``(seq, attempt)`` pair currently assigned, so a
+    stale result from a terminated-and-replaced worker (whose job was
+    already settled as a timeout) can be recognised and dropped.
+    """
+
+    __slots__ = ("process", "task_queue", "busy", "started_at")
+
+    def __init__(self, process: mp.process.BaseProcess, task_queue) -> None:
+        self.process = process
+        self.task_queue = task_queue
+        self.busy: Optional[Tuple[int, int]] = None
+        self.started_at: float = 0.0
+
+
+def _worker_main(worker_id: int, task_queue, result_queue, store_root: str) -> None:
+    """Worker process body: execute tasks until the ``None`` sentinel."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        seq, attempt, task = item
+        started = time.monotonic()
+        try:
+            result = execute_task(task, store_root)
+            result_queue.put(
+                (seq, attempt, worker_id, "ok", result, time.monotonic() - started)
+            )
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            result_queue.put(
+                (
+                    seq,
+                    attempt,
+                    worker_id,
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    time.monotonic() - started,
+                )
+            )
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap task pickling) with a portable fallback."""
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return mp.get_context()
+
+
+class Scheduler:
+    """Expands a spec and drives its jobs to terminal state.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    directory:
+        Campaign working directory; holds ``artifacts/`` (the
+        content-addressed store) and ``manifest.jsonl``.
+    workers:
+        Worker processes; ``<= 1`` runs inline (no timeout enforcement).
+    timeout:
+        Per-job wall-clock budget in seconds (``None`` = unlimited;
+        parallel mode only).
+    retries:
+        Re-attempts after the first failure of a job.
+    backoff:
+        Base seconds of delay before attempt *n*'s retry
+        (``backoff * 2^(n-1)``, capped at :data:`MAX_BACKOFF`).
+    resume:
+        Skip jobs already recorded as done in the existing manifest and
+        append new events to it instead of truncating.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        directory: Union[str, Path],
+        *,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.5,
+        resume: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.store = ArtifactStore(self.directory / "artifacts")
+        self.manifest_path = self.directory / "manifest.jsonl"
+        self.workers = max(0, workers)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = max(0.0, backoff)
+        self.resume = resume
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Run the whole campaign; never raises for individual job failures."""
+        started = time.monotonic()
+        trace_tasks, jobs = expand_jobs(self.spec)
+        previous: Dict[str, Dict[str, Any]] = {}
+        if self.resume and self.manifest_path.exists():
+            previous = RunManifest.completed_jobs(
+                RunManifest.read(self.manifest_path)
+            )
+        result = CampaignResult(spec=self.spec)
+        with RunManifest(self.manifest_path, append=self.resume) as manifest:
+            manifest.record(
+                EVENT_CAMPAIGN_START,
+                campaign=self.spec.name,
+                points=len(jobs),
+                trace_stages=len(trace_tasks),
+                workers=self.workers,
+                timeout=self.timeout,
+                retries=self.retries,
+                resume=self.resume,
+            )
+            run_jobs: List[Job] = []
+            for job in jobs:
+                row = previous.get(job.job_id)
+                if row is not None:
+                    # Carry the prior result forward so reports built from
+                    # the latest terminal row per job still have the data.
+                    manifest.record(
+                        EVENT_JOB_SKIPPED,
+                        job_id=job.job_id,
+                        result=row.get("result"),
+                    )
+                    result.outcomes.append(
+                        JobOutcome(
+                            job_id=job.job_id,
+                            status="skipped",
+                            attempts=0,
+                            result=row.get("result"),
+                        )
+                    )
+                else:
+                    run_jobs.append(job)
+            # Phase 1: shared trace stages, deduplicated.  Only needed
+            # for programs some remaining job actually uses.
+            needed = {(j.kernel, j.length) for j in run_jobs}
+            phase1 = [
+                t for t in trace_tasks if (t.kernel, t.length) in needed
+            ]
+            result.trace_outcomes = self._run_batch(phase1, manifest)
+            # Phase 2: the grid.  A failed trace stage degrades the
+            # points that need it (they will retry the stage themselves
+            # and fail the same way), but never stops the others.
+            result.outcomes.extend(self._run_batch(run_jobs, manifest))
+            result.wall_seconds = time.monotonic() - started
+            manifest.record(
+                EVENT_CAMPAIGN_END,
+                campaign=self.spec.name,
+                done=result.n_done,
+                failed=result.n_failed,
+                skipped=result.n_skipped,
+                cache_hit_rate=round(result.cache_hit_rate(), 4),
+                wall_seconds=round(result.wall_seconds, 3),
+            )
+        return result
+
+    # -- batch executors -----------------------------------------------------
+
+    def _run_batch(
+        self,
+        tasks: Sequence[Union[TraceTask, Job]],
+        manifest: RunManifest,
+    ) -> List[JobOutcome]:
+        """Drive one task batch to terminal state (serial or parallel)."""
+        if not tasks:
+            return []
+        # A single task still goes through the process pool when workers
+        # were requested: inline execution cannot enforce timeouts.
+        if self.workers <= 1:
+            return self._run_serial(tasks, manifest)
+        return self._run_parallel(tasks, manifest)
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Backoff before the retry following failed attempt ``attempt``."""
+        return min(self.backoff * (2 ** (attempt - 1)), MAX_BACKOFF)
+
+    def _run_serial(
+        self,
+        tasks: Sequence[Union[TraceTask, Job]],
+        manifest: RunManifest,
+    ) -> List[JobOutcome]:
+        """Inline executor: same policy, no processes, no timeouts."""
+        outcomes = []
+        store_root = str(self.store.root)
+        for task in tasks:
+            attempt = 0
+            total_elapsed = 0.0
+            while True:
+                attempt += 1
+                manifest.record(
+                    EVENT_JOB_START, job_id=task.job_id, attempt=attempt, worker=0
+                )
+                started = time.monotonic()
+                try:
+                    payload = execute_task(task, store_root)
+                except Exception as exc:
+                    elapsed = time.monotonic() - started
+                    total_elapsed += elapsed
+                    error = f"{type(exc).__name__}: {exc}"
+                    if attempt <= self.retries:
+                        delay = self._retry_delay(attempt)
+                        manifest.record(
+                            EVENT_JOB_RETRY,
+                            job_id=task.job_id,
+                            attempt=attempt,
+                            error=error,
+                            backoff=round(delay, 3),
+                        )
+                        if delay:
+                            time.sleep(delay)
+                        continue
+                    manifest.record(
+                        EVENT_JOB_FAILED,
+                        job_id=task.job_id,
+                        attempts=attempt,
+                        error=error,
+                    )
+                    outcomes.append(
+                        JobOutcome(
+                            job_id=task.job_id,
+                            status="failed",
+                            attempts=attempt,
+                            elapsed=total_elapsed,
+                            error=error,
+                        )
+                    )
+                    break
+                elapsed = time.monotonic() - started
+                total_elapsed += elapsed
+                manifest.record(
+                    EVENT_JOB_DONE,
+                    job_id=task.job_id,
+                    attempt=attempt,
+                    worker=0,
+                    elapsed=round(elapsed, 6),
+                    result=payload,
+                )
+                outcomes.append(
+                    JobOutcome(
+                        job_id=task.job_id,
+                        status="done",
+                        attempts=attempt,
+                        elapsed=total_elapsed,
+                        result=payload,
+                    )
+                )
+                break
+        return outcomes
+
+    def _run_parallel(
+        self,
+        tasks: Sequence[Union[TraceTask, Job]],
+        manifest: RunManifest,
+    ) -> List[JobOutcome]:
+        """Process-pool executor with per-job deadlines and replacement."""
+        ctx = _mp_context()
+        store_root = str(self.store.root)
+        result_queue = ctx.Queue()
+        n_workers = min(self.workers, len(tasks))
+
+        def spawn(worker_id: int) -> _WorkerSlot:
+            task_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, task_queue, result_queue, store_root),
+                daemon=True,
+            )
+            process.start()
+            return _WorkerSlot(process, task_queue)
+
+        slots = [spawn(i) for i in range(n_workers)]
+        # (ready_time, seq) heap of runnable work; attempts[seq] counts
+        # tries already made; elapsed[seq] accumulates across attempts.
+        ready: List[Tuple[float, int]] = [(0.0, i) for i in range(len(tasks))]
+        heapq.heapify(ready)
+        attempts = [0] * len(tasks)
+        elapsed_total = [0.0] * len(tasks)
+        outcomes: Dict[int, JobOutcome] = {}
+
+        def settle_failure(seq: int, worker_id: int, error: str, took: float) -> None:
+            """Retry or record terminal failure for one attempt."""
+            elapsed_total[seq] += took
+            task = tasks[seq]
+            if attempts[seq] <= self.retries:
+                delay = self._retry_delay(attempts[seq])
+                manifest.record(
+                    EVENT_JOB_RETRY,
+                    job_id=task.job_id,
+                    attempt=attempts[seq],
+                    worker=worker_id,
+                    error=error,
+                    backoff=round(delay, 3),
+                )
+                heapq.heappush(ready, (time.monotonic() + delay, seq))
+            else:
+                manifest.record(
+                    EVENT_JOB_FAILED,
+                    job_id=task.job_id,
+                    attempts=attempts[seq],
+                    error=error,
+                )
+                outcomes[seq] = JobOutcome(
+                    job_id=task.job_id,
+                    status="failed",
+                    attempts=attempts[seq],
+                    elapsed=elapsed_total[seq],
+                    error=error,
+                )
+
+        try:
+            while len(outcomes) < len(tasks):
+                now = time.monotonic()
+                # Hand ready work to idle (and live) workers.
+                for i, slot in enumerate(slots):
+                    if slot.busy is not None or not ready:
+                        continue
+                    if ready[0][0] > now:
+                        break
+                    if not slot.process.is_alive():
+                        slots[i] = slot = spawn(i)
+                    _, seq = heapq.heappop(ready)
+                    attempts[seq] += 1
+                    slot.busy = (seq, attempts[seq])
+                    slot.started_at = now
+                    manifest.record(
+                        EVENT_JOB_START,
+                        job_id=tasks[seq].job_id,
+                        attempt=attempts[seq],
+                        worker=i,
+                    )
+                    slot.task_queue.put((seq, attempts[seq], tasks[seq]))
+                # Collect one result (short poll keeps deadline checks live).
+                try:
+                    seq, attempt, worker_id, status, payload, took = (
+                        result_queue.get(timeout=0.05)
+                    )
+                except queue_mod.Empty:
+                    pass
+                else:
+                    owner = next(
+                        (s for s in slots if s.busy == (seq, attempt)), None
+                    )
+                    if owner is None or seq in outcomes:
+                        # Stale result from a worker whose job was already
+                        # settled (e.g. finished right as it was timed out).
+                        pass
+                    else:
+                        owner.busy = None
+                        if status == "ok":
+                            elapsed_total[seq] += took
+                            manifest.record(
+                                EVENT_JOB_DONE,
+                                job_id=tasks[seq].job_id,
+                                attempt=attempt,
+                                worker=worker_id,
+                                elapsed=round(took, 6),
+                                result=payload,
+                            )
+                            outcomes[seq] = JobOutcome(
+                                job_id=tasks[seq].job_id,
+                                status="done",
+                                attempts=attempt,
+                                elapsed=elapsed_total[seq],
+                                result=payload,
+                            )
+                        else:
+                            settle_failure(seq, worker_id, payload, took)
+                # Enforce deadlines and replace dead or stuck workers.
+                now = time.monotonic()
+                for i, slot in enumerate(slots):
+                    if slot.busy is None:
+                        continue
+                    seq, _attempt = slot.busy
+                    over_deadline = (
+                        self.timeout is not None
+                        and now - slot.started_at > self.timeout
+                    )
+                    died = not slot.process.is_alive()
+                    if not over_deadline and not died:
+                        continue
+                    took = now - slot.started_at
+                    error = (
+                        f"timeout after {self.timeout:.1f}s"
+                        if over_deadline
+                        else "worker process died"
+                    )
+                    slot.process.terminate()
+                    slot.process.join(timeout=2.0)
+                    slots[i] = spawn(i)
+                    settle_failure(seq, i, error, took)
+        finally:
+            for slot in slots:
+                try:
+                    slot.task_queue.put(None)
+                except Exception:  # pragma: no cover - shutdown best effort
+                    pass
+            deadline = time.monotonic() + 2.0
+            for slot in slots:
+                slot.process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if slot.process.is_alive():  # pragma: no cover
+                    slot.process.terminate()
+                    slot.process.join(timeout=1.0)
+            result_queue.close()
+            result_queue.cancel_join_thread()
+        return [outcomes[i] for i in range(len(tasks))]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    directory: Union[str, Path],
+    *,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.5,
+    resume: bool = False,
+) -> CampaignResult:
+    """One-call campaign execution (see :class:`Scheduler` for knobs)."""
+    return Scheduler(
+        spec,
+        directory,
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        resume=resume,
+    ).run()

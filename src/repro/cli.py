@@ -8,7 +8,13 @@ Subcommands mirror the paper's analysis cycle (its Figure 2):
 - ``tdst simulate``  — DineroIV-style cache simulation of a trace file;
 - ``tdst transform`` — apply a rule file, write ``transformed_trace.out``;
 - ``tdst diff``      — structural diff of two traces (Figures 5/8/9);
-- ``tdst figure``    — per-set figure data (+ optional gnuplot output).
+- ``tdst figure``    — per-set figure data (+ optional gnuplot output);
+- ``tdst campaign``  — run a whole experiment grid (every paper figure)
+  in parallel with artifact caching, retries and a JSONL run manifest.
+
+Commands that read a trace auto-detect the format by magic bytes, so
+text, gzipped text and compact binary (``TDST``) traces are
+interchangeable everywhere.
 """
 
 from __future__ import annotations
@@ -86,13 +92,18 @@ def _cache_config(args: argparse.Namespace) -> CacheConfig:
 def _cmd_trace(args: argparse.Namespace) -> int:
     program = paper_kernel(args.kernel, length=args.length)
     trace = trace_program(program)
-    trace.save(args.output)
+    if args.binary:
+        from repro.trace.binformat import save_binary
+
+        save_binary(trace, args.output)
+    else:
+        trace.save(args.output)
     print(f"wrote {len(trace)} records to {args.output}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    trace = Trace.load(args.trace)
+    trace = Trace.load_any(args.trace)
     print(compute_stats(trace).summary())
     return 0
 
@@ -105,14 +116,14 @@ def _apply_physical(trace: Trace, args: argparse.Namespace) -> Trace:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = _apply_physical(Trace.load(args.trace), args)
+    trace = _apply_physical(Trace.load_any(args.trace), args)
     result = simulate(trace, _cache_config(args), attribution=args.attribution)
     print(simulation_report(result, title=str(args.trace), plot=args.plot))
     return 0
 
 
 def _cmd_threec(args: argparse.Namespace) -> int:
-    trace = _apply_physical(Trace.load(args.trace), args)
+    trace = _apply_physical(Trace.load_any(args.trace), args)
     report = classify_misses(
         trace, _cache_config(args), attribution=args.attribution
     )
@@ -121,7 +132,7 @@ def _cmd_threec(args: argparse.Namespace) -> int:
 
 
 def _cmd_transform(args: argparse.Namespace) -> int:
-    trace = Trace.load(args.trace)
+    trace = Trace.load_any(args.trace)
     rules = parse_rules_file(args.rules)
     engine = TransformEngine(rules, strict=args.strict)
     result = engine.transform(trace)
@@ -132,8 +143,8 @@ def _cmd_transform(args: argparse.Namespace) -> int:
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
-    original = Trace.load(args.original)
-    transformed = Trace.load(args.transformed)
+    original = Trace.load_any(args.original)
+    transformed = Trace.load_any(args.transformed)
     diff = diff_traces(original, transformed)
     print(diff.render(context=args.context))
     print(diff.summary())
@@ -147,7 +158,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep_table,
     )
 
-    trace = _apply_physical(Trace.load(args.trace), args)
+    trace = _apply_physical(Trace.load_any(args.trace), args)
     configs = associativity_sweep(
         args.size, args.block, max_ways=args.max_ways, policy=args.policy
     )
@@ -161,7 +172,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_heatmap(args: argparse.Namespace) -> int:
     from repro.analysis.heatmap import compute_heatmap
 
-    trace = _apply_physical(Trace.load(args.trace), args)
+    trace = _apply_physical(Trace.load_any(args.trace), args)
     heat = compute_heatmap(
         trace,
         _cache_config(args),
@@ -180,7 +191,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         suggest_hot_cold_split,
     )
 
-    trace = Trace.load(args.trace)
+    trace = Trace.load_any(args.trace)
     decls = parse_declarations(Path(args.layout).read_text(encoding="utf-8"))
     variables = dict(decls.variables)
     for tag, ctype in decls.structs.items():
@@ -234,8 +245,54 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.report import campaign_report
+    from repro.campaign import (
+        CampaignSpec,
+        RunManifest,
+        Scheduler,
+        paper_figures_spec,
+    )
+    from repro.errors import CampaignError
+
+    directory = Path(args.dir)
+    manifest_path = directory / "manifest.jsonl"
+    if args.report:
+        if not manifest_path.exists():
+            print(f"error: no manifest at {manifest_path}")
+            return 1
+        rows = RunManifest.result_rows(RunManifest.read(manifest_path))
+        print(campaign_report(rows))
+        return 0
+    if args.spec == "paper":
+        spec = paper_figures_spec(length=args.length)
+    else:
+        try:
+            spec = CampaignSpec.load(args.spec)
+        except (CampaignError, OSError) as exc:
+            print(f"error: {exc}")
+            return 1
+    scheduler = Scheduler(
+        spec,
+        directory,
+        workers=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        resume=args.resume,
+    )
+    result = scheduler.run()
+    print(result.summary())
+    print()
+    rows = RunManifest.result_rows(RunManifest.read(manifest_path))
+    print(campaign_report(rows))
+    # Graceful degradation: failed points are recorded, not fatal — the
+    # exit code only signals a campaign that produced nothing at all.
+    return 0 if (result.n_done + result.n_skipped) else 1
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
-    trace = Trace.load(args.trace)
+    trace = Trace.load_any(args.trace)
     result = simulate(trace, _cache_config(args), attribution=args.attribution)
     figure = figure_series(result, title=str(args.trace))
     print(render_figure(figure))
@@ -259,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kernel", choices=sorted(PAPER_KERNELS))
     p.add_argument("--length", type=int, default=16)
     p.add_argument("-o", "--output", default="trace.out")
+    p.add_argument(
+        "--binary",
+        action="store_true",
+        help="write the compact TDST binary format instead of text",
+    )
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("stats", help="trace statistics")
@@ -338,6 +400,56 @@ def build_parser() -> argparse.ArgumentParser:
         default="binary",
     )
     p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a declarative experiment grid with caching and retries",
+    )
+    p.add_argument(
+        "spec",
+        help="TOML campaign spec path, or the literal 'paper' for the "
+        "built-in spec reproducing the paper's T1/T2/T3 studies",
+    )
+    p.add_argument(
+        "--dir",
+        default="campaign_out",
+        help="campaign directory (artifacts/ + manifest.jsonl)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = inline)"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds (needs --jobs >= 2)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1, help="re-attempts per failing job"
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base retry delay in seconds (doubles per attempt)",
+    )
+    p.add_argument(
+        "--length",
+        type=int,
+        default=1024,
+        help="array length for the built-in 'paper' spec",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs already completed in the existing manifest",
+    )
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="render the before/after table from the manifest and exit",
+    )
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("figure", help="per-set figure data for a trace")
     p.add_argument("trace")

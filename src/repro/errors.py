@@ -64,3 +64,7 @@ class RuleError(ReproError):
 
 class TransformError(ReproError):
     """Applying a transformation to a trace failed."""
+
+
+class CampaignError(ReproError):
+    """An experiment campaign spec is invalid or a run cannot proceed."""

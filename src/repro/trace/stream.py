@@ -59,6 +59,22 @@ class Trace(Sequence[TraceRecord]):
         """Load a Gleipnir-format trace file."""
         return cls(read_trace(path))
 
+    @classmethod
+    def load_any(cls, path: Union[str, Path]) -> "Trace":
+        """Load a trace file, auto-detecting binary vs text by magic bytes.
+
+        Files starting with the ``TDST`` magic load through the compact
+        binary reader; everything else (including gzipped text) goes
+        through the Gleipnir text parser.
+        """
+        with open(path, "rb") as handle:
+            magic = handle.read(4)
+        if magic == b"TDST":
+            from repro.trace.binformat import load_binary
+
+            return load_binary(path)
+        return cls.load(path)
+
     def save(self, path: Union[str, Path], *, pid: int = 10000) -> None:
         """Write the trace in Gleipnir format."""
         write_trace(self._records, path, pid=pid)

@@ -66,6 +66,52 @@ class TestSweep:
         assert table.count("\n") == 2
 
 
+class TestSweepFailurePaths:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.tracer.interp import trace_program
+        from repro.workloads.paper_kernels import paper_kernel
+
+        return trace_program(paper_kernel("1a", length=32))
+
+    def test_empty_config_list(self, trace):
+        assert sweep_configs(trace, [], workers=0) == []
+        assert sweep_configs(trace, [], workers=4) == []
+
+    def test_serial_worker_exception_propagates(self, trace):
+        configs = associativity_sweep(2048, 32, max_ways=1)
+        with pytest.raises(ValueError, match="attribution"):
+            sweep_configs(trace, configs, attribution="bogus", workers=0)
+
+    def test_parallel_worker_exception_propagates(self, trace):
+        configs = associativity_sweep(2048, 32, max_ways=4)
+        assert len(configs) > 1  # force the pool path
+        with pytest.raises(ValueError, match="attribution"):
+            sweep_configs(trace, configs, attribution="bogus", workers=2)
+
+    def test_workers_one_never_spawns_processes(self, trace, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("multiprocessing must not be used")
+
+        monkeypatch.setattr(sweep_mod.mp, "get_context", boom)
+        configs = associativity_sweep(2048, 32, max_ways=4)
+        points = sweep_configs(trace, configs, workers=1)
+        assert len(points) == len(configs)
+
+    def test_single_config_stays_serial(self, trace, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("multiprocessing must not be used")
+
+        monkeypatch.setattr(sweep_mod.mp, "get_context", boom)
+        configs = associativity_sweep(2048, 32, max_ways=1)
+        points = sweep_configs(trace, configs, workers=8)
+        assert len(points) == 1
+
+
 class TestGzipTraces:
     def test_gz_round_trip(self, tmp_path):
         from repro.tracer.interp import trace_program

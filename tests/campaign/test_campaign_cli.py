@@ -1,0 +1,210 @@
+"""End-to-end tests of ``tdst campaign`` and the campaign report."""
+
+import pytest
+
+from repro.analysis.report import campaign_report
+from repro.cli import main
+
+SPEC_TOML = """\
+[campaign]
+name = "cli-mini"
+
+[[caches]]
+size = 2048
+block = 32
+assoc = 1
+
+[[grid]]
+kernel = "1a"
+length = 64
+rules = ["baseline", "t1"]
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "spec.toml"
+    path.write_text(SPEC_TOML)
+    return path
+
+
+class TestCampaignCommand:
+    def test_run_writes_manifest_and_reports(self, spec_file, tmp_path, capsys):
+        directory = tmp_path / "out"
+        assert (
+            main(["campaign", str(spec_file), "--dir", str(directory)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "done: 2" in out
+        assert "vs base" in out
+        assert (directory / "manifest.jsonl").exists()
+        assert (directory / "artifacts").is_dir()
+
+    def test_resume_reports_full_cache_hits(self, spec_file, tmp_path, capsys):
+        directory = tmp_path / "out"
+        assert main(["campaign", str(spec_file), "--dir", str(directory)]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "campaign",
+                    str(spec_file),
+                    "--dir",
+                    str(directory),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "skipped: 2" in out
+        assert "100.0%" in out
+
+    def test_report_only_mode(self, spec_file, tmp_path, capsys):
+        directory = tmp_path / "out"
+        assert main(["campaign", str(spec_file), "--dir", str(directory)]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["campaign", str(spec_file), "--dir", str(directory), "--report"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "totals: 2 done" in out
+
+    def test_report_without_manifest_errors(self, spec_file, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    str(spec_file),
+                    "--dir",
+                    str(tmp_path / "nothing"),
+                    "--report",
+                ]
+            )
+            == 1
+        )
+        assert "no manifest" in capsys.readouterr().out
+
+    def test_builtin_paper_spec(self, tmp_path, capsys):
+        directory = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "paper",
+                    "--dir",
+                    str(directory),
+                    "--length",
+                    "64",
+                    "--jobs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "done: 6" in out
+        for rule in ("t1", "t2", "t3"):
+            assert f"/{rule}/" in out
+
+    def test_bad_spec_prints_clean_error(self, tmp_path, capsys):
+        spec = tmp_path / "spec.toml"
+        spec.write_text("[campaign]\nname='x'\n[[grid]]\nkernel='1a'\nrules=['t9']\n")
+        assert main(["campaign", str(spec), "--dir", str(tmp_path / "o")]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "t9" in out
+
+    def test_missing_spec_file_prints_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.toml"
+        assert main(["campaign", str(missing), "--dir", str(tmp_path / "o")]) == 1
+        assert capsys.readouterr().out.startswith("error:")
+
+    def test_failed_point_does_not_fail_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rules"
+        bad.write_text("in:\nbroken {{{\n")
+        spec = tmp_path / "spec.toml"
+        spec.write_text(
+            "[campaign]\nname='x'\n[[caches]]\nsize=2048\n"
+            "[[grid]]\nkernel='1a'\nlength=64\n"
+            f"rules=['baseline', 'file:{bad}']\n"
+        )
+        assert (
+            main(
+                [
+                    "campaign",
+                    str(spec),
+                    "--dir",
+                    str(tmp_path / "out"),
+                    "--backoff",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failed: 1" in out
+        assert "done: 1" in out
+
+
+class TestCampaignReport:
+    def test_before_after_delta(self):
+        rows = [
+            {
+                "event": "job-done",
+                "job_id": "1a-L64/baseline/2048B-32b-1w-lru/base",
+                "result": {
+                    "accesses": 100,
+                    "misses": 50,
+                    "miss_ratio": 0.5,
+                    "cache_hits": {"simulation": False},
+                },
+            },
+            {
+                "event": "job-done",
+                "job_id": "1a-L64/t1/2048B-32b-1w-lru/base",
+                "result": {
+                    "accesses": 100,
+                    "misses": 25,
+                    "miss_ratio": 0.25,
+                    "cache_hits": {"simulation": True},
+                },
+            },
+        ]
+        text = campaign_report(rows)
+        assert "-50.0%" in text
+        assert "artifact-cache simulation hits: 1/2" in text
+
+    def test_failed_rows_render_placeholders(self):
+        rows = [
+            {"event": "job-failed", "job_id": "1a-L64/t1/2048B-32b-1w-lru/base"}
+        ]
+        text = campaign_report(rows)
+        assert "failed" in text
+        assert "totals: 0 done, 1 failed" in text
+
+    def test_file_rule_ids_with_slashes_parse(self):
+        rows = [
+            {
+                "event": "job-done",
+                "job_id": "1a-L64/file:/a/b/c.rules/2048B-32b-1w-lru/base",
+                "result": {
+                    "accesses": 10,
+                    "misses": 1,
+                    "miss_ratio": 0.1,
+                    "cache_hits": {},
+                },
+            }
+        ]
+        text = campaign_report(rows)
+        assert "file:/a/b/c.rules" in text
+
+    def test_trace_stage_rows_excluded(self):
+        rows = [
+            {"event": "job-done", "job_id": "trace/1a-L64", "result": {}},
+        ]
+        text = campaign_report(rows)
+        assert "trace/1a-L64" not in text

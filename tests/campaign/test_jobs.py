@@ -1,0 +1,131 @@
+"""Tests for grid expansion, stage keys and the per-job pipeline."""
+
+import pytest
+
+from repro.campaign.artifacts import ArtifactStore
+from repro.campaign.jobs import (
+    Job,
+    TraceTask,
+    execute_job,
+    execute_trace_task,
+    expand_jobs,
+    resolve_rule_text,
+    trace_key,
+    transform_key,
+)
+from repro.campaign.spec import CacheSpec, CampaignSpec, GridEntry
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec(
+        name="t",
+        grid=(
+            GridEntry(kernel="1a", length=64, rules=("baseline", "t1")),
+            GridEntry(kernel="1a", length=64, rules=("baseline",)),
+            GridEntry(kernel="3a", length=64, rules=("t3",)),
+        ),
+        caches=(CacheSpec(size=2048), CacheSpec(size=4096)),
+        attribution=("base",),
+    )
+
+
+class TestExpansion:
+    def test_trace_tasks_deduplicated(self, spec):
+        traces, _jobs = expand_jobs(spec)
+        # Two grid entries share (1a, 64): one trace task, not two.
+        assert sorted((t.kernel, t.length) for t in traces) == [
+            ("1a", 64),
+            ("3a", 64),
+        ]
+
+    def test_job_count_matches_spec(self, spec):
+        _traces, jobs = expand_jobs(spec)
+        # Raw grid product is 8, but "1a baseline" appears in two grid
+        # entries, so expansion collapses those duplicates (2 caches).
+        assert spec.n_points() == (2 + 1 + 1) * 2
+        assert len(jobs) == spec.n_points() - 2
+
+    def test_job_ids_unique(self, spec):
+        _traces, jobs = expand_jobs(spec)
+        ids = [j.job_id for j in jobs]
+        assert len(set(ids)) == len(ids)
+
+
+class TestRuleResolution:
+    def test_baseline_is_none(self):
+        assert resolve_rule_text("baseline", 64) is None
+        assert resolve_rule_text("none", 64) is None
+
+    def test_paper_rules_parameterised_by_length(self):
+        t1 = resolve_rule_text("t1", 64)
+        assert "mX[64]" in t1
+        assert resolve_rule_text("t1", 64) != resolve_rule_text("t1", 128)
+        assert "lSetHashingArray" in resolve_rule_text("t3", 64)
+
+    def test_file_reference_reads_text(self, tmp_path):
+        rules = tmp_path / "r.rules"
+        rules.write_text("displace:\nlSoA + 4096\n")
+        assert resolve_rule_text(f"file:{rules}", 64) == rules.read_text()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            resolve_rule_text(f"file:{tmp_path}/missing.rules", 64)
+
+    def test_unresolvable_raises(self):
+        with pytest.raises(ValueError, match="unresolvable"):
+            resolve_rule_text("t9", 64)
+
+
+class TestExecution:
+    def test_trace_task_generates_then_hits_cache(self, tmp_path):
+        task = TraceTask(kernel="1a", length=32)
+        first = execute_trace_task(task, tmp_path)
+        assert first["cache_hits"] == {"trace": False}
+        assert first["records"] > 0
+        second = execute_trace_task(task, tmp_path)
+        assert second["cache_hits"] == {"trace": True}
+        assert second["records"] == first["records"]
+
+    def test_baseline_job_end_to_end(self, tmp_path):
+        job = Job(kernel="1a", length=32, rule="baseline", cache=CacheSpec(size=2048))
+        result = execute_job(job, tmp_path)
+        assert result["accesses"] > 0
+        assert result["misses"] > 0
+        assert result["cache_hits"]["simulation"] is False
+        assert "lSoA" in result["by_variable_misses"]
+
+    def test_second_run_is_a_simulation_cache_hit(self, tmp_path):
+        job = Job(kernel="1a", length=32, rule="baseline", cache=CacheSpec(size=2048))
+        first = execute_job(job, tmp_path)
+        second = execute_job(job, tmp_path)
+        assert second["cache_hits"] == {"simulation": True}
+        assert second["misses"] == first["misses"]
+
+    def test_transform_stage_shared_across_cache_configs(self, tmp_path):
+        a = Job(kernel="1a", length=32, rule="t1", cache=CacheSpec(size=2048))
+        b = Job(kernel="1a", length=32, rule="t1", cache=CacheSpec(size=4096))
+        first = execute_job(a, tmp_path)
+        assert first["transformed_records"] is not None
+        second = execute_job(b, tmp_path)
+        # Different geometry -> new simulation, but the transformed trace
+        # and the base trace both come from the cache.
+        assert second["cache_hits"]["simulation"] is False
+        assert second["cache_hits"]["trace"] is True
+        assert second["cache_hits"]["transform"] is True
+
+    def test_bad_rule_file_raises(self, tmp_path):
+        rules = tmp_path / "broken.rules"
+        rules.write_text("in:\nnot a valid rule {{{\n")
+        job = Job(
+            kernel="1a", length=32, rule=f"file:{rules}", cache=CacheSpec(size=2048)
+        )
+        with pytest.raises(ReproError):
+            execute_job(job, tmp_path)
+
+    def test_stage_keys_isolate_inputs(self):
+        assert trace_key("1a", 32) != trace_key("1a", 64)
+        assert trace_key("1a", 32) != trace_key("1b", 32)
+        base = trace_key("1a", 32)
+        assert transform_key(base, "rule A") != transform_key(base, "rule B")

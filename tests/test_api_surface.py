@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.transform",
     "repro.analysis",
     "repro.workloads",
+    "repro.campaign",
 ]
 
 

@@ -25,6 +25,43 @@ class TestTrace:
             assert main(["trace", kernel, "--length", "8", "-o", str(out)]) == 0
 
 
+class TestBinaryTraces:
+    @pytest.fixture
+    def binary_trace(self, tmp_path):
+        out = tmp_path / "t1a.tdst"
+        assert (
+            main(["trace", "1a", "--length", "16", "--binary", "-o", str(out)])
+            == 0
+        )
+        return out
+
+    def test_binary_flag_writes_binformat(self, binary_trace, traced_kernel):
+        assert binary_trace.read_bytes()[:4] == b"TDST"
+        assert Trace.load_any(binary_trace) == Trace.load(traced_kernel)
+
+    def test_stats_autodetects_binary(self, binary_trace, capsys):
+        assert main(["stats", str(binary_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "accesses" in out
+        assert "lSoA" in out
+
+    def test_simulate_autodetects_binary(self, binary_trace, capsys):
+        assert main(["simulate", str(binary_trace)]) == 0
+        assert "demand accesses" in capsys.readouterr().out
+
+    def test_transform_autodetects_binary(self, binary_trace, tmp_path, capsys):
+        rules = tmp_path / "t1.rules"
+        rules.write_text(RULE_T1_SOA_TO_AOS.format(length=16))
+        out = tmp_path / "t1a.t1.out"
+        assert (
+            main(
+                ["transform", str(binary_trace), str(rules), "-o", str(out)]
+            )
+            == 0
+        )
+        assert len(Trace.load(out)) > 0
+
+
 class TestStats:
     def test_stats_prints(self, traced_kernel, capsys):
         assert main(["stats", str(traced_kernel)]) == 0
