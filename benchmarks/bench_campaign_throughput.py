@@ -18,24 +18,29 @@ from repro.campaign.scheduler import run_campaign
 from repro.campaign.spec import CacheSpec, CampaignSpec, GridEntry
 
 #: Long enough that simulation dominates store I/O, small enough that a
-#: cold run stays in benchmark-friendly territory.
+#: cold run stays in benchmark-friendly territory (128 under --quick).
 BENCH_LEN = 512
 
 
-def bench_spec() -> CampaignSpec:
+@pytest.fixture(scope="module")
+def bench_len(quick) -> int:
+    return 128 if quick else BENCH_LEN
+
+
+@pytest.fixture(scope="module")
+def spec(bench_len) -> CampaignSpec:
     """The grid under test: two programs, one transform, two caches."""
     return CampaignSpec(
         name="bench",
         grid=(
-            GridEntry(kernel="1a", length=BENCH_LEN, rules=("baseline", "t1")),
-            GridEntry(kernel="2a", length=BENCH_LEN, rules=("baseline",)),
+            GridEntry(kernel="1a", length=bench_len, rules=("baseline", "t1")),
+            GridEntry(kernel="2a", length=bench_len, rules=("baseline",)),
         ),
         caches=(CacheSpec(size=2048), CacheSpec(size=8192)),
     )
 
 
-def test_cold_run(benchmark, tmp_path):
-    spec = bench_spec()
+def test_cold_run(benchmark, tmp_path, spec):
     counter = iter(range(10**6))
 
     def fresh_dir():
@@ -52,8 +57,7 @@ def test_cold_run(benchmark, tmp_path):
     assert result.cache_hit_rate() == 0.0
 
 
-def test_warm_rerun(benchmark, tmp_path):
-    spec = bench_spec()
+def test_warm_rerun(benchmark, tmp_path, spec):
     directory = tmp_path / "warm"
     run_campaign(spec, directory)  # populate the artifact store
 
@@ -62,8 +66,7 @@ def test_warm_rerun(benchmark, tmp_path):
     assert result.cache_hit_rate() == 1.0  # every point a simulation hit
 
 
-def test_resume_skips_everything(benchmark, tmp_path):
-    spec = bench_spec()
+def test_resume_skips_everything(benchmark, tmp_path, spec):
     directory = tmp_path / "resume"
     run_campaign(spec, directory)
 
@@ -73,10 +76,11 @@ def test_resume_skips_everything(benchmark, tmp_path):
     assert result.cache_hit_rate() == 1.0
 
 
-def test_warm_beats_cold(benchmark, tmp_path):
+def test_warm_beats_cold(benchmark, tmp_path, spec, quick):
     """The acceptance claim: a re-run over a populated store is
-    measurably faster than the cold run that populated it."""
-    spec = bench_spec()
+    measurably faster than the cold run that populated it.  Under
+    ``--quick`` the grid is too small for a stable timing comparison, so
+    the speedup assertion only applies to full runs."""
     directory = tmp_path / "c"
     t0 = time.perf_counter()
     cold = run_campaign(spec, directory)
@@ -89,4 +93,5 @@ def test_warm_beats_cold(benchmark, tmp_path):
         f"\ncold {cold_seconds * 1e3:.1f} ms, resumed {warm_seconds * 1e3:.1f} ms, "
         f"speedup {cold_seconds / warm_seconds:.1f}x over {cold.n_done} points"
     )
-    assert warm_seconds < cold_seconds
+    if not quick:
+        assert warm_seconds < cold_seconds

@@ -25,6 +25,22 @@ FIG_LEN = 1024
 T3_LEN = 1024
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="CI smoke mode: shrink workloads and relax speedup thresholds "
+        "so the benchmark files run in seconds",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True under ``--quick`` (CI smoke runs)."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def paper_cache() -> CacheConfig:
     """Figures 3/4/6/7: 32 KiB, 32 B blocks, direct mapped."""

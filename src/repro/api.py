@@ -27,10 +27,22 @@ from __future__ import annotations
 from repro.cache.config import CacheConfig
 from repro.cache.fastsim import (
     FastCounts,
+    FastSimulator,
+    FastTraceCounts,
+    fast_counts,
     fast_direct_mapped_counts,
+    fast_lru_counts,
     fast_per_variable_counts,
+    fast_trace_counts,
+    supports_fast_path,
 )
-from repro.cache.simulator import CacheSimulator, SimulationResult, simulate
+from repro.cache.simulator import (
+    CacheSimulator,
+    SimulationResult,
+    StreamResult,
+    simulate,
+    simulate_stream,
+)
 from repro.campaign import (
     ArtifactStore,
     CacheSpec,
@@ -60,7 +72,7 @@ from repro.transform.advisor import (
 from repro.trace.binformat import load_binary, save_binary
 from repro.trace.format import read_trace, write_trace
 from repro.trace.stats import compute_stats
-from repro.trace.stream import Trace
+from repro.trace.stream import Trace, TraceChunk, iter_chunks, iter_records
 from repro.tracer.interp import Interpreter, trace_program
 from repro.tracer.program import Program
 from repro.transform.engine import TransformEngine, transform_trace
@@ -97,9 +109,20 @@ __all__ = [
     "CacheSimulator",
     "SimulationResult",
     "simulate",
+    "StreamResult",
+    "simulate_stream",
+    "TraceChunk",
+    "iter_chunks",
+    "iter_records",
     "FastCounts",
+    "FastTraceCounts",
+    "FastSimulator",
+    "fast_counts",
     "fast_direct_mapped_counts",
+    "fast_lru_counts",
     "fast_per_variable_counts",
+    "fast_trace_counts",
+    "supports_fast_path",
     "CacheHierarchy",
     "simulate_hierarchy",
     "classify_misses",

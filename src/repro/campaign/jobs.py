@@ -20,14 +20,20 @@ parent process.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.campaign.artifacts import ArtifactStore, content_key
 from repro.campaign.spec import BASELINE_NAMES, CacheSpec, CampaignSpec
-from repro.cache.simulator import simulate
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import fast_trace_counts, supports_fast_path
+from repro.cache.simulator import attribution_label, simulate
+from repro.trace.record import AccessType
 from repro.trace.stream import Trace
 from repro.tracer.interp import trace_program
 from repro.transform.engine import TransformEngine
@@ -158,6 +164,78 @@ def simulation_key(input_trace_key: str, job: Job) -> str:
     )
 
 
+# -- simulation stage ---------------------------------------------------------
+
+#: Environment escape hatch: set to any non-empty value to force every
+#: grid point through the reference simulator (e.g. when cross-checking
+#: the fast path itself).  Read per job so forked workers inherit it.
+NO_FAST_ENV = "TDST_NO_FAST"
+
+
+def simulation_fields(
+    trace: Trace,
+    config: CacheConfig,
+    attribution: str,
+    *,
+    use_fast: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """The simulation-statistics fields of one job payload.
+
+    Grid points whose cache config the vectorized fast path covers
+    (direct-mapped or set-associative LRU, write-allocate — see
+    :func:`repro.cache.fastsim.supports_fast_path`) go through numpy;
+    everything else (round-robin, PLRU, ...) uses the reference
+    simulator.  Both routes produce identical values — the fast path is
+    cross-validated exactly in ``tests/cache/test_fastsim.py`` and
+    ``tests/campaign/test_jobs.py`` — so artifact keys do not encode the
+    route.  ``use_fast=None`` means auto (fast when eligible unless
+    :data:`NO_FAST_ENV` is set).
+    """
+    if use_fast is None:
+        use_fast = not os.environ.get(NO_FAST_ENV)
+    if use_fast and supports_fast_path(config):
+        data = [r for r in trace if r.op is not AccessType.MISC]
+        n = len(data)
+        addrs = np.fromiter((r.addr for r in data), dtype=np.uint64, count=n)
+        sizes = np.fromiter((r.size for r in data), dtype=np.uint32, count=n)
+        name_ids: Dict[str, int] = {}
+        var_ids = np.empty(n, dtype=np.int64)
+        for i, record in enumerate(data):
+            label = attribution_label(record, attribution)
+            if label is None:
+                var_ids[i] = -1
+            else:
+                var_ids[i] = name_ids.setdefault(label, len(name_ids))
+        result = fast_trace_counts(addrs, config, sizes, var_ids)
+        return {
+            "config": config.describe(),
+            "accesses": n,
+            "hits": result.demand_hits,
+            "misses": result.demand_misses,
+            "miss_ratio": round(result.demand_miss_ratio, 6),
+            "evictions": result.evictions,
+            "compulsory_misses": result.counts.compulsory_misses,
+            "by_variable_misses": {
+                name: result.per_variable[vid][1]
+                for name, vid in sorted(name_ids.items())
+            },
+        }
+    stats = simulate(trace, config, attribution=attribution).stats
+    return {
+        "config": config.describe(),
+        "accesses": stats.accesses,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "miss_ratio": round(stats.miss_ratio, 6),
+        "evictions": stats.evictions,
+        "compulsory_misses": stats.compulsory_misses,
+        "by_variable_misses": {
+            name: counts.misses
+            for name, counts in sorted(stats.by_variable.items())
+        },
+    }
+
+
 # -- worker entry points ------------------------------------------------------
 
 
@@ -232,25 +310,15 @@ def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
         trace = cached_trace
         transformed_records = len(trace)
 
-    sim = simulate(trace, job.cache.to_config(), attribution=job.attribution)
-    stats = sim.stats
     payload: Dict[str, Any] = {
         "kind": "simulation",
         "simulation_key": skey,
-        "config": sim.config.describe(),
         "records": len(trace),
         "transformed_records": transformed_records,
-        "accesses": stats.accesses,
-        "hits": stats.hits,
-        "misses": stats.misses,
-        "miss_ratio": round(stats.miss_ratio, 6),
-        "evictions": stats.evictions,
-        "compulsory_misses": stats.compulsory_misses,
-        "by_variable_misses": {
-            name: counts.misses
-            for name, counts in sorted(stats.by_variable.items())
-        },
     }
+    payload.update(
+        simulation_fields(trace, job.cache.to_config(), job.attribution)
+    )
     store.put_json(skey, payload)
     payload = dict(payload)
     payload["cache_hits"] = hits

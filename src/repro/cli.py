@@ -5,7 +5,9 @@ Subcommands mirror the paper's analysis cycle (its Figure 2):
 - ``tdst trace``     — run a built-in kernel and write its Gleipnir trace
   (stands in for running the application under Valgrind+Gleipnir);
 - ``tdst stats``     — quick trace statistics;
-- ``tdst simulate``  — DineroIV-style cache simulation of a trace file;
+- ``tdst simulate``  — DineroIV-style cache simulation of a trace file
+  (alias ``sim``; ``--fast`` streams it through the vectorized fast path
+  in bounded memory, ``--check`` cross-validates a sampled window);
 - ``tdst transform`` — apply a rule file, write ``transformed_trace.out``;
 - ``tdst diff``      — structural diff of two traces (Figures 5/8/9);
 - ``tdst figure``    — per-set figure data (+ optional gnuplot output);
@@ -116,9 +118,80 @@ def _apply_physical(trace: Trace, args: argparse.Namespace) -> Trace:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.fast:
+        return _cmd_simulate_fast(args)
+    if args.check:
+        print("error: --check requires --fast")
+        return 2
     trace = _apply_physical(Trace.load_any(args.trace), args)
     result = simulate(trace, _cache_config(args), attribution=args.attribution)
     print(simulation_report(result, title=str(args.trace), plot=args.plot))
+    return 0
+
+
+def _cmd_simulate_fast(args: argparse.Namespace) -> int:
+    """``tdst simulate --fast``: vectorized, chunked, bounded memory."""
+    from repro.cache.fastsim import fast_counts, supports_fast_path
+    from repro.cache.simulator import simulate_stream
+
+    config = _cache_config(args)
+    if getattr(args, "physical", None):
+        print("error: --fast streams the trace file; --physical needs a "
+              "materialized trace (drop one of the two)")
+        return 2
+    if not supports_fast_path(config):
+        print(
+            "error: no fast path covers this config (direct-mapped or "
+            "set-associative LRU with write-allocate only); "
+            "rerun without --fast"
+        )
+        return 2
+    result = simulate_stream(args.trace, config, chunk_records=args.chunk)
+    print(f"{args.trace} (fast path, {result.chunks} chunks)")
+    print(result.summary())
+    if args.check:
+        return _check_fast_window(args, config, fast_counts)
+    return 0
+
+
+def _check_fast_window(args, config, fast_counts) -> int:
+    """Cross-validate the fast path against the reference simulator on a
+    sampled window of the trace; nonzero exit on any count mismatch."""
+    import itertools
+
+    import numpy as np
+
+    from repro.trace.record import AccessType
+    from repro.trace.stream import iter_records
+
+    window = list(itertools.islice(iter_records(args.trace), args.check_window))
+    data = [r for r in window if r.op is not AccessType.MISC]
+    addrs = np.fromiter((r.addr for r in data), dtype=np.uint64, count=len(data))
+    sizes = np.fromiter((r.size for r in data), dtype=np.uint32, count=len(data))
+    fast = fast_counts(addrs, config, sizes)
+    stats = simulate(window, config).stats
+    mismatches = [
+        f"{name}: fast {got} != reference {want}"
+        for name, got, want in (
+            ("block hits", fast.hits, stats.block_hits),
+            ("block misses", fast.misses, stats.block_misses),
+            ("compulsory misses", fast.compulsory_misses, stats.compulsory_misses),
+        )
+        if got != want
+    ]
+    if not np.array_equal(fast.per_set.hits, stats.per_set.hits) or not (
+        np.array_equal(fast.per_set.misses, stats.per_set.misses)
+    ):
+        mismatches.append("per-set counts differ")
+    if mismatches:
+        print(f"CHECK FAILED on first {len(window)} records:")
+        for line in mismatches:
+            print(f"  {line}")
+        return 1
+    print(
+        f"check ok: fast path matches the reference simulator exactly "
+        f"on the first {len(window)} records"
+    )
     return 0
 
 
@@ -246,6 +319,8 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
     from repro.analysis.report import campaign_report
     from repro.campaign import (
         CampaignSpec,
@@ -253,8 +328,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         Scheduler,
         paper_figures_spec,
     )
+    from repro.campaign.jobs import NO_FAST_ENV
     from repro.errors import CampaignError
 
+    if args.no_fast:
+        # Workers inherit the environment (fork), so this reaches them.
+        os.environ[NO_FAST_ENV] = "1"
     directory = Path(args.dir)
     manifest_path = directory / "manifest.jsonl"
     if args.report:
@@ -327,10 +406,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.set_defaults(func=_cmd_stats)
 
-    p = sub.add_parser("simulate", help="cache-simulate a trace")
+    p = sub.add_parser("simulate", aliases=["sim"], help="cache-simulate a trace")
     p.add_argument("trace")
     _add_cache_args(p)
     p.add_argument("--plot", action="store_true", help="include ASCII per-set plot")
+    p.add_argument(
+        "--fast",
+        action="store_true",
+        help="vectorized chunked simulation in bounded memory "
+        "(direct-mapped or set-associative LRU configs)",
+    )
+    p.add_argument(
+        "--chunk",
+        type=int,
+        default=65536,
+        help="records per streaming chunk with --fast",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="with --fast: cross-validate against the reference simulator "
+        "on a sampled window (nonzero exit on mismatch)",
+    )
+    p.add_argument(
+        "--check-window",
+        type=int,
+        default=65536,
+        help="records in the --check validation window",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -448,6 +551,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         action="store_true",
         help="render the before/after table from the manifest and exit",
+    )
+    p.add_argument(
+        "--no-fast",
+        action="store_true",
+        help="force every grid point through the reference simulator "
+        "instead of the vectorized fast path",
     )
     p.set_defaults(func=_cmd_campaign)
 

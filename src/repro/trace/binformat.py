@@ -20,7 +20,7 @@ from __future__ import annotations
 import struct
 import zlib
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import TraceFormatError
 from repro.ctypes_model.path import VariablePath
@@ -93,8 +93,15 @@ def save_binary(records: Iterable[TraceRecord], path: Union[str, Path]) -> Path:
     return target
 
 
-def load_binary(path: Union[str, Path]) -> Trace:
-    """Read a compact binary trace."""
+def iter_binary(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Yield records from a compact binary trace one at a time.
+
+    The compressed file and its decompressed 20-byte-per-record body are
+    held in memory (they are the compact representation); the expensive
+    Python-object form is materialized one record at a time, so peak
+    memory stays bounded by the packed body plus one record — not by the
+    full :class:`TraceRecord` list ``load_binary`` builds.
+    """
     data = Path(path).read_bytes()
     if data[:4] != _MAGIC:
         raise TraceFormatError(f"{path}: not a TDST binary trace")
@@ -111,6 +118,7 @@ def load_binary(path: Union[str, Path]) -> Trace:
     for length in lengths:
         blobs.append(zlib.decompress(data[offset : offset + length]))
         offset += length
+    del data
     func_blob, var_blob, body = blobs
     funcs = func_blob.decode("utf-8").split("\n") if func_blob else []
     variables = var_blob.decode("utf-8").split("\n") if var_blob else []
@@ -118,7 +126,6 @@ def load_binary(path: Union[str, Path]) -> Trace:
         raise TraceFormatError(
             f"{path}: body length {len(body)} does not match {count} records"
         )
-    records: List[TraceRecord] = []
     parsed_paths: Dict[int, VariablePath] = {}
     for i in range(count):
         op_i, scope_i, frame, thread, size, func_id, var_id, addr = (
@@ -130,16 +137,18 @@ def load_binary(path: Union[str, Path]) -> Trace:
             if var is None:
                 var = VariablePath.parse(variables[var_id])
                 parsed_paths[var_id] = var
-        records.append(
-            TraceRecord(
-                op=AccessType(_OPS[op_i]),
-                addr=addr,
-                size=size,
-                func=funcs[func_id] if func_id != _NO_FUNC else "",
-                scope=_SCOPES[scope_i] if scope_i else None,
-                frame=frame if frame != _NO_FIELD else None,
-                thread=thread if thread != _NO_FIELD else None,
-                var=var,
-            )
+        yield TraceRecord(
+            op=AccessType(_OPS[op_i]),
+            addr=addr,
+            size=size,
+            func=funcs[func_id] if func_id != _NO_FUNC else "",
+            scope=_SCOPES[scope_i] if scope_i else None,
+            frame=frame if frame != _NO_FIELD else None,
+            thread=thread if thread != _NO_FIELD else None,
+            var=var,
         )
-    return Trace(records)
+
+
+def load_binary(path: Union[str, Path]) -> Trace:
+    """Read a compact binary trace."""
+    return Trace(iter_binary(path))

@@ -5,16 +5,23 @@ the common query/derivation operations the analysis and transformation
 layers need: filtering by predicate, function, variable or scope; slicing
 into windows; projecting addresses into numpy arrays for the vectorized
 cache simulator.
+
+For traces too large to materialize, :func:`iter_records` streams records
+from any trace file (text, gzipped text, or ``TDST`` binary, auto-detected
+by magic bytes) and :func:`iter_chunks` batches them into fixed-size
+:class:`TraceChunk` array bundles — the bounded-memory input format of
+:func:`repro.cache.simulator.simulate_stream`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.trace.format import read_trace, write_trace
+from repro.trace.format import iter_trace_lines, read_trace, write_trace
 from repro.trace.record import AccessType, TraceRecord
 
 
@@ -177,3 +184,99 @@ class Trace(Sequence[TraceRecord]):
         lo = min(r.addr for r in self._records)
         hi = max(r.end for r in self._records)
         return lo, hi
+
+
+# -- chunked streaming --------------------------------------------------------
+
+#: Default records per chunk: large enough to amortize numpy dispatch,
+#: small enough that a chunk's arrays stay well under a megabyte.
+DEFAULT_CHUNK_RECORDS = 65536
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One fixed-size batch of a streamed trace, projected to arrays.
+
+    Chunks carry only what the vectorized simulators consume (addresses,
+    sizes, write mask) — never the :class:`TraceRecord` objects — so a
+    multi-gigabyte trace streams through simulation with peak record
+    residency bounded by the chunk size.
+    """
+
+    #: chunk ordinal, starting at 0
+    index: int
+    #: record offset of this chunk's first record within the stream
+    start: int
+    addrs: np.ndarray  #: uint64 access addresses
+    sizes: np.ndarray  #: uint32 access sizes
+    writes: np.ndarray  #: bool mask of accesses that write memory
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+
+def iter_records(
+    source: Union[str, Path, Iterable[TraceRecord]],
+) -> Iterator[TraceRecord]:
+    """Stream records from a trace file or pass an iterable through.
+
+    Paths are auto-detected by magic bytes like :meth:`Trace.load_any`:
+    ``TDST`` binaries stream through :func:`repro.trace.binformat.iter_binary`,
+    everything else through the line-at-a-time text parser — neither
+    builds the full record list.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            magic = handle.read(4)
+        if magic == b"TDST":
+            from repro.trace.binformat import iter_binary
+
+            return iter_binary(source)
+        return iter_trace_lines(source)
+    return iter(source)
+
+
+def iter_chunks(
+    source: Union[str, Path, Iterable[TraceRecord]],
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    *,
+    data_only: bool = True,
+) -> Iterator[TraceChunk]:
+    """Batch a record stream into :class:`TraceChunk` array bundles.
+
+    ``data_only`` drops ``X`` (miscellaneous) records, matching what the
+    simulators consume.  At most ``chunk_records`` records are buffered
+    at any moment.
+    """
+    if chunk_records <= 0:
+        raise ValueError(f"chunk_records must be positive, got {chunk_records}")
+    addrs: List[int] = []
+    sizes: List[int] = []
+    writes: List[bool] = []
+    index = 0
+    start = 0
+    for record in iter_records(source):
+        if data_only and record.op is AccessType.MISC:
+            continue
+        addrs.append(record.addr)
+        sizes.append(record.size)
+        writes.append(record.op.writes)
+        if len(addrs) >= chunk_records:
+            yield TraceChunk(
+                index=index,
+                start=start,
+                addrs=np.array(addrs, dtype=np.uint64),
+                sizes=np.array(sizes, dtype=np.uint32),
+                writes=np.array(writes, dtype=bool),
+            )
+            start += len(addrs)
+            index += 1
+            addrs, sizes, writes = [], [], []
+    if addrs:
+        yield TraceChunk(
+            index=index,
+            start=start,
+            addrs=np.array(addrs, dtype=np.uint64),
+            sizes=np.array(sizes, dtype=np.uint32),
+            writes=np.array(writes, dtype=bool),
+        )

@@ -128,3 +128,130 @@ class TestIncrementalFeeding:
         text = simulate(trace_1a_16, paper_cache).summary()
         assert "demand accesses" in text
         assert "per-variable" in text
+
+
+class TestModifySemantics:
+    """Modify is one dirtying access (cachegrind), not read+write (DineroIV)."""
+
+    def test_modify_only_trace_counts_each_record_once(self):
+        cfg = small_cfg()
+        t = [
+            _rec(AccessType.MODIFY, 0x00),   # miss, fills and dirties
+            _rec(AccessType.MODIFY, 0x00),   # hit on the same line
+            _rec(AccessType.MODIFY, 0x100),  # miss, evicts dirty 0x00
+        ]
+        s = simulate(t, cfg).stats
+        assert s.accesses == len(t)  # no read+write doubling
+        assert s.reads == 0
+        assert s.writes == len(t)
+        assert s.write_hits == 1
+        assert s.write_misses == 2
+        # The modified line is dirty, so eviction writes it back.
+        assert s.evictions == 1
+        assert s.writebacks == 1
+
+    def test_modify_matches_plain_store_outcomes(self):
+        cfg = small_cfg()
+        addrs = [0x00, 0x20, 0x00, 0x100, 0x00]
+        via_modify = simulate(
+            [_rec(AccessType.MODIFY, a) for a in addrs], cfg
+        ).stats
+        via_store = simulate(
+            [_rec(AccessType.STORE, a) for a in addrs], cfg
+        ).stats
+        assert via_modify.hits == via_store.hits
+        assert via_modify.misses == via_store.misses
+        assert via_modify.writebacks == via_store.writebacks
+
+
+class TestSimulateStream:
+    def _write_trace(self, tmp_path, n=500):
+        import random
+
+        from repro.trace.format import write_trace
+
+        rng = random.Random(7)
+        records = [
+            _rec(
+                AccessType.LOAD if rng.random() < 0.7 else AccessType.STORE,
+                rng.randrange(0, 1 << 13),
+                size=rng.choice([1, 4, 8, 32, 64]),
+            )
+            for _ in range(n)
+        ]
+        path = tmp_path / "stream.out"
+        write_trace(records, path)
+        return path, records
+
+    def test_totals_equal_whole_trace_pass(self, tmp_path):
+        from repro.cache.fastsim import fast_trace_counts
+        from repro.cache.simulator import simulate_stream
+
+        path, records = self._write_trace(tmp_path)
+        cfg = CacheConfig(size=1024, block_size=32, associativity=4)
+        result = simulate_stream(path, cfg, chunk_records=64)
+        addrs = Trace(records).addresses()
+        sizes = Trace(records).sizes()
+        batch = fast_trace_counts(addrs, cfg, sizes)
+        assert result.records == len(records)
+        assert result.counts.hits == batch.counts.hits
+        assert result.counts.misses == batch.counts.misses
+        assert result.totals.demand_misses == batch.demand_misses
+        assert result.totals.evictions == batch.evictions
+
+    def test_bounded_residency_observed_via_chunks(self, tmp_path):
+        """A file bigger than one chunk streams through in bounded batches."""
+        from repro.cache.simulator import simulate_stream
+
+        path, records = self._write_trace(tmp_path, n=500)
+        seen = []
+        result = simulate_stream(
+            path,
+            small_cfg(),
+            chunk_records=100,
+            on_chunk=lambda chunk, counts: seen.append(
+                (chunk.index, chunk.start, len(chunk), counts.accesses)
+            ),
+        )
+        assert result.chunks == 5
+        assert [i for i, _, _, _ in seen] == [0, 1, 2, 3, 4]
+        assert all(n <= 100 for _, _, n, _ in seen)  # bounded residency
+        assert [s for _, s, _, _ in seen] == [0, 100, 200, 300, 400]
+        assert sum(n for _, _, n, _ in seen) == result.records
+
+    def test_accepts_record_iterable(self):
+        from repro.cache.simulator import simulate_stream
+
+        records = [_rec(AccessType.LOAD, a * 4) for a in range(64)]
+        result = simulate_stream(iter(records), small_cfg(), chunk_records=16)
+        assert result.records == 64
+        assert result.chunks == 4
+
+    def test_matches_reference_simulator(self, tmp_path):
+        from repro.cache.simulator import simulate_stream
+
+        path, records = self._write_trace(tmp_path, n=300)
+        cfg = CacheConfig(size=1024, block_size=32, associativity=2)
+        stream = simulate_stream(path, cfg, chunk_records=47)
+        stats = simulate(records, cfg).stats
+        assert stream.totals.demand_hits == stats.hits
+        assert stream.totals.demand_misses == stats.misses
+        assert stream.counts.hits == stats.block_hits
+        assert stream.counts.misses == stats.block_misses
+        assert stream.counts.compulsory_misses == stats.compulsory_misses
+
+    def test_rejects_uncovered_config(self, tmp_path):
+        from repro.cache.simulator import simulate_stream
+        from repro.errors import CacheConfigError
+
+        path, _ = self._write_trace(tmp_path, n=10)
+        with pytest.raises(CacheConfigError):
+            simulate_stream(path, CacheConfig.ppc440())
+
+    def test_summary_text(self, tmp_path):
+        from repro.cache.simulator import simulate_stream
+
+        path, _ = self._write_trace(tmp_path, n=50)
+        text = simulate_stream(path, small_cfg()).summary()
+        assert "demand accesses" in text
+        assert "chunks" in text

@@ -129,3 +129,62 @@ class TestExecution:
         assert trace_key("1a", 32) != trace_key("1b", 32)
         base = trace_key("1a", 32)
         assert transform_key(base, "rule A") != transform_key(base, "rule B")
+
+
+class TestSimulationFields:
+    """The fast route must be payload-identical to the reference route."""
+
+    @pytest.fixture(scope="class")
+    def kernel_traces(self):
+        from repro.tracer.interp import trace_program
+        from repro.workloads.paper_kernels import paper_kernel
+
+        return {
+            k: trace_program(paper_kernel(k, length=16))
+            for k in ("1a", "2a", "3a")
+        }
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    @pytest.mark.parametrize("attribution", ["base", "member"])
+    def test_routes_agree(self, kernel_traces, assoc, attribution):
+        from repro.campaign.jobs import simulation_fields
+        from repro.cache.config import CacheConfig
+
+        cfg = CacheConfig(size=2048, block_size=32, associativity=assoc)
+        for name, trace in kernel_traces.items():
+            fast = simulation_fields(trace, cfg, attribution, use_fast=True)
+            slow = simulation_fields(trace, cfg, attribution, use_fast=False)
+            assert fast == slow, (name, assoc, attribution)
+
+    def test_uncovered_config_falls_back(self, kernel_traces):
+        from repro.campaign.jobs import simulation_fields
+        from repro.cache.config import CacheConfig
+
+        cfg = CacheConfig.ppc440()  # round-robin: no fast path
+        trace = kernel_traces["1a"]
+        auto = simulation_fields(trace, cfg, "base")
+        slow = simulation_fields(trace, cfg, "base", use_fast=False)
+        assert auto == slow
+
+    def test_env_escape_hatch(self, kernel_traces, monkeypatch):
+        from repro.campaign.jobs import NO_FAST_ENV, simulation_fields
+        from repro.cache.config import CacheConfig
+
+        cfg = CacheConfig(size=2048, block_size=32, associativity=2)
+        trace = kernel_traces["2a"]
+        fast = simulation_fields(trace, cfg, "base")
+        monkeypatch.setenv(NO_FAST_ENV, "1")
+        forced_slow = simulation_fields(trace, cfg, "base")
+        assert fast == forced_slow  # identical payloads either way
+
+    def test_payload_has_expected_fields(self, kernel_traces):
+        from repro.campaign.jobs import simulation_fields
+        from repro.cache.config import CacheConfig
+
+        cfg = CacheConfig(size=2048, block_size=32, associativity=4)
+        fields = simulation_fields(kernel_traces["1a"], cfg, "base")
+        assert set(fields) == {
+            "config", "accesses", "hits", "misses", "miss_ratio",
+            "evictions", "compulsory_misses", "by_variable_misses",
+        }
+        assert fields["hits"] + fields["misses"] == fields["accesses"]

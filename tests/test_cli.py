@@ -331,3 +331,52 @@ class TestTransformAndDiff:
         )
         assert dat.exists() and gp.exists()
         assert "lSoA.mX" in dat.read_text()
+
+
+class TestFastSimulate:
+    def test_fast_flag_streams_trace(self, traced_kernel, capsys):
+        assert main(["sim", str(traced_kernel), "--fast", "--chunk", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "fast path" in out
+        assert "demand accesses" in out
+        assert "chunks" in out
+
+    def test_fast_matches_reference_output_counts(self, traced_kernel, capsys):
+        assert main(["simulate", str(traced_kernel), "--assoc", "4"]) == 0
+        reference = capsys.readouterr().out
+        assert main(["sim", str(traced_kernel), "--assoc", "4", "--fast"]) == 0
+        fast = capsys.readouterr().out
+
+        def block_misses(text):
+            line = next(l for l in text.splitlines() if "block misses" in l)
+            return line.split(":")[1].split("(")[0].strip()
+
+        assert block_misses(reference) == block_misses(fast)
+
+    def test_check_validates_window(self, traced_kernel, capsys):
+        assert (
+            main(
+                ["sim", str(traced_kernel), "--assoc", "2", "--fast",
+                 "--check", "--check-window", "200"]
+            )
+            == 0
+        )
+        assert "check ok" in capsys.readouterr().out
+
+    def test_check_without_fast_is_an_error(self, traced_kernel, capsys):
+        assert main(["sim", str(traced_kernel), "--check"]) == 2
+        assert "requires --fast" in capsys.readouterr().out
+
+    def test_fast_rejects_uncovered_config(self, traced_kernel, capsys):
+        assert main(["sim", str(traced_kernel), "--fast", "--ppc440"]) == 2
+        assert "no fast path" in capsys.readouterr().out
+
+    def test_fast_rejects_physical(self, traced_kernel, capsys):
+        assert (
+            main(["sim", str(traced_kernel), "--fast", "--physical", "random"])
+            == 2
+        )
+        assert "error" in capsys.readouterr().out
+
+    def test_sim_alias(self, traced_kernel):
+        assert main(["sim", str(traced_kernel)]) == 0

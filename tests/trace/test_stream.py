@@ -114,3 +114,89 @@ class TestPersistence:
         path = tmp_path / "t.out"
         small_trace.save(path)
         assert Trace.load(path) == small_trace
+
+
+class TestIterRecords:
+    def test_streams_text_file(self, small_trace, tmp_path):
+        from repro.trace.stream import iter_records
+
+        path = tmp_path / "t.out"
+        small_trace.save(path)
+        streamed = iter_records(path)
+        assert not isinstance(streamed, list)  # lazy, not materialized
+        assert Trace(streamed) == small_trace
+
+    def test_streams_binary_file(self, small_trace, tmp_path):
+        from repro.trace.binformat import save_binary
+        from repro.trace.stream import iter_records
+
+        path = tmp_path / "t.tdst"
+        save_binary(small_trace, path)
+        assert Trace(iter_records(path)) == small_trace
+
+    def test_passes_iterables_through(self, small_trace):
+        from repro.trace.stream import iter_records
+
+        assert list(iter_records(small_trace)) == list(small_trace)
+
+
+class TestIterChunks:
+    def test_chunking_covers_stream_in_order(self, tmp_path):
+        from repro.trace.stream import iter_chunks
+
+        records = [_rec(AccessType.LOAD, a * 8, size=4) for a in range(25)]
+        chunks = list(iter_chunks(records, 10))
+        assert [c.index for c in chunks] == [0, 1, 2]
+        assert [c.start for c in chunks] == [0, 10, 20]
+        assert [len(c) for c in chunks] == [10, 10, 5]
+        addrs = np.concatenate([c.addrs for c in chunks])
+        assert addrs.tolist() == [a * 8 for a in range(25)]
+        assert addrs.dtype == np.uint64
+
+    def test_data_only_drops_misc(self):
+        from repro.trace.stream import iter_chunks
+
+        records = [
+            _rec(AccessType.LOAD, 0),
+            _rec(AccessType.MISC, 4),
+            _rec(AccessType.STORE, 8),
+        ]
+        (chunk,) = iter_chunks(records, 10)
+        assert len(chunk) == 2
+        assert chunk.writes.tolist() == [False, True]
+        (raw,) = iter_chunks(records, 10, data_only=False)
+        assert len(raw) == 3
+
+    def test_modify_marked_as_write(self):
+        from repro.trace.stream import iter_chunks
+
+        (chunk,) = iter_chunks([_rec(AccessType.MODIFY, 0)], 4)
+        assert chunk.writes.tolist() == [True]
+
+    def test_exact_multiple_has_no_empty_tail(self):
+        from repro.trace.stream import iter_chunks
+
+        records = [_rec(AccessType.LOAD, a) for a in range(20)]
+        assert [len(c) for c in iter_chunks(records, 10)] == [10, 10]
+
+    def test_empty_stream_yields_nothing(self):
+        from repro.trace.stream import iter_chunks
+
+        assert list(iter_chunks([], 10)) == []
+
+    def test_rejects_nonpositive_chunk_size(self):
+        from repro.trace.stream import iter_chunks
+
+        with pytest.raises(ValueError):
+            list(iter_chunks([], 0))
+
+    def test_chunks_from_file_match_loaded_trace(self, small_trace, tmp_path):
+        from repro.trace.stream import iter_chunks
+
+        path = tmp_path / "t.out"
+        small_trace.save(path)
+        chunks = list(iter_chunks(path, 4))
+        data = small_trace.data_accesses()
+        assert sum(len(c) for c in chunks) == len(data)
+        addrs = np.concatenate([c.addrs for c in chunks])
+        assert addrs.tolist() == data.addresses().tolist()
