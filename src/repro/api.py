@@ -86,6 +86,15 @@ from repro.analysis.report import (
     comparison_report,
     simulation_report,
 )
+from repro.verify import (
+    AgreementReport,
+    SoundnessReport,
+    VerifyOutcome,
+    check_kernel_agreement,
+    check_result,
+    check_transform,
+    verify_paper,
+)
 from repro.workloads.paper_kernels import paper_kernel
 from repro.workloads import (
     linked_list_traversal,
@@ -165,6 +174,14 @@ __all__ = [
     "simulation_report",
     "comparison_report",
     "campaign_report",
+    # verification
+    "AgreementReport",
+    "SoundnessReport",
+    "VerifyOutcome",
+    "check_kernel_agreement",
+    "check_result",
+    "check_transform",
+    "verify_paper",
     # campaigns
     "ArtifactStore",
     "CacheSpec",

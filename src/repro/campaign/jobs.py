@@ -74,6 +74,8 @@ class Job:
     rule: str
     cache: CacheSpec
     attribution: str = "base"
+    #: run the soundness oracle over the transform stage's output
+    verify: bool = False
 
     @property
     def job_id(self) -> str:
@@ -112,6 +114,7 @@ def expand_jobs(spec: CampaignSpec) -> Tuple[List[TraceTask], List[Job]]:
                         rule=rule,
                         cache=cache,
                         attribution=attribution,
+                        verify=spec.verify,
                     )
                     jobs.setdefault(job.job_id, job)
     return list(traces.values()), list(jobs.values())
@@ -239,6 +242,29 @@ def simulation_fields(
 # -- worker entry points ------------------------------------------------------
 
 
+def _verify_transform(original, transformed, rule_text: str, allocations) -> None:
+    """Opt-in post-job check: replay the transform through the soundness
+    oracle; an unsound output raises so the scheduler's retry/degrade
+    policy records the point as failed instead of charting bad numbers.
+
+    Fully cached *simulation* payloads skip this entirely (the check runs
+    where the transform artifact is produced or first reused) — rerun
+    with a fresh campaign directory to re-verify old artifacts.
+    """
+    from repro.errors import TransformError
+    from repro.verify.soundness import check_transform
+
+    report = check_transform(
+        original, transformed, parse_rules(rule_text), allocations=allocations
+    )
+    if not report.ok:
+        head = "; ".join(str(v) for v in report.violations[:3])
+        raise TransformError(
+            f"transformed trace failed soundness verification "
+            f"({report.total_violations} violation(s)): {head}"
+        )
+
+
 def _materialise_trace(
     store: ArtifactStore, kernel: str, length: int
 ) -> Tuple[Trace, bool]:
@@ -299,6 +325,7 @@ def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
     trace, trace_hit = _materialise_trace(store, job.kernel, job.length)
     hits["trace"] = trace_hit
     transformed_records = None
+    verified = False
     if rule_text is not None:
         cached_trace = store.get_trace(input_key)
         hits["transform"] = cached_trace is not None
@@ -306,7 +333,17 @@ def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
             engine = TransformEngine(parse_rules(rule_text))
             result = engine.transform(trace)
             cached_trace = result.trace
+            if job.verify:
+                _verify_transform(
+                    trace, cached_trace, rule_text, result.allocations
+                )
+                verified = True
             store.put_trace(input_key, cached_trace)
+        elif job.verify:
+            # Cached transform: the engine's allocation map is gone, but
+            # the oracle reconstructs it from the rules on its own.
+            _verify_transform(trace, cached_trace, rule_text, None)
+            verified = True
         trace = cached_trace
         transformed_records = len(trace)
 
@@ -315,6 +352,7 @@ def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
         "simulation_key": skey,
         "records": len(trace),
         "transformed_records": transformed_records,
+        "verified": verified,
     }
     payload.update(
         simulation_fields(trace, job.cache.to_config(), job.attribution)

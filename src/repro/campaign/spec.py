@@ -171,6 +171,10 @@ class CampaignSpec:
     grid: Tuple[GridEntry, ...]
     caches: Tuple[CacheSpec, ...] = (CacheSpec(),)
     attribution: Tuple[str, ...] = ("base",)
+    #: opt-in post-job check: every transformed trace is replayed through
+    #: the soundness oracle (``[campaign] verify = true``, or
+    #: ``tdst campaign --verify``); an unsound transform fails the job.
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if not self.grid:
@@ -207,6 +211,7 @@ class CampaignSpec:
             grid=grid,
             caches=caches,
             attribution=tuple(str(a) for a in attribution),
+            verify=bool(campaign.get("verify", False)),
         )
 
     @classmethod

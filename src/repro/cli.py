@@ -12,7 +12,9 @@ Subcommands mirror the paper's analysis cycle (its Figure 2):
 - ``tdst diff``      — structural diff of two traces (Figures 5/8/9);
 - ``tdst figure``    — per-set figure data (+ optional gnuplot output);
 - ``tdst campaign``  — run a whole experiment grid (every paper figure)
-  in parallel with artifact caching, retries and a JSONL run manifest.
+  in parallel with artifact caching, retries and a JSONL run manifest;
+- ``tdst verify``    — differential verification: transform soundness
+  oracle, golden figure corpus, kernel agreement and rule fuzzing.
 
 Commands that read a trace auto-detect the format by magic bytes, so
 text, gzipped text and compact binary (``TDST``) traces are
@@ -131,7 +133,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_simulate_fast(args: argparse.Namespace) -> int:
     """``tdst simulate --fast``: vectorized, chunked, bounded memory."""
-    from repro.cache.fastsim import fast_counts, supports_fast_path
+    from repro.cache.fastsim import supports_fast_path
     from repro.cache.simulator import simulate_stream
 
     config = _cache_config(args)
@@ -150,49 +152,22 @@ def _cmd_simulate_fast(args: argparse.Namespace) -> int:
     print(f"{args.trace} (fast path, {result.chunks} chunks)")
     print(result.summary())
     if args.check:
-        return _check_fast_window(args, config, fast_counts)
+        return _check_fast_window(args, config)
     return 0
 
 
-def _check_fast_window(args, config, fast_counts) -> int:
+def _check_fast_window(args, config) -> int:
     """Cross-validate the fast path against the reference simulator on a
     sampled window of the trace; nonzero exit on any count mismatch."""
     import itertools
 
-    import numpy as np
-
-    from repro.trace.record import AccessType
     from repro.trace.stream import iter_records
+    from repro.verify.agreement import check_kernel_agreement
 
-    window = list(itertools.islice(iter_records(args.trace), args.check_window))
-    data = [r for r in window if r.op is not AccessType.MISC]
-    addrs = np.fromiter((r.addr for r in data), dtype=np.uint64, count=len(data))
-    sizes = np.fromiter((r.size for r in data), dtype=np.uint32, count=len(data))
-    fast = fast_counts(addrs, config, sizes)
-    stats = simulate(window, config).stats
-    mismatches = [
-        f"{name}: fast {got} != reference {want}"
-        for name, got, want in (
-            ("block hits", fast.hits, stats.block_hits),
-            ("block misses", fast.misses, stats.block_misses),
-            ("compulsory misses", fast.compulsory_misses, stats.compulsory_misses),
-        )
-        if got != want
-    ]
-    if not np.array_equal(fast.per_set.hits, stats.per_set.hits) or not (
-        np.array_equal(fast.per_set.misses, stats.per_set.misses)
-    ):
-        mismatches.append("per-set counts differ")
-    if mismatches:
-        print(f"CHECK FAILED on first {len(window)} records:")
-        for line in mismatches:
-            print(f"  {line}")
-        return 1
-    print(
-        f"check ok: fast path matches the reference simulator exactly "
-        f"on the first {len(window)} records"
-    )
-    return 0
+    window = itertools.islice(iter_records(args.trace), args.check_window)
+    report = check_kernel_agreement(window, config)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_threec(args: argparse.Namespace) -> int:
@@ -319,6 +294,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import dataclasses
     import os
 
     from repro.analysis.report import campaign_report
@@ -351,6 +327,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except (CampaignError, OSError) as exc:
             print(f"error: {exc}")
             return 1
+    if args.verify:
+        spec = dataclasses.replace(spec, verify=True)
     scheduler = Scheduler(
         spec,
         directory,
@@ -368,6 +346,58 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # Graceful degradation: failed points are recorded, not fatal — the
     # exit code only signals a campaign that produced nothing at all.
     return 0 if (result.n_done + result.n_skipped) else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """``tdst verify``: soundness + golden corpus + kernel agreement.
+
+    Three modes, combinable:
+
+    - ``--paper`` (the default with no arguments) replays the paper's
+      T1/T2/T3 pipelines against the checked-in golden corpus;
+    - ``ORIGINAL TRANSFORMED RULES`` soundness-checks an ad-hoc
+      transformed trace pair against its rule file;
+    - ``--fuzz N`` runs the hypothesis-driven rule-mutation harness.
+    """
+    exit_code = 0
+    if args.original and not (args.transformed and args.rules):
+        print("error: ad-hoc verification needs ORIGINAL TRANSFORMED RULES")
+        return 2
+    if args.original:
+        from repro.verify.soundness import check_transform
+
+        report = check_transform(
+            Trace.load_any(args.original),
+            Trace.load_any(args.transformed),
+            parse_rules_file(args.rules),
+        )
+        print(report.summary())
+        exit_code = max(exit_code, 0 if report.ok else 1)
+    if args.paper or not (args.original or args.fuzz):
+        from repro.verify.runner import verify_paper
+
+        outcome = verify_paper(
+            update_golden=True if args.update_golden else None,
+            golden_dir=Path(args.golden_dir) if args.golden_dir else None,
+        )
+        print(outcome.summary())
+        exit_code = max(exit_code, 0 if outcome.ok else 1)
+    if args.fuzz:
+        from repro.errors import VerifyError
+        from repro.verify.fuzz import run_fuzz
+
+        try:
+            fuzz_report = run_fuzz(
+                program_examples=max(args.fuzz // 3, 5),
+                mutation_examples=args.fuzz,
+                seed=args.fuzz_seed,
+            )
+        except VerifyError as exc:
+            print(f"error: {exc}")
+            return 2
+        print(fuzz_report.summary())
+        exit_code = max(exit_code, 0 if fuzz_report.ok else 1)
+    return exit_code
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -558,7 +588,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="force every grid point through the reference simulator "
         "instead of the vectorized fast path",
     )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="soundness-check every transformed trace as a post-job step "
+        "(unsound points fail instead of charting bad numbers)",
+    )
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential verification: soundness oracle, golden corpus, "
+        "kernel agreement, rule fuzzing",
+    )
+    p.add_argument(
+        "original", nargs="?", help="original trace (ad-hoc mode)"
+    )
+    p.add_argument(
+        "transformed", nargs="?", help="transformed trace (ad-hoc mode)"
+    )
+    p.add_argument("rules", nargs="?", help="rule file (ad-hoc mode)")
+    p.add_argument(
+        "--paper",
+        action="store_true",
+        help="verify the paper's T1/T2/T3 pipelines against the golden "
+        "corpus (the default when no other mode is selected)",
+    )
+    p.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate the golden corpus instead of comparing "
+        "(equivalent to UPDATE_GOLDEN=1)",
+    )
+    p.add_argument(
+        "--golden-dir",
+        help="read/write golden files here instead of the package data",
+    )
+    p.add_argument(
+        "--fuzz",
+        type=int,
+        metavar="N",
+        help="run N rule-mutation fuzz examples (plus N//3 random "
+        "programs); needs the hypothesis package",
+    )
+    p.add_argument(
+        "--fuzz-seed",
+        type=int,
+        help="randomize fuzzing with this seed (default: derandomized)",
+    )
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("figure", help="per-set figure data for a trace")
     p.add_argument("trace")

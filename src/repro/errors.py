@@ -68,3 +68,7 @@ class TransformError(ReproError):
 
 class CampaignError(ReproError):
     """An experiment campaign spec is invalid or a run cannot proceed."""
+
+
+class VerifyError(ReproError):
+    """A verification run cannot proceed (missing golden, no fuzzer...)."""

@@ -595,6 +595,13 @@ class StrideRule(Rule):
                 f"{self.name}: formula maps index up to {worst} but the out "
                 f"array has only {out_length} elements"
             )
+        if not formula.is_injective(in_type.length):
+            raise RuleError(
+                f"{self.name}: index formula is not injective over "
+                f"0..{in_type.length - 1} — distinct elements would alias "
+                "the same out location, so the trace would not be a sound "
+                "stand-in for the transformed program"
+            )
 
     def out_allocations(self) -> Tuple[OutAllocation, ...]:
         """The strided array plus any synthetic inject scalars."""
@@ -657,10 +664,17 @@ class RuleSet:
         if rule.in_name in self.by_in_name():
             raise RuleError(f"duplicate rule for variable {rule.in_name!r}")
         produced = {n for r in self.rules for n in r.out_names()}
-        if rule.in_name in produced:
+        new_out = set(rule.out_names())
+        if rule.in_name in produced or rule.in_name in new_out:
             raise RuleError(
-                f"rule input {rule.in_name!r} is produced by another rule; "
+                f"rule input {rule.in_name!r} is produced by a rule; "
                 "mappings are not bi-directional (paper Section IV)"
+            )
+        clashes = new_out & (produced | set(self.by_in_name()))
+        if clashes:
+            raise RuleError(
+                f"out object(s) {sorted(clashes)} collide with names other "
+                "rules already consume or produce"
             )
         self.rules.append(rule)
         return self

@@ -1,0 +1,59 @@
+"""Differential verification: soundness, golden corpus, kernel agreement,
+rule fuzzing.
+
+The subsystem answers one question from four directions: *is a
+transformed trace really a faithful stand-in for the rewritten
+program?*
+
+- :mod:`repro.verify.soundness` — independent replay oracle asserting
+  the layout invariants (injective remap, non-overlapping out fields,
+  byte conservation, indirection spec compliance);
+- :mod:`repro.verify.golden` — checked-in end-to-end metrics for the
+  paper's T1/T2/T3 pipelines, regenerated via ``UPDATE_GOLDEN=1``;
+- :mod:`repro.verify.agreement` — reference vs fast simulation kernel
+  cross-check;
+- :mod:`repro.verify.fuzz` — hypothesis-driven random programs and
+  mutated rule files (lazy dependency).
+
+``repro.verify.runner.verify_paper`` combines the first three; the CLI
+(``tdst verify``) and the campaign layer's opt-in post-job check build
+on these entry points.
+"""
+
+from repro.verify.agreement import AgreementReport, check_kernel_agreement
+from repro.verify.golden import (
+    GOLDEN_DIR,
+    UPDATE_GOLDEN_ENV,
+    GoldenCase,
+    paper_cases,
+    run_case,
+    update_requested,
+)
+from repro.verify.runner import CaseOutcome, VerifyOutcome, verify_case, verify_paper
+from repro.verify.soundness import (
+    MAX_RECORDED_VIOLATIONS,
+    SoundnessReport,
+    Violation,
+    check_result,
+    check_transform,
+)
+
+__all__ = [
+    "AgreementReport",
+    "CaseOutcome",
+    "GOLDEN_DIR",
+    "GoldenCase",
+    "MAX_RECORDED_VIOLATIONS",
+    "SoundnessReport",
+    "UPDATE_GOLDEN_ENV",
+    "VerifyOutcome",
+    "Violation",
+    "check_kernel_agreement",
+    "check_result",
+    "check_transform",
+    "paper_cases",
+    "run_case",
+    "update_requested",
+    "verify_case",
+    "verify_paper",
+]

@@ -1,0 +1,430 @@
+"""Differential rule-fuzz harness: random programs, mutated rule files.
+
+Two generators drive the soundness checker and the kernel cross-check
+from :mod:`repro.verify`:
+
+- **random programs** — small randomly shaped SoA kernels (random field
+  names, scalar types, lengths and loop bodies) paired with the matching
+  T1 layout rule.  Each program is traced, transformed, soundness-checked
+  and (where a fast kernel covers the config) cross-run through both
+  simulators.
+- **mutated rule files** — the paper's rule texts (plus any extra seed
+  corpus the caller supplies, e.g. ``tests/data/rules``) run through
+  line-drop/line-duplicate/number-swap/char-swap/truncate mutations.  A
+  mutant must either be *cleanly rejected* (a :class:`ReproError` from
+  the parser, rule constructor or engine) or produce output the
+  soundness checker accepts.  Anything else — an unsound transform or a
+  non-``ReproError`` crash — is a genuine finding.
+
+Shrinking comes from `hypothesis <https://hypothesis.readthedocs.io>`_,
+imported lazily so the rest of the package works without it;
+:func:`run_fuzz` raises :class:`~repro.errors.VerifyError` when the
+library is missing.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError, VerifyError
+from repro.cache.config import CacheConfig
+from repro.ctypes_model.path import VariablePath
+from repro.ctypes_model.types import DOUBLE, FLOAT, INT, LONG, SHORT, ArrayType, StructType
+from repro.trace.record import AccessType, TraceRecord
+from repro.tracer.expr import Cast, V
+from repro.tracer.interp import trace_program
+from repro.tracer.program import Function, Program
+from repro.tracer.stmt import (
+    Assign,
+    DeclLocal,
+    StartInstrumentation,
+    StopInstrumentation,
+    simple_for,
+)
+from repro.transform.engine import TransformEngine
+from repro.transform.paper_rules import (
+    RULE_T1_SOA_TO_AOS,
+    RULE_T2_OUTLINE,
+    RULE_T3_STRIDE,
+)
+from repro.transform.rule_parser import parse_rules
+from repro.transform.rules import RuleSet
+from repro.verify.agreement import check_kernel_agreement
+from repro.verify.soundness import SoundnessReport, check_result, check_transform
+
+#: Paper rule texts at fuzz-friendly sizes; extra seeds can be layered on.
+SEED_RULES: Dict[str, str] = {
+    "t1": RULE_T1_SOA_TO_AOS.format(length=8),
+    "t2": RULE_T2_OUTLINE.format(length=8),
+    "t3": RULE_T3_STRIDE.format(length=32, out_length=128, ipl=8, sets=4),
+}
+
+#: Synthetic base addresses for probe traces — far below both the
+#: tracer's stack and the engine's arena, so layout checks stay meaningful.
+PROBE_BASE = 0x0000_0100_0000
+PROBE_STRIDE = 0x0000_0010_0000
+SCRATCH_BASE = 0x0000_00F0_0000
+
+#: Leaf cap per rule when synthesising probe traces (mutants can inflate
+#: array lengths; probing every leaf of a huge array buys nothing).
+MAX_PROBE_LEAVES = 64
+
+#: Scalar palette for random programs: (C spelling, tracer type).
+_SCALARS = (
+    ("short", SHORT),
+    ("int", INT),
+    ("long", LONG),
+    ("float", FLOAT),
+    ("double", DOUBLE),
+)
+
+_FIELD_NAMES = ("mA", "mB", "mC", "mD")
+
+
+def _require_hypothesis():
+    try:
+        import hypothesis
+    except ImportError as exc:  # pragma: no cover - env without hypothesis
+        raise VerifyError(
+            "rule fuzzing needs the 'hypothesis' package; install the "
+            "[test] extra or run verification without --fuzz"
+        ) from exc
+    return hypothesis
+
+
+# ---------------------------------------------------------------------------
+# random programs + their T1 rules
+# ---------------------------------------------------------------------------
+
+
+def build_soa_case(
+    fields: Tuple[Tuple[str, str], ...],
+    length: int,
+    out_order: Tuple[int, ...],
+    body_ops: Tuple[int, ...],
+) -> Tuple[Program, str]:
+    """Deterministically build one (program, rule-text) pair.
+
+    ``fields`` is ``(name, c-type-spelling)`` per member, ``out_order`` a
+    permutation of field positions (the AoS layout may reorder members),
+    ``body_ops`` the per-iteration statement order (indices into
+    ``fields``, repeats allowed — repeated stores are legal and stress
+    the byte-conservation accounting).
+    """
+    types = dict(_SCALARS)
+    soa = StructType(
+        "MyFuzzSoA",
+        [(name, ArrayType(types[spelling], length)) for name, spelling in fields],
+    )
+    body = [
+        DeclLocal("lSoA", soa),
+        DeclLocal("lI", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "lI",
+            0,
+            length,
+            [
+                Assign(
+                    V("lSoA").fld(fields[i][0])[V("lI")],
+                    Cast(types[fields[i][1]], V("lI")),
+                )
+                for i in body_ops
+            ],
+        ),
+        StopInstrumentation(),
+    ]
+    program = Program()
+    program.register_struct("MyFuzzSoA", soa)
+    program.add_function(Function("main", body=body))
+
+    in_members = "\n".join(
+        f"    {spelling} {name}[{length}];" for name, spelling in fields
+    )
+    out_members = "\n".join(
+        f"    {fields[i][1]} {fields[i][0]};" for i in out_order
+    )
+    rule_text = (
+        "in:\n"
+        f"struct lSoA {{\n{in_members}\n}};\n"
+        "out:\n"
+        f"struct lAoS {{\n{out_members}\n}}[{length}];\n"
+    )
+    return program, rule_text
+
+
+def check_transform_case(program: Program, rule_text: str) -> SoundnessReport:
+    """Trace, transform and verify one generated program; raises
+    ``AssertionError`` (hypothesis' shrink trigger) on any violation."""
+    trace = trace_program(program)
+    rules = parse_rules(rule_text)
+    result = TransformEngine(rules).transform(trace)
+    report = check_result(result, rules)
+    assert report.ok, (
+        "generated program produced an unsound transform\n"
+        f"--- rule ---\n{rule_text}\n--- report ---\n{report.summary()}"
+    )
+    agreement = check_kernel_agreement(
+        result.trace, CacheConfig.paper_direct_mapped()
+    )
+    assert agreement.ok, (
+        "kernels disagree on the transformed trace\n"
+        f"--- rule ---\n{rule_text}\n--- report ---\n{agreement.summary()}"
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# rule-file mutation
+# ---------------------------------------------------------------------------
+
+_NUMBER_RE = re.compile(r"\d+")
+
+
+def mutate_text(text: str, choice: int, position: int, value: int) -> str:
+    """Apply one deterministic mutation; ``choice`` selects the operator,
+    ``position``/``value`` parameterise it (wrapped modulo the available
+    sites, so any integers are valid)."""
+    lines = text.splitlines()
+    op = choice % 5
+    if op == 0 and lines:  # drop a line
+        del lines[position % len(lines)]
+        return "\n".join(lines) + "\n"
+    if op == 1 and lines:  # duplicate a line
+        i = position % len(lines)
+        lines.insert(i, lines[i])
+        return "\n".join(lines) + "\n"
+    if op == 2:  # replace a number
+        numbers = list(_NUMBER_RE.finditer(text))
+        if numbers:
+            m = numbers[position % len(numbers)]
+            return text[: m.start()] + str(value % 257) + text[m.end() :]
+        return text
+    if op == 3 and len(text) >= 2:  # swap adjacent characters
+        i = position % (len(text) - 1)
+        return text[:i] + text[i + 1] + text[i] + text[i + 2 :]
+    if lines:  # truncate
+        keep = position % len(lines)
+        return "\n".join(lines[: keep + 1]) + "\n"
+    return text
+
+
+def probe_trace_for(rules: RuleSet) -> List[TraceRecord]:
+    """A synthetic original trace exercising every rule of a set.
+
+    Walks each rule's in-type leaves at a fabricated base address (one
+    disjoint region per rule) and pre-seeds one record per
+    ``inject ... existing`` name so existing-variable indirection has a
+    last-seen address to reuse.  Capped at :data:`MAX_PROBE_LEAVES`
+    leaves per rule.
+    """
+    records: List[TraceRecord] = []
+    scratch = SCRATCH_BASE
+    seeded = set()
+    rule_list = list(rules)
+    for rule in rule_list:
+        for spec in getattr(rule, "inject", ()):
+            if getattr(spec, "existing", False) and spec.name not in seeded:
+                seeded.add(spec.name)
+                records.append(
+                    TraceRecord(
+                        AccessType.STORE,
+                        scratch,
+                        spec.size,
+                        func="main",
+                        scope="LV",
+                        var=VariablePath(spec.name),
+                    )
+                )
+                scratch += max(spec.size, 8)
+    for i, rule in enumerate(rule_list):
+        if rule.is_pattern:
+            continue
+        base = PROBE_BASE + i * PROBE_STRIDE
+        in_type = getattr(rule, "in_type", None)
+        if in_type is None:
+            records.append(
+                TraceRecord(
+                    AccessType.LOAD,
+                    base,
+                    4,
+                    func="main",
+                    scope="LS",
+                    var=VariablePath(rule.in_name),
+                )
+            )
+            continue
+        for n, (elements, offset, leaf) in enumerate(in_type.iter_leaves()):
+            if n >= MAX_PROBE_LEAVES:
+                break
+            op = AccessType.STORE if n % 2 else AccessType.LOAD
+            records.append(
+                TraceRecord(
+                    op,
+                    base + offset,
+                    leaf.size,
+                    func="main",
+                    scope="LS",
+                    var=VariablePath(rule.in_name, tuple(elements)),
+                )
+            )
+    return records
+
+
+def check_rule_mutation(mutated: str) -> str:
+    """Classify one mutated rule text.
+
+    Returns ``"rejected"`` (the parser or a rule constructor refused it),
+    ``"transform-rejected"`` (the engine refused the probe trace),
+    ``"empty"`` (it parsed to zero rules) or ``"sound"``.  Raises
+    ``AssertionError`` when the mutant survives to output that fails the
+    soundness checker, and lets any non-:class:`ReproError` crash
+    propagate — both are findings.
+    """
+    try:
+        rules = parse_rules(mutated)
+    except ReproError:
+        return "rejected"
+    if not len(rules):
+        return "empty"
+    probe = probe_trace_for(rules)
+    try:
+        result = TransformEngine(rules).transform(probe)
+    except ReproError:
+        return "transform-rejected"
+    report = check_transform(
+        result.original, result.trace, rules, allocations=result.allocations
+    )
+    assert report.ok, (
+        "mutated rule file survived parsing but produced an unsound "
+        f"transform\n--- mutant ---\n{mutated}\n--- report ---\n"
+        f"{report.summary()}"
+    )
+    return "sound"
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one :func:`run_fuzz` run."""
+
+    program_examples: int = 0
+    mutation_examples: int = 0
+    mutation_outcomes: Counter = field(default_factory=Counter)
+    #: shrunk failure messages, one per failing generator
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"fuzz: {verdict}",
+            f"  program examples : {self.program_examples}",
+            f"  rule mutants     : {self.mutation_examples}",
+        ]
+        for outcome, count in sorted(self.mutation_outcomes.items()):
+            lines.append(f"    {outcome:<20s} {count}")
+        for failure in self.failures:
+            lines.append("  FAILURE:")
+            lines.extend(f"    {l}" for l in failure.splitlines())
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    *,
+    program_examples: int = 25,
+    mutation_examples: int = 75,
+    seed: Optional[int] = None,
+    extra_seeds: Optional[Mapping[str, str]] = None,
+) -> FuzzReport:
+    """Run both fuzz generators and collect (shrunk) failures.
+
+    Without ``seed`` the run is derandomized (hypothesis' fixed sequence)
+    so test-suite runs are reproducible; pass a seed to explore.
+    ``extra_seeds`` layers additional rule texts (e.g. the checked-in
+    corpus under ``tests/data/rules``) under the paper seeds.
+    """
+    _require_hypothesis()
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import seed as hypothesis_seed
+    from hypothesis import strategies as st
+
+    report = FuzzReport()
+    seeds = dict(SEED_RULES)
+    if extra_seeds:
+        seeds.update(extra_seeds)
+    seed_texts = [seeds[name] for name in sorted(seeds)]
+
+    def configure(test, max_examples: int):
+        wrapped = settings(
+            max_examples=max_examples,
+            deadline=None,
+            database=None,
+            derandomize=seed is None,
+            report_multiple_bugs=False,
+            suppress_health_check=list(HealthCheck),
+        )(test)
+        if seed is not None:
+            wrapped = hypothesis_seed(seed)(wrapped)
+        return wrapped
+
+    @st.composite
+    def soa_cases(draw):
+        n_fields = draw(st.integers(1, len(_FIELD_NAMES)))
+        fields = tuple(
+            (name, draw(st.sampled_from([s for s, _ in _SCALARS])))
+            for name in _FIELD_NAMES[:n_fields]
+        )
+        length = draw(st.integers(1, 12))
+        out_order = tuple(draw(st.permutations(range(n_fields))))
+        body_ops = tuple(
+            draw(
+                st.lists(
+                    st.integers(0, n_fields - 1), min_size=1, max_size=6
+                )
+            )
+        )
+        return fields, length, out_order, body_ops
+
+    @given(soa_cases())
+    def fuzz_programs(case):
+        report.program_examples += 1
+        check_transform_case(*build_soa_case(*case))
+
+    fuzz_programs = configure(fuzz_programs, program_examples)
+
+    @st.composite
+    def mutants(draw):
+        text = draw(st.sampled_from(seed_texts))
+        for _ in range(draw(st.integers(1, 3))):
+            text = mutate_text(
+                text,
+                draw(st.integers(0, 4)),
+                draw(st.integers(0, 10_000)),
+                draw(st.integers(0, 10_000)),
+            )
+        return text
+
+    @given(mutants())
+    def fuzz_mutants(mutated):
+        report.mutation_examples += 1
+        report.mutation_outcomes[check_rule_mutation(mutated)] += 1
+
+    fuzz_mutants = configure(fuzz_mutants, mutation_examples)
+
+    for runner in (fuzz_programs, fuzz_mutants):
+        try:
+            runner()
+        except Exception as exc:
+            report.failures.append(f"{type(exc).__name__}: {exc}")
+    return report

@@ -1,0 +1,523 @@
+"""Transform soundness checker: proves a transformed trace is a faithful
+stand-in for a recompiled program.
+
+The paper's whole claim rests on the transformed trace behaving like the
+trace of the *rewritten* program.  That only holds when the address remap
+is a sound layout:
+
+- the remap is **injective per live region** — no two distinct element
+  paths land on the same out bytes, and a given path always lands on the
+  same address;
+- **out-structure fields never overlap** each other or any live
+  (untransformed) region of the original address space;
+- **total bytes touched per variable are conserved** — the transformation
+  moves accesses, it does not create or destroy payload bytes;
+- **injected pointer/index accesses match the rule's indirection spec**
+  (count, operation, size and target of every inserted record).
+
+The checker does *not* trust the engine: it replays the original trace
+through an independent oracle built only from the rule set (allocation
+cursor, translation math and insert expansion are re-derived here), then
+compares the oracle's expectation against the transformed trace record by
+record.  A corrupted engine remap — even a one-byte offset — therefore
+shows up as a :class:`Violation`, which the mutation-smoke test in
+``tests/verify/test_soundness.py`` demonstrates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.ctypes_model.path import VariablePath
+from repro.trace.record import TraceRecord
+from repro.transform.engine import ARENA_BASE, TransformResult, _align_up
+from repro.transform.rules import Rule, RuleSet
+
+#: Default cap on *recorded* violations; checking always covers the whole
+#: trace, but reports stay readable (the remainder is counted, not kept).
+MAX_RECORDED_VIOLATIONS = 50
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One soundness violation, anchored to an original-trace position.
+
+    ``index`` is the 0-based index of the original record being replayed
+    when the violation was detected, or ``-1`` for global/layout-level
+    violations that have no single position.
+    """
+
+    category: str
+    index: int
+    message: str
+
+    def __str__(self) -> str:
+        where = f"@{self.index}" if self.index >= 0 else "@global"
+        return f"[{self.category}] {where}: {self.message}"
+
+
+@dataclass
+class SoundnessReport:
+    """Everything one soundness check established."""
+
+    records_in: int = 0
+    records_out: int = 0
+    transformed: int = 0
+    inserted: int = 0
+    passthrough: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    #: violations detected beyond the recording cap
+    suppressed: int = 0
+    #: the independently reconstructed arena layout: name -> (base, size)
+    allocations: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation of any category was detected."""
+        return not self.violations and self.suppressed == 0
+
+    @property
+    def total_violations(self) -> int:
+        return len(self.violations) + self.suppressed
+
+    def categories(self) -> Counter:
+        """Violation counts per category (recorded ones only)."""
+        return Counter(v.category for v in self.violations)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        verdict = "SOUND" if self.ok else "UNSOUND"
+        lines = [
+            f"soundness       : {verdict}",
+            f"records in/out  : {self.records_in}/{self.records_out}",
+            f"  transformed   : {self.transformed}",
+            f"  inserted      : {self.inserted}",
+            f"  passthrough   : {self.passthrough}",
+            f"violations      : {self.total_violations}",
+        ]
+        for category, count in sorted(self.categories().items()):
+            lines.append(f"  {category:<24s} {count}")
+        for violation in self.violations[:10]:
+            lines.append(f"  {violation}")
+        if self.total_violations > 10:
+            lines.append(f"  ... and {self.total_violations - 10} more")
+        return "\n".join(lines)
+
+
+class _Oracle:
+    """Independent replay oracle: expected output records per input record.
+
+    Reimplements the engine's record policy from the rule set alone —
+    deliberately *not* by calling :class:`TransformEngine` — so that
+    engine corruption is observable.  Rule ``translate`` itself is part of
+    the trusted rule algebra (it is exercised separately by the property
+    suites); what the oracle re-derives is everything the engine adds on
+    top: arena allocation, address materialisation, insert expansion and
+    pass-through policy.
+    """
+
+    def __init__(self, rules: RuleSet, arena_base: int) -> None:
+        self.rules = rules
+        self.violations: List[Violation] = []
+        self.allocations: Dict[str, Tuple[int, int]] = {}
+        cursor = arena_base
+        for rule in rules:
+            for alloc in rule.out_allocations():
+                if alloc.name in self.allocations:
+                    self.violations.append(
+                        Violation(
+                            "allocation-duplicate",
+                            -1,
+                            f"out object {alloc.name!r} allocated twice",
+                        )
+                    )
+                    continue
+                cursor = _align_up(cursor, max(alloc.alignment, 1))
+                self.allocations[alloc.name] = (cursor, alloc.size)
+                cursor += alloc.size
+        self._by_in = {r.in_name: r for r in rules if not r.is_pattern}
+        self._patterns = [r for r in rules if r.is_pattern]
+        self._out_names = {n for r in rules for n in r.out_names()}
+        self._last_seen: Dict[str, TraceRecord] = {}
+
+    def expect(
+        self, record: TraceRecord, index: int
+    ) -> Tuple[Optional[Rule], List[Optional[Tuple]], int]:
+        """Expected output for one input record.
+
+        Returns ``(rule, expected, n_inserts)`` where ``expected`` is a
+        list of ``(op, addr, size, var-string)`` tuples (``None`` entries
+        mean "consume one output record without comparing", used when the
+        expectation itself could not be derived) and ``rule`` is the
+        matching rule, or ``None`` for pass-through records.
+        """
+        if record.var is not None:
+            self._last_seen[record.var.base] = record
+        if record.var is None or record.var.base in self._out_names:
+            return None, [_key(record)], 0
+        base = record.var.base
+        rule = self._by_in.get(base)
+        if rule is None:
+            for candidate in self._patterns:
+                if candidate.matches(base):
+                    rule = candidate
+                    break
+        if rule is None:
+            return None, [_key(record)], 0
+        if rule.is_pattern:
+            translation = rule.translate_named(base, record.var.elements)
+        else:
+            translation = rule.translate(record.var.elements)
+        if translation is None:
+            return None, [_key(record)], 0
+        expected: List[Optional[Tuple]] = []
+        for insert in translation.inserts:
+            if insert.existing_var is not None:
+                seen = self._last_seen.get(insert.existing_var)
+                if seen is None:
+                    self.violations.append(
+                        Violation(
+                            "indirection-missing",
+                            index,
+                            f"{rule.name}: inject references "
+                            f"{insert.existing_var!r} before its first "
+                            "appearance in the trace",
+                        )
+                    )
+                    expected.append(None)
+                else:
+                    expected.append(
+                        (insert.op, seen.addr, seen.size, _vstr(seen.var))
+                    )
+                continue
+            mapped = insert.mapped
+            entry = self.allocations.get(mapped.alloc)
+            if entry is None:
+                self.violations.append(
+                    Violation(
+                        "unknown-allocation",
+                        index,
+                        f"{rule.name}: insert targets unallocated "
+                        f"{mapped.alloc!r}",
+                    )
+                )
+                expected.append(None)
+                continue
+            expected.append(
+                (
+                    insert.op,
+                    entry[0] + mapped.offset,
+                    insert.size,
+                    _vstr(VariablePath(mapped.alloc, tuple(mapped.elements))),
+                )
+            )
+        n_inserts = len(expected)
+        if translation.address_delta is not None:
+            var = record.var
+            if translation.rename is not None:
+                var = var.with_base(translation.rename)
+            expected.append(
+                (record.op, record.addr + translation.address_delta,
+                 record.size, _vstr(var))
+            )
+            return rule, expected, n_inserts
+        mapped = translation.target
+        entry = self.allocations.get(mapped.alloc)
+        if entry is None:
+            self.violations.append(
+                Violation(
+                    "unknown-allocation",
+                    index,
+                    f"{rule.name}: target is unallocated {mapped.alloc!r}",
+                )
+            )
+            expected.append(None)
+            return rule, expected, n_inserts
+        # The engine keeps the original access size on the target record
+        # (partial/straddling accesses stay partial); the *declared* leaf
+        # size is checked against the allocation bounds separately.
+        expected.append(
+            (
+                record.op,
+                entry[0] + mapped.offset,
+                record.size,
+                _vstr(VariablePath(mapped.alloc, tuple(mapped.elements))),
+            )
+        )
+        return rule, expected, n_inserts
+
+
+def _vstr(var: Optional[VariablePath]) -> Optional[str]:
+    return None if var is None else str(var)
+
+
+def _key(record: TraceRecord) -> Tuple:
+    return (record.op, record.addr, record.size, _vstr(record.var))
+
+
+_FIELD_LABEL = ("op", "address", "size", "var")
+
+
+def check_transform(
+    original: Iterable[TraceRecord],
+    transformed: Iterable[TraceRecord],
+    rules: Union[RuleSet, Iterable[Rule], str],
+    *,
+    allocations: Optional[Dict[str, int]] = None,
+    arena_base: int = ARENA_BASE,
+    max_recorded: int = MAX_RECORDED_VIOLATIONS,
+) -> SoundnessReport:
+    """Walk a transformed trace against its rule set and assert soundness.
+
+    Parameters
+    ----------
+    original / transformed:
+        The engine's input and output traces (any record iterables).
+    rules:
+        The rule set the transformation claims to implement — a
+        :class:`RuleSet`, an iterable of rules, or rule-file text.
+    allocations:
+        The engine's actual out-object base addresses, when available
+        (:attr:`TransformResult.allocations`).  They are cross-checked
+        against the independently reconstructed arena layout.
+    arena_base:
+        Arena base the engine was configured with.
+    max_recorded:
+        Cap on violations kept in the report (the rest are counted in
+        :attr:`SoundnessReport.suppressed`; checking never stops early).
+    """
+    ruleset = _to_ruleset(rules)
+    report = SoundnessReport()
+    oracle = _Oracle(ruleset, arena_base)
+    report.allocations = dict(oracle.allocations)
+
+    def add(category: str, index: int, message: str) -> None:
+        if len(report.violations) < max_recorded:
+            report.violations.append(Violation(category, index, message))
+        else:
+            report.suppressed += 1
+
+    def drain_oracle() -> None:
+        while oracle.violations:
+            violation = oracle.violations.pop(0)
+            add(violation.category, violation.index, violation.message)
+
+    drain_oracle()
+
+    if allocations is not None:
+        for name, base in allocations.items():
+            expected = oracle.allocations.get(name)
+            if expected is None:
+                add(
+                    "allocation-mismatch",
+                    -1,
+                    f"engine allocated {name!r} which no rule declares",
+                )
+            elif expected[0] != base:
+                add(
+                    "allocation-mismatch",
+                    -1,
+                    f"{name!r} allocated at {base:#x}, expected "
+                    f"{expected[0]:#x}",
+                )
+        for name in oracle.allocations:
+            if name not in allocations:
+                add(
+                    "allocation-mismatch",
+                    -1,
+                    f"{name!r} declared by a rule but never allocated",
+                )
+
+    # -- lockstep replay -----------------------------------------------------
+    out_records = list(transformed)
+    report.records_out = len(out_records)
+    bytes_in: Counter = Counter()
+    bytes_out: Counter = Counter()
+    j = 0
+    desynced = False
+    for i, record in enumerate(original):
+        report.records_in = i + 1
+        rule, expected, n_inserts = oracle.expect(record, i)
+        drain_oracle()
+        if rule is None:
+            report.passthrough += 1
+        else:
+            report.transformed += 1
+            report.inserted += n_inserts
+            bytes_in[rule.name] += record.size
+        if j + len(expected) > len(out_records):
+            add(
+                "stream-truncated",
+                i,
+                f"transformed trace ends at record {len(out_records)} but "
+                f"{len(expected)} more record(s) were expected here",
+            )
+            desynced = True
+            break
+        for k, exp in enumerate(expected):
+            actual = out_records[j]
+            j += 1
+            if rule is not None and k == len(expected) - 1:
+                bytes_out[rule.name] += actual.size
+            if exp is None:
+                continue
+            got = _key(actual)
+            if got != exp:
+                is_insert = k < n_inserts
+                prefix = "indirection" if is_insert else "remap"
+                name = rule.name if rule is not None else "passthrough"
+                for f_idx, (want, have) in enumerate(zip(exp, got)):
+                    if want != have:
+                        add(
+                            f"{prefix}-{_FIELD_LABEL[f_idx]}",
+                            i,
+                            f"{name} "
+                            f"{'insert' if is_insert else 'target'} "
+                            f"{_FIELD_LABEL[f_idx]}: "
+                            f"expected {_fmt(want)}, got {_fmt(have)}",
+                        )
+                        break
+    if not desynced and j < len(out_records):
+        add(
+            "stream-extra",
+            -1,
+            f"transformed trace has {len(out_records) - j} trailing "
+            "record(s) no input record explains",
+        )
+        desynced = True
+
+    # -- byte conservation per variable --------------------------------------
+    if not desynced:
+        for name in sorted(set(bytes_in) | set(bytes_out)):
+            if bytes_in[name] != bytes_out[name]:
+                add(
+                    "byte-conservation",
+                    -1,
+                    f"{name}: {bytes_in[name]} bytes touched in, "
+                    f"{bytes_out[name]} bytes touched out",
+                )
+
+    # -- layout invariants over the output trace -----------------------------
+    _check_layout(out_records, oracle.allocations, add)
+    return report
+
+
+def _check_layout(
+    out_records: Sequence[TraceRecord],
+    allocations: Dict[str, Tuple[int, int]],
+    add,
+) -> None:
+    """Containment, injectivity and live-region overlap checks."""
+    intervals = sorted(
+        (base, base + size, name)
+        for name, (base, size) in allocations.items()
+        if size > 0
+    )
+    # Out allocations must not overlap each other.
+    for (lo_a, hi_a, name_a), (lo_b, hi_b, name_b) in zip(
+        intervals, intervals[1:]
+    ):
+        if hi_a > lo_b:
+            add(
+                "allocation-overlap",
+                -1,
+                f"allocations {name_a!r} and {name_b!r} overlap "
+                f"({lo_a:#x}-{hi_a:#x} vs {lo_b:#x}-{hi_b:#x})",
+            )
+    seen_paths: Dict[Tuple[str, Tuple], Tuple[int, int]] = {}
+    spans: List[Tuple[int, int, Tuple]] = []
+    for idx, record in enumerate(out_records):
+        base_name = record.var.base if record.var is not None else None
+        if base_name in allocations:
+            abase, asize = allocations[base_name]
+            if not (abase <= record.addr and record.end <= abase + asize):
+                add(
+                    "out-of-bounds",
+                    -1,
+                    f"output record {idx} ({record.var}) touches "
+                    f"{record.addr:#x}-{record.end:#x} outside allocation "
+                    f"{base_name!r} ({abase:#x}-{abase + asize:#x})",
+                )
+                continue
+            key = (base_name, tuple(record.var.elements))
+            span = (record.addr, record.size)
+            known = seen_paths.setdefault(key, span)
+            if known != span:
+                add(
+                    "non-injective",
+                    -1,
+                    f"path {record.var} maps to both "
+                    f"{known[0]:#x}+{known[1]} and "
+                    f"{record.addr:#x}+{record.size}",
+                )
+        else:
+            # A live (untransformed) region must stay clear of the arena.
+            for lo, hi, name in intervals:
+                if record.addr < hi and record.end > lo:
+                    label = (
+                        str(record.var)
+                        if record.var is not None
+                        else f"{record.addr:#x}"
+                    )
+                    add(
+                        "arena-collision",
+                        -1,
+                        f"live record {idx} ({label}) overlaps out "
+                        f"allocation {name!r}",
+                    )
+                    break
+    for key, (addr, size) in seen_paths.items():
+        spans.append((addr, addr + size, key))
+    spans.sort()
+    for (lo_a, hi_a, key_a), (lo_b, hi_b, key_b) in zip(spans, spans[1:]):
+        if hi_a > lo_b and key_a != key_b:
+            add(
+                "overlap",
+                -1,
+                f"distinct paths {_path_str(key_a)} and {_path_str(key_b)} "
+                f"overlap ({lo_a:#x}-{hi_a:#x} vs {lo_b:#x}-{hi_b:#x})",
+            )
+
+
+def _path_str(key: Tuple[str, Tuple]) -> str:
+    return str(VariablePath(key[0], key[1]))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, int):
+        return f"{value:#x}"
+    return str(value)
+
+
+def _to_ruleset(rules: Union[RuleSet, Iterable[Rule], str]) -> RuleSet:
+    if isinstance(rules, RuleSet):
+        return rules
+    if isinstance(rules, str):
+        from repro.transform.rule_parser import parse_rules
+
+        return parse_rules(rules)
+    ruleset = RuleSet()
+    for rule in rules:
+        ruleset.add(rule)
+    return ruleset
+
+
+def check_result(
+    result: TransformResult,
+    rules: Union[RuleSet, Iterable[Rule], str],
+    *,
+    arena_base: int = ARENA_BASE,
+    max_recorded: int = MAX_RECORDED_VIOLATIONS,
+) -> SoundnessReport:
+    """Soundness-check a :class:`TransformResult` (original + output +
+    the engine's actual allocation map)."""
+    return check_transform(
+        result.original,
+        result.trace,
+        rules,
+        allocations=result.allocations,
+        arena_base=arena_base,
+        max_recorded=max_recorded,
+    )

@@ -361,7 +361,7 @@ class TestFastSimulate:
             )
             == 0
         )
-        assert "check ok" in capsys.readouterr().out
+        assert "kernel agreement: ok" in capsys.readouterr().out
 
     def test_check_without_fast_is_an_error(self, traced_kernel, capsys):
         assert main(["sim", str(traced_kernel), "--check"]) == 2

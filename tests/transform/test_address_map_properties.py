@@ -1,0 +1,128 @@
+"""Property tests for the engine's address map, end to end.
+
+Where ``test_engine_properties.py`` checks the rule *algebra*
+(``translate`` on hand-built rules), this suite drives the full
+:class:`~repro.transform.engine.TransformEngine` over randomly shaped
+programs and asserts invariants of the emitted trace itself:
+
+- **injectivity** — distinct out paths never share bytes, and every
+  occurrence of one out path lands on one address;
+- **size preservation** — remapped records keep their original size and
+  the per-variable byte totals are conserved;
+- **idempotent re-parse** — formatting an emitted record and parsing it
+  back is a fixed point of the text format (so transformed traces
+  survive a write/read cycle unchanged).
+
+The generated cases reuse :func:`repro.verify.fuzz.build_soa_case`, the
+same deterministic builder the differential fuzzer shrinks over.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.format import format_record, parse_line
+from repro.tracer.interp import trace_program
+from repro.transform.engine import TransformEngine
+from repro.transform.rule_parser import parse_rules
+from repro.verify.fuzz import _FIELD_NAMES, _SCALARS, build_soa_case
+from repro.verify.soundness import check_result
+
+
+@st.composite
+def soa_cases(draw):
+    """(fields, length, out_order, body_ops) for ``build_soa_case``."""
+    n_fields = draw(st.integers(1, len(_FIELD_NAMES)))
+    fields = tuple(
+        (name, draw(st.sampled_from([s for s, _ in _SCALARS])))
+        for name in _FIELD_NAMES[:n_fields]
+    )
+    length = draw(st.integers(1, 12))
+    out_order = tuple(draw(st.permutations(range(n_fields))))
+    body_ops = tuple(
+        draw(st.lists(st.integers(0, n_fields - 1), min_size=1, max_size=6))
+    )
+    return fields, length, out_order, body_ops
+
+
+def _transform(case):
+    program, rule_text = build_soa_case(*case)
+    trace = trace_program(program)
+    rules = parse_rules(rule_text)
+    result = TransformEngine(rules).transform(trace)
+    return trace, rules, result
+
+
+class TestAddressMapProperties:
+    @given(soa_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_address_map_is_injective(self, case):
+        """One address per out path; no two out paths share bytes."""
+        _, _, result = _transform(case)
+        spans = {}
+        for record in result.trace:
+            if record.var is None or record.var.base != "lAoS":
+                continue
+            key = str(record.var)
+            span = (record.addr, record.addr + record.size)
+            assert spans.setdefault(key, span) == span, (
+                f"{key} materialised at two addresses"
+            )
+        ordered = sorted(spans.items(), key=lambda kv: kv[1])
+        for (path_a, span_a), (path_b, span_b) in zip(ordered, ordered[1:]):
+            assert span_a[1] <= span_b[0], (
+                f"{path_a} {span_a} overlaps {path_b} {span_b}"
+            )
+
+    @given(soa_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_sizes_and_bytes_preserved(self, case):
+        """Remapping never resizes an access, and per-variable byte
+        totals carry over from ``lSoA`` to ``lAoS`` exactly."""
+        trace, _, result = _transform(case)
+        assert len(result.trace) == len(trace)
+        by_var = defaultdict(int)
+        for before, after in zip(trace, result.trace):
+            assert after.size == before.size
+            assert after.op == before.op
+            if before.var is not None:
+                by_var[before.var.base] -= before.size
+            if after.var is not None:
+                by_var[after.var.base] += after.size
+        assert by_var["lAoS"] == -by_var["lSoA"]
+        del by_var["lAoS"], by_var["lSoA"]
+        assert not any(by_var.values()), f"bytes leaked: {dict(by_var)}"
+
+    @given(soa_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_soundness_checker_accepts(self, case):
+        """The independent replay oracle agrees with the engine."""
+        _, rules, result = _transform(case)
+        report = check_result(result, rules)
+        assert report.ok, report.summary()
+
+
+class TestEmittedLineReparse:
+    @given(soa_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_format_parse_is_fixed_point(self, case):
+        """format -> parse -> format is a fixed point for every emitted
+        record, and the parse preserves the fields the simulators read."""
+        _, _, result = _transform(case)
+        for record in result.trace:
+            line = format_record(record)
+            back = parse_line(line)
+            assert back is not None
+            assert format_record(back) == line
+            assert (back.op, back.addr, back.size) == (
+                record.op,
+                record.addr,
+                record.size,
+            )
+            assert str(back.var) == str(record.var)
+            assert back.func == record.func
+            assert back.scope == record.scope

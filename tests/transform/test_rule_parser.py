@@ -1,11 +1,21 @@
-"""Unit tests for the rule-file parser (paper Listings 5, 8, 11)."""
+"""Unit tests for the rule-file parser (paper Listings 5, 8, 11).
+
+The checked-in corpus under ``tests/data/rules`` (also consumed by the
+fuzz harness as mutation seeds) pins the parser's accept/reject
+behaviour: every ``valid/*.rules`` must parse, every ``bad/*.rules``
+must raise a :class:`ReproError`.
+"""
+
+from pathlib import Path
 
 import pytest
 
-from repro.errors import RuleError
+from repro.errors import ReproError, RuleError
 from repro.ctypes_model.path import Field, Index
 from repro.transform.rule_parser import parse_rules, parse_rules_file
 from repro.transform.rules import LayoutRule, OutlineRule, StrideRule
+
+RULE_CORPUS = Path(__file__).resolve().parent.parent / "data" / "rules"
 
 LISTING5 = """
 in:
@@ -162,3 +172,56 @@ int b[64((i*2))];
 """
         with pytest.raises(RuleError):
             parse_rules(text)
+
+    def test_noninjective_stride_formula(self):
+        text = """
+in:
+int a[64]:b;
+out:
+int b[64((lI%8))];
+"""
+        with pytest.raises(RuleError, match="injective"):
+            parse_rules(text)
+
+    def test_rule_mapping_its_own_out_name(self):
+        # Found by the rule fuzzer: a rule whose in variable equals one
+        # of its out names never transforms anything (out names pass
+        # through), silently producing an unsound layout claim.
+        text = """
+in:
+struct lSame {
+    int mX[8];
+};
+out:
+struct lSame {
+    int mX;
+}[8];
+"""
+        with pytest.raises(RuleError, match="bi-directional"):
+            parse_rules(text)
+
+
+class TestCorpus:
+    """The checked-in rule corpus pins accept/reject behaviour."""
+
+    def test_corpus_present(self):
+        assert sorted((RULE_CORPUS / "valid").glob("*.rules"))
+        assert sorted((RULE_CORPUS / "bad").glob("*.rules"))
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted((RULE_CORPUS / "valid").glob("*.rules")),
+        ids=lambda p: p.stem,
+    )
+    def test_valid_corpus_parses(self, path):
+        rules = parse_rules_file(path)
+        assert len(rules) >= 1
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted((RULE_CORPUS / "bad").glob("*.rules")),
+        ids=lambda p: p.stem,
+    )
+    def test_bad_corpus_rejected(self, path):
+        with pytest.raises(ReproError):
+            parse_rules_file(path)

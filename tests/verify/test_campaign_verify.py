@@ -1,0 +1,114 @@
+"""Campaign integration: the opt-in post-job soundness check.
+
+``--verify`` must check the transform artifact where it is produced (or
+first reused from cache) and turn an unsound artifact into a
+:class:`~repro.errors.TransformError` so the scheduler's retry/degrade
+policy owns the failure.
+"""
+
+import pytest
+
+from repro.campaign.artifacts import ArtifactStore
+from repro.campaign.jobs import (
+    Job,
+    execute_job,
+    expand_jobs,
+    resolve_rule_text,
+    trace_key,
+    transform_key,
+)
+from repro.campaign.spec import CacheSpec, CampaignSpec, GridEntry
+from repro.errors import TransformError
+from repro.trace.stream import Trace
+
+
+def job_for(rule, *, size=2048, verify=True):
+    return Job(
+        kernel="1a",
+        length=16,
+        rule=rule,
+        cache=CacheSpec(size=size),
+        verify=verify,
+    )
+
+
+class TestSpecPlumbing:
+    def test_verify_defaults_off(self):
+        spec = CampaignSpec(
+            name="t",
+            grid=(GridEntry(kernel="1a", length=16, rules=("t1",)),),
+            caches=(CacheSpec(size=2048),),
+        )
+        _, jobs = expand_jobs(spec)
+        assert all(not j.verify for j in jobs)
+
+    def test_verify_propagates_to_every_job(self):
+        spec = CampaignSpec(
+            name="t",
+            grid=(
+                GridEntry(kernel="1a", length=16, rules=("baseline", "t1")),
+            ),
+            caches=(CacheSpec(size=2048),),
+            verify=True,
+        )
+        _, jobs = expand_jobs(spec)
+        assert jobs
+        assert all(j.verify for j in jobs)
+
+    def test_from_dict_reads_verify(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "campaign": {"name": "t", "verify": True},
+                "grid": [{"kernel": "1a", "length": 16, "rules": ["t1"]}],
+                "caches": [{"size": 2048}],
+            }
+        )
+        assert spec.verify
+
+
+class TestExecuteJob:
+    def test_fresh_transform_is_verified(self, tmp_path):
+        payload = execute_job(job_for("t1"), tmp_path)
+        assert payload["verified"] is True
+        assert payload["transformed_records"] is not None
+
+    def test_baseline_jobs_have_nothing_to_verify(self, tmp_path):
+        payload = execute_job(job_for("baseline"), tmp_path)
+        assert payload["verified"] is False
+        assert payload["transformed_records"] is None
+
+    def test_verification_off_by_default(self, tmp_path):
+        payload = execute_job(job_for("t1", verify=False), tmp_path)
+        assert payload["verified"] is False
+
+    def test_cached_transform_is_reverified(self, tmp_path):
+        execute_job(job_for("t1", verify=False), tmp_path)
+        # Different cache geometry: simulation key differs, but the
+        # transform artifact is reused from the store — verification
+        # must run on the reused artifact too.
+        payload = execute_job(job_for("t1", size=4096), tmp_path)
+        assert payload["cache_hits"]["transform"] is True
+        assert payload["verified"] is True
+
+    def test_tampered_cached_transform_fails_the_job(self, tmp_path):
+        execute_job(job_for("t1", verify=False), tmp_path)
+        store = ArtifactStore(tmp_path)
+        key = transform_key(
+            trace_key("1a", 16), resolve_rule_text("t1", 16)
+        )
+        records = list(store.get_trace(key))
+        for i, record in enumerate(records):
+            if record.var is not None and record.var.base == "lAoS":
+                records[i] = record.evolve(addr=record.addr + 1)
+                break
+        store.put_trace(key, Trace(records))
+        with pytest.raises(TransformError, match="soundness"):
+            execute_job(job_for("t1", size=4096), tmp_path)
+
+    def test_fully_cached_simulation_skips_verification(self, tmp_path):
+        execute_job(job_for("t1", verify=False), tmp_path)
+        # Same point again: the simulation payload itself is cached, so
+        # nothing is recomputed and nothing is (re)verified.
+        payload = execute_job(job_for("t1"), tmp_path)
+        assert payload["cache_hits"] == {"simulation": True}
+        assert payload["verified"] is False

@@ -1,0 +1,158 @@
+"""Tests for the differential fuzz harness.
+
+The deterministic helpers (mutation operators, probe traces, the case
+builder) are plain unit tests; the end-to-end generator runs are marked
+``fuzz`` and use small derandomized example counts so they stay fast and
+reproducible in CI.  Deselect them with ``-m "not fuzz"``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from repro.errors import ReproError
+from repro.transform.engine import ARENA_BASE
+from repro.transform.rule_parser import parse_rules
+from repro.verify.fuzz import (
+    SCRATCH_BASE,
+    SEED_RULES,
+    build_soa_case,
+    check_rule_mutation,
+    check_transform_case,
+    mutate_text,
+    probe_trace_for,
+    run_fuzz,
+)
+
+RULE_CORPUS = Path(__file__).resolve().parent.parent / "data" / "rules"
+
+
+class TestMutateText:
+    def test_deterministic(self):
+        text = SEED_RULES["t1"]
+        assert mutate_text(text, 0, 3, 7) == mutate_text(text, 0, 3, 7)
+
+    def test_drop_line(self):
+        text = "a\nb\nc\n"
+        assert mutate_text(text, 0, 1, 0) == "a\nc\n"
+
+    def test_duplicate_line(self):
+        text = "a\nb\n"
+        assert mutate_text(text, 1, 0, 0) == "a\na\nb\n"
+
+    def test_replace_number(self):
+        mutated = mutate_text("int a[16];", 2, 0, 300)
+        assert "16" not in mutated
+        assert str(300 % 257) in mutated
+
+    def test_swap_characters(self):
+        assert mutate_text("ab", 3, 0, 0) == "ba"
+
+    def test_truncate(self):
+        assert mutate_text("a\nb\nc\n", 4, 0, 0) == "a\n"
+
+    def test_positions_wrap(self):
+        # Any integers are valid arguments; positions wrap modulo the
+        # available sites instead of raising.
+        text = SEED_RULES["t2"]
+        for choice in range(5):
+            assert isinstance(mutate_text(text, choice, 10_000, 99_999), str)
+
+
+class TestProbeTrace:
+    def test_covers_every_rule_region(self):
+        rules = parse_rules(SEED_RULES["t1"])
+        probe = probe_trace_for(rules)
+        assert probe
+        bases = {r.var.base for r in probe}
+        assert bases == {"lSoA"}
+
+    def test_seeds_existing_inject_names_first(self):
+        rules = parse_rules(SEED_RULES["t3"])
+        probe = probe_trace_for(rules)
+        # T3 injects "lI ... existing": the probe must pre-seed it so
+        # existing-variable indirection has a last-seen address.
+        assert probe[0].var.base == "lI"
+        assert probe[0].addr >= SCRATCH_BASE
+
+    def test_probe_stays_clear_of_the_arena(self):
+        for text in SEED_RULES.values():
+            for record in probe_trace_for(parse_rules(text)):
+                assert record.end < ARENA_BASE
+
+
+class TestCheckRuleMutation:
+    def test_pristine_seeds_are_sound(self):
+        for name, text in SEED_RULES.items():
+            assert check_rule_mutation(text) == "sound", name
+
+    def test_garbage_is_rejected(self):
+        assert check_rule_mutation("not a rule file") == "rejected"
+        assert check_rule_mutation("") == "rejected"
+
+    def test_corpus_seeds_classify_cleanly(self):
+        for path in sorted((RULE_CORPUS / "valid").glob("*.rules")):
+            outcome = check_rule_mutation(path.read_text())
+            assert outcome in {"sound", "transform-rejected"}, path.name
+
+
+class TestBuildSoaCase:
+    CASE = (
+        (("mA", "int"), ("mB", "double")),  # fields
+        4,                                  # length
+        (1, 0),                             # out order (reversed)
+        (0, 1, 0),                          # body ops
+    )
+
+    def test_deterministic(self):
+        _, rule_a = build_soa_case(*self.CASE)
+        _, rule_b = build_soa_case(*self.CASE)
+        assert rule_a == rule_b
+
+    def test_rule_text_parses(self):
+        _, rule_text = build_soa_case(*self.CASE)
+        rules = parse_rules(rule_text)
+        assert len(rules) == 1
+
+    def test_case_passes_differential_check(self):
+        program, rule_text = build_soa_case(*self.CASE)
+        report = check_transform_case(program, rule_text)
+        assert report.ok
+
+
+@pytest.mark.fuzz
+class TestRunFuzz:
+    def test_derandomized_run_passes(self):
+        report = run_fuzz(program_examples=5, mutation_examples=20)
+        assert report.ok, report.summary()
+        assert report.program_examples >= 5
+        assert report.mutation_examples >= 20
+        assert sum(report.mutation_outcomes.values()) == (
+            report.mutation_examples
+        )
+        assert "PASS" in report.summary()
+
+    def test_corpus_feeds_in_as_extra_seeds(self):
+        extra = {
+            path.stem: path.read_text()
+            for path in sorted((RULE_CORPUS / "valid").glob("*.rules"))
+        }
+        assert extra, "rule corpus missing"
+        report = run_fuzz(
+            program_examples=5, mutation_examples=25, extra_seeds=extra
+        )
+        assert report.ok, report.summary()
+
+    def test_failures_surface_in_summary(self, monkeypatch):
+        import repro.verify.fuzz as fuzz
+
+        def always_unsound(mutated):
+            raise AssertionError("planted failure")
+
+        monkeypatch.setattr(fuzz, "check_rule_mutation", always_unsound)
+        report = run_fuzz(program_examples=5, mutation_examples=5)
+        assert not report.ok
+        assert any("planted failure" in f for f in report.failures)
+        assert "FAIL" in report.summary()
