@@ -86,6 +86,16 @@ from repro.analysis.report import (
     comparison_report,
     simulation_report,
 )
+from repro.obsv import (
+    Telemetry,
+    counters,
+    get_telemetry,
+    phase,
+    read_jsonl_profile,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl_profile,
+)
 from repro.verify import (
     AgreementReport,
     SoundnessReport,
@@ -182,6 +192,15 @@ __all__ = [
     "check_result",
     "check_transform",
     "verify_paper",
+    # observability
+    "Telemetry",
+    "get_telemetry",
+    "phase",
+    "counters",
+    "write_jsonl_profile",
+    "read_jsonl_profile",
+    "write_chrome_trace",
+    "render_summary",
     # campaigns
     "ArtifactStore",
     "CacheSpec",

@@ -45,6 +45,7 @@ import numpy as np
 from repro.errors import CacheConfigError
 from repro.cache.config import AllocatePolicy, CacheConfig
 from repro.cache.stats import PerSetCounts
+from repro.obsv.telemetry import get_telemetry
 
 
 @dataclass(frozen=True)
@@ -299,6 +300,22 @@ def fast_trace_counts(
         label of the access that produced them, so per-variable totals
         always sum to the global block-level counts.
     """
+    tele = get_telemetry()
+    if not tele.enabled:
+        return _fast_trace_counts(addrs, config, sizes, var_ids)
+    with tele.span("simulate.fast_kernel", cat="simulate"):
+        result = _fast_trace_counts(addrs, config, sizes, var_ids)
+    tele.add("simulate.cache_lookups", len(addrs))
+    return result
+
+
+def _fast_trace_counts(
+    addrs: np.ndarray,
+    config: CacheConfig,
+    sizes: Optional[np.ndarray] = None,
+    var_ids: Optional[np.ndarray] = None,
+) -> FastTraceCounts:
+    """Uninstrumented :func:`fast_trace_counts` body (the overhead baseline)."""
     _validate_fast_config(config)
     addrs = np.asarray(addrs, dtype=np.uint64)
     n_accesses = len(addrs)
@@ -438,6 +455,18 @@ class FastSimulator:
         self, addrs: np.ndarray, sizes: Optional[np.ndarray] = None
     ) -> FastCounts:
         """Simulate one chunk; returns that chunk's block-level counts."""
+        tele = get_telemetry()
+        if not tele.enabled:
+            return self._feed(addrs, sizes)
+        with tele.span("simulate.fast_chunk", cat="simulate"):
+            counts = self._feed(addrs, sizes)
+        tele.add("simulate.cache_lookups", len(addrs))
+        return counts
+
+    def _feed(
+        self, addrs: np.ndarray, sizes: Optional[np.ndarray] = None
+    ) -> FastCounts:
+        """Uninstrumented :meth:`feed` body (the overhead baseline)."""
         addrs = np.asarray(addrs, dtype=np.uint64)
         n_accesses = len(addrs)
         self._chunks += 1

@@ -27,6 +27,7 @@ from repro.cache.config import CacheConfig
 from repro.cache.conflict import ConflictMatrix
 from repro.cache.fastsim import FastCounts, FastSimulator, FastTraceCounts
 from repro.cache.stats import CacheStats
+from repro.obsv.telemetry import get_telemetry
 from repro.trace.record import AccessType, TraceRecord
 from repro.trace.stream import DEFAULT_CHUNK_RECORDS, TraceChunk, iter_chunks
 
@@ -140,7 +141,10 @@ def simulate(
     """Simulate a trace against ``config`` (paper's direct-mapped default)."""
     cfg = config if config is not None else CacheConfig.paper_direct_mapped()
     sim = CacheSimulator(cfg, attribution=attribution)
-    sim.feed(records)
+    tele = get_telemetry()
+    with tele.span("simulate.reference", cat="simulate"):
+        sim.feed(records)
+    tele.add("simulate.cache_lookups", sim.stats.accesses)
     return sim.result()
 
 
@@ -208,11 +212,14 @@ def simulate_stream(
     cfg = config if config is not None else CacheConfig.paper_direct_mapped()
     sim = FastSimulator(cfg)
     records = 0
-    for chunk in iter_chunks(source, chunk_records):
-        chunk_counts = sim.feed(chunk.addrs, chunk.sizes)
-        records += len(chunk)
-        if on_chunk is not None:
-            on_chunk(chunk, chunk_counts)
+    tele = get_telemetry()
+    with tele.span("simulate.fast_stream", cat="simulate"):
+        for chunk in iter_chunks(source, chunk_records):
+            chunk_counts = sim.feed(chunk.addrs, chunk.sizes)
+            records += len(chunk)
+            if on_chunk is not None:
+                on_chunk(chunk, chunk_counts)
+    tele.add("simulate.chunks", sim.chunks_fed)
     return StreamResult(
         config=cfg,
         totals=sim.trace_counts(),

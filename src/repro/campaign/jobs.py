@@ -33,6 +33,7 @@ from repro.campaign.spec import BASELINE_NAMES, CacheSpec, CampaignSpec
 from repro.cache.config import CacheConfig
 from repro.cache.fastsim import fast_trace_counts, supports_fast_path
 from repro.cache.simulator import attribution_label, simulate
+from repro.obsv.telemetry import get_telemetry
 from repro.trace.record import AccessType
 from repro.trace.stream import Trace
 from repro.tracer.interp import trace_program
@@ -284,7 +285,10 @@ def execute_trace_task(
     """Worker body for the shared trace stage."""
     store = ArtifactStore(store_root)
     started = time.monotonic()
-    trace, hit = _materialise_trace(store, task.kernel, task.length)
+    tele = get_telemetry()
+    with tele.span("campaign.trace-task", cat="campaign", job=task.job_id):
+        trace, hit = _materialise_trace(store, task.kernel, task.length)
+    _count_artifact_hits(tele, {"trace": hit})
     return {
         "kind": "trace",
         "trace_key": trace_key(task.kernel, task.length),
@@ -292,6 +296,13 @@ def execute_trace_task(
         "cache_hits": {"trace": hit},
         "compute_seconds": round(time.monotonic() - started, 6),
     }
+
+
+def _count_artifact_hits(tele, hits: Dict[str, bool]) -> None:
+    """Book per-stage artifact-cache outcomes into the registry."""
+    served = sum(1 for hit in hits.values() if hit)
+    tele.add("campaign.artifact_hits", served)
+    tele.add("campaign.artifact_misses", len(hits) - served)
 
 
 def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
@@ -302,6 +313,18 @@ def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
     Raises on unrecoverable input problems (bad rule file, invalid
     config) — the scheduler turns that into retry-then-degrade.
     """
+    tele = get_telemetry()
+    with tele.span("campaign.job", cat="campaign", job=job.job_id):
+        payload, hits = _execute_job(job, store_root)
+    _count_artifact_hits(tele, hits)
+    return payload
+
+
+def _execute_job(
+    job: Job, store_root: Union[str, Path]
+) -> Tuple[Dict[str, Any], Dict[str, bool]]:
+    """:func:`execute_job` body; returns (payload, per-stage cache hits)."""
+    tele = get_telemetry()
     store = ArtifactStore(store_root)
     started = time.monotonic()
     tkey = trace_key(job.kernel, job.length)
@@ -313,39 +336,42 @@ def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
     skey = simulation_key(input_key, job)
 
     hits: Dict[str, bool] = {}
-    cached = store.get_json(skey)
+    with tele.span("campaign.stage.lookup", cat="campaign"):
+        cached = store.get_json(skey)
     if cached is not None:
         hits["simulation"] = True
         cached = dict(cached)
         cached["cache_hits"] = hits
         cached["compute_seconds"] = round(time.monotonic() - started, 6)
-        return cached
+        return cached, hits
     hits["simulation"] = False
 
-    trace, trace_hit = _materialise_trace(store, job.kernel, job.length)
+    with tele.span("campaign.stage.trace", cat="campaign"):
+        trace, trace_hit = _materialise_trace(store, job.kernel, job.length)
     hits["trace"] = trace_hit
     transformed_records = None
     verified = False
     if rule_text is not None:
-        cached_trace = store.get_trace(input_key)
-        hits["transform"] = cached_trace is not None
-        if cached_trace is None:
-            engine = TransformEngine(parse_rules(rule_text))
-            result = engine.transform(trace)
-            cached_trace = result.trace
-            if job.verify:
-                _verify_transform(
-                    trace, cached_trace, rule_text, result.allocations
-                )
+        with tele.span("campaign.stage.transform", cat="campaign"):
+            cached_trace = store.get_trace(input_key)
+            hits["transform"] = cached_trace is not None
+            if cached_trace is None:
+                engine = TransformEngine(parse_rules(rule_text))
+                result = engine.transform(trace)
+                cached_trace = result.trace
+                if job.verify:
+                    _verify_transform(
+                        trace, cached_trace, rule_text, result.allocations
+                    )
+                    verified = True
+                store.put_trace(input_key, cached_trace)
+            elif job.verify:
+                # Cached transform: the engine's allocation map is gone,
+                # but the oracle reconstructs it from the rules on its own.
+                _verify_transform(trace, cached_trace, rule_text, None)
                 verified = True
-            store.put_trace(input_key, cached_trace)
-        elif job.verify:
-            # Cached transform: the engine's allocation map is gone, but
-            # the oracle reconstructs it from the rules on its own.
-            _verify_transform(trace, cached_trace, rule_text, None)
-            verified = True
-        trace = cached_trace
-        transformed_records = len(trace)
+            trace = cached_trace
+            transformed_records = len(trace)
 
     payload: Dict[str, Any] = {
         "kind": "simulation",
@@ -354,14 +380,15 @@ def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
         "transformed_records": transformed_records,
         "verified": verified,
     }
-    payload.update(
-        simulation_fields(trace, job.cache.to_config(), job.attribution)
-    )
-    store.put_json(skey, payload)
+    with tele.span("campaign.stage.simulate", cat="campaign"):
+        payload.update(
+            simulation_fields(trace, job.cache.to_config(), job.attribution)
+        )
+        store.put_json(skey, payload)
     payload = dict(payload)
     payload["cache_hits"] = hits
     payload["compute_seconds"] = round(time.monotonic() - started, 6)
-    return payload
+    return payload, hits
 
 
 def execute_task(

@@ -23,6 +23,8 @@ EVENT_JOB_DONE = "job-done"
 EVENT_JOB_RETRY = "job-retry"
 EVENT_JOB_FAILED = "job-failed"
 EVENT_JOB_SKIPPED = "job-skipped"
+#: Merged campaign telemetry (counters/gauges), written when profiling.
+EVENT_TELEMETRY = "telemetry"
 
 
 class RunManifest:

@@ -45,9 +45,11 @@ from repro.campaign.manifest import (
     EVENT_JOB_RETRY,
     EVENT_JOB_SKIPPED,
     EVENT_JOB_START,
+    EVENT_TELEMETRY,
     RunManifest,
 )
 from repro.campaign.spec import CampaignSpec
+from repro.obsv.telemetry import get_telemetry
 
 #: Upper bound on one backoff delay, seconds.
 MAX_BACKOFF = 30.0
@@ -157,15 +159,31 @@ class _WorkerSlot:
 
 
 def _worker_main(worker_id: int, task_queue, result_queue, store_root: str) -> None:
-    """Worker process body: execute tasks until the ``None`` sentinel."""
+    """Worker process body: execute tasks until the ``None`` sentinel.
+
+    When the (fork-inherited) telemetry registry is enabled, each task
+    runs against a freshly reset registry and its snapshot rides back to
+    the parent inside the result payload under the ``"telemetry"`` key;
+    the parent pops and merges it.  The inherited epoch keeps worker
+    spans on the parent's timeline, and the worker index becomes the
+    span ``tid`` so traces render one track per worker.
+    """
+    telemetry = get_telemetry()
+    telemetry.tid = worker_id
     while True:
         item = task_queue.get()
         if item is None:
             break
         seq, attempt, task = item
         started = time.monotonic()
+        if telemetry.enabled:
+            telemetry.reset()
         try:
             result = execute_task(task, store_root)
+            if telemetry.enabled and isinstance(result, dict):
+                telemetry.sample_rss()
+                result = dict(result)
+                result["telemetry"] = telemetry.snapshot()
             result_queue.put(
                 (seq, attempt, worker_id, "ok", result, time.monotonic() - started)
             )
@@ -240,9 +258,52 @@ class Scheduler:
     # -- public API ----------------------------------------------------------
 
     def run(self) -> CampaignResult:
-        """Run the whole campaign; never raises for individual job failures."""
+        """Run the whole campaign; never raises for individual job failures.
+
+        When the spec declares ``profile``/``profile_trace`` paths (or
+        telemetry is already enabled, e.g. by ``tdst --profile``), the
+        run is timed phase by phase, per-worker child telemetry is
+        merged back in, the merged counters land in the manifest as a
+        ``telemetry`` event, and the spec's sink files are written
+        (relative to the campaign directory) when the run finishes.
+        """
+        telemetry = get_telemetry()
+        wants_profile = bool(self.spec.profile or self.spec.profile_trace)
+        owns_telemetry = wants_profile and not telemetry.enabled
+        if owns_telemetry:
+            telemetry.reset()
+            telemetry.enable()
+        try:
+            with telemetry.span(
+                "campaign.run", cat="campaign", campaign=self.spec.name
+            ):
+                result = self._run(telemetry)
+        finally:
+            if wants_profile:
+                telemetry.sample_rss()
+                snapshot = telemetry.snapshot()
+                from repro.obsv.sinks import (
+                    write_chrome_trace,
+                    write_jsonl_profile,
+                )
+
+                if self.spec.profile:
+                    write_jsonl_profile(
+                        snapshot, self.directory / self.spec.profile
+                    )
+                if self.spec.profile_trace:
+                    write_chrome_trace(
+                        snapshot, self.directory / self.spec.profile_trace
+                    )
+            if owns_telemetry:
+                telemetry.disable()
+        return result
+
+    def _run(self, telemetry) -> CampaignResult:
+        """The campaign body (phases timed against ``telemetry``)."""
         started = time.monotonic()
-        trace_tasks, jobs = expand_jobs(self.spec)
+        with telemetry.span("campaign.expand", cat="campaign"):
+            trace_tasks, jobs = expand_jobs(self.spec)
         previous: Dict[str, Dict[str, Any]] = {}
         if self.resume and self.manifest_path.exists():
             previous = RunManifest.completed_jobs(
@@ -287,12 +348,25 @@ class Scheduler:
             phase1 = [
                 t for t in trace_tasks if (t.kernel, t.length) in needed
             ]
-            result.trace_outcomes = self._run_batch(phase1, manifest)
+            with telemetry.span("campaign.trace-stage", cat="campaign"):
+                result.trace_outcomes = self._run_batch(phase1, manifest)
             # Phase 2: the grid.  A failed trace stage degrades the
             # points that need it (they will retry the stage themselves
             # and fail the same way), but never stops the others.
-            result.outcomes.extend(self._run_batch(run_jobs, manifest))
+            with telemetry.span("campaign.grid", cat="campaign"):
+                result.outcomes.extend(self._run_batch(run_jobs, manifest))
             result.wall_seconds = time.monotonic() - started
+            telemetry.add("campaign.points_done", result.n_done)
+            telemetry.add("campaign.points_failed", result.n_failed)
+            telemetry.add("campaign.points_skipped", result.n_skipped)
+            if telemetry.enabled:
+                snapshot = telemetry.snapshot()
+                manifest.record(
+                    EVENT_TELEMETRY,
+                    counters=snapshot["counters"],
+                    gauges=snapshot["gauges"],
+                    spans=len(snapshot["spans"]),
+                )
             manifest.record(
                 EVENT_CAMPAIGN_END,
                 campaign=self.spec.name,
@@ -498,6 +572,10 @@ class Scheduler:
                         owner.busy = None
                         if status == "ok":
                             elapsed_total[seq] += took
+                            if isinstance(payload, dict):
+                                child_tele = payload.pop("telemetry", None)
+                                if child_tele:
+                                    get_telemetry().merge(child_tele)
                             manifest.record(
                                 EVENT_JOB_DONE,
                                 job_id=tasks[seq].job_id,

@@ -175,6 +175,12 @@ class CampaignSpec:
     #: the soundness oracle (``[campaign] verify = true``, or
     #: ``tdst campaign --verify``); an unsound transform fails the job.
     verify: bool = False
+    #: opt-in profiling: JSONL telemetry profile written relative to the
+    #: campaign directory (``[campaign] profile = "profile.jsonl"``).
+    profile: Optional[str] = None
+    #: companion Chrome ``trace_event`` file for chrome://tracing/Perfetto
+    #: (``[campaign] profile_trace = "trace.json"``).
+    profile_trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.grid:
@@ -212,6 +218,16 @@ class CampaignSpec:
             caches=caches,
             attribution=tuple(str(a) for a in attribution),
             verify=bool(campaign.get("verify", False)),
+            profile=(
+                str(campaign["profile"])
+                if campaign.get("profile")
+                else None
+            ),
+            profile_trace=(
+                str(campaign["profile_trace"])
+                if campaign.get("profile_trace")
+                else None
+            ),
         )
 
     @classmethod

@@ -14,7 +14,14 @@ Subcommands mirror the paper's analysis cycle (its Figure 2):
 - ``tdst campaign``  — run a whole experiment grid (every paper figure)
   in parallel with artifact caching, retries and a JSONL run manifest;
 - ``tdst verify``    — differential verification: transform soundness
-  oracle, golden figure corpus, kernel agreement and rule fuzzing.
+  oracle, golden figure corpus, kernel agreement and rule fuzzing;
+- ``tdst obsv``      — read telemetry profiles back (summary table,
+  Chrome ``trace_event`` export).
+
+Every subcommand accepts ``--profile [PATH]`` / ``--profile-trace
+[PATH]`` to record per-phase spans, counters and peak RSS to a JSONL
+profile and/or a chrome://tracing-loadable trace file (see
+``docs/OBSERVABILITY.md``).
 
 Commands that read a trace auto-detect the format by magic bytes, so
 text, gzipped text and compact binary (``TDST``) traces are
@@ -79,6 +86,26 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="seed for --physical random"
+    )
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("profiling")
+    group.add_argument(
+        "--profile",
+        nargs="?",
+        const="profile.jsonl",
+        metavar="PATH",
+        help="record telemetry (phase spans, counters, peak RSS) to a "
+        "JSONL profile (default PATH: profile.jsonl); summary on stderr",
+    )
+    group.add_argument(
+        "--profile-trace",
+        nargs="?",
+        const="profile_trace.json",
+        metavar="PATH",
+        help="also write a Chrome trace_event file loadable in "
+        "chrome://tracing or Perfetto (default PATH: profile_trace.json)",
     )
 
 
@@ -400,6 +427,33 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_obsv(args: argparse.Namespace) -> int:
+    """``tdst obsv``: read a recorded telemetry profile back.
+
+    - ``summarize PROFILE.jsonl`` renders the per-phase/counter table;
+    - ``export-trace PROFILE.jsonl -o OUT.json`` converts a JSONL
+      profile to Chrome ``trace_event`` format after the fact.
+    """
+    from repro.errors import ObservabilityError
+    from repro.obsv import (
+        read_jsonl_profile,
+        render_summary,
+        write_chrome_trace,
+    )
+
+    try:
+        snapshot = read_jsonl_profile(args.profile_file)
+    except (ObservabilityError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    if args.action == "summarize":
+        print(render_summary(snapshot, title=str(args.profile_file)))
+        return 0
+    write_chrome_trace(snapshot, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     trace = Trace.load_any(args.trace)
     result = simulate(trace, _cache_config(args), attribution=args.attribution)
@@ -645,12 +699,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gp", help="write gnuplot script (needs --dat)")
     p.set_defaults(func=_cmd_figure)
 
+    p = sub.add_parser(
+        "obsv", help="read telemetry profiles (summarize, export-trace)"
+    )
+    obsv_sub = p.add_subparsers(dest="action", required=True)
+    q = obsv_sub.add_parser(
+        "summarize", help="render the summary table of a JSONL profile"
+    )
+    q.add_argument("profile_file", help="profile written by --profile")
+    q.set_defaults(func=_cmd_obsv)
+    q = obsv_sub.add_parser(
+        "export-trace",
+        help="convert a JSONL profile to Chrome trace_event format",
+    )
+    q.add_argument("profile_file", help="profile written by --profile")
+    q.add_argument("-o", "--output", default="profile_trace.json")
+    q.set_defaults(func=_cmd_obsv)
+
+    # Every subcommand records a profile on request; aliases (e.g.
+    # ``sim``) share their parser object, hence the set().
+    for sub_parser in set(sub.choices.values()):
+        _add_profile_args(sub_parser)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse and dispatch; with ``--profile`` the run is telemetered.
+
+    Profiling wraps the whole command in a ``tdst.<command>`` root span,
+    samples peak RSS, writes the requested sink files (atomically, even
+    when the command raises) and prints the summary table to stderr so
+    stdout stays parseable.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    profile = getattr(args, "profile", None)
+    profile_trace = getattr(args, "profile_trace", None)
+    if not (profile or profile_trace):
+        return args.func(args)
+
+    from repro.obsv import (
+        get_telemetry,
+        render_summary,
+        write_chrome_trace,
+        write_jsonl_profile,
+    )
+
+    telemetry = get_telemetry()
+    owned = not telemetry.enabled
+    if owned:
+        telemetry.reset()
+        telemetry.enable()
+    try:
+        with telemetry.span(f"tdst.{args.command}", cat="cli"):
+            return args.func(args)
+    finally:
+        telemetry.sample_rss()
+        snapshot = telemetry.snapshot()
+        if owned:
+            telemetry.disable()
+        if profile:
+            write_jsonl_profile(snapshot, profile)
+        if profile_trace:
+            write_chrome_trace(snapshot, profile_trace)
+        print(
+            render_summary(snapshot, title=f"tdst {args.command}"),
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

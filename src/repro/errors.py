@@ -72,3 +72,7 @@ class CampaignError(ReproError):
 
 class VerifyError(ReproError):
     """A verification run cannot proceed (missing golden, no fuzzer...)."""
+
+
+class ObservabilityError(ReproError):
+    """A telemetry profile is malformed or has an unsupported schema."""

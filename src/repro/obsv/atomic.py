@@ -1,0 +1,53 @@
+"""Atomic file writes: no partially-written artifacts, ever.
+
+``tdst`` subcommands used to write traces, profiles and reports straight
+to their target path, so a crash mid-stream left a torn file behind that
+downstream tooling would happily misparse.  :func:`atomic_write` is the
+shared fix: the data goes to a temporary file in the target directory
+and is renamed over the target only after a successful close.  On any
+failure the temporary file is removed and the target is untouched —
+either the complete artifact exists or nothing does.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+
+@contextmanager
+def atomic_write(
+    path: Union[str, Path], mode: str = "w", *, encoding: str = "utf-8"
+) -> Iterator[IO]:
+    """Open a temp file for writing; rename onto ``path`` only on success.
+
+    ``mode`` is ``"w"`` (text, utf-8 by default) or ``"wb"`` (binary).
+    The temporary file lives in the target's directory so the final
+    ``os.replace`` is a same-filesystem atomic rename.  Parent
+    directories are created as needed.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_write supports 'w' or 'wb', got {mode!r}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        handle = os.fdopen(
+            fd, mode, encoding=None if mode == "wb" else encoding
+        )
+        try:
+            yield handle
+        finally:
+            handle.close()
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise
+    os.replace(tmp_name, target)

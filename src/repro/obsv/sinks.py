@@ -1,0 +1,190 @@
+"""Telemetry sinks: JSONL event streams and Chrome ``trace_event`` files.
+
+Two interchangeable on-disk shapes of one snapshot document:
+
+- **JSONL profile** (``*.jsonl``): one JSON object per line.  The first
+  line is a ``meta`` event carrying ``schema_version``; then one
+  ``counter`` event per counter, one ``gauge`` event per gauge, one
+  ``span`` event per span.  Line-oriented so crashed runs stay parseable
+  and ``grep``/``jq`` pipelines work without loading anything.
+- **Chrome trace** (``*.json``): the ``trace_event`` format's JSON
+  object form, loadable in ``chrome://tracing`` and Perfetto.  Spans
+  become complete (``"ph": "X"``) events, counters become ``"C"``
+  events, and each process/track gets a metadata name event.
+
+Both writers go through :func:`repro.obsv.atomic.atomic_write`, so a
+crash mid-write never leaves a partial artifact.  The event schema is
+pinned by golden files in ``tests/obsv/`` — bump
+:data:`~repro.obsv.telemetry.SCHEMA_VERSION` when changing it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+from repro.errors import ObservabilityError
+from repro.obsv.atomic import atomic_write
+from repro.obsv.telemetry import SCHEMA_VERSION
+
+#: ``generator`` field stamped into both sink formats.
+GENERATOR = "tdst-obsv"
+
+
+# -- JSONL profile ------------------------------------------------------------
+
+
+def profile_events(snapshot: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """The JSONL event stream of one snapshot, in canonical order."""
+    yield {
+        "event": "meta",
+        "schema_version": snapshot.get("schema_version", SCHEMA_VERSION),
+        "generator": GENERATOR,
+        "spans": len(snapshot.get("spans", [])),
+    }
+    for name in sorted(snapshot.get("counters", {})):
+        yield {
+            "event": "counter",
+            "name": name,
+            "value": snapshot["counters"][name],
+        }
+    for name in sorted(snapshot.get("gauges", {})):
+        yield {
+            "event": "gauge",
+            "name": name,
+            "value": snapshot["gauges"][name],
+        }
+    for span in snapshot.get("spans", ()):
+        yield {"event": "span", **span}
+
+
+def write_jsonl_profile(
+    snapshot: Dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write a snapshot as a JSONL profile (atomically); returns the path."""
+    target = Path(path)
+    with atomic_write(target) as handle:
+        for event in profile_events(snapshot):
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+    return target
+
+
+def read_jsonl_profile(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a JSONL profile back into a snapshot document.
+
+    Unknown event kinds are skipped (forward compatibility); a torn
+    final line (crashed writer of a pre-atomic profile) is dropped.
+    Raises :class:`~repro.errors.ObservabilityError` when the file has
+    no ``meta`` event or a schema version newer than this reader.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, int] = {}
+    spans: List[Dict[str, Any]] = []
+    version = None
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        kind = event.get("event")
+        if kind == "meta":
+            version = event.get("schema_version")
+        elif kind == "counter":
+            counters[event["name"]] = event["value"]
+        elif kind == "gauge":
+            gauges[event["name"]] = event["value"]
+        elif kind == "span":
+            spans.append(
+                {k: v for k, v in event.items() if k != "event"}
+            )
+    if version is None:
+        raise ObservabilityError(
+            f"{path}: not a telemetry profile (no meta event)"
+        )
+    if version > SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"{path}: profile schema_version {version} is newer than "
+            f"this reader ({SCHEMA_VERSION})"
+        )
+    return {
+        "schema_version": version,
+        "counters": counters,
+        "gauges": gauges,
+        "spans": spans,
+    }
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+
+def chrome_trace_document(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``trace_event`` JSON document of one snapshot.
+
+    Spans map to complete events on their recorded ``pid``/``tid``
+    tracks; counters map to one ``"C"`` event at the end of the
+    timeline; every process gets a ``process_name`` metadata event so
+    Perfetto labels the tracks.
+    """
+    spans = snapshot.get("spans", [])
+    end_ts = max((s["start_us"] + s["dur_us"] for s in spans), default=0)
+    events: List[Dict[str, Any]] = []
+    for pid in sorted({s.get("pid", 0) for s in spans}):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": GENERATOR},
+            }
+        )
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": span["name"],
+                "cat": span.get("cat", "phase"),
+                "pid": span.get("pid", 0),
+                "tid": span.get("tid", 0),
+                "ts": span["start_us"],
+                "dur": span["dur_us"],
+                "args": dict(span.get("args", {}), id=span["id"]),
+            }
+        )
+    for name in sorted(snapshot.get("counters", {})):
+        events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "pid": 0,
+                "tid": 0,
+                "ts": end_ts,
+                "args": {"value": snapshot["counters"][name]},
+            }
+        )
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": GENERATOR,
+            "schema_version": snapshot.get("schema_version", SCHEMA_VERSION),
+            "counters": dict(snapshot.get("counters", {})),
+            "gauges": dict(snapshot.get("gauges", {})),
+        },
+        "traceEvents": events,
+    }
+
+
+def write_chrome_trace(
+    snapshot: Dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write a snapshot as a Chrome trace file (atomically); returns the path."""
+    target = Path(path)
+    with atomic_write(target) as handle:
+        json.dump(chrome_trace_document(snapshot), handle, sort_keys=True)
+        handle.write("\n")
+    return target

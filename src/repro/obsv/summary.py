@@ -1,0 +1,123 @@
+"""End-of-run summary: where the time, records and memory went.
+
+Renders one snapshot as a plain-text table — per-phase wall time with
+self-time and share-of-wall columns, then counters, then gauges.  This
+is what ``tdst --profile`` prints at exit and what ``tdst obsv
+summarize`` renders from a saved JSONL profile.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.obsv.telemetry import span_forest
+
+
+def wall_us(snapshot: Dict[str, Any]) -> int:
+    """Extent of the snapshot's timeline in microseconds (0 when empty)."""
+    spans = snapshot.get("spans", [])
+    if not spans:
+        return 0
+    start = min(s["start_us"] for s in spans)
+    end = max(s["start_us"] + s["dur_us"] for s in spans)
+    return end - start
+
+
+def _interval_union(intervals: List[Tuple[int, int]]) -> int:
+    """Total length covered by a set of ``(start, end)`` intervals."""
+    covered = 0
+    last_end = None
+    for start, end in sorted(intervals):
+        if last_end is None or start > last_end:
+            covered += end - start
+            last_end = end
+        elif end > last_end:
+            covered += end - last_end
+            last_end = end
+    return covered
+
+
+def phase_coverage(snapshot: Dict[str, Any]) -> float:
+    """Fraction of root-span time covered by the roots' direct children.
+
+    This is the acceptance metric for instrumentation completeness: if
+    the phases under ``tdst <command>`` cover >= 95% of its wall time,
+    no significant work is running untimed.  Returns 0.0 when the
+    snapshot has no root with children.
+    """
+    roots_total = 0
+    covered = 0
+    for roots in span_forest(snapshot.get("spans", [])).values():
+        for root in roots:
+            if not root["children"]:
+                continue
+            roots_total += root["dur_us"]
+            covered += _interval_union(
+                [
+                    (c["start_us"], c["start_us"] + c["dur_us"])
+                    for c in root["children"]
+                ]
+            )
+    if roots_total == 0:
+        return 0.0
+    return min(covered / roots_total, 1.0)
+
+
+def _aggregate_phases(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-span-name aggregates: count, total time, self time."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for roots in span_forest(snapshot.get("spans", [])).values():
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            row = totals.setdefault(
+                node["name"], {"count": 0, "total_us": 0, "self_us": 0}
+            )
+            row["count"] += 1
+            row["total_us"] += node["dur_us"]
+            row["self_us"] += max(
+                node["dur_us"] - sum(c["dur_us"] for c in node["children"]), 0
+            )
+            stack.extend(node["children"])
+    return [
+        {"name": name, **row}
+        for name, row in sorted(
+            totals.items(), key=lambda item: -item[1]["total_us"]
+        )
+    ]
+
+
+def render_summary(snapshot: Dict[str, Any], *, title: str = "profile") -> str:
+    """The plain-text summary table of one snapshot."""
+    spans = snapshot.get("spans", [])
+    wall = wall_us(snapshot)
+    pids = {s.get("pid", 0) for s in spans}
+    lines = [
+        f"{title} summary: wall {wall / 1e6:.3f}s, {len(spans)} spans, "
+        f"{len(pids)} process(es), phase coverage "
+        f"{phase_coverage(snapshot):.1%}"
+    ]
+    phases = _aggregate_phases(snapshot)
+    if phases:
+        lines.append(
+            f"  {'phase':<32s} {'count':>6s} {'total':>10s} "
+            f"{'self':>10s} {'%wall':>6s}"
+        )
+        for row in phases:
+            share = row["total_us"] / wall if wall else 0.0
+            lines.append(
+                f"  {row['name']:<32s} {row['count']:>6d} "
+                f"{row['total_us'] / 1e6:>9.3f}s {row['self_us'] / 1e6:>9.3f}s "
+                f"{share:>6.1%}"
+            )
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("  counters:")
+        for name in sorted(counters):
+            lines.append(f"    {name:<40s} {counters[name]:>12d}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("  gauges:")
+        for name in sorted(gauges):
+            lines.append(f"    {name:<40s} {gauges[name]:>12d}")
+    return "\n".join(lines)

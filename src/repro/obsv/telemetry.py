@@ -1,0 +1,352 @@
+"""The telemetry registry: spans, counters, gauges, snapshots, merging.
+
+Design constraints (see ``docs/OBSERVABILITY.md``):
+
+- **True no-op when disabled.**  Every hook in a hot path reduces to one
+  attribute test (``tele.enabled``); a disabled registry allocates
+  nothing, takes no locks and returns a shared null span.  The overhead
+  guard in ``tests/obsv/test_overhead.py`` pins this property.
+- **Process-composable.**  A snapshot is a plain JSON document; snapshots
+  from campaign worker processes merge into the parent registry with
+  counter addition, gauge maximum and span concatenation.  Span identity
+  is ``(pid, id)``, so merged span trees re-nest per process without
+  coordination between workers.  :func:`merge_snapshots` is associative
+  and commutative and never loses counts (property-tested).
+- **Deterministic when told to be.**  The clock, pid source and thread id
+  are injectable, which is what makes the schema snapshot tests possible.
+
+Spans carry microsecond timestamps relative to the registry *epoch*
+(taken at construction).  Forked workers inherit the parent's epoch, so
+all processes share one timeline and the Chrome trace renders workers as
+parallel process tracks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Version stamped into every snapshot, JSONL profile and Chrome trace.
+#: Bump when the event schema changes shape (see docs/OBSERVABILITY.md).
+SCHEMA_VERSION = 1
+
+#: Gauge name used by :meth:`Telemetry.sample_rss`.
+RSS_GAUGE = "rss.peak_kb"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        """No-op enter."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        """No-op exit; never swallows exceptions."""
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; finalised into the registry on ``__exit__``.
+
+    Usable only as a context manager — entering assigns the id and the
+    parent from the registry's per-thread span stack, exiting appends
+    the finished span record.
+    """
+
+    __slots__ = ("_telemetry", "name", "cat", "args", "id", "parent", "_start")
+
+    def __init__(
+        self, telemetry: "Telemetry", name: str, cat: str, args: Dict[str, Any]
+    ) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        """Open the span: assign an id, push onto the nesting stack."""
+        tele = self._telemetry
+        with tele._lock:
+            tele._last_id += 1
+            self.id = tele._last_id
+        stack = tele._span_stack()
+        self.parent = stack[-1] if stack else None
+        stack.append(self.id)
+        self._start = tele._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        """Close the span and record it (exceptions propagate)."""
+        tele = self._telemetry
+        end = tele._clock()
+        stack = tele._span_stack()
+        if stack and stack[-1] == self.id:
+            stack.pop()
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "pid": tele._pid_fn(),
+            "tid": tele.tid,
+            "id": self.id,
+            "parent": self.parent,
+            "start_us": int(round((self._start - tele._epoch) * 1e6)),
+            "dur_us": max(int(round((end - self._start) * 1e6)), 0),
+        }
+        if self.args:
+            record["args"] = dict(self.args)
+        with tele._lock:
+            tele._spans.append(record)
+        return False
+
+
+class Telemetry:
+    """Process-wide instrumentation registry.
+
+    Parameters
+    ----------
+    enabled:
+        Start collecting immediately.  Disabled registries are true
+        no-ops: spans are the shared null span, counter/gauge updates
+        return before touching any state.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    pid_fn:
+        Process-id source, called at span-finalise time so forked
+        children stamp their own pid.
+    tid:
+        Thread/track id stamped on spans (campaign workers set their
+        worker index here for readable Chrome traces).
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+        pid_fn: Callable[[], int] = os.getpid,
+        tid: int = 0,
+    ) -> None:
+        self.enabled = enabled
+        self.tid = tid
+        self._clock = clock
+        self._pid_fn = pid_fn
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch = clock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, int] = {}
+        self._spans: List[Dict[str, Any]] = []
+        self._last_id = 0
+
+    # -- state management -----------------------------------------------------
+
+    def __bool__(self) -> bool:
+        """Truthy iff collecting."""
+        return self.enabled
+
+    def enable(self) -> None:
+        """Start collecting."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop collecting (already-collected data stays until reset)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected data and the span nesting stack.
+
+        The epoch is *kept* so spans recorded after a reset stay on the
+        same timeline — campaign workers reset between jobs and their
+        spans must still align with the parent's trace.
+        """
+        with self._lock:
+            self._counters = {}
+            self._gauges = {}
+            self._spans = []
+        self._local = threading.local()
+
+    def _span_stack(self) -> List[int]:
+        """The current thread's stack of open span ids."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, *, cat: str = "phase", **args: Any):
+        """A context manager timing one phase (null object when disabled).
+
+        ``args`` become the span's attributes (e.g. ``job=job_id``) and
+        surface in both sinks.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def phase(self, name: str, **args: Any):
+        """Alias of :meth:`span` with the default ``phase`` category."""
+        return self.span(name, **args)
+
+    def add(self, counter: str, value: int = 1) -> None:
+        """Increment a monotonic counter (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + value
+
+    def gauge_max(self, gauge: str, value: int) -> None:
+        """Raise a high-watermark gauge to ``value`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if value > self._gauges.get(gauge, value - 1):
+                self._gauges[gauge] = value
+
+    def sample_rss(self) -> None:
+        """Record this process's peak RSS under the ``rss.peak_kb`` gauge.
+
+        Uses ``resource.getrusage`` (kilobytes on Linux); silently does
+        nothing where the module is unavailable.
+        """
+        if not self.enabled:
+            return
+        try:
+            import resource
+
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        except Exception:  # pragma: no cover - non-POSIX
+            return
+        self.gauge_max(RSS_GAUGE, int(peak))
+
+    # -- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The collected data as a plain JSON document (see module doc)."""
+        with self._lock:
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "spans": [dict(s) for s in self._spans],
+            }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                if value > self._gauges.get(name, value - 1):
+                    self._gauges[name] = value
+            self._spans.extend(dict(s) for s in snapshot.get("spans", []))
+
+    def counters(self) -> Dict[str, int]:
+        """Current counter values (a copy)."""
+        with self._lock:
+            return dict(self._counters)
+
+
+# -- snapshot algebra ---------------------------------------------------------
+
+
+def _span_order_key(span: Dict[str, Any]) -> Tuple:
+    """Total order over span records (makes merging commutative)."""
+    args = span.get("args") or {}
+    return (
+        span.get("start_us", 0),
+        span.get("pid", 0),
+        span.get("tid", 0),
+        span.get("id", 0),
+        span.get("name", ""),
+        span.get("cat", ""),
+        span.get("dur_us", 0),
+        span.get("parent") is not None,
+        span.get("parent") or 0,
+        tuple(sorted((str(k), str(v)) for k, v in args.items())),
+    )
+
+
+def merge_snapshots(*snapshots: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge snapshot documents: counters add, gauges max, spans union.
+
+    Associative and commutative, and never loses counts: every counter
+    of the result equals the sum over inputs, every gauge the maximum,
+    and the span list is the canonically-ordered concatenation.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, int] = {}
+    spans: List[Dict[str, Any]] = []
+    version = SCHEMA_VERSION
+    for snap in snapshots:
+        version = max(version, snap.get("schema_version", SCHEMA_VERSION))
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            if name not in gauges or value > gauges[name]:
+                gauges[name] = value
+        spans.extend(dict(s) for s in snap.get("spans", []))
+    spans.sort(key=_span_order_key)
+    return {
+        "schema_version": version,
+        "counters": counters,
+        "gauges": gauges,
+        "spans": spans,
+    }
+
+
+def span_forest(
+    spans: Iterable[Dict[str, Any]]
+) -> Dict[Tuple[int, int], List[Dict[str, Any]]]:
+    """Re-nest flat span records into per-``(pid, tid)`` trees.
+
+    Returns ``{(pid, tid): [root, ...]}`` where each node is the span
+    record plus a ``children`` list.  A span whose parent id is absent
+    from its own process group becomes a root (this happens only for
+    data recorded outside the registry's discipline, e.g. truncated
+    profiles).
+    """
+    groups: Dict[Tuple[int, int], List[Dict[str, Any]]] = {}
+    for span in spans:
+        key = (span.get("pid", 0), span.get("tid", 0))
+        groups.setdefault(key, []).append(dict(span, children=[]))
+    forest: Dict[Tuple[int, int], List[Dict[str, Any]]] = {}
+    for key, nodes in groups.items():
+        by_id = {node["id"]: node for node in nodes}
+        roots: List[Dict[str, Any]] = []
+        for node in nodes:
+            parent = node.get("parent")
+            if parent is not None and parent in by_id and parent != node["id"]:
+                by_id[parent]["children"].append(node)
+            else:
+                roots.append(node)
+        forest[key] = roots
+    return forest
+
+
+# -- the process-wide registry ------------------------------------------------
+
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide registry every instrumentation hook consults."""
+    return _GLOBAL
+
+
+def phase(name: str, **args: Any):
+    """Time a phase against the process-wide registry (see :meth:`Telemetry.span`)."""
+    return _GLOBAL.span(name, **args)
+
+
+def counters() -> Dict[str, int]:
+    """Current process-wide counter values (a copy)."""
+    return _GLOBAL.counters()

@@ -81,7 +81,9 @@ def save_binary(records: Iterable[TraceRecord], path: Union[str, Path]) -> Path:
     var_blob = zlib.compress("\n".join(variables).encode("utf-8"))
     body_blob = zlib.compress(bytes(body))
     target = Path(path)
-    with open(target, "wb") as handle:
+    from repro.obsv.atomic import atomic_write
+
+    with atomic_write(target, "wb") as handle:
         handle.write(_MAGIC)
         handle.write(bytes([_VERSION]))
         for blob in (func_blob, var_blob, body_blob):

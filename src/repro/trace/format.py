@@ -145,10 +145,25 @@ def write_trace(
     *,
     pid: int = DEFAULT_PID,
 ) -> None:
-    """Write records to a path (``.gz`` compresses) or open text file."""
+    """Write records to a path (``.gz`` compresses) or open text file.
+
+    Path destinations are written atomically (temp file + rename), so a
+    crash mid-write never leaves a torn trace behind.
+    """
     if isinstance(destination, (str, Path)):
-        with _open_text(destination, "w") as handle:
-            _write(records, handle, pid)
+        from repro.obsv.atomic import atomic_write
+
+        with atomic_write(destination, "wb") as raw:
+            if str(destination).endswith(".gz"):
+                import gzip
+
+                with gzip.open(raw, "wt", encoding="utf-8") as handle:
+                    _write(records, handle, pid)
+            else:
+                handle = io.TextIOWrapper(raw, encoding="utf-8")
+                _write(records, handle, pid)
+                handle.flush()
+                handle.detach()
     else:
         _write(records, destination, pid)
 

@@ -29,6 +29,7 @@ from repro.ctypes_model.types import (
 )
 from repro.memory.address_space import AddressSpace
 from repro.memory.symbols import Segment, Symbol
+from repro.obsv.telemetry import get_telemetry
 from repro.trace.record import AccessType, TraceRecord
 from repro.trace.stream import Trace
 from repro.tracer.expr import (
@@ -647,4 +648,8 @@ def trace_program(
         trace_on=trace_on,
         emit_instruction_fetches=emit_instruction_fetches,
     )
-    return interp.run()
+    tele = get_telemetry()
+    with tele.span("trace.program", cat="trace", main=program.main.name):
+        trace = interp.run()
+    tele.add("trace.records", len(trace))
+    return trace

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import TransformError
 from repro.ctypes_model.path import VariablePath
+from repro.obsv.telemetry import get_telemetry
 from repro.trace.record import TraceRecord
 from repro.trace.stream import Trace
 from repro.transform.rules import (
@@ -272,6 +273,19 @@ class TransformEngine:
 
     def transform(self, records: Iterable[TraceRecord]) -> TransformResult:
         """Transform a full trace, keeping the original for diffing."""
+        tele = get_telemetry()
+        if not tele.enabled:
+            return self._transform(records)
+        inserted_before = self.report.inserted
+        with tele.span("transform.apply", cat="transform"):
+            result = self._transform(records)
+        tele.add("transform.records_in", len(result.original))
+        tele.add("transform.records_out", len(result.trace))
+        tele.add("transform.injected", self.report.inserted - inserted_before)
+        return result
+
+    def _transform(self, records: Iterable[TraceRecord]) -> TransformResult:
+        """Uninstrumented :meth:`transform` body (the overhead baseline)."""
         original = records if isinstance(records, Trace) else Trace(records)
         out = Trace()
         for record in original:

@@ -186,12 +186,12 @@ def load_golden(
 def save_golden(
     case: GoldenCase, payload: Dict[str, Any], golden_dir: Optional[Path] = None
 ) -> Path:
-    """Write (regenerate) one golden document."""
+    """Write (regenerate) one golden document atomically."""
+    from repro.obsv.atomic import atomic_write
+
     path = golden_path(case, golden_dir)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    with atomic_write(path) as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

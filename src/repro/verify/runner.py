@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional
 
+from repro.obsv.telemetry import get_telemetry
 from repro.verify.agreement import AgreementReport, check_kernel_agreement
 from repro.verify.golden import (
     GoldenCase,
@@ -122,22 +123,27 @@ def verify_case(
     golden_dir: Optional[Path] = None,
 ) -> CaseOutcome:
     """Run one golden case through all three check families."""
-    payload, result, trace, rules = run_case(case)
-    outcome = CaseOutcome(name=case.name, soundness=check_result(result, rules))
-    if update_golden:
-        save_golden(case, payload, golden_dir)
-        outcome.updated = True
-    else:
-        expected = load_golden(case, golden_dir)
-        if expected is None:
-            outcome.golden_missing = True
-        else:
-            outcome.golden_diffs = compare_payloads(expected, payload)
-    for _, config in case.caches:
-        outcome.agreements.append(check_kernel_agreement(trace, config))
-        outcome.agreements.append(
-            check_kernel_agreement(result.trace, config)
+    tele = get_telemetry()
+    with tele.span("verify.case", cat="verify", case=case.name):
+        payload, result, trace, rules = run_case(case)
+        outcome = CaseOutcome(
+            name=case.name, soundness=check_result(result, rules)
         )
+        if update_golden:
+            save_golden(case, payload, golden_dir)
+            outcome.updated = True
+        else:
+            expected = load_golden(case, golden_dir)
+            if expected is None:
+                outcome.golden_missing = True
+            else:
+                outcome.golden_diffs = compare_payloads(expected, payload)
+        for _, config in case.caches:
+            outcome.agreements.append(check_kernel_agreement(trace, config))
+            outcome.agreements.append(
+                check_kernel_agreement(result.trace, config)
+            )
+    tele.add("verify.cases")
     return outcome
 
 
@@ -155,10 +161,11 @@ def verify_paper(
     if update_golden is None:
         update_golden = update_requested()
     outcome = VerifyOutcome()
-    for case in paper_cases():
-        outcome.cases.append(
-            verify_case(
-                case, update_golden=update_golden, golden_dir=golden_dir
+    with get_telemetry().span("verify.paper", cat="verify"):
+        for case in paper_cases():
+            outcome.cases.append(
+                verify_case(
+                    case, update_golden=update_golden, golden_dir=golden_dir
+                )
             )
-        )
     return outcome

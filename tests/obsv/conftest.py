@@ -1,0 +1,75 @@
+"""Shared fixtures for the observability suite.
+
+Determinism comes from injecting the clock, pid source and thread id
+into :class:`~repro.obsv.telemetry.Telemetry` — wall-clock, process ids
+and RSS never leak into snapshot assertions or golden files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obsv.telemetry import Telemetry, get_telemetry
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        """Advance time by ``seconds``."""
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def tele(clock: FakeClock) -> Telemetry:
+    """An enabled deterministic registry: epoch 0, pid 1000, tid 0."""
+    return Telemetry(enabled=True, clock=clock, pid_fn=lambda: 1000)
+
+
+@pytest.fixture
+def global_telemetry():
+    """Enable the process-wide registry for one test; restore after."""
+    registry = get_telemetry()
+    registry.reset()
+    registry.enable()
+    yield registry
+    registry.disable()
+    registry.reset()
+
+
+def build_sample_snapshot() -> dict:
+    """A small, fully deterministic snapshot used by sink/summary tests.
+
+    One CLI root span with two phases (a gap of 2 ms is left uncovered),
+    two counters and one gauge — enough to exercise every event kind in
+    both sink formats.
+    """
+    fake = FakeClock()
+    registry = Telemetry(enabled=True, clock=fake, pid_fn=lambda: 1000)
+    with registry.span("tdst.simulate", cat="cli"):
+        fake.tick(0.001)
+        with registry.span("trace.program", cat="trace", main="main"):
+            fake.tick(0.010)
+        with registry.span("simulate.reference", cat="simulate"):
+            fake.tick(0.020)
+        fake.tick(0.002)
+    registry.add("trace.records", 516)
+    registry.add("simulate.cache_lookups", 1032)
+    registry.gauge_max("rss.peak_kb", 32768)
+    return registry.snapshot()
+
+
+@pytest.fixture
+def sample_snapshot() -> dict:
+    return build_sample_snapshot()

@@ -1,0 +1,128 @@
+"""Property tests for the snapshot merge algebra.
+
+Campaign correctness rests on these: per-worker snapshots arrive at the
+parent in nondeterministic order and possibly batched differently from
+run to run, so ``merge_snapshots`` must be associative and commutative,
+must never lose a count, and merged span lists must still re-nest into
+per-process trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obsv.telemetry import Telemetry, merge_snapshots, span_forest
+
+pytestmark = [pytest.mark.obsv, pytest.mark.fuzz]
+
+_names = st.sampled_from(["records", "hits", "misses", "jobs", "rss"])
+
+_spans = st.lists(
+    st.fixed_dictionaries(
+        {
+            "name": st.sampled_from(["a", "b", "c"]),
+            "cat": st.just("phase"),
+            "pid": st.integers(1, 4),
+            "tid": st.integers(0, 2),
+            "id": st.integers(1, 50),
+            "parent": st.none() | st.integers(1, 50),
+            "start_us": st.integers(0, 10**7),
+            "dur_us": st.integers(0, 10**6),
+        }
+    ),
+    max_size=6,
+)
+
+_snapshots = st.fixed_dictionaries(
+    {
+        "schema_version": st.just(1),
+        "counters": st.dictionaries(_names, st.integers(0, 10**9), max_size=4),
+        "gauges": st.dictionaries(_names, st.integers(0, 10**9), max_size=4),
+        "spans": _spans,
+    }
+)
+
+
+@settings(max_examples=200)
+@given(a=_snapshots, b=_snapshots)
+def test_merge_is_commutative(a, b):
+    assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+
+@settings(max_examples=200)
+@given(a=_snapshots, b=_snapshots, c=_snapshots)
+def test_merge_is_associative(a, b, c):
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert left == right == merge_snapshots(a, b, c)
+
+
+@settings(max_examples=200)
+@given(snaps=st.lists(_snapshots, max_size=5))
+def test_merge_never_loses_counts(snaps):
+    merged = merge_snapshots(*snaps)
+    every_counter = {n for s in snaps for n in s["counters"]}
+    for name in every_counter:
+        assert merged["counters"][name] == sum(
+            s["counters"].get(name, 0) for s in snaps
+        )
+    every_gauge = {n for s in snaps for n in s["gauges"]}
+    for name in every_gauge:
+        assert merged["gauges"][name] == max(
+            s["gauges"][name] for s in snaps if name in s["gauges"]
+        )
+    assert len(merged["spans"]) == sum(len(s["spans"]) for s in snaps)
+
+
+@settings(max_examples=200)
+@given(a=_snapshots, b=_snapshots)
+def test_registry_merge_matches_pure_merge(a, b):
+    registry = Telemetry(enabled=True)
+    registry.merge(a)
+    registry.merge(b)
+    snap = registry.snapshot()
+    merged = merge_snapshots(a, b)
+    assert snap["counters"] == merged["counters"]
+    assert snap["gauges"] == merged["gauges"]
+    # The registry keeps arrival order; the pure merge canonicalises.
+    assert sorted(map(str, snap["spans"])) == sorted(map(str, merged["spans"]))
+
+
+@settings(max_examples=100)
+@given(
+    pids=st.lists(st.integers(1, 5), min_size=1, max_size=4, unique=True),
+    children=st.integers(0, 4),
+)
+def test_span_trees_renest_after_merge(pids, children):
+    """Worker span trees survive interleaving: each process's root keeps
+    exactly its own children after snapshots are merged out of order."""
+
+    class _Clock:
+        now = 0.0
+
+        def __call__(self):
+            _Clock.now += 0.001
+            return _Clock.now
+
+    snaps = []
+    for pid in pids:
+        worker = Telemetry(enabled=True, clock=_Clock(), pid_fn=lambda p=pid: p)
+        with worker.span(f"root-{pid}"):
+            for i in range(children):
+                with worker.span(f"child-{pid}-{i}"):
+                    pass
+        snaps.append(worker.snapshot())
+    merged = merge_snapshots(*reversed(snaps))
+    forest = span_forest(merged["spans"])
+    assert set(forest) == {(pid, 0) for pid in pids}
+    for pid in pids:
+        (root,) = forest[(pid, 0)]
+        assert root["name"] == f"root-{pid}"
+        assert sorted(c["name"] for c in root["children"]) == sorted(
+            f"child-{pid}-{i}" for i in range(children)
+        )

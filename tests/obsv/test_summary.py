@@ -1,0 +1,127 @@
+"""Tests for the end-of-run summary renderer and coverage metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obsv.summary import (
+    _interval_union,
+    phase_coverage,
+    render_summary,
+    wall_us,
+)
+
+pytestmark = pytest.mark.obsv
+
+
+def _span(name, start, dur, *, id, parent=None, pid=1, tid=0):
+    return {
+        "name": name,
+        "cat": "phase",
+        "pid": pid,
+        "tid": tid,
+        "id": id,
+        "parent": parent,
+        "start_us": start,
+        "dur_us": dur,
+    }
+
+
+def _snap(spans, counters=None, gauges=None):
+    return {
+        "schema_version": 1,
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "spans": spans,
+    }
+
+
+class TestWall:
+    def test_extent_of_the_timeline(self):
+        snap = _snap([_span("a", 100, 50, id=1), _span("b", 400, 100, id=2)])
+        assert wall_us(snap) == 400  # 100 .. 500
+
+    def test_empty_snapshot(self):
+        assert wall_us(_snap([])) == 0
+
+
+class TestIntervalUnion:
+    def test_overlaps_counted_once(self):
+        assert _interval_union([(0, 10), (5, 15)]) == 15
+
+    def test_disjoint_sum(self):
+        assert _interval_union([(0, 5), (10, 15)]) == 10
+
+    def test_contained_interval(self):
+        assert _interval_union([(0, 100), (20, 30)]) == 100
+
+
+class TestPhaseCoverage:
+    def test_fully_covered_root(self):
+        snap = _snap(
+            [
+                _span("root", 0, 100, id=1),
+                _span("a", 0, 60, id=2, parent=1),
+                _span("b", 60, 40, id=3, parent=1),
+            ]
+        )
+        assert phase_coverage(snap) == 1.0
+
+    def test_gap_reduces_coverage(self):
+        snap = _snap(
+            [
+                _span("root", 0, 100, id=1),
+                _span("a", 0, 50, id=2, parent=1),
+            ]
+        )
+        assert phase_coverage(snap) == pytest.approx(0.5)
+
+    def test_overlapping_children_do_not_double_count(self):
+        snap = _snap(
+            [
+                _span("root", 0, 100, id=1),
+                _span("a", 0, 80, id=2, parent=1),
+                _span("b", 40, 40, id=3, parent=1),
+            ]
+        )
+        assert phase_coverage(snap) == pytest.approx(0.8)
+
+    def test_no_roots_with_children(self):
+        assert phase_coverage(_snap([_span("solo", 0, 10, id=1)])) == 0.0
+        assert phase_coverage(_snap([])) == 0.0
+
+    def test_capped_at_one(self):
+        # A child wider than its root (clock skew) cannot exceed 100%.
+        snap = _snap(
+            [
+                _span("root", 0, 10, id=1),
+                _span("wide", 0, 50, id=2, parent=1),
+            ]
+        )
+        assert phase_coverage(snap) == 1.0
+
+
+class TestRenderSummary:
+    def test_contains_the_load_bearing_facts(self, sample_snapshot):
+        text = render_summary(sample_snapshot, title="tdst simulate")
+        assert "tdst simulate summary" in text
+        assert "phase coverage" in text
+        for name in ("tdst.simulate", "trace.program", "simulate.reference"):
+            assert name in text
+        assert "trace.records" in text
+        assert "516" in text
+        assert "rss.peak_kb" in text
+
+    def test_empty_snapshot_renders(self):
+        text = render_summary(_snap([]))
+        assert "0 spans" in text
+
+    def test_share_of_wall_is_ordered_by_total(self):
+        snap = _snap(
+            [
+                _span("small", 0, 10, id=1),
+                _span("big", 20, 90, id=2),
+            ]
+        )
+        text = render_summary(snap)
+        assert text.index("big") < text.index("small")

@@ -1,0 +1,227 @@
+"""Unit tests for the telemetry registry core."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obsv.telemetry import (
+    RSS_GAUGE,
+    SCHEMA_VERSION,
+    _NULL_SPAN,
+    Telemetry,
+    counters,
+    get_telemetry,
+    phase,
+    span_forest,
+)
+
+pytestmark = pytest.mark.obsv
+
+
+class TestDisabledIsNoOp:
+    def test_span_returns_the_shared_null_object(self):
+        registry = Telemetry()
+        assert registry.span("x") is _NULL_SPAN
+        assert registry.span("y", cat="z", a=1) is _NULL_SPAN
+        assert registry.phase("p") is _NULL_SPAN
+
+    def test_null_span_never_swallows_exceptions(self):
+        registry = Telemetry()
+        with pytest.raises(ValueError):
+            with registry.span("x"):
+                raise ValueError("boom")
+
+    def test_counters_gauges_rss_ignored(self):
+        registry = Telemetry()
+        registry.add("c", 5)
+        registry.gauge_max("g", 10)
+        registry.sample_rss()
+        snap = registry.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["spans"] == []
+
+    def test_truthiness_tracks_enabled(self):
+        assert not Telemetry()
+        assert Telemetry(enabled=True)
+        registry = Telemetry()
+        registry.enable()
+        assert registry
+        registry.disable()
+        assert not registry
+
+
+class TestSpans:
+    def test_nesting_assigns_parent_ids(self, tele, clock):
+        with tele.span("outer") as outer:
+            clock.tick(0.001)
+            with tele.span("inner") as inner:
+                clock.tick(0.002)
+        spans = {s["name"]: s for s in tele.snapshot()["spans"]}
+        assert spans["outer"]["parent"] is None
+        assert spans["inner"]["parent"] == outer.id
+        assert inner.id != outer.id
+
+    def test_siblings_share_a_parent(self, tele, clock):
+        with tele.span("root"):
+            with tele.span("a"):
+                clock.tick(0.001)
+            with tele.span("b"):
+                clock.tick(0.001)
+        spans = {s["name"]: s for s in tele.snapshot()["spans"]}
+        assert spans["a"]["parent"] == spans["b"]["parent"] == spans["root"]["id"]
+
+    def test_timing_in_microseconds_from_epoch(self, tele, clock):
+        clock.tick(0.5)
+        with tele.span("work"):
+            clock.tick(0.25)
+        (span,) = tele.snapshot()["spans"]
+        assert span["start_us"] == 500_000
+        assert span["dur_us"] == 250_000
+
+    def test_args_and_identity_fields(self, tele, clock):
+        with tele.span("job", cat="campaign", job="1a/t1"):
+            clock.tick(0.001)
+        (span,) = tele.snapshot()["spans"]
+        assert span["args"] == {"job": "1a/t1"}
+        assert span["cat"] == "campaign"
+        assert span["pid"] == 1000
+        assert span["tid"] == 0
+
+    def test_exception_still_records_the_span(self, tele, clock):
+        with pytest.raises(RuntimeError):
+            with tele.span("doomed"):
+                clock.tick(0.003)
+                raise RuntimeError("boom")
+        (span,) = tele.snapshot()["spans"]
+        assert span["name"] == "doomed"
+        assert span["dur_us"] == 3000
+
+    def test_spans_from_two_threads_do_not_nest(self, tele):
+        done = threading.Event()
+
+        def worker():
+            with tele.span("thread-span"):
+                pass
+            done.set()
+
+        with tele.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        spans = {s["name"]: s for s in tele.snapshot()["spans"]}
+        # The other thread has its own stack: no cross-thread parenting.
+        assert spans["thread-span"]["parent"] is None
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self, tele):
+        tele.add("records")
+        tele.add("records", 9)
+        assert tele.counters() == {"records": 10}
+
+    def test_counters_returns_a_copy(self, tele):
+        tele.add("c")
+        tele.counters()["c"] = 99
+        assert tele.counters() == {"c": 1}
+
+    def test_gauge_keeps_the_high_watermark(self, tele):
+        tele.gauge_max("rss", 100)
+        tele.gauge_max("rss", 50)
+        tele.gauge_max("rss", 120)
+        assert tele.snapshot()["gauges"] == {"rss": 120}
+
+    def test_sample_rss_records_positive_peak(self, tele):
+        tele.sample_rss()
+        assert tele.snapshot()["gauges"][RSS_GAUGE] > 0
+
+
+class TestResetAndSnapshot:
+    def test_reset_drops_data_but_keeps_the_epoch(self, tele, clock):
+        with tele.span("before"):
+            clock.tick(0.001)
+        tele.add("c", 3)
+        clock.tick(4.0)
+        tele.reset()
+        assert tele.snapshot()["spans"] == []
+        assert tele.snapshot()["counters"] == {}
+        with tele.span("after"):
+            clock.tick(0.001)
+        (span,) = tele.snapshot()["spans"]
+        # Timeline continuity: the post-reset span starts at ~4s, not 0.
+        assert span["start_us"] == 4_001_000
+
+    def test_snapshot_is_json_serialisable(self, tele, clock):
+        with tele.span("s", cat="c", k="v"):
+            clock.tick(0.001)
+        tele.add("n", 2)
+        tele.gauge_max("g", 7)
+        snap = tele.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["schema_version"] == SCHEMA_VERSION
+
+    def test_snapshot_is_isolated_from_later_mutation(self, tele, clock):
+        with tele.span("one"):
+            clock.tick(0.001)
+        snap = tele.snapshot()
+        tele.add("later")
+        assert snap["counters"] == {}
+
+    def test_merge_folds_a_worker_snapshot_in(self, tele, clock):
+        tele.add("jobs", 1)
+        tele.gauge_max("rss", 10)
+        worker = Telemetry(enabled=True, clock=clock, pid_fn=lambda: 2000)
+        with worker.span("w"):
+            clock.tick(0.001)
+        worker.add("jobs", 2)
+        worker.gauge_max("rss", 30)
+        tele.merge(worker.snapshot())
+        snap = tele.snapshot()
+        assert snap["counters"] == {"jobs": 3}
+        assert snap["gauges"] == {"rss": 30}
+        assert [s["pid"] for s in snap["spans"]] == [2000]
+
+
+class TestSpanForest:
+    def test_renests_by_process_and_thread(self, tele, clock):
+        with tele.span("root"):
+            with tele.span("child"):
+                clock.tick(0.001)
+        other = Telemetry(enabled=True, clock=clock, pid_fn=lambda: 2000)
+        with other.span("worker-root"):
+            clock.tick(0.001)
+        spans = tele.snapshot()["spans"] + other.snapshot()["spans"]
+        forest = span_forest(spans)
+        assert set(forest) == {(1000, 0), (2000, 0)}
+        (root,) = forest[(1000, 0)]
+        assert root["name"] == "root"
+        assert [c["name"] for c in root["children"]] == ["child"]
+        assert forest[(2000, 0)][0]["children"] == []
+
+    def test_orphaned_parent_becomes_a_root(self):
+        spans = [
+            {"name": "lost", "pid": 1, "tid": 0, "id": 7, "parent": 3,
+             "start_us": 0, "dur_us": 1},
+        ]
+        forest = span_forest(spans)
+        assert forest[(1, 0)][0]["name"] == "lost"
+
+
+class TestGlobalRegistry:
+    def test_get_telemetry_is_a_singleton(self):
+        assert get_telemetry() is get_telemetry()
+
+    def test_disabled_by_default(self):
+        assert not get_telemetry().enabled
+
+    def test_phase_and_counters_hit_the_global_registry(self, global_telemetry):
+        with phase("global-phase"):
+            pass
+        global_telemetry.add("global-counter", 4)
+        assert counters()["global-counter"] == 4
+        names = [s["name"] for s in global_telemetry.snapshot()["spans"]]
+        assert names == ["global-phase"]

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.workloads",
     "repro.campaign",
+    "repro.obsv",
 ]
 
 
