@@ -96,6 +96,18 @@ from repro.obsv import (
     write_chrome_trace,
     write_jsonl_profile,
 )
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    SetFootprint,
+    lint_file,
+    lint_paths,
+    lint_rules_text,
+    lint_spec_text,
+    predicted_conflicts,
+    set_footprints,
+    to_sarif,
+)
 from repro.verify import (
     AgreementReport,
     SoundnessReport,
@@ -192,6 +204,17 @@ __all__ = [
     "check_result",
     "check_transform",
     "verify_paper",
+    # static analysis (lint)
+    "Diagnostic",
+    "LintReport",
+    "SetFootprint",
+    "lint_file",
+    "lint_paths",
+    "lint_rules_text",
+    "lint_spec_text",
+    "set_footprints",
+    "predicted_conflicts",
+    "to_sarif",
     # observability
     "Telemetry",
     "get_telemetry",

@@ -320,6 +320,56 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """``tdst lint``: static analysis of rule files, layouts and specs.
+
+    Exit codes: 0 clean (warnings allowed unless ``--strict``), 1 when
+    diagnostics fail the run, 2 when an input cannot be read at all.
+    """
+    from repro.ctypes_model.parser import parse_declarations
+    from repro.errors import LintError
+    from repro.lint import lint_paths, render, write_report
+
+    model = None
+    if args.model:
+        try:
+            model = parse_declarations(
+                Path(args.model).read_text(encoding="utf-8")
+            )
+        except Exception as exc:
+            print(f"error: cannot load model {args.model}: {exc}")
+            return 2
+    cache_config = None if args.no_sets else _cache_config(args)
+    try:
+        report = lint_paths(args.paths, model=model, cache_config=cache_config)
+    except LintError as exc:
+        print(f"error: {exc}")
+        return 2
+    write_report(report, args.format, args.output)
+    if args.output:
+        print(f"wrote {args.format} report to {args.output}")
+    failed = bool(report.errors) or (args.strict and report.warnings)
+    return 1 if failed else 0
+
+
+def _preflight_lint(spec_path: Path) -> int:
+    """Mandatory campaign pre-flight: lint the spec (and, recursively,
+    its ``file:`` rule references) before the scheduler spawns anything.
+    Returns the number of errors found (0 = proceed)."""
+    from repro.lint import lint_spec_text, render_text
+
+    report = lint_spec_text(
+        spec_path.read_text(encoding="utf-8"), path=str(spec_path)
+    )
+    if report.errors:
+        print(render_text(report))
+        print(
+            "error: campaign spec failed pre-flight lint "
+            "(--no-lint to run anyway)"
+        )
+    return len(report.errors)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     import dataclasses
     import os
@@ -349,6 +399,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.spec == "paper":
         spec = paper_figures_spec(length=args.length)
     else:
+        spec_path = Path(args.spec)
+        if not args.no_lint:
+            try:
+                if _preflight_lint(spec_path):
+                    return 1
+            except OSError as exc:
+                print(f"error: {exc}")
+                return 1
         try:
             spec = CampaignSpec.load(args.spec)
         except (CampaignError, OSError) as exc:
@@ -648,7 +706,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="soundness-check every transformed trace as a post-job step "
         "(unsound points fail instead of charting bad numbers)",
     )
+    p.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the mandatory pre-flight lint of the spec and its "
+        "file: rule references",
+    )
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis of rule files, layout declarations and "
+        "campaign specs (no trace needed)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories (.rules / .toml / declaration files; "
+        "directories recurse over *.rules and *.toml)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif = SARIF 2.1.0 for CI annotation)",
+    )
+    p.add_argument(
+        "-o", "--output", help="write the report here instead of stdout"
+    )
+    p.add_argument(
+        "--model",
+        help="C declaration file; rule in: names and field paths are "
+        "cross-checked against it (TDST013)",
+    )
+    p.add_argument(
+        "--no-sets",
+        action="store_true",
+        help="skip the static cache-set footprint/conflict analysis",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail the run (exit 1)",
+    )
+    _add_cache_args(p)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "verify",

@@ -59,7 +59,51 @@ class CacheConfigError(ReproError):
 
 
 class RuleError(ReproError):
-    """A transformation rule is semantically invalid or inapplicable."""
+    """A transformation rule is semantically invalid or inapplicable.
+
+    Attributes
+    ----------
+    line:
+        1-based line number within the rule file, when known.  Parser
+        call sites thread section offsets through so the number refers
+        to the *whole file*, not the section body.
+    code:
+        Stable ``TDSTnnn`` diagnostic code, when the raise site chose
+        one (the linter classifies un-coded errors by message).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        code: str | None = None,
+    ) -> None:
+        self.line = line
+        self.code = code
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class RuleFileError(RuleError):
+    """A rule file contains one or more invalid rules.
+
+    Raised by :func:`repro.transform.rule_parser.parse_rules` after the
+    *whole* file has been scanned, so the message (and :attr:`errors`)
+    reports every problem, not just the first — the same multi-diagnostic
+    model the ``tdst lint`` pass uses.
+    """
+
+    def __init__(self, errors: list[RuleError]) -> None:
+        self.errors = list(errors)
+        noun = "problem" if len(self.errors) == 1 else "problems"
+        message = f"rule file has {len(self.errors)} {noun}:\n" + "\n".join(
+            f"  - {exc}" for exc in self.errors
+        )
+        # Positions live on the individual errors; do not re-prefix.
+        super(RuleError, self).__init__(message)
+        self.line = self.errors[0].line if self.errors else None
+        self.code = None
 
 
 class TransformError(ReproError):
@@ -76,3 +120,11 @@ class VerifyError(ReproError):
 
 class ObservabilityError(ReproError):
     """A telemetry profile is malformed or has an unsupported schema."""
+
+
+class LintError(ReproError):
+    """A lint run cannot proceed (unreadable input, unknown file kind...).
+
+    Note this is *not* raised for findings — diagnostics are data, not
+    exceptions; see :mod:`repro.lint.diagnostics`.
+    """

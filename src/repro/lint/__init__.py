@@ -1,0 +1,79 @@
+"""Static analysis of the three declarative inputs — no trace needed.
+
+``tdst lint`` (and the mandatory campaign pre-flight) prove or refute
+rule validity, layout legality and T3 set-pinning effects *before* a
+single trace record is generated — the paper explores layouts without
+recompiling; this pass explores rule files without replaying:
+
+- :mod:`~repro.lint.diagnostics` — stable ``TDSTnnn`` codes, severity,
+  source span, fix-it hints (see ``docs/LINTING.md`` for the catalogue);
+- :mod:`~repro.lint.emit` — text / JSON / SARIF 2.1.0 renderers;
+- :mod:`~repro.lint.rules_lint` — rule files: collected parse errors,
+  dead/shadowed rules, program-model cross-check, and the symbolic
+  layout proof establishing the dynamic oracle's invariants
+  (injective, in-bounds, non-overlapping, ABI-aligned) over the whole
+  element domain;
+- :mod:`~repro.lint.layout_lint` — declaration files: padding and
+  alignment feedback;
+- :mod:`~repro.lint.spec_lint` — campaign TOML: structure, cache
+  geometry, dangling ``file:`` refs, duplicate grid points;
+- :mod:`~repro.lint.setconflict` — static cache-set footprints,
+  T3 pinning prediction and pairwise conflict warnings;
+- :mod:`~repro.lint.runner` — kind dispatch and multi-file runs.
+"""
+
+from repro.lint.diagnostics import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    from_rule_error,
+    summarize,
+)
+from repro.lint.emit import render, render_text, to_json, to_sarif, write_report
+from repro.lint.layout_lint import lint_layout_text, packed_size, struct_padding
+from repro.lint.rules_lint import lint_rules_text
+from repro.lint.runner import detect_kind, lint_file, lint_paths
+from repro.lint.setconflict import (
+    SetFootprint,
+    lint_set_conflicts,
+    predicted_conflicts,
+    set_footprints,
+)
+from repro.lint.spec_lint import lint_spec_text
+from repro.lint.symbolic import (
+    PlannedAllocation,
+    RuleImage,
+    plan_allocations,
+    prove_rule,
+    rule_image,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "from_rule_error",
+    "summarize",
+    "render",
+    "render_text",
+    "to_json",
+    "to_sarif",
+    "write_report",
+    "lint_rules_text",
+    "lint_layout_text",
+    "lint_spec_text",
+    "lint_file",
+    "lint_paths",
+    "detect_kind",
+    "struct_padding",
+    "packed_size",
+    "SetFootprint",
+    "set_footprints",
+    "predicted_conflicts",
+    "lint_set_conflicts",
+    "PlannedAllocation",
+    "RuleImage",
+    "plan_allocations",
+    "prove_rule",
+    "rule_image",
+]

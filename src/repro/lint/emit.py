@@ -1,0 +1,140 @@
+"""Render a :class:`LintReport` as text, JSON, or SARIF 2.1.0.
+
+SARIF is the interchange format GitHub code-scanning (and most CI
+annotators) consume; the emitter includes the full rule catalogue so
+viewers can show titles and default severities even for codes absent
+from this particular run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.lint.diagnostics import CODES, Diagnostic, LintReport, summarize
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "tdst-lint"
+TOOL_VERSION = "1.0"
+
+#: SARIF result levels by our severity (identical names, but keep the
+#: mapping explicit — SARIF also has "none"/"note")
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_text(report: LintReport) -> str:
+    """gcc-style one-line-per-finding listing plus a summary line."""
+    lines = [d.render() for d in report.sorted()]
+    lines.append(summarize(report))
+    return "\n".join(lines)
+
+
+def to_json(report: LintReport) -> Dict[str, Any]:
+    """A stable JSON document (schema: ``tdst-lint/1``)."""
+    return {
+        "schema": f"{TOOL_NAME}/1",
+        "files": list(report.files),
+        "summary": report.counts(),
+        "diagnostics": [_diag_json(d) for d in report.sorted()],
+    }
+
+
+def _diag_json(d: Diagnostic) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "code": d.code,
+        "severity": d.severity,
+        "message": d.message,
+    }
+    if d.path is not None:
+        out["path"] = d.path
+    if d.line is not None:
+        out["line"] = d.line
+    if d.column is not None:
+        out["column"] = d.column
+    if d.hint is not None:
+        out["hint"] = d.hint
+    return out
+
+
+def to_sarif(report: LintReport) -> Dict[str, Any]:
+    """A SARIF 2.1.0 log with the full rule catalogue embedded."""
+    rules = [
+        {
+            "id": info.code,
+            "shortDescription": {"text": info.title},
+            "defaultConfiguration": {"level": _SARIF_LEVEL[info.severity]},
+        }
+        for info in CODES.values()
+    ]
+    results = [_sarif_result(d) for d in report.sorted()]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": "https://example.invalid/tdst",
+                        "rules": rules,
+                    }
+                },
+                "artifacts": [
+                    {"location": {"uri": path}} for path in report.files
+                ],
+                "results": results,
+            }
+        ],
+    }
+
+
+def _sarif_result(d: Diagnostic) -> Dict[str, Any]:
+    message = d.message if d.hint is None else f"{d.message} (hint: {d.hint})"
+    result: Dict[str, Any] = {
+        "ruleId": d.code,
+        "level": _SARIF_LEVEL[d.severity],
+        "message": {"text": message},
+    }
+    if d.path is not None:
+        region: Dict[str, Any] = {}
+        if d.line is not None:
+            region["startLine"] = d.line
+            if d.column is not None:
+                region["startColumn"] = d.column
+        location: Dict[str, Any] = {
+            "physicalLocation": {"artifactLocation": {"uri": d.path}}
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        result["locations"] = [location]
+    return result
+
+
+def render(report: LintReport, fmt: str = "text") -> str:
+    """Render in the chosen format (``text`` / ``json`` / ``sarif``)."""
+    if fmt == "text":
+        return render_text(report)
+    if fmt == "json":
+        return json.dumps(to_json(report), indent=2, sort_keys=True)
+    if fmt == "sarif":
+        return json.dumps(to_sarif(report), indent=2, sort_keys=True)
+    raise ValueError(f"unknown lint output format {fmt!r}")
+
+
+def write_report(report: LintReport, fmt: str, path: Optional[str]) -> None:
+    """Write the rendered report to ``path`` atomically (stdout if None)."""
+    text = render(report, fmt) + "\n"
+    if path is None:
+        import sys
+
+        sys.stdout.write(text)
+        return
+    from repro.obsv.atomic import atomic_write
+
+    with atomic_write(path) as handle:
+        handle.write(text)

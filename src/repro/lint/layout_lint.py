@@ -1,0 +1,111 @@
+"""Lint standalone C declaration files (program layout models).
+
+Beyond parseability (TDST002) this reports the layout facts a
+transformation author wants before writing rules: internal/trailing
+padding per struct (TDST014, with the alignment-sorted reorder that
+would shrink it as the fix-it hint) and packed/under-aligned members
+(TDST015) — DINAMITE-style compile-time layout feedback.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ctypes_model.parser import DeclarationSet, parse_declarations
+from repro.ctypes_model.types import ArrayType, CType, StructType, UnionType
+from repro.errors import DeclarationSyntaxError
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.obsv import get_telemetry
+
+
+def lint_layout_text(
+    text: str, *, path: Optional[str] = None
+) -> Tuple[LintReport, Optional[DeclarationSet]]:
+    """Lint one declaration file.  Returns the report and, when the file
+    parses, the declaration set (usable as a rule-lint program model)."""
+    tele = get_telemetry()
+    report = LintReport()
+    report.note_file(path)
+    decls: Optional[DeclarationSet] = None
+    with tele.phase("lint.layout", file=path or "<input>"):
+        try:
+            decls = parse_declarations(text)
+        except DeclarationSyntaxError as exc:
+            message = str(exc)
+            if exc.line is not None and message.startswith(f"line {exc.line}: "):
+                message = message[len(f"line {exc.line}: ") :]
+            report.add(
+                Diagnostic(
+                    code="TDST002", message=message, path=path, line=exc.line
+                )
+            )
+        if decls is not None:
+            if not decls.structs and not decls.variables:
+                report.add(
+                    Diagnostic(
+                        code="TDST017",
+                        message="file contains no declarations",
+                        path=path,
+                    )
+                )
+            for tag, ctype in decls.structs.items():
+                _check_struct(tag, ctype, report, path)
+    for severity, count in report.counts().items():
+        if count:
+            tele.add(f"lint.diagnostics.{severity}", count)
+    return report, decls
+
+
+def struct_padding(struct: StructType) -> int:
+    """Total padding bytes (internal + trailing) in one struct layout."""
+    occupied = sum(f.ctype.size for f in struct.fields)
+    return struct.size - occupied
+
+
+def packed_size(struct: StructType) -> int:
+    """The size the same members would occupy if greedily re-ordered by
+    decreasing alignment (the classic padding-minimising layout)."""
+    members = sorted(
+        struct.fields, key=lambda f: (-f.ctype.alignment, -f.ctype.size)
+    )
+    cursor = 0
+    alignment = 1
+    for f in members:
+        a = max(f.ctype.alignment, 1)
+        alignment = max(alignment, a)
+        cursor = (cursor + a - 1) // a * a + f.ctype.size
+    return (cursor + alignment - 1) // alignment * alignment
+
+
+def _check_struct(
+    tag: str, ctype: CType, report: LintReport, path: Optional[str]
+) -> None:
+    if not isinstance(ctype, StructType) or not ctype.fields:
+        return
+    padding = struct_padding(ctype)
+    if padding <= 0:
+        return
+    better = packed_size(ctype)
+    hint = None
+    if better < ctype.size:
+        order = ", ".join(
+            f.name
+            for f in sorted(
+                ctype.fields, key=lambda f: (-f.ctype.alignment, -f.ctype.size)
+            )
+        )
+        hint = (
+            f"reordering members by decreasing alignment ({order}) "
+            f"shrinks the struct to {better} bytes"
+        )
+    report.add(
+        Diagnostic(
+            code="TDST014",
+            message=(
+                f"struct {tag!r} contains {padding} byte(s) of padding "
+                f"(size {ctype.size})"
+            ),
+            path=path,
+            hint=hint,
+        )
+    )

@@ -1,0 +1,203 @@
+"""Lint rule files: parse diagnostics + symbolic soundness proof.
+
+Four layers, cheapest first:
+
+1. *parse* — :func:`parse_rules_collect` gathers every structural and
+   semantic parse error (coded at the raise sites);
+2. *semantic* — dead/identity rules, shadowed patterns, cross-checks
+   against an optional program model;
+3. *prove* — the symbolic layout proof (:mod:`repro.lint.symbolic`)
+   establishing the oracle's invariants over the whole element domain;
+4. *sets* — static cache-set footprint analysis when a
+   :class:`~repro.cache.config.CacheConfig` is supplied.
+
+Each layer runs under an ``obsv`` phase timer so ``tdst --profile lint``
+shows where analysis time goes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.ctypes_model.parser import DeclarationSet
+from repro.lint.diagnostics import Diagnostic, LintReport, from_rule_error
+from repro.lint.symbolic import (
+    PlannedAllocation,
+    identity_image,
+    plan_allocations,
+    prove_rule,
+    rule_image,
+)
+from repro.obsv import get_telemetry
+from repro.transform.engine import ARENA_BASE
+from repro.transform.rule_parser import parse_rules_collect
+from repro.transform.rules import Rule, RuleSet
+
+
+def lint_rules_text(
+    text: str,
+    *,
+    path: Optional[str] = None,
+    model: Optional[DeclarationSet] = None,
+    cache_config: Optional[CacheConfig] = None,
+    arena_base: int = ARENA_BASE,
+) -> LintReport:
+    """Lint one rule file's source text.  Never raises on bad input."""
+    tele = get_telemetry()
+    report = LintReport()
+    report.note_file(path)
+
+    with tele.phase("lint.parse", file=path or "<input>"):
+        rules, errors = parse_rules_collect(text)
+        for exc in errors:
+            report.add(from_rule_error(exc, path))
+
+    with tele.phase("lint.semantic", file=path or "<input>"):
+        _check_shadowing(rules, report, path)
+        if model is not None:
+            _check_model(rules, model, report, path)
+
+    with tele.phase("lint.prove", file=path or "<input>"):
+        planned, alloc_diags = plan_allocations(rules, arena_base)
+        for diag in alloc_diags:
+            report.add(diag.with_path(path) if path else diag)
+        images = {}
+        for rule in rules:
+            image = rule_image(rule)
+            if image is None:
+                continue
+            images[rule.name] = image
+            for diag in prove_rule(image, planned, path=path):
+                report.add(diag)
+            if identity_image(image):
+                report.add(
+                    Diagnostic(
+                        code="TDST011",
+                        message=(
+                            f"{rule.name}: maps every element to its original "
+                            "offset — the transformation is an identity"
+                        ),
+                        path=path,
+                        line=rule.source_line,
+                        hint="remove the rule or change the out layout",
+                    )
+                )
+
+    if cache_config is not None:
+        from repro.lint.setconflict import lint_set_conflicts
+
+        with tele.phase("lint.sets", file=path or "<input>"):
+            lint_set_conflicts(
+                rules,
+                cache_config,
+                report,
+                path=path,
+                arena_base=arena_base,
+                images=images,
+                planned=planned,
+            )
+
+    for severity, count in report.counts().items():
+        if count:
+            tele.add(f"lint.diagnostics.{severity}", count)
+    return report
+
+
+def _check_shadowing(rules: RuleSet, report: LintReport, path: Optional[str]) -> None:
+    """Pattern rules never fire for names an exact rule already covers
+    (the engine routes exact-name matches first) — warn on the overlap."""
+    exact = [r for r in rules if not r.is_pattern]
+    patterns = [r for r in rules if r.is_pattern]
+    for pat in patterns:
+        for r in exact:
+            if pat.matches(r.in_name):
+                report.add(
+                    Diagnostic(
+                        code="TDST012",
+                        message=(
+                            f"{pat.name}: pattern also matches {r.in_name!r}, "
+                            f"but the exact rule {r.name} takes precedence — "
+                            "the pattern never fires for that variable"
+                        ),
+                        path=path,
+                        line=pat.source_line,
+                    )
+                )
+
+
+def _check_model(
+    rules: RuleSet,
+    model: DeclarationSet,
+    report: LintReport,
+    path: Optional[str],
+) -> None:
+    """Resolve ``in:`` names and type-check field paths against the
+    declared program layout."""
+    for rule in rules:
+        if rule.is_pattern:
+            continue
+        declared = model.variables.get(rule.in_name)
+        if declared is None:
+            report.add(
+                Diagnostic(
+                    code="TDST013",
+                    message=(
+                        f"{rule.name}: variable {rule.in_name!r} is not "
+                        "declared in the program model"
+                    ),
+                    path=path,
+                    line=rule.source_line,
+                    hint=(
+                        "declared variables: "
+                        + ", ".join(sorted(model.variables)[:8])
+                    ),
+                )
+            )
+            continue
+        in_type = getattr(rule, "in_type", None)
+        if in_type is None:
+            continue
+        if declared.size != in_type.size:
+            report.add(
+                Diagnostic(
+                    code="TDST013",
+                    message=(
+                        f"{rule.name}: rule declares {rule.in_name!r} as "
+                        f"{in_type.c_name()} ({in_type.size} bytes) but the "
+                        f"program model declares {declared.c_name()} "
+                        f"({declared.size} bytes)"
+                    ),
+                    path=path,
+                    line=rule.source_line,
+                )
+            )
+            continue
+        # Field paths must resolve to the same offset and width, or the
+        # trace's original addresses would be reinterpreted wrongly.
+        declared_leaves = {
+            tuple(str(e) for e in elements): (offset, leaf.size)
+            for elements, offset, leaf in declared.iter_leaves()
+        }
+        for elements, offset, leaf in in_type.iter_leaves():
+            key = tuple(str(e) for e in elements)
+            got = declared_leaves.get(key)
+            if got != (offset, leaf.size):
+                where = "".join(key) or "<whole>"
+                detail = (
+                    "is absent from the declared type"
+                    if got is None
+                    else f"sits at offset {got[0]} (size {got[1]}) there, "
+                    f"not {offset} (size {leaf.size})"
+                )
+                report.add(
+                    Diagnostic(
+                        code="TDST013",
+                        message=(
+                            f"{rule.name}: path {rule.in_name}{where} {detail}"
+                        ),
+                        path=path,
+                        line=rule.source_line,
+                    )
+                )
+                break

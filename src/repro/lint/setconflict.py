@@ -1,0 +1,189 @@
+"""Static cache-set analysis: predict T3 pinning and set conflicts.
+
+The dynamic pipeline measures set behaviour by simulating a trace
+(:mod:`repro.analysis.per_set`, :mod:`repro.cache.conflict`).  This is
+its static analogue: the symbolic rule image (every translated element's
+byte interval, at the arena base the engine would assign) is folded
+through :meth:`CacheConfig.set_of` to obtain each out allocation's *set
+footprint* — which sets it touches and how many distinct cache lines it
+puts in each.
+
+Two products:
+
+- **pinning** (TDST030, info): a stride formula whose image concentrates
+  into fewer sets than a contiguous layout of the same bytes would — the
+  paper's T3 effect, predicted before any trace exists;
+- **conflict** (TDST031, warning): two allocations whose footprints
+  overlap on some set with more combined lines than the set has ways —
+  the static analogue of a hot eviction-attribution cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.symbolic import (
+    PlannedAllocation,
+    RuleImage,
+    plan_allocations,
+    rule_image,
+)
+from repro.transform.engine import ARENA_BASE
+from repro.transform.rules import RuleSet
+
+
+@dataclass
+class SetFootprint:
+    """Which cache sets one allocation's *touched* bytes land in."""
+
+    name: str
+    base: int
+    size: int
+    #: set index -> number of distinct cache lines this variable maps there
+    lines_per_set: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def sets(self) -> Tuple[int, ...]:
+        """The touched set indices, ascending."""
+        return tuple(sorted(self.lines_per_set))
+
+    @property
+    def total_lines(self) -> int:
+        return sum(self.lines_per_set.values())
+
+    def contiguous_sets(self, config: CacheConfig) -> int:
+        """How many sets a *contiguous* image of the same bytes would
+        touch — the yardstick for detecting pinning."""
+        blocks = max(1, -(-self.size // config.block_size))
+        return min(config.n_sets, blocks)
+
+    def pinned(self, config: CacheConfig) -> bool:
+        """True when the image concentrates into strictly fewer sets than
+        its contiguous equivalent (the T3 set-pinning signature)."""
+        return 0 < len(self.lines_per_set) < self.contiguous_sets(config)
+
+
+def set_footprints(
+    rules: RuleSet,
+    config: CacheConfig,
+    *,
+    arena_base: int = ARENA_BASE,
+    images: Optional[Dict[str, RuleImage]] = None,
+    planned: Optional[Dict[str, PlannedAllocation]] = None,
+) -> Dict[str, SetFootprint]:
+    """Per-allocation set footprints of every statically mapped element.
+
+    Only bytes the rules actually map are counted (a stride rule's out
+    array is mostly holes — exactly why it pins sets), so the footprint
+    matches the sets a trace touching every element would activate.
+    """
+    if planned is None:
+        planned, _ = plan_allocations(rules, arena_base)
+    if images is None:
+        images = {}
+        for rule in rules:
+            image = rule_image(rule)
+            if image is not None:
+                images[rule.name] = image
+
+    blocks: Dict[str, set] = {}
+    for image in images.values():
+        for interval in list(image.targets) + list(image.inserts):
+            alloc = planned.get(interval.alloc)
+            if alloc is None:
+                continue
+            lo = alloc.base + interval.offset
+            hi = lo + max(interval.size, 1) - 1
+            touched = blocks.setdefault(interval.alloc, set())
+            for block in range(lo // config.block_size, hi // config.block_size + 1):
+                touched.add(block)
+
+    footprints: Dict[str, SetFootprint] = {}
+    for name, touched in blocks.items():
+        alloc = planned[name]
+        fp = SetFootprint(name, alloc.base, alloc.size)
+        for block in touched:
+            index = config.set_of(block * config.block_size)
+            fp.lines_per_set[index] = fp.lines_per_set.get(index, 0) + 1
+        footprints[name] = fp
+    return footprints
+
+
+def predicted_conflicts(
+    footprints: Dict[str, SetFootprint], config: CacheConfig
+) -> List[Tuple[str, str, List[int]]]:
+    """Pairs of allocations that overfill some set together.
+
+    A set is *overfilled* when the two footprints' combined distinct
+    lines exceed the associativity — a contention the dynamic
+    eviction-attribution matrix would show as a hot off-diagonal cell.
+    """
+    conflicts: List[Tuple[str, str, List[int]]] = []
+    names = sorted(footprints)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            fa, fb = footprints[a], footprints[b]
+            shared = [
+                s
+                for s in fa.lines_per_set
+                if s in fb.lines_per_set
+                and fa.lines_per_set[s] + fb.lines_per_set[s] > config.ways
+            ]
+            if shared:
+                conflicts.append((a, b, sorted(shared)))
+    return conflicts
+
+
+def lint_set_conflicts(
+    rules: RuleSet,
+    config: CacheConfig,
+    report: LintReport,
+    *,
+    path: Optional[str] = None,
+    arena_base: int = ARENA_BASE,
+    images: Optional[Dict[str, RuleImage]] = None,
+    planned: Optional[Dict[str, PlannedAllocation]] = None,
+) -> Dict[str, SetFootprint]:
+    """Run the static set analysis and add TDST030/TDST031 findings."""
+    footprints = set_footprints(
+        rules, config, arena_base=arena_base, images=images, planned=planned
+    )
+    for name in sorted(footprints):
+        fp = footprints[name]
+        if fp.pinned(config):
+            sets = fp.sets
+            listed = ", ".join(str(s) for s in sets[:8])
+            if len(sets) > 8:
+                listed += ", ..."
+            report.add(
+                Diagnostic(
+                    code="TDST030",
+                    message=(
+                        f"{name!r} pins {len(sets)} of {config.n_sets} cache "
+                        f"sets ({listed}); a contiguous layout of the same "
+                        f"bytes would spread over "
+                        f"{fp.contiguous_sets(config)} sets"
+                    ),
+                    path=path,
+                )
+            )
+    for a, b, shared in predicted_conflicts(footprints, config):
+        listed = ", ".join(str(s) for s in shared[:8])
+        if len(shared) > 8:
+            listed += ", ..."
+        report.add(
+            Diagnostic(
+                code="TDST031",
+                message=(
+                    f"{a!r} and {b!r} together exceed the {config.ways}-way "
+                    f"associativity on {len(shared)} shared set(s) "
+                    f"({listed}) — expect cross-evictions"
+                ),
+                path=path,
+                hint="displace one of the two variables to shift its sets",
+            )
+        )
+    return footprints

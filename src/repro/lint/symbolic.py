@@ -1,0 +1,311 @@
+"""Symbolic evaluation of rules: allocation plan + exhaustive target map.
+
+The dynamic soundness oracle (:mod:`repro.verify.soundness`) replays a
+*trace* and asserts that every translated access is injective, in-bounds
+and non-overlapping.  This module proves the same invariants without a
+trace: it replicates the oracle's arena-allocation plan, enumerates every
+scalar leaf of each rule's *in* type, pushes each through
+``rule.translate`` and checks the resulting byte intervals symbolically.
+Anything the prover passes, the oracle must also pass — the differential
+fuzz gate (:func:`repro.verify.fuzz.check_rule_mutation`) enforces that.
+
+Pattern rules (pools) and displacements carry no static element map and
+are skipped (they are proven by construction: slots are sized from the
+padded element type; displacements allocate nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.transform.engine import ARENA_BASE, _align_up
+from repro.transform.rules import MappedAccess, Rule, RuleSet
+
+#: Per-rule cap on enumerated leaves.  T1/T2/T3 at paper sizes are a few
+#: thousand; the cap only guards against pathological declarations, and
+#: hitting it is reported (TDST016) rather than silently sampled.
+LEAF_CAP = 1 << 17
+
+
+@dataclass(frozen=True)
+class PlannedAllocation:
+    """One out object with the base the engine/oracle would assign."""
+
+    name: str
+    base: int
+    size: int
+    alignment: int
+    rule: str
+
+
+@dataclass(frozen=True)
+class TargetInterval:
+    """One translated leaf: a byte interval inside an out allocation."""
+
+    alloc: str
+    offset: int
+    size: int
+    #: ABI alignment the source scalar requires
+    alignment: int
+    #: human-readable source path (for messages)
+    source: str
+    #: byte offset of the source leaf inside the in variable
+    source_offset: int
+
+
+@dataclass
+class RuleImage:
+    """Everything the prover learned about one rule."""
+
+    rule: Rule
+    targets: List[TargetInterval] = field(default_factory=list)
+    #: intervals from inserted accesses (pointer loads, inject scalars)
+    inserts: List[TargetInterval] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.rule.name
+
+
+def plan_allocations(
+    rules: RuleSet, arena_base: int = ARENA_BASE
+) -> Tuple[Dict[str, PlannedAllocation], List[Diagnostic]]:
+    """Replicate the engine/oracle arena walk and assign bases.
+
+    Mirrors ``verify.soundness._Oracle.__init__`` exactly: allocations are
+    laid out in rule order, each aligned up; a duplicate name is a
+    TDST010 error (the oracle calls it ``allocation-duplicate``).
+    """
+    planned: Dict[str, PlannedAllocation] = {}
+    diags: List[Diagnostic] = []
+    cursor = arena_base
+    for rule in rules:
+        for alloc in rule.out_allocations():
+            if alloc.name in planned:
+                diags.append(
+                    Diagnostic(
+                        code="TDST010",
+                        message=(
+                            f"{rule.name}: out object {alloc.name!r} is "
+                            "allocated twice"
+                        ),
+                        line=rule.source_line,
+                    )
+                )
+                continue
+            cursor = _align_up(cursor, max(alloc.alignment, 1))
+            planned[alloc.name] = PlannedAllocation(
+                alloc.name, cursor, alloc.size, alloc.alignment, rule.name
+            )
+            cursor += alloc.size
+    return planned, diags
+
+
+def _iter_in_leaves(rule: Rule) -> Optional[Iterator]:
+    """The in-type leaf iterator, or ``None`` for rules without one."""
+    in_type = getattr(rule, "in_type", None)
+    if in_type is None or rule.is_pattern:
+        return None
+    return in_type.iter_leaves()
+
+
+def rule_image(rule: Rule, leaf_cap: int = LEAF_CAP) -> Optional[RuleImage]:
+    """Enumerate every leaf of the rule's in type through ``translate``.
+
+    Returns ``None`` for rules with no static element map (pools,
+    displacements).  Translation failures never raise here: a leaf the
+    rule does not cover is simply absent from the image (the engine
+    passes such accesses through untransformed).
+    """
+    leaves = _iter_in_leaves(rule)
+    if leaves is None:
+        return None
+    image = RuleImage(rule)
+    seen_inserts = set()
+    for n, (elements, offset, leaf) in enumerate(leaves):
+        if n >= leaf_cap:
+            image.truncated = True
+            break
+        try:
+            translation = rule.translate(elements)
+        except Exception:
+            continue
+        if translation is None or translation.target is None:
+            continue
+        source = "".join(str(e) for e in elements) or "<whole>"
+        image.targets.append(
+            _interval(translation.target, leaf.alignment, source, offset)
+        )
+        for ins in translation.inserts:
+            if ins.mapped is None:
+                continue
+            key = (ins.mapped.alloc, ins.mapped.offset, ins.mapped.size)
+            if key in seen_inserts:
+                continue
+            seen_inserts.add(key)
+            image.inserts.append(
+                _interval(ins.mapped, min(ins.mapped.size, 8), source, offset)
+            )
+    return image
+
+
+def _interval(
+    mapped: MappedAccess, alignment: int, source: str, source_offset: int
+) -> TargetInterval:
+    return TargetInterval(
+        alloc=mapped.alloc,
+        offset=mapped.offset,
+        size=mapped.size,
+        alignment=max(alignment, 1),
+        source=source,
+        source_offset=source_offset,
+    )
+
+
+def prove_rule(
+    image: RuleImage,
+    planned: Dict[str, PlannedAllocation],
+    *,
+    path: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Check bounds, injectivity, overlap and ABI alignment of one image.
+
+    These are precisely the invariants the dynamic oracle asserts per
+    access (``target-out-of-bounds``, ``non-injective-remap``,
+    ``overlap``); here they are proven over the *whole* domain at once.
+    """
+    diags: List[Diagnostic] = []
+    line = image.rule.source_line
+    if image.truncated:
+        diags.append(
+            Diagnostic(
+                code="TDST016",
+                message=(
+                    f"{image.name}: in type exceeds {LEAF_CAP} scalar "
+                    "elements; layout proof covers the enumerated prefix only"
+                ),
+                path=path,
+                line=line,
+            )
+        )
+
+    def bounds(interval: TargetInterval, what: str) -> bool:
+        alloc = planned.get(interval.alloc)
+        if alloc is None:
+            diags.append(
+                Diagnostic(
+                    code="TDST010",
+                    message=(
+                        f"{image.name}: {what} {interval.source} targets "
+                        f"undeclared out object {interval.alloc!r}"
+                    ),
+                    path=path,
+                    line=line,
+                )
+            )
+            return False
+        if interval.offset < 0 or interval.offset + interval.size > alloc.size:
+            diags.append(
+                Diagnostic(
+                    code="TDST010",
+                    message=(
+                        f"{image.name}: {what} {interval.source} maps to "
+                        f"[{interval.offset}, {interval.offset + interval.size})"
+                        f" outside {interval.alloc!r} (size {alloc.size})"
+                    ),
+                    path=path,
+                    line=line,
+                )
+            )
+            return False
+        return True
+
+    in_bounds = [t for t in image.targets if bounds(t, "element")]
+    for ins in image.inserts:
+        bounds(ins, "inserted access")
+
+    # Pairwise overlap == injectivity failure: two distinct source leaves
+    # sharing any target byte would alias in the transformed program.
+    by_pos = sorted(in_bounds, key=lambda t: (t.alloc, t.offset))
+    reported = 0
+    for a, b in zip(by_pos, by_pos[1:]):
+        if a.alloc == b.alloc and b.offset < a.offset + a.size:
+            diags.append(
+                Diagnostic(
+                    code="TDST010",
+                    message=(
+                        f"{image.name}: elements {a.source} and {b.source} "
+                        f"overlap in {a.alloc!r} at offset {b.offset} — the "
+                        "mapping is not injective"
+                    ),
+                    path=path,
+                    line=line,
+                )
+            )
+            reported += 1
+            if reported >= 5:
+                diags.append(
+                    Diagnostic(
+                        code="TDST016",
+                        message=(
+                            f"{image.name}: further overlaps suppressed after "
+                            "the first 5"
+                        ),
+                        path=path,
+                        line=line,
+                    )
+                )
+                break
+
+    # ABI alignment of every translated leaf at its *absolute* address.
+    misaligned = 0
+    for t in in_bounds:
+        alloc = planned[t.alloc]
+        if (alloc.base + t.offset) % t.alignment:
+            misaligned += 1
+            if misaligned <= 3:
+                diags.append(
+                    Diagnostic(
+                        code="TDST015",
+                        message=(
+                            f"{image.name}: element {t.source} lands at "
+                            f"{t.alloc!r}+{t.offset}, not aligned to its "
+                            f"natural {t.alignment}-byte boundary"
+                        ),
+                        path=path,
+                        line=line,
+                        hint=(
+                            "reorder out-struct members by decreasing "
+                            "alignment or pad the allocation"
+                        ),
+                    )
+                )
+    if misaligned > 3:
+        diags.append(
+            Diagnostic(
+                code="TDST016",
+                message=(
+                    f"{image.name}: {misaligned - 3} further misaligned "
+                    "elements suppressed"
+                ),
+                path=path,
+                line=line,
+            )
+        )
+    return diags
+
+
+def identity_image(image: RuleImage) -> bool:
+    """True when the rule maps every leaf to its original offset in a
+    single allocation of the same size — a no-op re-layout."""
+    rule = image.rule
+    allocs = rule.out_allocations()
+    if len(allocs) != 1 or image.truncated or not image.targets:
+        return False
+    in_type = getattr(rule, "in_type", None)
+    if in_type is None or allocs[0].size != in_type.size:
+        return False
+    return all(t.offset == t.source_offset for t in image.targets)

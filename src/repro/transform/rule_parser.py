@@ -41,11 +41,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import DeclarationSyntaxError, RuleError
+from repro.errors import DeclarationSyntaxError, RuleError, RuleFileError
 from repro.ctypes_model.parser import DeclarationSet, parse_declarations
 from repro.ctypes_model.types import ArrayType, CType, PointerType, StructType
 from repro.trace.record import AccessType
-from repro.transform.formula import IndexFormula
+from repro.transform.formula import FormulaError, IndexFormula
 from repro.transform.rules import (
     HotColdSplitRule,
     InjectSpec,
@@ -78,10 +78,21 @@ _INJECT_LINE_RE = re.compile(
 
 @dataclass
 class _Section:
-    """One preprocessed rule section."""
+    """One preprocessed rule section.
+
+    ``line`` is the 1-based file line of the section header (``in:``...);
+    line ``N`` inside :attr:`text` maps to file line ``line + N - 1``.
+    """
 
     kind: str
     text: str
+    line: int = 1
+
+    def at(self, body_line: Optional[int] = None) -> int:
+        """File line for a 1-based line within the section body."""
+        if body_line is None:
+            return self.line
+        return self.line + body_line - 1
 
 
 @dataclass
@@ -96,15 +107,36 @@ class _OutExtras:
 def _split_sections(source: str) -> List[_Section]:
     matches = list(_SECTION_RE.finditer(source))
     if not matches:
-        raise RuleError("rule file has no 'in:' / 'out:' sections")
-    head = source[: matches[0].start()].strip()
-    if head:
-        raise RuleError(f"unexpected text before first section: {head[:60]!r}")
+        raise RuleError(
+            "rule file has no 'in:' / 'out:' sections",
+            line=1,
+            code="TDST001",
+        )
+    head_lines = [
+        ln.strip()
+        for ln in source[: matches[0].start()].splitlines()
+        if ln.strip() and not ln.strip().startswith(("#", "//"))
+    ]
+    if head_lines:
+        head = " ".join(head_lines)
+        raise RuleError(
+            f"unexpected text before first section: {head[:60]!r}",
+            line=1,
+            code="TDST001",
+        )
     sections: List[_Section] = []
     for i, m in enumerate(matches):
         end = matches[i + 1].start() if i + 1 < len(matches) else len(source)
-        sections.append(_Section(m.group(1), source[m.end() : end]))
+        line = source.count("\n", 0, m.start()) + 1
+        sections.append(_Section(m.group(1), source[m.end() : end], line))
     return sections
+
+
+def _at_line(exc: RuleError, line: int) -> RuleError:
+    """Anchor an un-positioned rule error to a file line."""
+    if exc.line is not None:
+        return exc
+    return RuleError(str(exc), line=line, code=exc.code)
 
 
 def _extract_defines(text: str) -> Tuple[str, Dict[str, int]]:
@@ -157,14 +189,18 @@ def _extract_formulas(text: str) -> Tuple[str, Dict[str, str]]:
                 depth -= 1
             j += 1
         if depth:
-            raise RuleError(f"unbalanced formula parentheses after {name!r}")
+            raise RuleError(
+                f"unbalanced formula parentheses after {name!r}", code="TDST003"
+            )
         formula = text[m.end() : j - 1]
         # Expect the closing bracket next.
         k = j
         while k < n and text[k].isspace():
             k += 1
         if k >= n or text[k] != "]":
-            raise RuleError(f"expected ']' after formula for {name!r}")
+            raise RuleError(
+                f"expected ']' after formula for {name!r}", code="TDST003"
+            )
         formulas[name] = formula.strip()
         out.append(f"{name}[{length}]")
         i = k + 1
@@ -180,19 +216,23 @@ def _extract_alias(text: str) -> Tuple[str, Optional[str]]:
 
     new_text = _ALIAS_RE.sub(repl, text)
     if len(aliases) > 1:
-        raise RuleError("at most one stride alias per in section")
+        raise RuleError("at most one stride alias per in section", code="TDST006")
     return new_text, aliases[0] if aliases else None
 
 
-def _parse_inject(text: str) -> List[InjectSpec]:
+def _parse_inject(text: str, section: Optional[_Section] = None) -> List[InjectSpec]:
     specs: List[InjectSpec] = []
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith(("#", "//")):
             continue
         m = _INJECT_LINE_RE.match(line)
         if m is None:
-            raise RuleError(f"bad inject line: {line!r}")
+            raise RuleError(
+                f"bad inject line: {line!r}",
+                line=section.at(lineno) if section else None,
+                code="TDST004",
+            )
         specs.append(
             InjectSpec(
                 op=AccessType(m.group(1)),
@@ -265,18 +305,39 @@ def _build_rule(
 ) -> Rule:
     # -- preprocess ----------------------------------------------------------
     in_text, in_defines = _extract_defines(in_section.text)
-    in_text, alias = _extract_alias(in_text)
+    try:
+        in_text, alias = _extract_alias(in_text)
+    except RuleError as exc:
+        raise _at_line(exc, in_section.line) from None
     out_text, out_defines = _extract_defines(out_section.text)
     out_text, pointer_members = _extract_pointer_members(out_text)
-    out_text, formulas = _extract_formulas(out_text)
+    try:
+        out_text, formulas = _extract_formulas(out_text)
+    except RuleError as exc:
+        raise _at_line(exc, out_section.line) from None
     defines = {**in_defines, **out_defines}
-    inject = _parse_inject(inject_section.text) if inject_section else []
+    inject = (
+        _parse_inject(inject_section.text, inject_section)
+        if inject_section
+        else []
+    )
 
     try:
         in_decls = parse_declarations(in_text)
+    except DeclarationSyntaxError as exc:
+        raise RuleError(
+            f"rule declarations failed to parse: {exc}",
+            line=in_section.at(exc.line),
+            code="TDST002",
+        ) from exc
+    try:
         out_decls = parse_declarations(out_text, registry=dict(in_decls.structs))
     except DeclarationSyntaxError as exc:
-        raise RuleError(f"rule declarations failed to parse: {exc}") from exc
+        raise RuleError(
+            f"rule declarations failed to parse: {exc}",
+            line=out_section.at(exc.line),
+            code="TDST002",
+        ) from exc
     _retype_pointer_members(out_decls, pointer_members)
 
     in_vars = _section_variables(in_decls)
@@ -289,30 +350,57 @@ def _build_rule(
             for name, ctype in in_decls.variables.items()
         ] or list(in_vars.items())
         if len(in_candidates) != 1:
-            raise RuleError("stride rule needs exactly one in array")
+            raise RuleError(
+                "stride rule needs exactly one in array",
+                line=in_section.line,
+                code="TDST006",
+            )
         in_name, in_type = in_candidates[0]
         if alias not in out_vars:
             raise RuleError(
-                f"stride alias target {alias!r} not declared in out section"
+                f"stride alias target {alias!r} not declared in out section",
+                line=out_section.line,
+                code="TDST006",
             )
         out_type = out_vars[alias]
         if not isinstance(out_type, ArrayType):
-            raise RuleError(f"stride out {alias!r} must be an array")
+            raise RuleError(
+                f"stride out {alias!r} must be an array",
+                line=out_section.line,
+                code="TDST006",
+            )
         formula_text = formulas.get(alias)
         if formula_text is None:
-            raise RuleError(f"stride out {alias!r} has no index formula")
-        formula = IndexFormula(formula_text, constants=defines)
-        return StrideRule(
-            in_name,
-            in_type,
-            alias,
-            out_type.length,
-            formula,
-            inject=inject,
-        )
+            raise RuleError(
+                f"stride out {alias!r} has no index formula",
+                line=out_section.line,
+                code="TDST006",
+            )
+        # FormulaError is a ReproError but not a RuleError; re-raise as
+        # one so the collector (and lint) can position and code it.  The
+        # formula is also *evaluated* here (range/injectivity proofs in
+        # StrideRule), so division-by-zero-style errors surface too.
+        try:
+            formula = IndexFormula(formula_text, constants=defines)
+            return StrideRule(
+                in_name,
+                in_type,
+                alias,
+                out_type.length,
+                formula,
+                inject=inject,
+            )
+        except FormulaError as exc:
+            raise RuleError(
+                str(exc), line=out_section.line, code="TDST003"
+            ) from exc
 
     if inject:
-        raise RuleError("inject: sections are only valid for stride rules")
+        raise RuleError(
+            "inject: sections are only valid for stride rules",
+            line=inject_section.line if inject_section else None,
+            code="TDST004",
+        )
 
     # -- outline rule (T2) --------------------------------------------------------
     if pointer_members:
@@ -331,12 +419,16 @@ def _build_rule(
         ]
         if len(outer_candidates) != 1:
             raise RuleError(
-                "could not identify the outer out struct with the pointer member"
+                "could not identify the outer out struct with the pointer member",
+                line=out_section.line,
+                code="TDST005",
             )
         out_name, out_type = outer_candidates[0]
         if storage_name not in out_vars:
             raise RuleError(
-                f"pointer target {storage_name!r} not declared in out section"
+                f"pointer target {storage_name!r} not declared in out section",
+                line=out_section.line,
+                code="TDST005",
             )
         storage_type = out_vars[storage_name]
         # The in variable is the outer in struct: the one that has the
@@ -371,7 +463,9 @@ def _build_rule(
         if len(flat_candidates) != 1:
             raise RuleError(
                 f"could not identify the in struct for pointer member "
-                f"{ptr_name!r}"
+                f"{ptr_name!r}",
+                line=in_section.line,
+                code="TDST005",
             )
         in_name, in_type = flat_candidates[0]
         return HotColdSplitRule(
@@ -412,45 +506,82 @@ def _principal_variable(
         return next(iter(decls.variables.items()))
     if decls.variables:
         raise RuleError(
-            f"layout section declares multiple variables: {sorted(decls.variables)}"
+            f"layout section declares multiple variables: {sorted(decls.variables)}",
+            code="TDST005",
         )
     if not decls.structs:
-        raise RuleError("layout section declares nothing")
+        raise RuleError("layout section declares nothing", code="TDST005")
     tag = list(decls.structs)[-1]
     return tag, decls.structs[tag]
 
 
-def parse_rules(source: str) -> RuleSet:
-    """Parse a rule file's text into a :class:`RuleSet`."""
+def parse_rules_collect(source: str) -> Tuple[RuleSet, List[RuleError]]:
+    """Parse a rule file's text, collecting *every* problem.
+
+    Returns the rules that did parse plus the list of :class:`RuleError`
+    instances (one per broken rule/section, each carrying ``line`` and
+    ``code`` when known).  This is the multi-diagnostic entry point the
+    ``tdst lint`` pass and :func:`parse_rules` share; a broken rule never
+    hides problems in the rules after it.
+    """
     from repro.transform.displace import parse_displacements
     from repro.transform.dynamic import parse_pool_rules
 
-    sections = _split_sections(source)
+    errors: List[RuleError] = []
     rules = RuleSet()
+    try:
+        sections = _split_sections(source)
+    except RuleError as exc:
+        return rules, [exc]
+
+    def add_rule(rule: Rule, section: _Section) -> None:
+        if rule.source_line is None:
+            rule.source_line = section.line
+        try:
+            rules.add(rule)
+        except RuleError as exc:
+            errors.append(_at_line(exc, section.line))
+
     i = 0
     while i < len(sections):
-        kind = sections[i].kind
-        if kind == "displace":
-            for rule in parse_displacements(sections[i].text):
-                rules.add(rule)
-            i += 1
-            continue
-        if kind == "pool":
-            for rule in parse_pool_rules(sections[i].text):
-                rules.add(rule)
-            i += 1
-            continue
-        if kind == "tile":
-            from repro.transform.tile import parse_tile_rules
+        section = sections[i]
+        kind = section.kind
+        if kind in ("displace", "pool", "tile"):
+            if kind == "displace":
+                parser = parse_displacements
+            elif kind == "pool":
+                parser = parse_pool_rules
+            else:
+                from repro.transform.tile import parse_tile_rules
 
-            for rule in parse_tile_rules(sections[i].text):
-                rules.add(rule)
+                parser = parse_tile_rules
+            try:
+                for rule in parser(section.text):
+                    add_rule(rule, section)
+            except RuleError as exc:
+                errors.append(_at_line(exc, section.line))
             i += 1
             continue
         if kind != "in":
-            raise RuleError(f"expected 'in:' section, found '{kind}:'")
+            errors.append(
+                RuleError(
+                    f"expected 'in:' section, found '{kind}:'",
+                    line=section.line,
+                    code="TDST001",
+                )
+            )
+            i += 1
+            continue
         if i + 1 >= len(sections) or sections[i + 1].kind != "out":
-            raise RuleError("every 'in:' section needs a following 'out:'")
+            errors.append(
+                RuleError(
+                    "every 'in:' section needs a following 'out:'",
+                    line=section.line,
+                    code="TDST001",
+                )
+            )
+            i += 1
+            continue
         in_section = sections[i]
         out_section = sections[i + 1]
         inject_section = None
@@ -458,7 +589,28 @@ def parse_rules(source: str) -> RuleSet:
         if i < len(sections) and sections[i].kind == "inject":
             inject_section = sections[i]
             i += 1
-        rules.add(_build_rule(in_section, out_section, inject_section))
+        try:
+            rule = _build_rule(in_section, out_section, inject_section)
+        except RuleError as exc:
+            errors.append(_at_line(exc, in_section.line))
+            continue
+        add_rule(rule, in_section)
+    return rules, errors
+
+
+def parse_rules(source: str) -> RuleSet:
+    """Parse a rule file's text into a :class:`RuleSet`.
+
+    All problems in the file are gathered before raising: a single
+    problem raises its own :class:`RuleError`, several raise one
+    :class:`RuleFileError` whose message (and ``errors`` attribute)
+    lists every one.
+    """
+    rules, errors = parse_rules_collect(source)
+    if len(errors) == 1:
+        raise errors[0]
+    if errors:
+        raise RuleFileError(errors)
     return rules
 
 

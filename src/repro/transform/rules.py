@@ -122,6 +122,9 @@ class Rule:
     #: True for rules that match trace variables by pattern rather than
     #: exact name (the engine then routes through ``translate_named``).
     is_pattern: bool = False
+    #: 1-based file line of the rule's first section, set by the rule
+    #: parser (None for programmatically built rules).
+    source_line: Optional[int] = None
 
     def matches(self, base_name: str) -> bool:
         """Whether the rule covers a trace record's base variable."""
@@ -189,7 +192,8 @@ class LayoutRule(Rule):
             key = leaf_key(elements)
             if key in out_leaves:
                 raise RuleError(
-                    f"{self.name}: out structure has duplicate element {key}"
+                    f"{self.name}: out structure has duplicate element {key}",
+                    code="TDST005",
                 )
             out_leaves[key] = (elements, offset, leaf)
         self._map: Dict[LeafKey, Tuple[Tuple[PathElement, ...], int, int]] = {}
@@ -199,20 +203,23 @@ class LayoutRule(Rule):
             if target is None:
                 raise RuleError(
                     f"{self.name}: in element {key} has no out counterpart "
-                    "(element names and indices must match)"
+                    "(element names and indices must match)",
+                    code="TDST005",
                 )
             t_elements, t_offset, t_leaf = target
             if t_leaf.size != leaf.size:
                 raise RuleError(
                     f"{self.name}: element {key} changes size "
-                    f"{leaf.size} -> {t_leaf.size}"
+                    f"{leaf.size} -> {t_leaf.size}",
+                    code="TDST005",
                 )
             self._map[key] = (t_elements, t_offset, t_leaf.size)
         if out_leaves:
             extra = next(iter(out_leaves))
             raise RuleError(
                 f"{self.name}: out structure has {len(out_leaves)} unmatched "
-                f"element(s), e.g. {extra}"
+                f"element(s), e.g. {extra}",
+                code="TDST005",
             )
 
     def out_allocations(self) -> Tuple[OutAllocation, ...]:
@@ -578,7 +585,8 @@ class StrideRule(Rule):
     ) -> None:
         if not isinstance(in_type, ArrayType) or not in_type.element.is_scalar:
             raise RuleError(
-                f"stride rule needs a 1-D scalar array, got {in_type.c_name()}"
+                f"stride rule needs a 1-D scalar array, got {in_type.c_name()}",
+                code="TDST006",
             )
         self.in_name = in_name
         self.in_type = in_type
@@ -593,14 +601,16 @@ class StrideRule(Rule):
         if worst >= out_length:
             raise RuleError(
                 f"{self.name}: formula maps index up to {worst} but the out "
-                f"array has only {out_length} elements"
+                f"array has only {out_length} elements",
+                code="TDST008",
             )
         if not formula.is_injective(in_type.length):
             raise RuleError(
                 f"{self.name}: index formula is not injective over "
                 f"0..{in_type.length - 1} — distinct elements would alias "
                 "the same out location, so the trace would not be a sound "
-                "stand-in for the transformed program"
+                "stand-in for the transformed program",
+                code="TDST007",
             )
 
     def out_allocations(self) -> Tuple[OutAllocation, ...]:
@@ -662,19 +672,23 @@ class RuleSet:
     def add(self, rule: Rule) -> "RuleSet":
         """Add a rule, rejecting duplicates and chained (out->in) rules."""
         if rule.in_name in self.by_in_name():
-            raise RuleError(f"duplicate rule for variable {rule.in_name!r}")
+            raise RuleError(
+                f"duplicate rule for variable {rule.in_name!r}", code="TDST009"
+            )
         produced = {n for r in self.rules for n in r.out_names()}
         new_out = set(rule.out_names())
         if rule.in_name in produced or rule.in_name in new_out:
             raise RuleError(
                 f"rule input {rule.in_name!r} is produced by a rule; "
-                "mappings are not bi-directional (paper Section IV)"
+                "mappings are not bi-directional (paper Section IV)",
+                code="TDST009",
             )
         clashes = new_out & (produced | set(self.by_in_name()))
         if clashes:
             raise RuleError(
                 f"out object(s) {sorted(clashes)} collide with names other "
-                "rules already consume or produce"
+                "rules already consume or produce",
+                code="TDST009",
             )
         self.rules.append(rule)
         return self

@@ -274,8 +274,16 @@ def probe_trace_for(rules: RuleSet) -> List[TraceRecord]:
     return records
 
 
-def check_rule_mutation(mutated: str) -> str:
-    """Classify one mutated rule text.
+def lint_accepts(text: str) -> bool:
+    """Whether the static linter accepts a rule text (zero *errors*;
+    warnings and infos do not reject).  Never raises on bad input."""
+    from repro.lint import lint_rules_text
+
+    return lint_rules_text(text).ok
+
+
+def check_rule_mutation(mutated: str, *, lint_gate: bool = True) -> str:
+    """Classify one mutated rule text — differentially against the linter.
 
     Returns ``"rejected"`` (the parser or a rule constructor refused it),
     ``"transform-rejected"`` (the engine refused the probe trace),
@@ -283,10 +291,26 @@ def check_rule_mutation(mutated: str) -> str:
     ``AssertionError`` when the mutant survives to output that fails the
     soundness checker, and lets any non-:class:`ReproError` crash
     propagate — both are findings.
+
+    With ``lint_gate`` (the default) two static-vs-dynamic invariants are
+    also asserted:
+
+    - a mutant the parser rejects must carry at least one lint *error*
+      (the linter never waves through what the parser refuses);
+    - a mutant the linter *accepts* must pass the dynamic soundness
+      oracle — the linter's symbolic proof claims exactly the oracle's
+      invariants, so a lint-accepted/oracle-rejected rule is a prover
+      false negative.  (The converse is allowed: the prover covers the
+      whole element domain, the probe trace only a capped prefix.)
     """
+    linted = lint_accepts(mutated) if lint_gate else True
     try:
         rules = parse_rules(mutated)
     except ReproError:
+        assert not linted, (
+            "linter accepted a rule file the parser rejects\n"
+            f"--- mutant ---\n{mutated}"
+        )
         return "rejected"
     if not len(rules):
         return "empty"
@@ -294,10 +318,18 @@ def check_rule_mutation(mutated: str) -> str:
     try:
         result = TransformEngine(rules).transform(probe)
     except ReproError:
+        # The engine may refuse at *apply* time (e.g. probe/trace shape);
+        # that is not a soundness claim the linter makes.
         return "transform-rejected"
     report = check_transform(
         result.original, result.trace, rules, allocations=result.allocations
     )
+    if linted:
+        assert report.ok, (
+            "LINT FALSE NEGATIVE: linter-accepted rule file fails the "
+            f"dynamic soundness oracle\n--- mutant ---\n{mutated}\n"
+            f"--- report ---\n{report.summary()}"
+        )
     assert report.ok, (
         "mutated rule file survived parsing but produced an unsound "
         f"transform\n--- mutant ---\n{mutated}\n--- report ---\n"

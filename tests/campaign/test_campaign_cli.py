@@ -115,6 +115,17 @@ class TestCampaignCommand:
         spec.write_text("[campaign]\nname='x'\n[[grid]]\nkernel='1a'\nrules=['t9']\n")
         assert main(["campaign", str(spec), "--dir", str(tmp_path / "o")]) == 1
         out = capsys.readouterr().out
+        # The pre-flight lint catches it before the scheduler starts.
+        assert "error" in out and "t9" in out
+        assert "pre-flight" in out
+        # --no-lint falls through to the spec loader's own clean error.
+        assert (
+            main(
+                ["campaign", str(spec), "--no-lint", "--dir", str(tmp_path / "o")]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
         assert out.startswith("error:")
         assert "t9" in out
 
@@ -132,11 +143,14 @@ class TestCampaignCommand:
             "[[grid]]\nkernel='1a'\nlength=64\n"
             f"rules=['baseline', 'file:{bad}']\n"
         )
+        # --no-lint: the pre-flight would (correctly) reject the broken
+        # rule file up front; this test is about *runtime* job failures.
         assert (
             main(
                 [
                     "campaign",
                     str(spec),
+                    "--no-lint",
                     "--dir",
                     str(tmp_path / "out"),
                     "--backoff",

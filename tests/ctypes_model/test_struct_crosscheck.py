@@ -1,0 +1,189 @@
+"""Cross-check ctypes_model layouts against the Python stdlib.
+
+Our SysV layout engine (offsets, padding, total size, alignment) must
+agree byte-for-byte with two independent implementations shipped with
+CPython: the :mod:`ctypes` FFI layer (which asks libffi for the real
+platform ABI) and the :mod:`struct` module's native-mode size/alignment
+rules.  Hypothesis generates random nested struct/array shapes; golden
+tests pin the structures from the paper's Listing 3 and Listing 6.
+"""
+
+import ctypes as stdlib_ctypes
+import struct as stdlib_struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ctypes_model.types import (
+    ArrayType,
+    BOOL,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    PrimitiveType,
+    SHORT,
+    StructType,
+    UCHAR,
+    UINT,
+    ULONG,
+    USHORT,
+    primitive,
+)
+
+pytestmark = pytest.mark.lint
+
+_SETTINGS = settings(
+    max_examples=100, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# Our model fixes sizes to the x86-64/PPC64 SysV values; stdlib ctypes
+# reflects the host ABI.  Only cross-check primitives where they agree.
+_STDLIB_EQUIV = {
+    "char": (stdlib_ctypes.c_char, "c"),
+    "unsigned char": (stdlib_ctypes.c_ubyte, "B"),
+    "short": (stdlib_ctypes.c_short, "h"),
+    "unsigned short": (stdlib_ctypes.c_ushort, "H"),
+    "int": (stdlib_ctypes.c_int, "i"),
+    "unsigned int": (stdlib_ctypes.c_uint, "I"),
+    "long": (stdlib_ctypes.c_long, "l"),
+    "unsigned long": (stdlib_ctypes.c_ulong, "L"),
+    "float": (stdlib_ctypes.c_float, "f"),
+    "double": (stdlib_ctypes.c_double, "d"),
+    "_Bool": (stdlib_ctypes.c_bool, "?"),
+}
+
+_CROSSCHECKABLE = [
+    prim
+    for prim in (
+        CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, ULONG, FLOAT, DOUBLE,
+        BOOL,
+    )
+    if stdlib_ctypes.sizeof(_STDLIB_EQUIV[prim.name][0]) == prim.size
+]
+
+_PRIMS = st.sampled_from(_CROSSCHECKABLE)
+_IDENT = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,6}", fullmatch=True)
+
+
+def to_stdlib(ctype):
+    """Translate one of our CTypes into the stdlib ctypes equivalent."""
+    if isinstance(ctype, PrimitiveType):
+        return _STDLIB_EQUIV[ctype.name][0]
+    if isinstance(ctype, ArrayType):
+        return to_stdlib(ctype.element) * ctype.length
+    if isinstance(ctype, StructType):
+        fields = [(f.name, to_stdlib(f.ctype)) for f in ctype.fields]
+        return type(
+            "X", (stdlib_ctypes.Structure,), {"_fields_": fields}
+        )
+    raise TypeError(ctype)
+
+
+@st.composite
+def model_types(draw, depth: int = 2):
+    if depth == 0:
+        return draw(_PRIMS)
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(_PRIMS)
+    if kind == 1:
+        return ArrayType(
+            draw(model_types(depth=depth - 1)), draw(st.integers(1, 5))
+        )
+    n = draw(st.integers(1, 4))
+    names = draw(st.lists(_IDENT, min_size=n, max_size=n, unique=True))
+    members = [(name, draw(model_types(depth=depth - 1))) for name in names]
+    return StructType("S", members)
+
+
+class TestAgainstStdlibCtypes:
+    @given(model_types())
+    @_SETTINGS
+    def test_size_and_alignment_match(self, ctype):
+        ct = to_stdlib(ctype)
+        assert stdlib_ctypes.sizeof(ct) == ctype.size
+        assert stdlib_ctypes.alignment(ct) == ctype.alignment
+
+    @given(model_types(depth=2))
+    @_SETTINGS
+    def test_struct_member_offsets_match(self, ctype):
+        if not isinstance(ctype, StructType):
+            return
+        ct = to_stdlib(ctype)
+        for f in ctype.fields:
+            assert getattr(ct, f.name).offset == f.offset, f.name
+
+
+class TestAgainstStructModule:
+    @given(_PRIMS)
+    @_SETTINGS
+    def test_primitive_size_matches_calcsize(self, prim):
+        fmt = _STDLIB_EQUIV[prim.name][1]
+        assert stdlib_struct.calcsize(fmt) == prim.size
+
+    @given(st.lists(_PRIMS, min_size=1, max_size=6))
+    @_SETTINGS
+    def test_flat_struct_size_matches_native_packing(self, prims):
+        # struct's native mode applies the same align-then-place rule,
+        # with "0<code>" forcing the trailing struct padding.
+        members = [(f"m{i}", p) for i, p in enumerate(prims)]
+        ours = StructType("S", members)
+        widest = max(prims, key=lambda p: p.alignment)
+        fmt = "".join(_STDLIB_EQUIV[p.name][1] for p in prims)
+        fmt += f"0{_STDLIB_EQUIV[widest.name][1]}"
+        assert stdlib_struct.calcsize(fmt) == ours.size
+
+
+class TestPaperGoldens:
+    """Listing 3 / Listing 6 structures with hand-computed layouts."""
+
+    def test_listing3_soa_struct(self):
+        # T1 input: struct lSoA { int mX[16]; double mY[16]; };
+        soa = StructType(
+            "lSoA",
+            [("mX", ArrayType(INT, 16)), ("mY", ArrayType(DOUBLE, 16))],
+        )
+        assert soa.member("mX").offset == 0
+        assert soa.member("mY").offset == 64
+        assert soa.size == 192
+        assert soa.alignment == 8
+        ct = to_stdlib(soa)
+        assert stdlib_ctypes.sizeof(ct) == 192
+        assert ct.mY.offset == 64
+
+    def test_listing6_outline_structs(self):
+        # T2: struct mRarelyUsed { double mY; int mZ; };
+        #     struct lS1 { int mFrequentlyUsed; struct mRarelyUsed mR; };
+        rarely = StructType("mRarelyUsed", [("mY", DOUBLE), ("mZ", INT)])
+        assert rarely.size == 16 and rarely.alignment == 8
+        outer = StructType(
+            "lS1", [("mFrequentlyUsed", INT), ("mR", rarely)]
+        )
+        assert outer.member("mFrequentlyUsed").offset == 0
+        assert outer.member("mR").offset == 8
+        assert outer.size == 24
+        ct = to_stdlib(outer)
+        assert stdlib_ctypes.sizeof(ct) == 24
+        assert ct.mR.offset == 8
+
+    def test_goldens_match_the_declaration_parser(self):
+        # The same structures via the C declaration front-end.
+        from repro.ctypes_model.parser import parse_declarations
+
+        decls = parse_declarations(
+            "struct lSoA { int mX[16]; double mY[16]; } lIn;\n"
+            "struct mRarelyUsed { double mY; int mZ; };\n"
+            "struct lS1 { int mFrequentlyUsed;"
+            " struct mRarelyUsed mR; } lOut;\n"
+        )
+        assert decls.variables["lIn"].size == 192
+        assert decls.variables["lOut"].size == 24
+
+    def test_primitive_registry_matches_sysv(self):
+        for name, (ct, fmt) in _STDLIB_EQUIV.items():
+            ours = primitive(name)
+            if stdlib_ctypes.sizeof(ct) == ours.size:
+                assert stdlib_ctypes.alignment(ct) == ours.alignment, name

@@ -1,0 +1,142 @@
+"""`tdst lint` CLI surface and the mandatory campaign pre-flight."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.lint
+
+VALID_RULES = """\
+in:
+struct lSoA {
+    int mX[8];
+    double mY[8];
+};
+out:
+struct lAoS {
+    int mX;
+    double mY;
+}[8];
+"""
+
+BROKEN_RULES = "in:\nint lA[8];\n"  # no out: section -> TDST001
+
+SPEC = """\
+[campaign]
+name = "cli-test"
+
+[[caches]]
+size = 32768
+block = 32
+assoc = 1
+
+[[grid]]
+kernel = "1a"
+length = 64
+rules = [{rules}]
+"""
+
+
+@pytest.fixture
+def good_rules(tmp_path):
+    path = tmp_path / "good.rules"
+    path.write_text(VALID_RULES)
+    return path
+
+
+@pytest.fixture
+def bad_rules(tmp_path):
+    path = tmp_path / "bad.rules"
+    path.write_text(BROKEN_RULES)
+    return path
+
+
+def test_clean_file_exits_zero(good_rules, capsys):
+    assert main(["lint", str(good_rules)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_errors_exit_one_with_code(bad_rules, capsys):
+    assert main(["lint", str(bad_rules)]) == 1
+    assert "TDST001" in capsys.readouterr().out
+
+
+def test_unreadable_path_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "missing.rules")]) == 2
+    assert "error: cannot read" in capsys.readouterr().out
+
+
+def test_directory_is_recursed(tmp_path, good_rules, bad_rules, capsys):
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.rules" in out and "TDST001" in out
+
+
+def test_strict_promotes_warnings(tmp_path):
+    # A pool pattern shadowed by an exact rule is a warning (TDST012).
+    path = tmp_path / "shadow.rules"
+    path.write_text(
+        "pool:\n"
+        "struct Node { int mV; };\n"
+        "objects lA* : nodePool[8];\n"
+        "in:\nint lAxis[8];\nout:\nint lAxisOut[8((lI*2))];\n"
+    )
+    assert main(["lint", str(path)]) == 0
+    assert main(["lint", "--strict", str(path)]) == 1
+
+
+def test_sarif_output_file(good_rules, tmp_path):
+    out = tmp_path / "lint.sarif"
+    assert main(["lint", str(good_rules), "--format", "sarif", "-o", str(out)]) == 0
+    sarif = json.loads(out.read_text())
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["tool"]["driver"]["name"] == "tdst-lint"
+
+
+def test_json_format(bad_rules, capsys):
+    assert main(["lint", str(bad_rules), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "tdst-lint/1"
+    assert payload["diagnostics"][0]["code"] == "TDST001"
+
+
+class TestCampaignPreflight:
+    def spec(self, tmp_path, rules='"baseline"'):
+        path = tmp_path / "c.toml"
+        path.write_text(SPEC.format(rules=rules))
+        return path
+
+    def test_bad_rule_ref_blocks_campaign(self, tmp_path, capsys):
+        spec = self.spec(tmp_path, rules='"file:nowhere.rules"')
+        assert main(["campaign", str(spec), "--dir", str(tmp_path / "o")]) == 1
+        out = capsys.readouterr().out
+        assert "pre-flight" in out and "TDST021" in out
+        assert "--no-lint" in out
+
+    def test_broken_spec_blocks_campaign(self, tmp_path, capsys):
+        spec = tmp_path / "c.toml"
+        spec.write_text("[campaign\n")
+        assert main(["campaign", str(spec), "--dir", str(tmp_path / "o")]) == 1
+        assert "TDST020" in capsys.readouterr().out
+
+    def test_clean_spec_passes_preflight(self, tmp_path, capsys):
+        spec = self.spec(tmp_path)
+        rc = main(
+            ["campaign", str(spec), "--dir", str(tmp_path / "o"), "--jobs", "1"]
+        )
+        assert rc == 0
+        assert "pre-flight" not in capsys.readouterr().out
+
+    def test_no_lint_skips_preflight(self, tmp_path, capsys):
+        # The ref is missing, so the job itself fails downstream -- with
+        # the runner's own error, not the linter's.
+        spec = self.spec(tmp_path, rules='"file:nowhere.rules"')
+        rc = main(
+            ["campaign", str(spec), "--no-lint", "--dir", str(tmp_path / "o")]
+        )
+        out = capsys.readouterr().out
+        assert rc != 0
+        assert "pre-flight" not in out
+        assert "FileNotFoundError" in out

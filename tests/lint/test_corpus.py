@@ -1,0 +1,96 @@
+"""Corpus acceptance: every bad file flagged with a stable code, every
+valid file (and the paper's rule sets) accepted with zero errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.lint import lint_file, lint_rules_text
+from repro.transform.paper_rules import (
+    RULE_T1_SOA_TO_AOS,
+    RULE_T2_OUTLINE,
+    RULE_T3_STRIDE,
+)
+
+pytestmark = pytest.mark.lint
+
+CORPUS = Path(__file__).parent.parent / "data" / "rules"
+
+#: The stable diagnostic code each bad-corpus file must be flagged with.
+#: This mapping IS the contract: a code change here is a breaking change.
+EXPECTED_CODES = {
+    "bad_inject_line.rules": "TDST004",
+    "broken_c.rules": "TDST002",
+    "element_size_change.rules": "TDST005",
+    "inject_on_layout.rules": "TDST004",
+    "missing_out.rules": "TDST001",
+    "no_sections.rules": "TDST001",
+    "noninjective_formula.rules": "TDST007",
+    "out_before_in.rules": "TDST001",
+    "self_mapping.rules": "TDST009",
+    "stride_alias_missing_target.rules": "TDST006",
+    "stride_no_formula.rules": "TDST006",
+    "unbalanced_formula.rules": "TDST003",
+    "unmatched_element.rules": "TDST005",
+}
+
+
+def bad_files():
+    return sorted((CORPUS / "bad").glob("*.rules"))
+
+
+def valid_files():
+    return sorted((CORPUS / "valid").glob("*.rules"))
+
+
+def test_corpus_is_complete():
+    assert len(bad_files()) == 13
+    assert len(valid_files()) == 7
+    assert {p.name for p in bad_files()} == set(EXPECTED_CODES)
+
+
+@pytest.mark.parametrize("path", bad_files(), ids=lambda p: p.name)
+def test_every_bad_file_flagged_with_stable_code(path):
+    report = lint_file(path)
+    assert report.errors, f"{path.name} passed lint but is a bad-corpus file"
+    codes = {d.code for d in report.errors}
+    assert EXPECTED_CODES[path.name] in codes, (
+        f"{path.name}: expected {EXPECTED_CODES[path.name]}, got {codes}"
+    )
+    # Errors point at the file (SARIF needs the artifact URI).
+    assert all(d.path == str(path) for d in report.errors)
+
+
+@pytest.mark.parametrize("path", valid_files(), ids=lambda p: p.name)
+def test_every_valid_file_accepted(path):
+    report = lint_file(path)
+    assert not report.errors, [d.render() for d in report.errors]
+
+
+@pytest.mark.parametrize(
+    "name,text",
+    [
+        ("t1", RULE_T1_SOA_TO_AOS.format(length=1024)),
+        ("t2", RULE_T2_OUTLINE.format(length=1024)),
+        (
+            "t3",
+            RULE_T3_STRIDE.format(
+                length=1024, out_length=16384, ipl=8, sets=16
+            ),
+        ),
+    ],
+)
+def test_paper_rule_sets_lint_clean(name, text):
+    config = (
+        CacheConfig.ppc440() if name == "t3" else CacheConfig.paper_direct_mapped()
+    )
+    report = lint_rules_text(text, cache_config=config)
+    assert not report.errors, [d.render() for d in report.errors]
+
+
+def test_paper_t3_reports_pinning_info():
+    text = RULE_T3_STRIDE.format(length=1024, out_length=16384, ipl=8, sets=16)
+    report = lint_rules_text(text, cache_config=CacheConfig.ppc440())
+    pins = [d for d in report if d.code == "TDST030"]
+    assert pins and "lSetHashingArray" in pins[0].message

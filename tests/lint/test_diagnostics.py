@@ -1,0 +1,123 @@
+"""Diagnostic model: codes, severities, reports, classification."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.lint.diagnostics import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    from_rule_error,
+    summarize,
+)
+
+pytestmark = pytest.mark.lint
+
+
+class TestCatalogue:
+    def test_codes_are_stable_and_well_formed(self):
+        for code, info in CODES.items():
+            assert code == info.code
+            assert code.startswith("TDST") and len(code) == 7
+            assert info.severity in ("error", "warning", "info")
+            assert info.title
+
+    def test_known_codes_present(self):
+        # The published catalogue is append-only; these must never vanish.
+        for code in (
+            "TDST001", "TDST002", "TDST003", "TDST004", "TDST005",
+            "TDST006", "TDST007", "TDST008", "TDST009", "TDST010",
+            "TDST011", "TDST012", "TDST013", "TDST014", "TDST015",
+            "TDST020", "TDST021", "TDST022", "TDST023",
+            "TDST030", "TDST031",
+        ):
+            assert code in CODES
+
+
+class TestDiagnostic:
+    def test_severity_defaults_from_code(self):
+        assert Diagnostic("TDST007", "x").severity == "error"
+        assert Diagnostic("TDST011", "x").severity == "warning"
+        assert Diagnostic("TDST030", "x").severity == "info"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("TDST999", "x")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Diagnostic("TDST007", "x", severity="fatal")
+
+    def test_render_gcc_style(self):
+        d = Diagnostic("TDST007", "boom", path="a.rules", line=3, column=7)
+        assert d.render() == "a.rules:3:7: error TDST007: boom"
+
+    def test_render_hint_on_second_line(self):
+        d = Diagnostic("TDST011", "dead", hint="remove it")
+        text = d.render()
+        assert "hint: remove it" in text
+        assert text.splitlines()[0].endswith("dead")
+
+    def test_with_path_does_not_overwrite(self):
+        d = Diagnostic("TDST007", "x", path="a.rules")
+        assert d.with_path("b.rules").path == "a.rules"
+        assert Diagnostic("TDST007", "x").with_path("b.rules").path == "b.rules"
+
+
+class TestLintReport:
+    def test_counts_and_ok(self):
+        r = LintReport()
+        assert r.ok and not len(r)
+        r.add(Diagnostic("TDST011", "w"))
+        assert r.ok  # warnings do not fail
+        r.add(Diagnostic("TDST007", "e"))
+        assert not r.ok
+        assert r.counts() == {"error": 1, "warning": 1, "info": 0}
+
+    def test_extend_merges_files_once(self):
+        a, b = LintReport(), LintReport()
+        a.note_file("x.rules")
+        b.note_file("x.rules")
+        b.note_file("y.rules")
+        b.add(Diagnostic("TDST007", "e"))
+        a.extend(b)
+        assert a.files == ["x.rules", "y.rules"]
+        assert len(a) == 1
+
+    def test_sorted_orders_by_file_then_line(self):
+        r = LintReport()
+        r.add(Diagnostic("TDST007", "b", path="b.rules", line=1))
+        r.add(Diagnostic("TDST007", "a2", path="a.rules", line=9))
+        r.add(Diagnostic("TDST007", "a1", path="a.rules", line=2))
+        assert [d.message for d in r.sorted()] == ["a1", "a2", "b"]
+
+    def test_codes_in_catalogue_order(self):
+        r = LintReport()
+        r.add(Diagnostic("TDST011", "w"))
+        r.add(Diagnostic("TDST001", "e"))
+        assert r.codes() == ["TDST001", "TDST011"]
+
+
+class TestClassification:
+    def test_coded_error_passes_through(self):
+        d = from_rule_error(RuleError("bad", line=4, code="TDST009"))
+        assert d.code == "TDST009" and d.line == 4
+        assert not d.message.startswith("line 4")
+
+    def test_uncoded_error_classified_by_pattern(self):
+        assert from_rule_error(RuleError("formula is not injective")).code == "TDST007"
+        assert from_rule_error(RuleError("mappings are not bi-directional")).code == "TDST009"
+
+    def test_unclassifiable_falls_back(self):
+        d = from_rule_error(RuleError("mystery"))
+        assert d.code in CODES and d.severity == "error"
+
+
+def test_summarize_wording():
+    r = LintReport()
+    r.note_file("a.rules")
+    assert summarize(r) == "no findings in 1 file"
+    r.add(Diagnostic("TDST007", "e"))
+    r.add(Diagnostic("TDST011", "w"))
+    r.add(Diagnostic("TDST011", "w2"))
+    assert summarize(r) == "1 error, 2 warnings in 1 file"

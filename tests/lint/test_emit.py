@@ -1,0 +1,90 @@
+"""Text/JSON/SARIF emitters."""
+
+import json
+
+import pytest
+
+from repro.lint.diagnostics import CODES, Diagnostic, LintReport
+from repro.lint.emit import render, render_text, to_json, to_sarif, write_report
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.fixture
+def report():
+    r = LintReport()
+    r.note_file("a.rules")
+    r.note_file("b.toml")
+    r.add(Diagnostic("TDST007", "not injective", path="a.rules", line=4))
+    r.add(Diagnostic("TDST030", "pins sets", path="a.rules"))
+    r.add(Diagnostic("TDST022", "dup point", path="b.toml", hint="drop it"))
+    return r
+
+
+def test_render_text(report):
+    text = render_text(report)
+    assert "a.rules:4: error TDST007: not injective" in text
+    assert text.splitlines()[-1] == "1 error, 1 warning, 1 info in 2 files"
+
+
+def test_to_json_schema(report):
+    doc = to_json(report)
+    assert doc["schema"] == "tdst-lint/1"
+    assert doc["files"] == ["a.rules", "b.toml"]
+    assert doc["summary"] == {"error": 1, "warning": 1, "info": 1}
+    # sorted(): a.rules whole-file info before a.rules:4, then b.toml
+    codes = [d["code"] for d in doc["diagnostics"]]
+    assert codes == ["TDST030", "TDST007", "TDST022"]
+    by_code = {d["code"]: d for d in doc["diagnostics"]}
+    assert by_code["TDST007"]["line"] == 4
+    assert by_code["TDST022"]["hint"] == "drop it"
+    json.dumps(doc)  # must be serialisable
+
+
+class TestSarif:
+    def test_document_shape(self, report):
+        doc = to_sarif(report)
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "tdst-lint"
+
+    def test_rule_catalogue_embedded(self, report):
+        rules = to_sarif(report)["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"] for r in rules} == set(CODES)
+        by_id = {r["id"]: r for r in rules}
+        assert by_id["TDST030"]["defaultConfiguration"]["level"] == "note"
+        assert by_id["TDST007"]["defaultConfiguration"]["level"] == "error"
+
+    def test_results_carry_location_and_level(self, report):
+        results = to_sarif(report)["runs"][0]["results"]
+        assert len(results) == 3
+        r7 = next(r for r in results if r["ruleId"] == "TDST007")
+        assert r7["level"] == "error"
+        loc = r7["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "a.rules"
+        assert loc["region"]["startLine"] == 4
+
+    def test_hint_folded_into_message(self, report):
+        results = to_sarif(report)["runs"][0]["results"]
+        r22 = next(r for r in results if r["ruleId"] == "TDST022")
+        assert "hint: drop it" in r22["message"]["text"]
+
+    def test_artifacts_list_files(self, report):
+        artifacts = to_sarif(report)["runs"][0]["artifacts"]
+        assert [a["location"]["uri"] for a in artifacts] == ["a.rules", "b.toml"]
+
+
+def test_render_dispatch_and_unknown_format(report):
+    assert render(report, "text") == render_text(report)
+    assert json.loads(render(report, "json"))["schema"] == "tdst-lint/1"
+    assert json.loads(render(report, "sarif"))["version"] == "2.1.0"
+    with pytest.raises(ValueError, match="unknown lint output format"):
+        render(report, "xml")
+
+
+def test_write_report_to_file(report, tmp_path):
+    out = tmp_path / "report.sarif"
+    write_report(report, "sarif", str(out))
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"

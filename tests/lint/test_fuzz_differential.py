@@ -1,0 +1,49 @@
+"""The differential acceptance gate: static lint vs the dynamic oracle.
+
+200 deterministically mutated rule files are pushed through
+:func:`check_rule_mutation` with the lint gate on.  The gate asserts,
+per mutant, that (a) a parser-rejected file always carries a lint
+error and (b) a lint-accepted file always passes the dynamic
+soundness oracle.  Any violation raises inside the check, so the test
+body only has to drive the loop.
+"""
+
+import random
+
+import pytest
+
+from repro.verify.fuzz import SEED_RULES, check_rule_mutation, mutate_text
+
+pytestmark = [pytest.mark.lint, pytest.mark.fuzz]
+
+N_MUTANTS = 200
+SEED = 20260806
+
+
+@pytest.mark.slow
+def test_differential_gate_200_mutants():
+    rng = random.Random(SEED)
+    seeds = list(SEED_RULES.values())
+    outcomes = {}
+    for _ in range(N_MUTANTS):
+        text = rng.choice(seeds)
+        for _ in range(rng.randint(1, 3)):
+            text = mutate_text(
+                text,
+                rng.randint(0, 4),
+                rng.randint(0, 10000),
+                rng.randint(0, 10000),
+            )
+        outcome = check_rule_mutation(text, lint_gate=True)
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    # The mix must exercise both sides of the gate: some mutants the
+    # parser rejects (lint must flag) and some that survive to a sound
+    # transform (lint must not have false-negatived on the way).
+    assert outcomes.get("rejected", 0) > 0
+    assert outcomes.get("sound", 0) > 0
+    assert sum(outcomes.values()) == N_MUTANTS
+
+
+def test_seed_rules_lint_clean_and_sound():
+    for name, text in SEED_RULES.items():
+        assert check_rule_mutation(text, lint_gate=True) == "sound", name

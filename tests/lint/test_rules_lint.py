@@ -1,0 +1,206 @@
+"""Semantic rule checks: multi-error collection, model cross-check,
+shadowing, identity rules, and the symbolic prover's invariants."""
+
+import pytest
+
+from repro.ctypes_model.parser import parse_declarations
+from repro.ctypes_model.types import INT, ArrayType
+from repro.lint import lint_rules_text
+from repro.lint.symbolic import (
+    PlannedAllocation,
+    RuleImage,
+    TargetInterval,
+    plan_allocations,
+    prove_rule,
+    rule_image,
+)
+from repro.transform.rule_parser import parse_rules
+from repro.transform.rules import StrideRule
+from repro.transform.formula import IndexFormula
+
+pytestmark = pytest.mark.lint
+
+T1 = """\
+in:
+struct lSoA {
+    int mX[16];
+    double mY[16];
+};
+out:
+struct lAoS {
+    int mX;
+    double mY;
+}[16];
+"""
+
+IDENTITY = "in:\nint lA[8];\nout:\nint lB[8];\n"
+
+TWO_BROKEN = """\
+in:
+int lA[8]:lB;
+out:
+int lB[4((lI*2))];
+in:
+struct lC { int mX[4]; };
+out:
+struct lD { int mY; }[4];
+"""
+
+
+class TestMultiError:
+    def test_all_problems_reported_not_just_first(self):
+        report = lint_rules_text(TWO_BROKEN)
+        codes = sorted(d.code for d in report.errors)
+        # Rule 1: formula maps 0..14 into 4 elements (TDST008);
+        # rule 2: mX has no mY counterpart (TDST005).
+        assert codes == ["TDST005", "TDST008"]
+
+    def test_errors_carry_distinct_lines(self):
+        report = lint_rules_text(TWO_BROKEN)
+        lines = sorted(d.line for d in report.errors if d.line)
+        assert len(lines) == 2 and lines[0] != lines[1]
+
+
+class TestModelCrossCheck:
+    MODEL = """\
+struct MySoA {
+    int mX[16];
+    double mY[16];
+};
+struct MySoA lSoA;
+int lOther[64];
+"""
+
+    def test_clean_when_model_matches(self):
+        model = parse_declarations(self.MODEL)
+        report = lint_rules_text(T1, model=model)
+        assert not report.errors, [d.render() for d in report.errors]
+
+    def test_undeclared_variable_is_tdst013(self):
+        model = parse_declarations("int lUnrelated[4];")
+        report = lint_rules_text(T1, model=model)
+        assert [d.code for d in report.errors] == ["TDST013"]
+        assert "lSoA" in report.errors[0].message
+
+    def test_size_mismatch_is_tdst013(self):
+        model = parse_declarations(
+            "struct MySoA { int mX[8]; double mY[8]; };\nstruct MySoA lSoA;"
+        )
+        report = lint_rules_text(T1, model=model)
+        assert any(
+            d.code == "TDST013" and "bytes" in d.message for d in report.errors
+        )
+
+    def test_path_layout_mismatch_is_tdst013(self):
+        # Same total size, fields swapped: every path resolves to a
+        # different offset than the rule assumes.
+        model = parse_declarations(
+            "struct MySoA { double mY[16]; int mX[16]; };\nstruct MySoA lSoA;"
+        )
+        report = lint_rules_text(T1, model=model)
+        assert any(d.code == "TDST013" for d in report.errors)
+
+
+class TestSemantic:
+    def test_identity_rule_is_tdst011(self):
+        report = lint_rules_text(IDENTITY)
+        assert [d.code for d in report] == ["TDST011"]
+        assert report.ok  # a warning, not an error
+
+    def test_real_relayout_is_not_identity(self):
+        report = lint_rules_text(T1)
+        assert not [d for d in report if d.code == "TDST011"]
+
+    def test_pattern_shadowed_by_exact_rule_is_tdst012(self):
+        text = (
+            "pool:\n"
+            "struct Node { int mV; };\n"
+            "objects lA* : nodePool[8];\n"
+            "in:\nint lAxis[8];\nout:\nint lAxisOut[8((lI*2))];\n"
+        )
+        report = lint_rules_text(text)
+        shadows = [d for d in report if d.code == "TDST012"]
+        assert shadows and "lAxis" in shadows[0].message
+
+
+class TestSymbolicProver:
+    def test_duplicate_allocation_is_tdst010(self):
+        # The inject scalar reuses the out array's name: parses fine,
+        # but the arena would allocate the name twice.
+        text = (
+            "in:\nint lA[8]:lB;\n"
+            "out:\nint lB[16((lI*2))];\n"
+            "inject:\nL lB 4\n"
+        )
+        report = lint_rules_text(text)
+        assert any(d.code == "TDST010" for d in report.errors)
+
+    def test_out_of_bounds_insert_is_tdst010(self):
+        rule = StrideRule(
+            "lA", ArrayType(INT, 8), "lB", 16, IndexFormula("(lI*2)")
+        )
+        image = rule_image(rule)
+        # Corrupt the image: pretend one insert lands past the array.
+        image.inserts.append(
+            TargetInterval("lB", 60, 8, 4, "<synthetic>", 0)
+        )
+        planned = {
+            "lB": PlannedAllocation("lB", 0x1000, 64, 4, rule.name)
+        }
+        diags = prove_rule(image, planned)
+        assert any(d.code == "TDST010" for d in diags)
+
+    def test_misaligned_leaf_is_tdst015(self):
+        rule = StrideRule(
+            "lA", ArrayType(INT, 4), "lB", 8, IndexFormula("(lI*2)")
+        )
+        image = rule_image(rule)
+        # A base the engine would never pick: 2-byte aligned arena.
+        planned = {"lB": PlannedAllocation("lB", 0x1002, 32, 4, rule.name)}
+        diags = prove_rule(image, planned)
+        assert any(d.code == "TDST015" for d in diags)
+
+    def test_overlap_is_tdst010(self):
+        rule = StrideRule(
+            "lA", ArrayType(INT, 4), "lB", 8, IndexFormula("(lI*2)")
+        )
+        image = rule_image(rule)
+        image.targets.append(TargetInterval("lB", 1, 4, 4, "<evil>", 0))
+        planned = {"lB": PlannedAllocation("lB", 0x1000, 32, 4, rule.name)}
+        diags = prove_rule(image, planned)
+        assert any(
+            d.code == "TDST010" and "not injective" in d.message for d in diags
+        )
+
+    def test_clean_rule_proves_clean(self):
+        rules = parse_rules(T1)
+        planned, diags = plan_allocations(rules)
+        assert not diags
+        for rule in rules:
+            image = rule_image(rule)
+            assert image is not None
+            assert prove_rule(image, planned) == []
+
+    def test_image_covers_every_leaf(self):
+        rules = parse_rules(T1)
+        (rule,) = list(rules)
+        image = rule_image(rule)
+        assert len(image.targets) == 32  # 16 ints + 16 doubles
+        assert not image.truncated
+
+
+def test_telemetry_counters_and_phases(tmp_path):
+    from repro.obsv import get_telemetry
+
+    tele = get_telemetry()
+    tele.reset()
+    tele.enable()
+    try:
+        lint_rules_text(TWO_BROKEN)
+        counts = tele.counters()
+        assert counts.get("lint.diagnostics.error") == 2
+        names = {s["name"] for s in tele.snapshot()["spans"]}
+    finally:
+        tele.disable()
+        tele.reset()
+    assert {"lint.parse", "lint.semantic", "lint.prove"} <= names

@@ -1,0 +1,106 @@
+"""Static cache-set analysis vs the dynamic simulator.
+
+The acceptance bar: the static set-pinning prediction must match the
+dynamic simulator's per-set occupancy for the golden T3 configuration
+(paper kernel 3a at length 1024 on the PPC440 geometry).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate
+from repro.ctypes_model.types import INT, ArrayType
+from repro.lint import predicted_conflicts, set_footprints
+from repro.lint.setconflict import SetFootprint
+from repro.tracer.interp import trace_program
+from repro.transform.engine import TransformEngine
+from repro.transform.formula import IndexFormula
+from repro.transform.paper_rules import RULE_T3_STRIDE
+from repro.transform.rule_parser import parse_rules
+from repro.transform.rules import RuleSet, StrideRule
+from repro.workloads.paper_kernels import paper_kernel
+
+pytestmark = pytest.mark.lint
+
+PPC440 = CacheConfig.ppc440()
+
+
+def t3_rules(length=1024):
+    return parse_rules(
+        RULE_T3_STRIDE.format(
+            length=length, out_length=length * 16, ipl=8, sets=16
+        )
+    )
+
+
+class TestGoldenT3:
+    @pytest.fixture(scope="class")
+    def dynamic(self):
+        trace = trace_program(paper_kernel("3a", length=1024))
+        rules = t3_rules()
+        result = TransformEngine(rules).transform(trace)
+        sim = simulate(result.trace, PPC440, attribution="base")
+        return rules, sim
+
+    def test_static_prediction_matches_dynamic_occupancy(self, dynamic):
+        rules, sim = dynamic
+        static = set_footprints(rules, PPC440)["lSetHashingArray"]
+        counts = sim.stats.per_var_set["lSetHashingArray"]
+        dynamic_sets = set(
+            np.nonzero(counts.hits + counts.misses)[0].tolist()
+        )
+        assert set(static.sets) == dynamic_sets
+
+    def test_t3_pins_one_set_with_all_lines(self, dynamic):
+        rules, _ = dynamic
+        static = set_footprints(rules, PPC440)["lSetHashingArray"]
+        # 1024 ints * 4B / 32B line = 128 distinct lines, all in one set:
+        # the paper's set-pinning transformation, predicted statically.
+        assert static.pinned(PPC440)
+        assert static.sets == (0,)
+        assert static.total_lines == 128
+
+    def test_contiguous_original_would_spread(self, dynamic):
+        rules, _ = dynamic
+        static = set_footprints(rules, PPC440)["lSetHashingArray"]
+        assert static.contiguous_sets(PPC440) == PPC440.n_sets
+
+
+class TestFootprintMath:
+    def test_footprint_counts_distinct_lines_per_set(self):
+        # 8 ints mapped by (lI*2): offsets 0,8,...,56 -> 2 lines of 32B
+        rules = RuleSet().add(
+            StrideRule("lA", ArrayType(INT, 8), "lB", 16, IndexFormula("(lI*2)"))
+        )
+        config = CacheConfig(size=256, block_size=32, associativity=1)
+        fp = set_footprints(rules, config)["lB"]
+        assert fp.total_lines == 2
+
+    def test_pinned_requires_concentration(self):
+        fp = SetFootprint("x", 0, 1024, {0: 4, 1: 4})
+        config = CacheConfig(size=256, block_size=32, associativity=1)
+        # contiguous 1024B = 32 blocks over 8 sets; touching 2 is pinned
+        assert fp.pinned(config)
+        full = SetFootprint(
+            "y", 0, 256, {s: 1 for s in range(config.n_sets)}
+        )
+        assert not full.pinned(config)
+
+    def test_conflicts_flag_overfilled_shared_sets(self):
+        config = CacheConfig(size=256, block_size=32, associativity=2)
+        footprints = {
+            "a": SetFootprint("a", 0, 64, {0: 2}),
+            "b": SetFootprint("b", 0, 64, {0: 1}),
+            "c": SetFootprint("c", 0, 64, {3: 1}),
+        }
+        conflicts = predicted_conflicts(footprints, config)
+        assert conflicts == [("a", "b", [0])]
+
+    def test_disjoint_sets_do_not_conflict(self):
+        config = CacheConfig(size=256, block_size=32, associativity=1)
+        footprints = {
+            "a": SetFootprint("a", 0, 64, {0: 9}),
+            "b": SetFootprint("b", 0, 64, {1: 9}),
+        }
+        assert predicted_conflicts(footprints, config) == []

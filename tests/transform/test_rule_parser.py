@@ -10,9 +10,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.errors import ReproError, RuleError
+from repro.errors import ReproError, RuleError, RuleFileError
 from repro.ctypes_model.path import Field, Index
-from repro.transform.rule_parser import parse_rules, parse_rules_file
+from repro.transform.rule_parser import (
+    parse_rules,
+    parse_rules_collect,
+    parse_rules_file,
+)
 from repro.transform.rules import LayoutRule, OutlineRule, StrideRule
 
 RULE_CORPUS = Path(__file__).resolve().parent.parent / "data" / "rules"
@@ -199,6 +203,67 @@ struct lSame {
 """
         with pytest.raises(RuleError, match="bi-directional"):
             parse_rules(text)
+
+
+class TestCollectAndPositions:
+    """parse_rules_collect reports every broken rule with its file line."""
+
+    # Two broken rules (bad formula at out line, stride without formula)
+    # sandwiched around one valid rule; the valid one must still parse.
+    MIXED = (
+        "in:\n"                      # 1
+        "int lA[8]:lB;\n"            # 2
+        "out:\n"                     # 3
+        "int lB[64((lI*]);\n"        # 4  unbalanced formula
+        + LISTING5                   # valid (starts with its own blank line)
+        + "in:\n"
+        "int lC[4]:lD;\n"
+        "out:\n"
+        "int lD[64];\n"              # stride alias but no formula
+    )
+
+    def test_all_problems_collected_with_good_rules_kept(self):
+        rules, errors = parse_rules_collect(self.MIXED)
+        assert len(rules) == 1  # the LISTING5 layout rule survived
+        assert len(errors) == 2
+
+    def test_errors_carry_file_lines_and_codes(self):
+        _, errors = parse_rules_collect(self.MIXED)
+        first, second = sorted(errors, key=lambda e: e.line or 0)
+        assert first.line == 3  # anchored to the broken out: section
+        assert first.code == "TDST003"
+        assert second.code == "TDST006"
+
+    def test_parse_rules_raises_rulefileerror_listing_all(self):
+        with pytest.raises(RuleFileError) as excinfo:
+            parse_rules(self.MIXED)
+        exc = excinfo.value
+        assert len(exc.errors) == 2
+        assert "2 problems" in str(exc)
+
+    def test_single_error_message_keeps_position(self):
+        with pytest.raises(RuleError, match=r"line \d+"):
+            parse_rules("in:\nint lA[4]:lB;\nout:\nint lB[4((lI*]);\n")
+
+    def test_rules_remember_their_source_line(self):
+        rules = parse_rules(LISTING5 + LISTING11)
+        lines = {type(r).__name__: r.source_line for r in rules}
+        # The section matcher absorbs the blank line before each in:,
+        # so the first rule anchors at line 1 and the second after
+        # LISTING5's eleven lines.
+        assert lines["LayoutRule"] == 1
+        assert lines["StrideRule"] == 12
+
+    def test_collect_on_unsectioned_text_returns_one_error(self):
+        rules, errors = parse_rules_collect("just some text\n")
+        assert len(rules) == 0
+        assert len(errors) == 1
+        assert errors[0].code == "TDST001"
+        assert errors[0].line == 1
+
+    def test_leading_comments_are_allowed(self):
+        rules = parse_rules("# header comment\n// another\n" + LISTING5)
+        assert len(rules) == 1
 
 
 class TestCorpus:
