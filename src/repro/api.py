@@ -45,6 +45,7 @@ from repro.cache.simulator import (
 )
 from repro.campaign import (
     ArtifactStore,
+    BatchOptions,
     CacheSpec,
     CampaignResult,
     CampaignSpec,
@@ -53,6 +54,15 @@ from repro.campaign import (
     Scheduler,
     paper_figures_spec,
     run_campaign,
+)
+from repro.simbatch import (
+    BatchPlan,
+    BatchResult,
+    MultiConfigSimulator,
+    batch_eligible,
+    batch_trace_counts,
+    plan_batch,
+    simulate_batch,
 )
 from repro.cache.hierarchy import CacheHierarchy, simulate_hierarchy
 from repro.cache.threec import classify_misses
@@ -70,6 +80,13 @@ from repro.transform.advisor import (
     suggest_hot_cold_split,
 )
 from repro.trace.binformat import load_binary, save_binary
+from repro.trace.columnar import (
+    ColumnarTrace,
+    load_columnar,
+    open_columnar,
+    save_columnar,
+    upgrade_binary,
+)
 from repro.trace.format import read_trace, write_trace
 from repro.trace.stats import compute_stats
 from repro.trace.stream import Trace, TraceChunk, iter_chunks, iter_records
@@ -135,6 +152,11 @@ __all__ = [
     "write_trace",
     "load_binary",
     "save_binary",
+    "ColumnarTrace",
+    "load_columnar",
+    "open_columnar",
+    "save_columnar",
+    "upgrade_binary",
     "compute_stats",
     "CacheConfig",
     "CacheSimulator",
@@ -226,6 +248,7 @@ __all__ = [
     "render_summary",
     # campaigns
     "ArtifactStore",
+    "BatchOptions",
     "CacheSpec",
     "CampaignResult",
     "CampaignSpec",
@@ -234,4 +257,12 @@ __all__ = [
     "Scheduler",
     "paper_figures_spec",
     "run_campaign",
+    # batched multi-config simulation
+    "BatchPlan",
+    "BatchResult",
+    "MultiConfigSimulator",
+    "batch_eligible",
+    "batch_trace_counts",
+    "plan_batch",
+    "simulate_batch",
 ]

@@ -27,12 +27,15 @@ Quick start::
 
 from repro.campaign.artifacts import ArtifactStore, content_key
 from repro.campaign.jobs import (
+    BatchJob,
     Job,
     TraceTask,
+    execute_batch_job,
     execute_job,
     execute_task,
     execute_trace_task,
     expand_jobs,
+    group_batch_jobs,
     resolve_rule_text,
     simulation_key,
     trace_key,
@@ -46,6 +49,7 @@ from repro.campaign.scheduler import (
     run_campaign,
 )
 from repro.campaign.spec import (
+    BatchOptions,
     CacheSpec,
     CampaignSpec,
     GridEntry,
@@ -54,6 +58,8 @@ from repro.campaign.spec import (
 
 __all__ = [
     "ArtifactStore",
+    "BatchJob",
+    "BatchOptions",
     "CacheSpec",
     "CampaignResult",
     "CampaignSpec",
@@ -64,10 +70,12 @@ __all__ = [
     "Scheduler",
     "TraceTask",
     "content_key",
+    "execute_batch_job",
     "execute_job",
     "execute_task",
     "execute_trace_task",
     "expand_jobs",
+    "group_batch_jobs",
     "paper_figures_spec",
     "resolve_rule_text",
     "run_campaign",

@@ -175,6 +175,10 @@ def simulation_key(input_trace_key: str, job: Job) -> str:
 #: the fast path itself).  Read per job so forked workers inherit it.
 NO_FAST_ENV = "TDST_NO_FAST"
 
+#: Environment escape hatch: disable batched multi-config jobs even when
+#: the spec enables them (same spirit as :data:`NO_FAST_ENV`).
+NO_BATCH_ENV = "TDST_NO_BATCH"
+
 
 def simulation_fields(
     trace: Trace,
@@ -391,10 +395,213 @@ def _execute_job(
     return payload, hits
 
 
-def execute_task(
-    task: Union[TraceTask, Job], store_root: Union[str, Path]
+# -- batched jobs -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """Several grid points sharing one input trace, run as one pass.
+
+    Members agree on everything but the cache geometry (same kernel,
+    length, rule, attribution, verify flag), so the trace/transform
+    stages and the per-record decode run once and the batched kernel
+    answers every geometry together.  Each member still stores its own
+    simulation artifact under its own key and appears in the manifest
+    as its own ``job_done`` row — resume, reports and the artifact
+    store cannot tell the routes apart.
+    """
+
+    members: Tuple[Job, ...]
+    #: records per chunk streamed through the batched kernel
+    chunk: int = 65536
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError("a BatchJob needs >= 2 member jobs")
+        head = self.members[0]
+        for job in self.members[1:]:
+            if (job.kernel, job.length, job.rule, job.attribution, job.verify) != (
+                head.kernel,
+                head.length,
+                head.rule,
+                head.attribution,
+                head.verify,
+            ):
+                raise ValueError(
+                    f"batch member {job.job_id!r} does not share "
+                    f"{head.job_id!r}'s trace identity"
+                )
+
+    @property
+    def job_id(self) -> str:
+        """Stable id for the batch itself (manifest ``job_start`` rows)."""
+        head = self.members[0]
+        return (
+            f"batch/{head.kernel}-L{head.length}/{head.rule}"
+            f"/{head.attribution}[{len(self.members)}]"
+        )
+
+    @property
+    def member_ids(self) -> Tuple[str, ...]:
+        return tuple(job.job_id for job in self.members)
+
+
+def group_batch_jobs(
+    jobs: List[Job], *, max_configs: int = 64, chunk: int = 65536
+) -> List[Union[Job, "BatchJob"]]:
+    """Fold batchable grid points into :class:`BatchJob` groups.
+
+    Jobs group by shared trace identity ``(kernel, length, rule,
+    attribution, verify)`` when their cache geometry is batch-eligible;
+    groups larger than ``max_configs`` split, and singletons or
+    ineligible geometries (round-robin, PLRU, fully associative) pass
+    through unchanged.  Output order preserves each job's first
+    appearance, so manifests stay readable.
+    """
+    from repro.simbatch.plan import batch_eligible
+
+    groups: Dict[Tuple[str, int, str, str, bool], List[Job]] = {}
+    ordered: List[Union[Job, Tuple[str, int, str, str, bool]]] = []
+    for job in jobs:
+        if not batch_eligible(job.cache.to_config()):
+            ordered.append(job)
+            continue
+        key = (job.kernel, job.length, job.rule, job.attribution, job.verify)
+        if key not in groups:
+            groups[key] = []
+            ordered.append(key)
+        groups[key].append(job)
+    out: List[Union[Job, BatchJob]] = []
+    for item in ordered:
+        if isinstance(item, Job):
+            out.append(item)
+            continue
+        members = groups[item]
+        for start in range(0, len(members), max_configs):
+            split = members[start : start + max_configs]
+            if len(split) == 1:
+                out.append(split[0])
+            else:
+                out.append(BatchJob(members=tuple(split), chunk=chunk))
+    return out
+
+
+def execute_batch_job(
+    batch: BatchJob, store_root: Union[str, Path]
 ) -> Dict[str, Any]:
-    """Dispatch either task kind (the single entry point workers import)."""
+    """Worker body for one batched grid-point group.
+
+    Per-member cache lookups run first — fully cached members cost one
+    JSON read each, exactly like :func:`execute_job` — then the shared
+    trace/transform stages materialise once and a single batched kernel
+    pass produces every remaining member's payload.  Each payload is
+    stored under the member's own simulation key, field-identical to
+    what the per-config route stores (cross-validated in the simbatch
+    test suite).
+    """
+    tele = get_telemetry()
+    store = ArtifactStore(store_root)
+    started = time.monotonic()
+    head = batch.members[0]
+    with tele.span(
+        "campaign.batch-job",
+        cat="campaign",
+        job=batch.job_id,
+        configs=len(batch.members),
+    ):
+        tkey = trace_key(head.kernel, head.length)
+        rule_text = resolve_rule_text(head.rule, head.length)
+        input_key = tkey if rule_text is None else transform_key(tkey, rule_text)
+
+        member_payloads: Dict[str, Dict[str, Any]] = {}
+        pending: List[Job] = []
+        hits: Dict[str, bool] = {}
+        for job in batch.members:
+            skey = simulation_key(input_key, job)
+            cached = store.get_json(skey)
+            if cached is not None:
+                payload = dict(cached)
+                payload["cache_hits"] = {"simulation": True}
+                member_payloads[job.job_id] = payload
+            else:
+                pending.append(job)
+        hits["simulation"] = not pending
+
+        if pending:
+            with tele.span("campaign.stage.trace", cat="campaign"):
+                trace, trace_hit = _materialise_trace(
+                    store, head.kernel, head.length
+                )
+            hits["trace"] = trace_hit
+            transformed_records = None
+            verified = False
+            if rule_text is not None:
+                with tele.span("campaign.stage.transform", cat="campaign"):
+                    cached_trace = store.get_trace(input_key)
+                    hits["transform"] = cached_trace is not None
+                    if cached_trace is None:
+                        engine = TransformEngine(parse_rules(rule_text))
+                        result = engine.transform(trace)
+                        cached_trace = result.trace
+                        if head.verify:
+                            _verify_transform(
+                                trace,
+                                cached_trace,
+                                rule_text,
+                                result.allocations,
+                            )
+                            verified = True
+                        store.put_trace(input_key, cached_trace)
+                    elif head.verify:
+                        _verify_transform(trace, cached_trace, rule_text, None)
+                        verified = True
+                    trace = cached_trace
+                    transformed_records = len(trace)
+
+            from repro.simbatch.runner import batch_simulation_fields
+
+            with tele.span("campaign.stage.simulate-batch", cat="campaign"):
+                fields = batch_simulation_fields(
+                    trace,
+                    [job.cache.to_config() for job in pending],
+                    head.attribution,
+                    chunk_records=batch.chunk,
+                )
+                for job, sim_fields in zip(pending, fields):
+                    skey = simulation_key(input_key, job)
+                    payload: Dict[str, Any] = {
+                        "kind": "simulation",
+                        "simulation_key": skey,
+                        "records": len(trace),
+                        "transformed_records": transformed_records,
+                        "verified": verified,
+                    }
+                    payload.update(sim_fields)
+                    store.put_json(skey, payload)
+                    payload = dict(payload)
+                    payload["cache_hits"] = dict(hits)
+                    member_payloads[job.job_id] = payload
+    _count_artifact_hits(tele, hits)
+    elapsed = round(time.monotonic() - started, 6)
+    for payload in member_payloads.values():
+        payload["compute_seconds"] = elapsed
+    return {
+        "kind": "batch",
+        "job_id": batch.job_id,
+        "configs": len(batch.members),
+        "members": {
+            job.job_id: member_payloads[job.job_id] for job in batch.members
+        },
+        "compute_seconds": elapsed,
+    }
+
+
+def execute_task(
+    task: Union[TraceTask, Job, BatchJob], store_root: Union[str, Path]
+) -> Dict[str, Any]:
+    """Dispatch any task kind (the single entry point workers import)."""
     if isinstance(task, TraceTask):
         return execute_trace_task(task, store_root)
+    if isinstance(task, BatchJob):
+        return execute_batch_job(task, store_root)
     return execute_job(task, store_root)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 from dataclasses import dataclass, field
@@ -36,7 +37,15 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.artifacts import ArtifactStore
-from repro.campaign.jobs import Job, TraceTask, execute_task, expand_jobs
+from repro.campaign.jobs import (
+    NO_BATCH_ENV,
+    BatchJob,
+    Job,
+    TraceTask,
+    execute_task,
+    expand_jobs,
+    group_batch_jobs,
+)
 from repro.campaign.manifest import (
     EVENT_CAMPAIGN_END,
     EVENT_CAMPAIGN_START,
@@ -141,6 +150,32 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _result_rows(
+    task: Union[TraceTask, Job, BatchJob], payload: Any
+) -> List[Tuple[str, Any]]:
+    """``(job_id, result)`` manifest rows one success produces.
+
+    A :class:`BatchJob` fans out into one row per member — keyed by the
+    *member's* job id with the member's own payload — so resume,
+    reports and ``completed_jobs`` never see the batch route.
+    """
+    if (
+        isinstance(task, BatchJob)
+        and isinstance(payload, dict)
+        and payload.get("kind") == "batch"
+    ):
+        members = payload.get("members", {})
+        return [(job_id, members.get(job_id)) for job_id in task.member_ids]
+    return [(task.job_id, payload)]
+
+
+def _failure_ids(task: Union[TraceTask, Job, BatchJob]) -> List[str]:
+    """Job ids a terminal failure marks failed (batch = every member)."""
+    if isinstance(task, BatchJob):
+        return list(task.member_ids)
+    return [task.job_id]
+
+
 class _WorkerSlot:
     """Parent-side bookkeeping for one worker process.
 
@@ -231,6 +266,12 @@ class Scheduler:
     resume:
         Skip jobs already recorded as done in the existing manifest and
         append new events to it instead of truncating.
+    batch:
+        Route grid points sharing one trace to batched multi-config
+        jobs.  ``None`` (the default) follows the spec's ``[batch]``
+        table unless the ``TDST_NO_BATCH`` environment variable is set;
+        ``False`` (e.g. ``tdst campaign --no-batch``) forces per-config
+        execution.
     """
 
     def __init__(
@@ -243,6 +284,7 @@ class Scheduler:
         retries: int = 1,
         backoff: float = 0.5,
         resume: bool = False,
+        batch: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.directory = Path(directory)
@@ -254,6 +296,9 @@ class Scheduler:
         self.retries = max(0, retries)
         self.backoff = max(0.0, backoff)
         self.resume = resume
+        if batch is None:
+            batch = spec.batch.enabled and not os.environ.get(NO_BATCH_ENV)
+        self.batch = bool(batch)
 
     # -- public API ----------------------------------------------------------
 
@@ -353,8 +398,26 @@ class Scheduler:
             # Phase 2: the grid.  A failed trace stage degrades the
             # points that need it (they will retry the stage themselves
             # and fail the same way), but never stops the others.
+            # Batching (when on) folds points sharing a trace into
+            # multi-config jobs *after* resume filtering, so resumed
+            # groups re-batch only their pending members.
+            if self.batch:
+                with telemetry.span("campaign.batch-plan", cat="campaign"):
+                    phase2: List[Union[Job, BatchJob]] = group_batch_jobs(
+                        run_jobs,
+                        max_configs=self.spec.batch.max_configs,
+                        chunk=self.spec.batch.chunk,
+                    )
+                    n_batched = sum(
+                        len(t.members)
+                        for t in phase2
+                        if isinstance(t, BatchJob)
+                    )
+                telemetry.add("campaign.points_batched", n_batched)
+            else:
+                phase2 = list(run_jobs)
             with telemetry.span("campaign.grid", cat="campaign"):
-                result.outcomes.extend(self._run_batch(run_jobs, manifest))
+                result.outcomes.extend(self._run_batch(phase2, manifest))
             result.wall_seconds = time.monotonic() - started
             telemetry.add("campaign.points_done", result.n_done)
             telemetry.add("campaign.points_failed", result.n_failed)
@@ -382,7 +445,7 @@ class Scheduler:
 
     def _run_batch(
         self,
-        tasks: Sequence[Union[TraceTask, Job]],
+        tasks: Sequence[Union[TraceTask, Job, BatchJob]],
         manifest: RunManifest,
     ) -> List[JobOutcome]:
         """Drive one task batch to terminal state (serial or parallel)."""
@@ -400,7 +463,7 @@ class Scheduler:
 
     def _run_serial(
         self,
-        tasks: Sequence[Union[TraceTask, Job]],
+        tasks: Sequence[Union[TraceTask, Job, BatchJob]],
         manifest: RunManifest,
     ) -> List[JobOutcome]:
         """Inline executor: same policy, no processes, no timeouts."""
@@ -433,47 +496,49 @@ class Scheduler:
                         if delay:
                             time.sleep(delay)
                         continue
-                    manifest.record(
-                        EVENT_JOB_FAILED,
-                        job_id=task.job_id,
-                        attempts=attempt,
-                        error=error,
-                    )
-                    outcomes.append(
-                        JobOutcome(
-                            job_id=task.job_id,
-                            status="failed",
+                    for job_id in _failure_ids(task):
+                        manifest.record(
+                            EVENT_JOB_FAILED,
+                            job_id=job_id,
                             attempts=attempt,
-                            elapsed=total_elapsed,
                             error=error,
                         )
-                    )
+                        outcomes.append(
+                            JobOutcome(
+                                job_id=job_id,
+                                status="failed",
+                                attempts=attempt,
+                                elapsed=total_elapsed,
+                                error=error,
+                            )
+                        )
                     break
                 elapsed = time.monotonic() - started
                 total_elapsed += elapsed
-                manifest.record(
-                    EVENT_JOB_DONE,
-                    job_id=task.job_id,
-                    attempt=attempt,
-                    worker=0,
-                    elapsed=round(elapsed, 6),
-                    result=payload,
-                )
-                outcomes.append(
-                    JobOutcome(
-                        job_id=task.job_id,
-                        status="done",
-                        attempts=attempt,
-                        elapsed=total_elapsed,
-                        result=payload,
+                for job_id, row in _result_rows(task, payload):
+                    manifest.record(
+                        EVENT_JOB_DONE,
+                        job_id=job_id,
+                        attempt=attempt,
+                        worker=0,
+                        elapsed=round(elapsed, 6),
+                        result=row,
                     )
-                )
+                    outcomes.append(
+                        JobOutcome(
+                            job_id=job_id,
+                            status="done",
+                            attempts=attempt,
+                            elapsed=total_elapsed,
+                            result=row,
+                        )
+                    )
                 break
         return outcomes
 
     def _run_parallel(
         self,
-        tasks: Sequence[Union[TraceTask, Job]],
+        tasks: Sequence[Union[TraceTask, Job, BatchJob]],
         manifest: RunManifest,
     ) -> List[JobOutcome]:
         """Process-pool executor with per-job deadlines and replacement."""
@@ -499,7 +564,9 @@ class Scheduler:
         heapq.heapify(ready)
         attempts = [0] * len(tasks)
         elapsed_total = [0.0] * len(tasks)
-        outcomes: Dict[int, JobOutcome] = {}
+        # One list per settled task: a BatchJob settles into one
+        # outcome per member, everything else into exactly one.
+        outcomes: Dict[int, List[JobOutcome]] = {}
 
         def settle_failure(seq: int, worker_id: int, error: str, took: float) -> None:
             """Retry or record terminal failure for one attempt."""
@@ -517,19 +584,24 @@ class Scheduler:
                 )
                 heapq.heappush(ready, (time.monotonic() + delay, seq))
             else:
-                manifest.record(
-                    EVENT_JOB_FAILED,
-                    job_id=task.job_id,
-                    attempts=attempts[seq],
-                    error=error,
-                )
-                outcomes[seq] = JobOutcome(
-                    job_id=task.job_id,
-                    status="failed",
-                    attempts=attempts[seq],
-                    elapsed=elapsed_total[seq],
-                    error=error,
-                )
+                settled = []
+                for job_id in _failure_ids(task):
+                    manifest.record(
+                        EVENT_JOB_FAILED,
+                        job_id=job_id,
+                        attempts=attempts[seq],
+                        error=error,
+                    )
+                    settled.append(
+                        JobOutcome(
+                            job_id=job_id,
+                            status="failed",
+                            attempts=attempts[seq],
+                            elapsed=elapsed_total[seq],
+                            error=error,
+                        )
+                    )
+                outcomes[seq] = settled
 
         try:
             while len(outcomes) < len(tasks):
@@ -576,21 +648,28 @@ class Scheduler:
                                 child_tele = payload.pop("telemetry", None)
                                 if child_tele:
                                     get_telemetry().merge(child_tele)
-                            manifest.record(
-                                EVENT_JOB_DONE,
-                                job_id=tasks[seq].job_id,
-                                attempt=attempt,
-                                worker=worker_id,
-                                elapsed=round(took, 6),
-                                result=payload,
-                            )
-                            outcomes[seq] = JobOutcome(
-                                job_id=tasks[seq].job_id,
-                                status="done",
-                                attempts=attempt,
-                                elapsed=elapsed_total[seq],
-                                result=payload,
-                            )
+                            settled = []
+                            for job_id, row in _result_rows(
+                                tasks[seq], payload
+                            ):
+                                manifest.record(
+                                    EVENT_JOB_DONE,
+                                    job_id=job_id,
+                                    attempt=attempt,
+                                    worker=worker_id,
+                                    elapsed=round(took, 6),
+                                    result=row,
+                                )
+                                settled.append(
+                                    JobOutcome(
+                                        job_id=job_id,
+                                        status="done",
+                                        attempts=attempt,
+                                        elapsed=elapsed_total[seq],
+                                        result=row,
+                                    )
+                                )
+                            outcomes[seq] = settled
                         else:
                             settle_failure(seq, worker_id, payload, took)
                 # Enforce deadlines and replace dead or stuck workers.
@@ -630,7 +709,7 @@ class Scheduler:
                     slot.process.join(timeout=1.0)
             result_queue.close()
             result_queue.cancel_join_thread()
-        return [outcomes[i] for i in range(len(tasks))]
+        return [o for i in range(len(tasks)) for o in outcomes[i]]
 
 
 def run_campaign(
@@ -642,6 +721,7 @@ def run_campaign(
     retries: int = 1,
     backoff: float = 0.5,
     resume: bool = False,
+    batch: Optional[bool] = None,
 ) -> CampaignResult:
     """One-call campaign execution (see :class:`Scheduler` for knobs)."""
     return Scheduler(
@@ -652,4 +732,5 @@ def run_campaign(
         retries=retries,
         backoff=backoff,
         resume=resume,
+        batch=batch,
     ).run()

@@ -164,6 +164,62 @@ def validate_rule_ref(rule: str) -> None:
 
 
 @dataclass(frozen=True)
+class BatchOptions:
+    """Batched-simulation knobs (the ``[batch]`` TOML table).
+
+    When enabled, grid points that share one input trace (same kernel,
+    length, rule, attribution) and whose cache geometry the batched
+    kernel covers are routed to a single multi-config job; everything
+    else falls back to per-config execution untouched.
+    """
+
+    #: master switch; ``tdst campaign --no-batch`` and the
+    #: ``TDST_NO_BATCH`` environment variable override it downward
+    enabled: bool = True
+    #: records per streamed chunk fed to the batched kernel
+    chunk: int = 65536
+    #: configs per batched job; larger groups split into several jobs
+    max_configs: int = 64
+
+    def __post_init__(self) -> None:
+        if self.chunk <= 0:
+            raise CampaignError(
+                f"batch chunk must be positive, got {self.chunk}"
+            )
+        if self.max_configs <= 0:
+            raise CampaignError(
+                f"batch max_configs must be positive, got {self.max_configs}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatchOptions":
+        """Build from a TOML ``[batch]`` table (unknown keys rejected)."""
+        if not isinstance(data, Mapping):
+            raise CampaignError(
+                f"[batch] must be a table, got {data!r}"
+            )
+        known = {"enabled", "chunk", "max_configs"}
+        extra = set(data) - known
+        if extra:
+            raise CampaignError(
+                f"unknown batch option keys: {sorted(extra)} "
+                f"(known: {sorted(known)})"
+            )
+        for key in ("chunk", "max_configs"):
+            if key in data and (
+                isinstance(data[key], bool) or not isinstance(data[key], int)
+            ):
+                raise CampaignError(
+                    f"batch {key} must be an integer, got {data[key]!r}"
+                )
+        if "enabled" in data and not isinstance(data["enabled"], bool):
+            raise CampaignError(
+                f"batch enabled must be a boolean, got {data['enabled']!r}"
+            )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
 class CampaignSpec:
     """The full declarative campaign: grid entries plus shared defaults."""
 
@@ -181,6 +237,8 @@ class CampaignSpec:
     #: companion Chrome ``trace_event`` file for chrome://tracing/Perfetto
     #: (``[campaign] profile_trace = "trace.json"``).
     profile_trace: Optional[str] = None
+    #: batched multi-config simulation knobs (the ``[batch]`` table)
+    batch: BatchOptions = BatchOptions()
 
     def __post_init__(self) -> None:
         if not self.grid:
@@ -228,6 +286,7 @@ class CampaignSpec:
                 if campaign.get("profile_trace")
                 else None
             ),
+            batch=BatchOptions.from_dict(data.get("batch", {})),
         )
 
     @classmethod

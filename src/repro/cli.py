@@ -11,6 +11,8 @@ Subcommands mirror the paper's analysis cycle (its Figure 2):
 - ``tdst transform`` — apply a rule file, write ``transformed_trace.out``;
 - ``tdst diff``      — structural diff of two traces (Figures 5/8/9);
 - ``tdst figure``    — per-set figure data (+ optional gnuplot output);
+- ``tdst simbatch``  — simulate a whole grid of cache configs against
+  one trace in a single batched pass (columnar traces stream zero-copy);
 - ``tdst campaign``  — run a whole experiment grid (every paper figure)
   in parallel with artifact caching, retries and a JSONL run manifest;
 - ``tdst verify``    — differential verification: transform soundness
@@ -297,18 +299,91 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simbatch(args: argparse.Namespace) -> int:
+    """``tdst simbatch``: N cache configs against one trace, one pass.
+
+    The config grid is the cross product of ``--sets`` x ``--assocs`` x
+    ``--blocks`` (LRU replacement, the batched kernel's coverage);
+    columnar (v2) trace files stream zero-copy from the memory map.
+    """
+    import json
+
+    from repro.errors import CacheConfigError
+    from repro.simbatch import plan_batch, simulate_batch
+
+    configs = [
+        CacheConfig(
+            size=block * n_sets * assoc,
+            block_size=block,
+            associativity=assoc,
+            policy="lru",
+        )
+        for block in args.blocks
+        for n_sets in args.sets
+        for assoc in args.assocs
+    ]
+    try:
+        result = simulate_batch(
+            args.trace,
+            configs,
+            chunk_records=args.chunk,
+            attribution=args.attribution if args.by_variable else None,
+        )
+    except CacheConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        rows = []
+        for config, counts in zip(result.configs, result.results):
+            row = {
+                "config": config.describe(),
+                "accesses": counts.demand_accesses,
+                "hits": counts.demand_hits,
+                "misses": counts.demand_misses,
+                "miss_ratio": round(counts.demand_miss_ratio, 6),
+                "evictions": counts.evictions,
+                "compulsory_misses": counts.counts.compulsory_misses,
+            }
+            if args.by_variable:
+                row["by_variable_misses"] = {
+                    name: counts.per_variable.get(vid, (0, 0))[1]
+                    for vid, name in enumerate(result.names)
+                }
+            rows.append(row)
+        print(json.dumps({"accesses": result.accesses, "results": rows}, indent=2))
+        return 0
+    plan = plan_batch(configs)
+    print(
+        f"{args.trace}: {result.accesses} accesses, "
+        f"{plan.describe()}, {result.chunks} chunk(s)"
+        + (f", {result.bytes_mapped} bytes mapped" if result.bytes_mapped else "")
+    )
+    header = f"{'config':<36s} {'misses':>9s} {'ratio':>8s} {'evict':>9s}"
+    print(header)
+    print("-" * len(header))
+    for config, counts in zip(result.configs, result.results):
+        print(
+            f"{config.describe():<36s} {counts.demand_misses:>9d} "
+            f"{counts.demand_miss_ratio:>8.4f} {counts.evictions:>9d}"
+        )
+    return 0
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     from repro.trace.binformat import load_binary, save_binary
+    from repro.trace.columnar import load_columnar, save_columnar
     from repro.trace.dinero import read_dinero, write_dinero
 
     readers = {
         "text": Trace.load,
         "binary": load_binary,
+        "columnar": load_columnar,
         "din": read_dinero,
     }
     writers = {
         "text": lambda t, p: t.save(p),
         "binary": lambda t, p: save_binary(t, p),
+        "columnar": lambda t, p: save_columnar(t, p),
         "din": lambda t, p: write_dinero(t, p),
     }
     trace = readers[args.from_format](args.input)
@@ -422,6 +497,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         retries=args.retries,
         backoff=args.backoff,
         resume=args.resume,
+        batch=False if args.no_batch else None,
     )
     result = scheduler.run()
     print(result.summary())
@@ -637,14 +713,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("output")
     p.add_argument(
-        "--from", dest="from_format", choices=("text", "binary", "din"),
+        "--from", dest="from_format",
+        choices=("text", "binary", "columnar", "din"),
         default="text",
     )
     p.add_argument(
-        "--to", dest="to_format", choices=("text", "binary", "din"),
+        "--to", dest="to_format",
+        choices=("text", "binary", "columnar", "din"),
         default="binary",
     )
     p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser(
+        "simbatch",
+        help="simulate a grid of cache configs against one trace in a "
+        "single batched pass",
+    )
+    p.add_argument("trace", help="trace file (columnar v2 streams zero-copy)")
+    p.add_argument(
+        "--sets", type=int, nargs="+", default=[128, 256, 512],
+        help="numbers of sets to sweep",
+    )
+    p.add_argument(
+        "--assocs", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="associativities to sweep (LRU replacement)",
+    )
+    p.add_argument(
+        "--blocks", type=int, nargs="+", default=[32, 64],
+        help="block sizes to sweep",
+    )
+    p.add_argument(
+        "--chunk", type=int, default=65536,
+        help="records per streamed chunk",
+    )
+    p.add_argument(
+        "--by-variable", action="store_true",
+        help="include per-variable miss counts (JSON output)",
+    )
+    p.add_argument(
+        "--attribution", choices=("base", "member"), default="base",
+        help="per-variable granularity with --by-variable",
+    )
+    p.add_argument("--json", action="store_true", help="JSON output")
+    p.set_defaults(func=_cmd_simbatch)
 
     p = sub.add_parser(
         "campaign",
@@ -699,6 +810,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force every grid point through the reference simulator "
         "instead of the vectorized fast path",
+    )
+    p.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="run every grid point as its own job instead of batching "
+        "points that share a trace (also: TDST_NO_BATCH=1)",
     )
     p.add_argument(
         "--verify",

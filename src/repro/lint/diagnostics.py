@@ -57,6 +57,8 @@ CODES: Dict[str, CodeInfo] = {
         CodeInfo("TDST021", "error", "referenced rule file missing"),
         CodeInfo("TDST022", "warning", "duplicate grid point"),
         CodeInfo("TDST023", "error", "cache geometry invalid"),
+        CodeInfo("TDST024", "error", "batch options invalid"),
+        CodeInfo("TDST025", "warning", "batch configuration ineffective"),
         # -- static cache-set analysis (03x) -------------------------------
         CodeInfo("TDST030", "info", "set footprint summary"),
         CodeInfo("TDST031", "warning", "predicted set conflict"),

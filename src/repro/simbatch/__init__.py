@@ -1,0 +1,43 @@
+"""Batched multi-config simulation over columnar traces.
+
+The paper's methodology is a grid sweep: one trace, re-simulated under
+dozens of cache geometries.  Run naively that re-reads, re-decodes and
+re-expands the identical trace once per grid point.  This package
+factors the shared work out:
+
+- :mod:`repro.simbatch.plan` groups configurations by *geometry*
+  (``block_size``, ``n_sets``) — members of a group share block
+  expansion, set indexing, and one LRU stack-distance pass;
+- :mod:`repro.simbatch.kernel` runs a single chunked pass over the
+  address stream computing hit/miss/eviction and per-variable counts
+  for every configuration simultaneously, bit-identical to
+  :func:`repro.cache.fastsim.fast_trace_counts` per config;
+- :mod:`repro.simbatch.runner` feeds the kernel from any trace source —
+  a memory-mapped :class:`~repro.trace.columnar.ColumnarTrace` is the
+  zero-copy fast path — and exposes the campaign-facing helpers.
+"""
+
+from repro.simbatch.kernel import MultiConfigSimulator, batch_trace_counts
+from repro.simbatch.plan import (
+    BatchPlan,
+    GeometryGroup,
+    batch_eligible,
+    plan_batch,
+)
+from repro.simbatch.runner import (
+    BatchResult,
+    batch_simulation_fields,
+    simulate_batch,
+)
+
+__all__ = [
+    "BatchPlan",
+    "BatchResult",
+    "GeometryGroup",
+    "MultiConfigSimulator",
+    "batch_eligible",
+    "batch_simulation_fields",
+    "batch_trace_counts",
+    "plan_batch",
+    "simulate_batch",
+]

@@ -1,0 +1,418 @@
+"""The multi-config kernel: one pass, N configurations of answers.
+
+Built directly on the fast-path machinery of
+:mod:`repro.cache.fastsim`, with one twist: instead of a boolean hit
+mask for a single associativity, :func:`_stack_positions` runs the same
+time-step loop at the *group's* stack depth and records each access's
+LRU **stack position** (reuse distance over its set's block stream).
+Stack inclusion then answers every member at once::
+
+    hit in a w-way cache  <=>  position < w        (w == 1: direct-mapped)
+
+Everything downstream of the position array — per-set tallies, demand
+accounting, per-variable attribution, evictions — is per-config
+bincount bookkeeping, identical in definition (and, by the cross
+validation suite, in value) to a :func:`fast_trace_counts` run per
+config.
+
+:class:`MultiConfigSimulator` is the chunked-streaming form, carrying
+per-group residency between :meth:`feed` calls exactly like
+:class:`repro.cache.fastsim.FastSimulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CacheConfigError
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import (
+    FastCounts,
+    FastTraceCounts,
+    _evictions_from,
+    _expand_blocks,
+    _validate_fast_config,
+)
+from repro.cache.stats import PerSetCounts
+from repro.simbatch.plan import BatchPlan, GeometryGroup, plan_batch
+
+
+def _stack_positions(
+    blocks: np.ndarray,
+    sets: np.ndarray,
+    depth: int,
+    stacks: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Trace-order LRU stack position of every access, at ``depth``.
+
+    Returns an ``int16`` array: position ``p < depth`` means the block
+    was the ``p``-th most-recently-used distinct block of its set
+    (0 = MRU); ``depth`` means "not among the top ``depth``" — a miss
+    for every member of the group.  ``stacks`` (``(n_sets, depth)``,
+    MRU first, ``-1`` invalid) carries residency across chunks and is
+    updated in place when given.
+
+    The loop is :func:`repro.cache.fastsim._lru_hit_mask` in algorithm
+    — same longest-stream-first layout, same promote-to-MRU update, so
+    a depth-``w`` run produces exactly the hit mask the single-config
+    kernel produces for ``w`` ways — but restructured for throughput:
+    the sort key packs ``(set, trace index)`` into one int64 so a single
+    value sort replaces argsort plus two random gathers, the per-set
+    streams are transposed into *step-major* order once so every time
+    step reads and writes one contiguous slice instead of gather/scatter
+    fancy indexing, the match matrix carries an always-true sentinel
+    column so one ``argmax`` yields position-or-miss without a separate
+    ``any`` pass, and positions travel as int16 (stack depth is tiny) to
+    cut scatter bandwidth.
+    """
+    n = len(blocks)
+    if n == 0:
+        return np.empty(n, dtype=np.int16)
+    # int64 throughout: a uint64 block column would promote every
+    # window comparison below to float64 (NEP 50), which both costs a
+    # conversion per step and risks precision above 2**53.
+    blocks = np.asarray(blocks).astype(np.int64, copy=False)
+    # Stable sort by set via one packed key: (set << shift) | index.
+    # Sorting values is cheaper than argsort + gathers, and the low
+    # bits hand back the permutation for free.
+    shift = max(1, int(n - 1).bit_length())
+    key = np.left_shift(np.asarray(sets, dtype=np.int64), shift)
+    key += np.arange(n, dtype=np.int64)
+    key.sort(kind="stable")
+    order = key & np.int64((1 << shift) - 1)
+    ss = key >> shift
+    sb = blocks[order]
+    # Run-collapse: a repeat of the immediately preceding block of the
+    # same set is an MRU hit (position 0) that leaves the stack
+    # untouched, so only the first access of each run enters the
+    # time-step loop.  Sequential traffic collapses several-fold here.
+    dup = np.empty(n, dtype=bool)
+    dup[0] = False
+    np.logical_and(ss[1:] == ss[:-1], sb[1:] == sb[:-1], out=dup[1:])
+    keep = np.flatnonzero(~dup)
+    ss = ss[keep]
+    sb = sb[keep]
+    n_kept = len(keep)
+    # ``ss`` is sorted: group boundaries fall out of one diff, no
+    # second sort (np.unique would re-sort what argsort just ordered).
+    bounds = np.flatnonzero(ss[1:] != ss[:-1]) + 1
+    group_start = np.concatenate(([0], bounds))
+    group_sets = ss[group_start]
+    group_count = np.diff(np.concatenate((group_start, [n_kept])))
+    by_depth = np.argsort(-group_count, kind="stable")
+    g_sets = group_sets[by_depth]
+    g_count = group_count[by_depth]
+    n_groups = len(g_sets)
+    if stacks is None:
+        local = np.full((n_groups, depth), -1, dtype=np.int64)
+    else:
+        local = stacks[g_sets].copy()
+    # Step-major transpose: the step-t access of every active set (sets
+    # ordered longest-stream-first, so the active ones are a prefix)
+    # lands in one contiguous slice [offsets[t], offsets[t+1]).
+    max_steps = int(g_count[0])
+    active = np.searchsorted(
+        -g_count, -np.arange(max_steps, dtype=np.int64), side="left"
+    )
+    offsets = np.empty(max_steps + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(active, out=offsets[1:])
+    step_of = (
+        np.arange(n_kept, dtype=np.int64) - np.repeat(group_start, group_count)
+    )
+    rank = np.empty(n_groups, dtype=np.int64)
+    rank[by_depth] = np.arange(n_groups, dtype=np.int64)
+    slot = offsets[step_of] + np.repeat(rank, group_count)
+    sb_step = np.empty(n_kept, dtype=np.int64)
+    sb_step[slot] = sb
+    pos_step = np.empty(n_kept, dtype=np.int16)
+    cols = np.arange(depth, dtype=np.int64)
+    width = int(active[0])
+    # Sentinel column: argmax over [match | True] returns the match
+    # position, or ``depth`` when the block is absent — no ``any`` pass.
+    match_buf = np.empty((width, depth + 1), dtype=bool)
+    match_buf[:, depth] = True
+    mask_buf = np.empty((width, depth), dtype=bool)
+    shift_buf = np.empty((width, depth), dtype=np.int64)
+    for t in range(max_steps):
+        start, end = offsets[t], offsets[t + 1]
+        na = end - start
+        b = sb_step[start:end]
+        window = local[:na]
+        np.equal(window, b[:, None], out=match_buf[:na, :depth])
+        matchpos = match_buf[:na].argmax(axis=1)
+        pos_step[start:end] = matchpos
+        shifted = shift_buf[:na]
+        shifted[:, 0] = b
+        shifted[:, 1:] = window[:, :-1]
+        np.less_equal(cols, matchpos[:, None], out=mask_buf[:na])
+        np.copyto(window, shifted, where=mask_buf[:na])
+    # Collapsed repeats are position 0; everything else scatters back
+    # through its original trace index (int16 keeps the traffic small).
+    positions = np.zeros(n, dtype=np.int16)
+    positions[order[keep]] = pos_step[slot]
+    if stacks is not None:
+        stacks[g_sets] = local
+    return positions
+
+
+class _GroupHistograms:
+    """One chunk's position histograms for a geometry group.
+
+    Stack inclusion turns every member question into a prefix sum over
+    the position axis: a ``w``-way member's hits are the positions
+    ``< w``.  So one pass over the group's blocks builds cumulative
+    histograms along that axis — per set (for per-set tallies), per
+    access (for demand accounting: an access hits iff the *max*
+    position across its blocks is below ``ways``), and per owning
+    variable — and every member then reads its answers from column
+    ``ways - 1`` without touching the O(n) arrays again.
+    """
+
+    __slots__ = ("set_cum", "set_total", "access_cum", "owner_ids",
+                 "owner_cum", "n_blocks")
+
+    def __init__(
+        self,
+        sets: np.ndarray,
+        pos: np.ndarray,
+        access_index: np.ndarray,
+        n_accesses: int,
+        owners: Optional[np.ndarray],
+        n_sets: int,
+        depth: int,
+    ) -> None:
+        self.n_blocks = len(pos)
+        width = depth + 1
+        key = sets.astype(np.int64) * width
+        key += pos
+        set_hist = np.bincount(key, minlength=n_sets * width)
+        self.set_cum = set_hist.reshape(n_sets, width).cumsum(axis=1)
+        self.set_total = self.set_cum[:, -1]
+        if len(pos) == n_accesses:
+            maxpos = pos
+        else:
+            # ``access_index`` is non-decreasing (expansion preserves
+            # trace order), so per-access segments are runs.
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(access_index)) + 1)
+            )
+            maxpos = np.maximum.reduceat(pos, starts)
+        self.access_cum = np.bincount(maxpos, minlength=width).cumsum()
+        if owners is None:
+            self.owner_ids = None
+            self.owner_cum = None
+        else:
+            self.owner_ids, inverse = np.unique(owners, return_inverse=True)
+            okey = inverse.astype(np.int64) * width
+            okey += pos
+            owner_hist = np.bincount(
+                okey, minlength=len(self.owner_ids) * width
+            )
+            self.owner_cum = owner_hist.reshape(-1, width).cumsum(axis=1)
+
+
+class _MemberTotals:
+    """Running per-config accumulators (one instance per member)."""
+
+    __slots__ = (
+        "config",
+        "per_set",
+        "block_hits",
+        "block_misses",
+        "demand_hits",
+        "demand_accesses",
+        "per_variable",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.per_set = PerSetCounts.zeros(config.n_sets)
+        self.block_hits = 0
+        self.block_misses = 0
+        self.demand_hits = 0
+        self.demand_accesses = 0
+        self.per_variable: Dict[int, List[int]] = {}
+
+    def absorb(self, hist: "_GroupHistograms", n_accesses: int) -> None:
+        """Fold one chunk's group histograms in, thresholded at ``ways``.
+
+        All the O(n) work happened once per *group* when ``hist`` was
+        built; each member only reads tiny ``(n_sets, depth+1)`` and
+        ``(depth+1,)`` tables here.
+        """
+        w = self.config.ways
+        hits_per_set = hist.set_cum[:, w - 1]
+        self.per_set.hits += hits_per_set
+        self.per_set.misses += hist.set_total - hits_per_set
+        block_hits = int(hits_per_set.sum())
+        self.block_hits += block_hits
+        self.block_misses += hist.n_blocks - block_hits
+        # A demand access hits iff *every* block it touches hits, i.e.
+        # iff the max stack position across its blocks is < ways.
+        self.demand_hits += int(hist.access_cum[w - 1])
+        self.demand_accesses += n_accesses
+        if hist.owner_cum is not None:
+            owner_hits = hist.owner_cum[:, w - 1]
+            owner_total = hist.owner_cum[:, -1]
+            for row, vid in enumerate(hist.owner_ids):
+                entry = self.per_variable.setdefault(int(vid), [0, 0])
+                entry[0] += int(owner_hits[row])
+                entry[1] += int(owner_total[row] - owner_hits[row])
+
+    def finish(self, compulsory: int) -> FastTraceCounts:
+        per_set = PerSetCounts(
+            hits=self.per_set.hits.copy(), misses=self.per_set.misses.copy()
+        )
+        counts = FastCounts(
+            self.block_hits, self.block_misses, compulsory, per_set
+        )
+        return FastTraceCounts(
+            counts=counts,
+            demand_hits=self.demand_hits,
+            demand_misses=self.demand_accesses - self.demand_hits,
+            evictions=_evictions_from(per_set, self.config.ways),
+            per_variable={
+                vid: (h, m) for vid, (h, m) in self.per_variable.items()
+            },
+        )
+
+
+class MultiConfigSimulator:
+    """Stateful batched fast path: N configs, one chunked stream.
+
+    Every config must satisfy
+    :func:`repro.simbatch.plan.batch_eligible`.  All geometry groups
+    share a *single* stack pass per chunk: each group's sets are mapped
+    into a disjoint range of one virtual set space, the per-group block
+    streams are concatenated, and one time-step loop (at the global
+    ``max(ways)`` depth — stack inclusion makes extra depth harmless)
+    answers every group at once.  Residency (one row of the fused stack
+    matrix per virtual set) is carried between :meth:`feed` calls, so
+    chunked totals equal a whole-trace pass — and equal a per-config
+    :class:`FastSimulator` run, bit for bit.
+    """
+
+    def __init__(self, configs: Sequence[CacheConfig]) -> None:
+        configs = list(configs)
+        if not configs:
+            raise CacheConfigError("batched simulation needs >= 1 config")
+        for config in configs:
+            _validate_fast_config(config)
+        self.plan: BatchPlan = plan_batch(configs)
+        if self.plan.ineligible:
+            labels = ", ".join(
+                m.config.describe() for m in self.plan.ineligible[:3]
+            )
+            raise CacheConfigError(
+                f"{len(self.plan.ineligible)} config(s) have no batched "
+                f"fast path ({labels}{'...' if len(self.plan.ineligible) > 3 else ''}); "
+                "route them through the reference simulator instead"
+            )
+        self.configs = configs
+        self._totals = [_MemberTotals(c) for c in configs]
+        #: one stack depth for the fused pass: the deepest member anywhere
+        self._depth = max(g.depth for g in self.plan.groups)
+        #: each group's sets occupy [base, base + n_sets) of the virtual
+        #: set space, so one stack matrix carries every group's residency
+        self._bases: List[int] = []
+        total_sets = 0
+        for group in self.plan.groups:
+            self._bases.append(total_sets)
+            total_sets += group.n_sets
+        self._stacks = np.full((total_sets, self._depth), -1, dtype=np.int64)
+        #: per-block-size distinct blocks seen (compulsory misses)
+        self._seen: Dict[int, set] = {bs: set() for bs in self.plan.block_sizes}
+        self._compulsory: Dict[int, int] = {
+            bs: 0 for bs in self.plan.block_sizes
+        }
+        self._chunks = 0
+
+    @property
+    def chunks_fed(self) -> int:
+        return self._chunks
+
+    def feed(
+        self,
+        addrs: np.ndarray,
+        sizes: Optional[np.ndarray] = None,
+        var_ids: Optional[np.ndarray] = None,
+    ) -> None:
+        """Advance every config through one chunk of the access stream.
+
+        ``var_ids`` (optional int labels per access, negative =
+        unattributed) enables per-variable attribution; expanded blocks
+        inherit their owning access's label exactly like
+        :func:`fast_trace_counts`.
+        """
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        n_accesses = len(addrs)
+        self._chunks += 1
+        if n_accesses == 0:
+            return
+        if sizes is None:
+            sizes = np.ones(n_accesses, dtype=np.uint32)
+        labels = (
+            None if var_ids is None else np.asarray(var_ids, dtype=np.int64)
+        )
+        # Shared stage 1: block expansion, once per distinct block size.
+        expanded: Dict[int, Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = {}
+        for block_size in self.plan.block_sizes:
+            blocks, access_index = _expand_blocks(addrs, sizes, block_size)
+            blocks = blocks.astype(np.int64, copy=False)
+            owners = None if labels is None else labels[access_index]
+            expanded[block_size] = (blocks, access_index, owners)
+            seen = self._seen[block_size]
+            new = set(np.unique(blocks).tolist()) - seen
+            seen |= new
+            self._compulsory[block_size] += len(new)
+        # Shared stage 2: ONE fused stack pass for every geometry group
+        # (disjoint virtual set ranges), then one histogram build per
+        # group and O(depth) bookkeeping per member.
+        group_sets: List[np.ndarray] = []
+        fused_blocks: List[np.ndarray] = []
+        fused_vsets: List[np.ndarray] = []
+        for group, base in zip(self.plan.groups, self._bases):
+            blocks = expanded[group.block_size][0]
+            local = blocks & np.int64(group.n_sets - 1)
+            group_sets.append(local)
+            fused_blocks.append(blocks)
+            fused_vsets.append(local + base)
+        positions = _stack_positions(
+            np.concatenate(fused_blocks),
+            np.concatenate(fused_vsets),
+            self._depth,
+            self._stacks,
+        )
+        offset = 0
+        for group, sets in zip(self.plan.groups, group_sets):
+            blocks, access_index, owners = expanded[group.block_size]
+            pos = positions[offset : offset + len(blocks)]
+            offset += len(blocks)
+            hist = _GroupHistograms(
+                sets, pos, access_index, n_accesses, owners,
+                group.n_sets, self._depth,
+            )
+            for member in group.members:
+                self._totals[member.index].absorb(hist, n_accesses)
+
+    def results(self) -> List[FastTraceCounts]:
+        """Per-config totals over everything fed, in input order."""
+        return [
+            totals.finish(self._compulsory[totals.config.block_size])
+            for totals in self._totals
+        ]
+
+
+def batch_trace_counts(
+    addrs: np.ndarray,
+    configs: Sequence[CacheConfig],
+    sizes: Optional[np.ndarray] = None,
+    var_ids: Optional[np.ndarray] = None,
+) -> List[FastTraceCounts]:
+    """One-shot batched pass: whole stream, all configs, input order."""
+    sim = MultiConfigSimulator(configs)
+    sim.feed(addrs, sizes, var_ids)
+    return sim.results()

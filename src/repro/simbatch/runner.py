@@ -1,0 +1,236 @@
+"""Feed the batched kernel from any trace source.
+
+Three entry shapes, one kernel:
+
+- :func:`simulate_batch` — the CLI/API front door.  Takes a path (a
+  memory-mapped :class:`~repro.trace.columnar.ColumnarTrace` is the
+  zero-copy fast path; v1 binary and text traces stream record by
+  record), an open ``ColumnarTrace``, or any record iterable.
+- :func:`batch_simulation_fields` — the campaign-facing form: produces
+  per-config payload dicts *field-identical* to
+  :func:`repro.campaign.jobs.simulation_fields`, so a batched grid
+  point stores exactly the artifact a per-config run would.
+- :class:`BatchResult` — counts per config plus the streaming telemetry
+  (chunks, mapped bytes) the obsv layer reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import FastTraceCounts
+from repro.obsv.telemetry import get_telemetry
+from repro.simbatch.kernel import MultiConfigSimulator
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import DEFAULT_CHUNK_RECORDS, Trace
+
+TraceSource = Union[str, Path, "ColumnarTrace", Trace, Iterable[TraceRecord]]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Everything one batched pass produced."""
+
+    configs: Tuple[CacheConfig, ...]
+    #: per-config totals, parallel to ``configs``
+    results: Tuple[FastTraceCounts, ...]
+    #: demand accesses streamed (X records excluded)
+    accesses: int
+    chunks: int
+    #: bytes memory-mapped (0 for non-columnar sources)
+    bytes_mapped: int
+    #: attribution-label table; per-config ``per_variable`` ids index it
+    names: Tuple[str, ...] = ()
+
+    def by_config(self) -> Dict[str, FastTraceCounts]:
+        """``{config.describe(): counts}`` view."""
+        return {
+            c.describe(): r for c, r in zip(self.configs, self.results)
+        }
+
+
+def _feed_columnar(
+    sim: MultiConfigSimulator,
+    columnar,
+    chunk_records: int,
+    attribution: Optional[str],
+) -> Tuple[int, List[str]]:
+    """Stream a mapped columnar trace through the kernel in slices."""
+    indices = columnar.data_indices()
+    if attribution is not None:
+        names, all_ids = columnar.attribution_ids(attribution)
+    else:
+        names, all_ids = [], None
+    addrs = columnar.addrs
+    sizes = columnar.sizes
+    for start in range(0, len(indices), chunk_records):
+        sel = indices[start : start + chunk_records]
+        sim.feed(
+            addrs[sel],
+            sizes[sel],
+            None if all_ids is None else all_ids[sel],
+        )
+    return len(indices), list(names)
+
+
+def _feed_records(
+    sim: MultiConfigSimulator,
+    records: Iterable[TraceRecord],
+    chunk_records: int,
+    attribution: Optional[str],
+) -> Tuple[int, List[str]]:
+    """Stream decoded records through the kernel, interning labels."""
+    from repro.cache.simulator import attribution_label
+
+    name_ids: Dict[str, int] = {}
+    names: List[str] = []
+    addrs: List[int] = []
+    sizes: List[int] = []
+    var_ids: List[int] = []
+    total = 0
+
+    def flush() -> None:
+        sim.feed(
+            np.array(addrs, dtype=np.uint64),
+            np.array(sizes, dtype=np.uint32),
+            np.array(var_ids, dtype=np.int64) if attribution else None,
+        )
+        addrs.clear()
+        sizes.clear()
+        var_ids.clear()
+
+    for record in records:
+        if record.op is AccessType.MISC:
+            continue
+        addrs.append(record.addr)
+        sizes.append(record.size)
+        if attribution is not None:
+            label = attribution_label(record, attribution)
+            if label is None:
+                var_ids.append(-1)
+            else:
+                vid = name_ids.get(label)
+                if vid is None:
+                    vid = name_ids[label] = len(names)
+                    names.append(label)
+                var_ids.append(vid)
+        total += 1
+        if len(addrs) >= chunk_records:
+            flush()
+    if addrs:
+        flush()
+    return total, names
+
+
+def simulate_batch(
+    source: TraceSource,
+    configs: Sequence[CacheConfig],
+    *,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    attribution: Optional[str] = None,
+) -> BatchResult:
+    """Simulate every config against one trace in a single pass.
+
+    ``source`` may be a trace file path (columnar v2 streams zero-copy
+    from the map; v1 binary and text decode record by record), an open
+    :class:`~repro.trace.columnar.ColumnarTrace`, a :class:`Trace`, or
+    any record iterable.  ``attribution`` (``"base"``/``"member"``)
+    turns on per-variable counts; the returned
+    :attr:`BatchResult.names` table maps their integer ids back to
+    labels.
+    """
+    if chunk_records <= 0:
+        raise ValueError(
+            f"chunk_records must be positive, got {chunk_records}"
+        )
+    from repro.trace.columnar import ColumnarTrace, is_columnar
+
+    tele = get_telemetry()
+    sim = MultiConfigSimulator(configs)
+    with tele.span(
+        "simbatch.batch",
+        cat="simbatch",
+        configs=len(configs),
+        groups=len(sim.plan.groups),
+    ):
+        opened: Optional[ColumnarTrace] = None
+        bytes_mapped = 0
+        try:
+            if isinstance(source, (str, Path)) and is_columnar(source):
+                source = opened = ColumnarTrace(source)
+            if isinstance(source, ColumnarTrace):
+                bytes_mapped = source.nbytes_mapped
+                accesses, names = _feed_columnar(
+                    sim, source, chunk_records, attribution
+                )
+            else:
+                if isinstance(source, (str, Path)):
+                    from repro.trace.stream import iter_records
+
+                    source = iter_records(source)
+                accesses, names = _feed_records(
+                    sim, source, chunk_records, attribution
+                )
+        finally:
+            if opened is not None:
+                opened.close()
+        results = sim.results()
+    tele.add("simbatch.configs_per_batch", len(configs))
+    tele.add("simbatch.chunks_streamed", sim.chunks_fed)
+    tele.add("simbatch.bytes_mapped", bytes_mapped)
+    tele.add("simbatch.cache_lookups", accesses * len(configs))
+    return BatchResult(
+        configs=tuple(configs),
+        results=tuple(results),
+        accesses=accesses,
+        chunks=sim.chunks_fed,
+        bytes_mapped=bytes_mapped,
+        names=tuple(names),
+    )
+
+
+def batch_simulation_fields(
+    trace: Trace,
+    configs: Sequence[CacheConfig],
+    attribution: str,
+    *,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> List[Dict[str, Any]]:
+    """Per-config simulation payloads from one shared pass.
+
+    Each returned dict carries exactly the fields (names, rounding,
+    ordering) of :func:`repro.campaign.jobs.simulation_fields`, so the
+    batched campaign route stores byte-identical artifacts — the
+    expensive per-record decode/label loop runs once for the whole
+    config list instead of once per grid point.
+    """
+    result = simulate_batch(
+        trace,
+        configs,
+        chunk_records=chunk_records,
+        attribution=attribution,
+    )
+    name_ids = {name: vid for vid, name in enumerate(result.names)}
+    payloads: List[Dict[str, Any]] = []
+    for config, counts in zip(result.configs, result.results):
+        payloads.append(
+            {
+                "config": config.describe(),
+                "accesses": result.accesses,
+                "hits": counts.demand_hits,
+                "misses": counts.demand_misses,
+                "miss_ratio": round(counts.demand_miss_ratio, 6),
+                "evictions": counts.evictions,
+                "compulsory_misses": counts.counts.compulsory_misses,
+                "by_variable_misses": {
+                    name: counts.per_variable[vid][1]
+                    for name, vid in sorted(name_ids.items())
+                },
+            }
+        )
+    return payloads

@@ -17,6 +17,8 @@ than text.
 
 from __future__ import annotations
 
+import mmap
+import os
 import struct
 import zlib
 from pathlib import Path
@@ -95,60 +97,156 @@ def save_binary(records: Iterable[TraceRecord], path: Union[str, Path]) -> Path:
     return target
 
 
+#: Compressed bytes fed to the streaming decompressor per step.
+_DECOMPRESS_CHUNK = 1 << 18
+
+#: File-layout offsets: magic+version header, then three blob lengths
+#: and the record count.
+_HEADER_SIZE = 5
+_COUNTS_SIZE = 16
+_BODY_PREFIX = _HEADER_SIZE + _COUNTS_SIZE
+
+
+def _decompress_blob(
+    mm, start: int, length: int, what: str, path: Path
+) -> bytes:
+    try:
+        return zlib.decompress(mm[start : start + length])
+    except zlib.error as exc:
+        raise TraceFormatError(
+            f"{path}: corrupt {what} at offset {start}: {exc}"
+        ) from exc
+
+
 def iter_binary(path: Union[str, Path]) -> Iterator[TraceRecord]:
     """Yield records from a compact binary trace one at a time.
 
-    The compressed file and its decompressed 20-byte-per-record body are
-    held in memory (they are the compact representation); the expensive
-    Python-object form is materialized one record at a time, so peak
-    memory stays bounded by the packed body plus one record — not by the
-    full :class:`TraceRecord` list ``load_binary`` builds.
+    The file is memory-mapped and the zlib-compressed record body is
+    decompressed *incrementally*, so peak resident memory is one
+    decompression window plus one record — not the whole file and not
+    the full 20-byte-per-record body (a 100M-record trace used to pin
+    ~2 GiB before the first record came out).
+
+    Truncated or corrupt files raise :class:`TraceFormatError` naming
+    the byte offset where the file stopped making sense, so a torn
+    download or interrupted copy is diagnosable from the message alone.
     """
-    data = Path(path).read_bytes()
-    if data[:4] != _MAGIC:
-        raise TraceFormatError(f"{path}: not a TDST binary trace")
-    if data[4] != _VERSION:
-        raise TraceFormatError(
-            f"{path}: unsupported version {data[4]} (expected {_VERSION})"
+    path = Path(path)
+    with open(path, "rb") as handle:
+        if os.fstat(handle.fileno()).st_size == 0:
+            raise TraceFormatError(f"{path}: not a TDST binary trace (empty file)")
+        mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        size = len(mm)
+        if size < _HEADER_SIZE or mm[:4] != _MAGIC:
+            raise TraceFormatError(f"{path}: not a TDST binary trace")
+        if mm[4] != _VERSION:
+            hint = (
+                " (version 2 is the columnar format; "
+                "use repro.trace.columnar)"
+                if mm[4] == 2
+                else ""
+            )
+            raise TraceFormatError(
+                f"{path}: unsupported version {mm[4]} "
+                f"(expected {_VERSION}){hint}"
+            )
+        if size < _BODY_PREFIX:
+            raise TraceFormatError(
+                f"{path}: truncated at offset {size}: header needs "
+                f"{_BODY_PREFIX} bytes"
+            )
+        func_len, var_len, body_len = struct.unpack_from(
+            "<III", mm, _HEADER_SIZE
         )
-    offset = 5
-    lengths = struct.unpack_from("<III", data, offset)
-    offset += 12
-    (count,) = struct.unpack_from("<I", data, offset)
-    offset += 4
-    blobs = []
-    for length in lengths:
-        blobs.append(zlib.decompress(data[offset : offset + length]))
-        offset += length
-    del data
-    func_blob, var_blob, body = blobs
-    funcs = func_blob.decode("utf-8").split("\n") if func_blob else []
-    variables = var_blob.decode("utf-8").split("\n") if var_blob else []
-    if len(body) != count * _RECORD.size:
-        raise TraceFormatError(
-            f"{path}: body length {len(body)} does not match {count} records"
+        (count,) = struct.unpack_from("<I", mm, _HEADER_SIZE + 12)
+        offset = _BODY_PREFIX
+        for what, length in (
+            ("function table", func_len),
+            ("variable table", var_len),
+            ("record body", body_len),
+        ):
+            if offset + length > size:
+                raise TraceFormatError(
+                    f"{path}: truncated at offset {size}: {what} needs "
+                    f"bytes [{offset}, {offset + length})"
+                )
+            offset += length
+        func_off = _BODY_PREFIX
+        var_off = func_off + func_len
+        body_off = var_off + var_len
+        func_blob = _decompress_blob(
+            mm, func_off, func_len, "function table", path
         )
-    parsed_paths: Dict[int, VariablePath] = {}
-    for i in range(count):
-        op_i, scope_i, frame, thread, size, func_id, var_id, addr = (
-            _RECORD.unpack_from(body, i * _RECORD.size)
+        var_blob = _decompress_blob(
+            mm, var_off, var_len, "variable table", path
         )
-        var: Optional[VariablePath] = None
-        if var_id != _NO_VAR:
-            var = parsed_paths.get(var_id)
-            if var is None:
-                var = VariablePath.parse(variables[var_id])
-                parsed_paths[var_id] = var
-        yield TraceRecord(
-            op=AccessType(_OPS[op_i]),
-            addr=addr,
-            size=size,
-            func=funcs[func_id] if func_id != _NO_FUNC else "",
-            scope=_SCOPES[scope_i] if scope_i else None,
-            frame=frame if frame != _NO_FIELD else None,
-            thread=thread if thread != _NO_FIELD else None,
-            var=var,
-        )
+        funcs = func_blob.decode("utf-8").split("\n") if func_blob else []
+        variables = var_blob.decode("utf-8").split("\n") if var_blob else []
+
+        parsed_paths: Dict[int, VariablePath] = {}
+        decomp = zlib.decompressobj()
+        buffer = bytearray()
+        yielded = 0
+        rec_size = _RECORD.size
+        position = body_off
+        body_end = body_off + body_len
+        while position < body_end or buffer:
+            if position < body_end:
+                step = min(_DECOMPRESS_CHUNK, body_end - position)
+                try:
+                    buffer += decomp.decompress(mm[position : position + step])
+                except zlib.error as exc:
+                    raise TraceFormatError(
+                        f"{path}: corrupt record body at offset "
+                        f"{position}: {exc}"
+                    ) from exc
+                position += step
+                if position >= body_end:
+                    buffer += decomp.flush()
+            n_full = len(buffer) // rec_size
+            if n_full:
+                window = bytes(buffer[: n_full * rec_size])
+                del buffer[: n_full * rec_size]
+                for fields in _RECORD.iter_unpack(window):
+                    op_i, scope_i, frame, thread, size_, func_id, var_id, addr = fields
+                    if yielded >= count:
+                        raise TraceFormatError(
+                            f"{path}: record body at offset {body_off} "
+                            f"holds more than the declared {count} records"
+                        )
+                    var: Optional[VariablePath] = None
+                    if var_id != _NO_VAR:
+                        var = parsed_paths.get(var_id)
+                        if var is None:
+                            var = VariablePath.parse(variables[var_id])
+                            parsed_paths[var_id] = var
+                    yielded += 1
+                    yield TraceRecord(
+                        op=AccessType(_OPS[op_i]),
+                        addr=addr,
+                        size=size_,
+                        func=funcs[func_id] if func_id != _NO_FUNC else "",
+                        scope=_SCOPES[scope_i] if scope_i else None,
+                        frame=frame if frame != _NO_FIELD else None,
+                        thread=thread if thread != _NO_FIELD else None,
+                        var=var,
+                    )
+            elif position >= body_end:
+                break
+        if buffer:
+            raise TraceFormatError(
+                f"{path}: record body at offset {body_off} ends with "
+                f"{len(buffer)} trailing bytes (not a whole "
+                f"{rec_size}-byte record)"
+            )
+        if yielded != count:
+            raise TraceFormatError(
+                f"{path}: record body at offset {body_off} decoded "
+                f"{yielded} records but the header declares {count}"
+            )
+    finally:
+        mm.close()
 
 
 def load_binary(path: Union[str, Path]) -> Trace:

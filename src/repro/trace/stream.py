@@ -68,15 +68,19 @@ class Trace(Sequence[TraceRecord]):
 
     @classmethod
     def load_any(cls, path: Union[str, Path]) -> "Trace":
-        """Load a trace file, auto-detecting binary vs text by magic bytes.
+        """Load a trace file, auto-detecting the format by magic bytes.
 
-        Files starting with the ``TDST`` magic load through the compact
-        binary reader; everything else (including gzipped text) goes
+        Files starting with the ``TDST`` magic load through the binary
+        readers (version 1 = compact record stream, version 2 =
+        columnar); everything else (including gzipped text) goes
         through the Gleipnir text parser.
         """
-        with open(path, "rb") as handle:
-            magic = handle.read(4)
-        if magic == b"TDST":
+        version = _binary_version(path)
+        if version == 2:
+            from repro.trace.columnar import load_columnar
+
+            return load_columnar(path)
+        if version is not None:
             from repro.trace.binformat import load_binary
 
             return load_binary(path)
@@ -215,20 +219,39 @@ class TraceChunk:
         return len(self.addrs)
 
 
+def _binary_version(path: Union[str, Path]) -> Optional[int]:
+    """The ``TDST`` container version of a file, or ``None`` for text."""
+    with open(path, "rb") as handle:
+        head = handle.read(5)
+    if head[:4] != b"TDST" or len(head) < 5:
+        return None
+    return head[4]
+
+
+def _iter_columnar_records(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream a columnar file's decoded records, closing the map at EOF."""
+    from repro.trace.columnar import ColumnarTrace
+
+    with ColumnarTrace(path) as columnar:
+        yield from columnar.iter_records()
+
+
 def iter_records(
     source: Union[str, Path, Iterable[TraceRecord]],
 ) -> Iterator[TraceRecord]:
     """Stream records from a trace file or pass an iterable through.
 
     Paths are auto-detected by magic bytes like :meth:`Trace.load_any`:
-    ``TDST`` binaries stream through :func:`repro.trace.binformat.iter_binary`,
-    everything else through the line-at-a-time text parser — neither
-    builds the full record list.
+    ``TDST`` containers stream through the matching binary reader
+    (version 1 record stream or version 2 columnar), everything else
+    through the line-at-a-time text parser — none builds the full
+    record list.
     """
     if isinstance(source, (str, Path)):
-        with open(source, "rb") as handle:
-            magic = handle.read(4)
-        if magic == b"TDST":
+        version = _binary_version(source)
+        if version == 2:
+            return _iter_columnar_records(source)
+        if version is not None:
             from repro.trace.binformat import iter_binary
 
             return iter_binary(source)

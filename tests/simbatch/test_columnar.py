@@ -1,0 +1,187 @@
+"""Columnar v2 trace store: round-trip, upgrade, mmap, corruption."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.ctypes_model.path import Field, Index, VariablePath
+from repro.trace.binformat import save_binary
+from repro.trace.columnar import (
+    ColumnarTrace,
+    is_columnar,
+    load_columnar,
+    open_columnar,
+    save_columnar,
+    upgrade_binary,
+)
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace, iter_records
+
+pytestmark = pytest.mark.simbatch
+
+_IDENT = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,8}", fullmatch=True)
+
+_paths = st.builds(
+    VariablePath,
+    _IDENT,
+    st.lists(
+        st.one_of(
+            st.builds(Index, st.integers(0, 4000)),
+            st.builds(Field, _IDENT),
+        ),
+        max_size=3,
+    ).map(tuple),
+)
+
+
+@st.composite
+def records(draw):
+    op = draw(st.sampled_from(list(AccessType)))
+    addr = draw(st.integers(0, 2**48 - 1))
+    size = draw(st.sampled_from([1, 2, 4, 8, 16]))
+    func = draw(st.one_of(st.just(""), _IDENT))
+    scope = draw(
+        st.one_of(st.none(), st.sampled_from(["LV", "LS", "GV", "GS", "HV", "HS"]))
+    )
+    if not func or scope is None:
+        return TraceRecord(op, addr, size, func)
+    var = draw(st.one_of(st.none(), _paths))
+    if scope.startswith("G"):
+        return TraceRecord(op, addr, size, func, scope, None, None, var)
+    return TraceRecord(
+        op, addr, size, func, scope,
+        draw(st.integers(0, 200)), draw(st.integers(1, 200)), var,
+    )
+
+
+class TestRoundTrip:
+    def test_kernel_trace_round_trips(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        with open_columnar(path) as col:
+            assert list(col.iter_records()) == list(trace_1a_16)
+
+    def test_to_trace_and_load(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        assert list(load_columnar(path)) == list(trace_1a_16)
+
+    @given(recs=st.lists(records(), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_records_round_trip(self, recs, tmp_path_factory):
+        path = tmp_path_factory.mktemp("col") / "t.tdst"
+        save_columnar(recs, path)
+        with open_columnar(path) as col:
+            assert list(col.iter_records()) == recs
+
+    def test_empty_trace(self, tmp_path):
+        path = save_columnar([], tmp_path / "empty.tdst")
+        with open_columnar(path) as col:
+            assert len(col) == 0
+            assert list(col.iter_records()) == []
+
+    def test_upgrade_from_v1(self, trace_1a_16, tmp_path):
+        v1 = save_binary(trace_1a_16, tmp_path / "v1.tdst")
+        v2 = upgrade_binary(v1, tmp_path / "v2.tdst")
+        assert is_columnar(v2) and not is_columnar(v1)
+        with open_columnar(v2) as col:
+            assert list(col.iter_records()) == list(trace_1a_16)
+
+
+class TestColumns:
+    def test_zero_copy_views(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        recs = list(trace_1a_16)
+        with open_columnar(path) as col:
+            assert col.addrs.dtype == np.uint64
+            assert col.nbytes_mapped > 0
+            assert np.array_equal(
+                col.addrs, np.array([r.addr for r in recs], dtype=np.uint64)
+            )
+            assert np.array_equal(
+                col.sizes, np.array([r.size for r in recs], dtype=np.uint32)
+            )
+
+    def test_data_indices_exclude_misc(self, tmp_path):
+        recs = [
+            TraceRecord(AccessType.LOAD, 0, 4, "f"),
+            TraceRecord(AccessType.MISC, 8, 4, "f"),
+            TraceRecord(AccessType.STORE, 16, 4, "f"),
+        ]
+        path = save_columnar(recs, tmp_path / "t.tdst")
+        with open_columnar(path) as col:
+            assert list(col.data_indices()) == [0, 2]
+
+    def test_attribution_ids_match_labels(self, trace_1a_16, tmp_path):
+        from repro.cache.simulator import attribution_label
+
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        for mode in ("base", "member"):
+            with open_columnar(path) as col:
+                names, ids = col.attribution_ids(mode)
+                expected = [
+                    attribution_label(r, mode) for r in trace_1a_16
+                ]
+                got = [
+                    names[i] if i >= 0 else None for i in ids
+                ]
+                assert got == expected
+
+    def test_close_with_live_views_does_not_raise(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        col = open_columnar(path)
+        view = col.addrs  # noqa: F841 — keep a view across close
+        col.close()
+        col.close()  # idempotent
+
+
+class TestStreamDispatch:
+    def test_load_any_reads_columnar(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        assert list(Trace.load_any(path)) == list(trace_1a_16)
+
+    def test_iter_records_reads_columnar(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        assert list(iter_records(path)) == list(trace_1a_16)
+
+
+class TestCorruption:
+    def test_not_columnar(self, tmp_path):
+        path = tmp_path / "x.tdst"
+        path.write_bytes(b"garbage!")
+        with pytest.raises(TraceFormatError):
+            open_columnar(path)
+        assert not is_columnar(path)
+
+    def test_truncated_file(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceFormatError, match="offset|truncat"):
+            open_columnar(path)
+
+    def test_bad_trailer_magic(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        blob = bytearray(path.read_bytes())
+        blob[-8:] = b"NOTMAGIC"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError):
+            open_columnar(path)
+
+    def test_footer_length_out_of_range(self, trace_1a_16, tmp_path):
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        blob = bytearray(path.read_bytes())
+        # overwrite the footer-length word with an absurd value
+        blob[-12:-8] = struct.pack("<I", 2**31)
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError):
+            open_columnar(path)
+
+    def test_v1_reader_names_columnar_hint(self, trace_1a_16, tmp_path):
+        from repro.trace.binformat import load_binary
+
+        path = save_columnar(trace_1a_16, tmp_path / "t.tdst")
+        with pytest.raises(TraceFormatError, match="columnar"):
+            list(load_binary(path))

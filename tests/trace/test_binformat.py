@@ -83,3 +83,51 @@ class TestRoundTrip:
         path.write_bytes(bytes(data))
         with pytest.raises(TraceFormatError):
             load_binary(path)
+
+
+class TestStreamingErrors:
+    """The mmap/streaming reader names byte offsets in its errors."""
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tdst"
+        path.write_bytes(b"")
+        with pytest.raises(TraceFormatError, match="empty"):
+            list(load_binary(path))
+
+    def test_truncated_blob_names_offset(self, tmp_path, trace_1a_16):
+        path = save_binary(trace_1a_16, tmp_path / "t.tdst")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 10])
+        with pytest.raises(TraceFormatError, match=r"truncated at offset \d+"):
+            list(load_binary(path))
+
+    def test_truncated_header_names_offset(self, tmp_path):
+        path = tmp_path / "t.tdst"
+        path.write_bytes(b"TDST\x01\x00\x00")
+        with pytest.raises(TraceFormatError, match="truncated at offset 7"):
+            list(load_binary(path))
+
+    def test_corrupt_body_names_offset(self, tmp_path, trace_1a_16):
+        path = save_binary(trace_1a_16, tmp_path / "t.tdst")
+        blob = bytearray(path.read_bytes())
+        blob[-4:] = b"\xff\xff\xff\xff"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="offset"):
+            list(load_binary(path))
+
+    def test_version2_error_points_to_columnar(self, tmp_path, trace_1a_16):
+        data = bytearray(save_binary(trace_1a_16, tmp_path / "t.tdst").read_bytes())
+        data[4] = 2
+        path = tmp_path / "v2.tdst"
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="columnar"):
+            list(load_binary(path))
+
+    def test_streaming_is_lazy(self, tmp_path, trace_1a_16):
+        from repro.trace.binformat import iter_binary
+
+        path = save_binary(trace_1a_16, tmp_path / "t.tdst")
+        iterator = iter_binary(path)
+        first = next(iterator)
+        assert first == list(trace_1a_16)[0]
+        iterator.close()
