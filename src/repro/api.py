@@ -55,6 +55,16 @@ from repro.campaign import (
     paper_figures_spec,
     run_campaign,
 )
+from repro.tracestore import (
+    ApplyResult,
+    ChainSimResult,
+    Commit,
+    RuleDelta,
+    TraceStore,
+    apply_rules,
+    rule_delta,
+    simulate_chain,
+)
 from repro.simbatch import (
     BatchPlan,
     BatchResult,
@@ -257,6 +267,15 @@ __all__ = [
     "Scheduler",
     "paper_figures_spec",
     "run_campaign",
+    # trace commit chains (incremental re-simulation)
+    "ApplyResult",
+    "ChainSimResult",
+    "Commit",
+    "RuleDelta",
+    "TraceStore",
+    "apply_rules",
+    "rule_delta",
+    "simulate_chain",
     # batched multi-config simulation
     "BatchPlan",
     "BatchResult",

@@ -450,21 +450,33 @@ class FastSimulator:
         self._demand_hits = 0
         self._demand_accesses = 0
         self._chunks = 0
+        self._per_var: Dict[int, Tuple[int, int]] = {}
 
     def feed(
-        self, addrs: np.ndarray, sizes: Optional[np.ndarray] = None
+        self,
+        addrs: np.ndarray,
+        sizes: Optional[np.ndarray] = None,
+        var_ids: Optional[np.ndarray] = None,
     ) -> FastCounts:
-        """Simulate one chunk; returns that chunk's block-level counts."""
+        """Simulate one chunk; returns that chunk's block-level counts.
+
+        ``var_ids`` optionally labels each access (as in
+        :func:`fast_trace_counts`); per-variable totals accumulate across
+        chunks and surface through :meth:`trace_counts`.
+        """
         tele = get_telemetry()
         if not tele.enabled:
-            return self._feed(addrs, sizes)
+            return self._feed(addrs, sizes, var_ids)
         with tele.span("simulate.fast_chunk", cat="simulate"):
-            counts = self._feed(addrs, sizes)
+            counts = self._feed(addrs, sizes, var_ids)
         tele.add("simulate.cache_lookups", len(addrs))
         return counts
 
     def _feed(
-        self, addrs: np.ndarray, sizes: Optional[np.ndarray] = None
+        self,
+        addrs: np.ndarray,
+        sizes: Optional[np.ndarray] = None,
+        var_ids: Optional[np.ndarray] = None,
     ) -> FastCounts:
         """Uninstrumented :meth:`feed` body (the overhead baseline)."""
         addrs = np.asarray(addrs, dtype=np.uint64)
@@ -506,7 +518,102 @@ class FastSimulator:
         self._compulsory += compulsory
         self._per_set.hits += per_set.hits
         self._per_set.misses += per_set.misses
+        if var_ids is not None:
+            owners = np.asarray(var_ids, dtype=np.int64)[access_index]
+            for vid in np.unique(owners):
+                mask = owners == vid
+                h = int((hits_mask & mask).sum())
+                old = self._per_var.get(int(vid), (0, 0))
+                self._per_var[int(vid)] = (
+                    old[0] + h, old[1] + int(mask.sum()) - h
+                )
         return FastCounts(hits, misses, compulsory, per_set)
+
+    # -- residency snapshots ---------------------------------------------------
+
+    def state(self) -> Dict[str, np.ndarray]:
+        """The complete simulator state as flat numpy arrays.
+
+        Everything carried between chunks — residency (per-set carry or
+        LRU stacks), the compulsory-miss block set, per-set and scalar
+        accumulators, per-variable totals — lands in one ``npz``-ready
+        dict.  Restoring it with :meth:`from_state` and feeding the
+        remaining chunks yields totals bit-identical to an uninterrupted
+        run: residency determines every future hit/miss decision and the
+        accumulators are plain sums.
+        """
+        state: Dict[str, np.ndarray] = {
+            "config": np.frombuffer(
+                self.config.describe().encode("utf-8"), dtype=np.uint8
+            ).copy(),
+            "seen_blocks": np.array(
+                sorted(self._seen_blocks), dtype=np.int64
+            ),
+            "per_set_hits": self._per_set.hits.copy(),
+            "per_set_misses": self._per_set.misses.copy(),
+            "scalars": np.array(
+                [
+                    self._block_hits,
+                    self._block_misses,
+                    self._compulsory,
+                    self._demand_hits,
+                    self._demand_accesses,
+                    self._chunks,
+                ],
+                dtype=np.int64,
+            ),
+            "var_ids": np.array(sorted(self._per_var), dtype=np.int64),
+            "var_hits": np.array(
+                [self._per_var[v][0] for v in sorted(self._per_var)],
+                dtype=np.int64,
+            ),
+            "var_misses": np.array(
+                [self._per_var[v][1] for v in sorted(self._per_var)],
+                dtype=np.int64,
+            ),
+        }
+        if self._stacks is None:
+            state["carry"] = self._carry.copy()
+        else:
+            state["stacks"] = self._stacks.copy()
+        return state
+
+    @classmethod
+    def from_state(
+        cls, config: CacheConfig, state: Dict[str, np.ndarray]
+    ) -> "FastSimulator":
+        """Rebuild a simulator from a :meth:`state` snapshot."""
+        described = bytes(np.asarray(state["config"], dtype=np.uint8))
+        if described.decode("utf-8") != config.describe():
+            raise CacheConfigError(
+                f"snapshot was taken under {described.decode('utf-8')!r}, "
+                f"not {config.describe()!r}"
+            )
+        sim = cls(config)
+        if sim._stacks is None:
+            sim._carry[:] = np.asarray(state["carry"], dtype=np.int64)
+        else:
+            sim._stacks[:] = np.asarray(state["stacks"], dtype=np.int64)
+        sim._seen_blocks = set(
+            np.asarray(state["seen_blocks"], dtype=np.int64).tolist()
+        )
+        sim._per_set.hits[:] = state["per_set_hits"]
+        sim._per_set.misses[:] = state["per_set_misses"]
+        (
+            sim._block_hits,
+            sim._block_misses,
+            sim._compulsory,
+            sim._demand_hits,
+            sim._demand_accesses,
+            sim._chunks,
+        ) = (int(v) for v in state["scalars"])
+        sim._per_var = {
+            int(v): (int(h), int(m))
+            for v, h, m in zip(
+                state["var_ids"], state["var_hits"], state["var_misses"]
+            )
+        }
+        return sim
 
     # -- accumulated views ---------------------------------------------------
 
@@ -530,5 +637,5 @@ class FastSimulator:
             demand_hits=self._demand_hits,
             demand_misses=self._demand_accesses - self._demand_hits,
             evictions=_evictions_from(self._per_set, self.config.ways),
-            per_variable={},
+            per_variable=dict(self._per_var),
         )

@@ -21,16 +21,32 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
+import re
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Union
 
+from repro.obsv.atomic import atomic_write
 from repro.trace.binformat import load_binary, save_binary
 from repro.trace.stream import Trace
 
 #: Artifact filename suffixes by kind.
 TRACE_SUFFIX = ".trace.tdst"
 JSON_SUFFIX = ".json"
+
+#: In-flight/stale temporary entries: the legacy hand-rolled writers used
+#: ``<name>.tmp<pid>`` and :func:`atomic_write` uses ``<name>.<rand>.tmp``.
+_TMP_PATTERN = re.compile(r"\.tmp\d*$")
+
+#: Temp files older than this are presumed abandoned by a crashed worker
+#: and are swept on store open; younger ones may be a live sibling's
+#: in-flight write and are left alone.
+STALE_TMP_AGE_S = 60.0
+
+
+def _is_tmp_entry(name: str) -> bool:
+    """True for temporary-write leftovers of either naming scheme."""
+    return _TMP_PATTERN.search(name) is not None
 
 
 def content_key(*parts: Union[str, int, bytes]) -> str:
@@ -56,6 +72,7 @@ class ArtifactStore:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_stale_tmp()
 
     # -- addressing ----------------------------------------------------------
 
@@ -74,12 +91,15 @@ class ArtifactStore:
     # -- traces --------------------------------------------------------------
 
     def put_trace(self, key: str, trace: Trace) -> Path:
-        """Store a trace artifact (binary format, atomic replace)."""
+        """Store a trace artifact (binary format, atomic replace).
+
+        ``save_binary`` already writes through the shared
+        :func:`~repro.obsv.atomic.atomic_write` helper (temp file, fsync,
+        rename), so the artifact appears under its final name complete
+        or not at all.
+        """
         target = self.path_for(key, TRACE_SUFFIX)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        tmp = target.with_suffix(target.suffix + f".tmp{os.getpid()}")
-        save_binary(trace, tmp)
-        os.replace(tmp, target)
+        save_binary(trace, target)
         return target
 
     def get_trace(self, key: str) -> Optional[Trace]:
@@ -92,15 +112,12 @@ class ArtifactStore:
     # -- JSON results --------------------------------------------------------
 
     def put_json(self, key: str, payload: Dict[str, Any]) -> Path:
-        """Store a JSON artifact (atomic replace)."""
+        """Store a JSON artifact (atomic replace, fsync'd)."""
         target = self.path_for(key, JSON_SUFFIX)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        tmp = target.with_suffix(target.suffix + f".tmp{os.getpid()}")
-        tmp.write_text(
-            json.dumps(payload, sort_keys=True, separators=(",", ":")),
-            encoding="utf-8",
-        )
-        os.replace(tmp, target)
+        with atomic_write(target) as handle:
+            handle.write(
+                json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            )
         return target
 
     def get_json(self, key: str) -> Optional[Dict[str, Any]]:
@@ -113,21 +130,52 @@ class ArtifactStore:
     # -- maintenance ---------------------------------------------------------
 
     def keys(self) -> Iterable[str]:
-        """All distinct artifact keys currently stored."""
+        """All distinct artifact keys currently stored.
+
+        Temporary-write leftovers (``.tmp*``) are not artifacts — a
+        crashed worker's abandoned temp file must not masquerade as a
+        completed stage output.
+        """
         seen = set()
         for shard in sorted(self.root.iterdir()):
             if not shard.is_dir():
                 continue
             for entry in sorted(shard.iterdir()):
+                if _is_tmp_entry(entry.name):
+                    continue
                 key = entry.name.split(".", 1)[0]
                 if key not in seen:
                     seen.add(key)
                     yield key
 
+    def sweep_stale_tmp(self, max_age_s: float = STALE_TMP_AGE_S) -> int:
+        """Delete abandoned ``.tmp*`` files older than ``max_age_s``.
+
+        Runs on store open.  The age guard keeps a freshly-opened store
+        from deleting a parallel sibling worker's in-flight write.
+        Returns the number of files removed.
+        """
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for entry in self.root.rglob("*"):
+            try:
+                if (
+                    entry.is_file()
+                    and _is_tmp_entry(entry.name)
+                    and entry.stat().st_mtime < cutoff
+                ):
+                    entry.unlink()
+                    removed += 1
+            except OSError:  # pragma: no cover - raced with another sweep
+                continue
+        return removed
+
     def size_bytes(self) -> int:
-        """Total bytes of all stored artifacts."""
+        """Total bytes of all stored artifacts (temp files excluded)."""
         return sum(
-            f.stat().st_size for f in self.root.rglob("*") if f.is_file()
+            f.stat().st_size
+            for f in self.root.rglob("*")
+            if f.is_file() and not _is_tmp_entry(f.name)
         )
 
     def __len__(self) -> int:

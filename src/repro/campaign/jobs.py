@@ -179,6 +179,30 @@ NO_FAST_ENV = "TDST_NO_FAST"
 #: the spec enables them (same spirit as :data:`NO_FAST_ENV`).
 NO_BATCH_ENV = "TDST_NO_BATCH"
 
+#: Environment escape hatch: route every grid point through the classic
+#: transform-then-simulate stages instead of the incremental trace
+#: commit store (same spirit as :data:`NO_FAST_ENV`).
+NO_TRACESTORE_ENV = "TDST_NO_TRACESTORE"
+
+
+def tracestore_eligible(job: Job, rule_text: Optional[str]) -> bool:
+    """Whether one grid point may run through the trace commit store.
+
+    The incremental route targets the *edit loop*: ``file:`` rule
+    references whose path is stable while the text changes between
+    sweeps.  Verification jobs replay the whole transform through the
+    soundness oracle anyway, and non-fast-path cache geometries have no
+    residency snapshot format — both keep the classic route.
+    """
+    return (
+        rule_text is not None
+        and job.rule.startswith("file:")
+        and not job.verify
+        and not os.environ.get(NO_TRACESTORE_ENV)
+        and not os.environ.get(NO_FAST_ENV)
+        and supports_fast_path(job.cache.to_config())
+    )
+
 
 def simulation_fields(
     trace: Trace,
@@ -353,6 +377,41 @@ def _execute_job(
     with tele.span("campaign.stage.trace", cat="campaign"):
         trace, trace_hit = _materialise_trace(store, job.kernel, job.length)
     hits["trace"] = trace_hit
+
+    if tracestore_eligible(job, rule_text):
+        # Incremental route: transform + simulate through the trace
+        # commit store, reusing chunks/snapshots earlier sweeps left
+        # behind.  The stored payload is field-identical to the classic
+        # route below, so artifacts cannot tell the routes apart.
+        from repro.tracestore.campaign import (
+            incremental_job_fields,
+            tracestore_root_for,
+        )
+
+        with tele.span("campaign.stage.tracestore", cat="campaign"):
+            fields, out_records = incremental_job_fields(
+                tracestore_root_for(store_root),
+                trace,
+                tkey,
+                job.rule,
+                rule_text,
+                job.cache.to_config(),
+                job.attribution,
+            )
+            payload = {
+                "kind": "simulation",
+                "simulation_key": skey,
+                "records": out_records,
+                "transformed_records": out_records,
+                "verified": False,
+            }
+            payload.update(fields)
+            store.put_json(skey, payload)
+        payload = dict(payload)
+        payload["cache_hits"] = hits
+        payload["compute_seconds"] = round(time.monotonic() - started, 6)
+        return payload, hits
+
     transformed_records = None
     verified = False
     if rule_text is not None:

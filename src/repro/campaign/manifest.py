@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
@@ -36,7 +37,18 @@ class RunManifest:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         mode = "a" if append else "w"
+        # Resuming after a crash can find a torn final line (no trailing
+        # newline).  Appending straight after it would glue the first new
+        # row onto the fragment, losing both; start on a fresh line.
+        needs_newline = False
+        if append and self.path.exists() and self.path.stat().st_size:
+            with open(self.path, "rb") as peek:
+                peek.seek(-1, 2)
+                needs_newline = peek.read(1) != b"\n"
         self._handle = open(self.path, mode, encoding="utf-8")
+        if needs_newline:
+            self._handle.write("\n")
+            self._handle.flush()
 
     # -- writing -------------------------------------------------------------
 
@@ -65,18 +77,36 @@ class RunManifest:
     def read(path: Union[str, Path]) -> List[Dict[str, Any]]:
         """All event rows of an existing manifest, in write order.
 
-        Tolerates a torn final line (crashed writer): incomplete JSON at
-        EOF is dropped rather than raised.
+        Tolerates a torn final line (a worker hard-killed mid-append
+        leaves incomplete JSON at EOF): the partial row is dropped with a
+        warning instead of raising, so ``--resume`` still works after a
+        crash.  A malformed row *before* EOF means real corruption, not a
+        crash artifact — it is also dropped, but warned about separately.
         """
         rows: List[Dict[str, Any]] = []
         text = Path(path).read_text(encoding="utf-8")
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                rows.append(json.loads(line))
+                rows.append(json.loads(stripped))
             except json.JSONDecodeError:
+                if lineno == len(lines) and not text.endswith("\n"):
+                    warnings.warn(
+                        f"{path}: dropping torn final manifest line "
+                        f"{lineno} (writer crashed mid-append)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    warnings.warn(
+                        f"{path}: dropping unparseable manifest line "
+                        f"{lineno}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
                 continue
         return rows
 

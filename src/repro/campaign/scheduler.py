@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.campaign.artifacts import ArtifactStore
 from repro.campaign.jobs import (
     NO_BATCH_ENV,
+    NO_TRACESTORE_ENV,
     BatchJob,
     Job,
     TraceTask,
@@ -272,6 +273,13 @@ class Scheduler:
         table unless the ``TDST_NO_BATCH`` environment variable is set;
         ``False`` (e.g. ``tdst campaign --no-batch``) forces per-config
         execution.
+    tracestore:
+        Route eligible ``file:`` rule points through the incremental
+        trace commit store (chunk blobs, residency snapshots).  ``None``
+        (the default) enables it unless the ``TDST_NO_TRACESTORE``
+        environment variable is set; ``False`` (e.g. ``tdst campaign
+        --no-tracestore``) exports that variable so forked workers take
+        the classic transform-then-simulate stages.
     """
 
     def __init__(
@@ -285,12 +293,28 @@ class Scheduler:
         backoff: float = 0.5,
         resume: bool = False,
         batch: Optional[bool] = None,
+        tracestore: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.store = ArtifactStore(self.directory / "artifacts")
         self.manifest_path = self.directory / "manifest.jsonl"
+        if tracestore is False:
+            # Workers (forked or inline) consult the environment, so an
+            # explicit opt-out must be visible there too.
+            os.environ[NO_TRACESTORE_ENV] = "1"
+        self.tracestore = bool(
+            tracestore
+            if tracestore is not None
+            else not os.environ.get(NO_TRACESTORE_ENV)
+        )
+        if self.tracestore:
+            from repro.tracestore.campaign import tracestore_root_for
+
+            tracestore_root_for(self.store.root).mkdir(
+                parents=True, exist_ok=True
+            )
         self.workers = max(0, workers)
         self.timeout = timeout
         self.retries = max(0, retries)
@@ -365,6 +389,7 @@ class Scheduler:
                 timeout=self.timeout,
                 retries=self.retries,
                 resume=self.resume,
+                tracestore=self.tracestore,
             )
             run_jobs: List[Job] = []
             for job in jobs:
@@ -722,6 +747,7 @@ def run_campaign(
     backoff: float = 0.5,
     resume: bool = False,
     batch: Optional[bool] = None,
+    tracestore: Optional[bool] = None,
 ) -> CampaignResult:
     """One-call campaign execution (see :class:`Scheduler` for knobs)."""
     return Scheduler(
@@ -733,4 +759,5 @@ def run_campaign(
         backoff=backoff,
         resume=resume,
         batch=batch,
+        tracestore=tracestore,
     ).run()

@@ -15,6 +15,10 @@ Subcommands mirror the paper's analysis cycle (its Figure 2):
   one trace in a single batched pass (columnar traces stream zero-copy);
 - ``tdst campaign``  — run a whole experiment grid (every paper figure)
   in parallel with artifact caching, retries and a JSONL run manifest;
+- ``tdst commit``    — record a trace (or a rule application) as a
+  content-addressed commit in a trace store; ``tdst log`` walks the
+  chain; ``tdst resim`` re-simulates a commit incrementally, resuming
+  from stored residency snapshots;
 - ``tdst verify``    — differential verification: transform soundness
   oracle, golden figure corpus, kernel agreement and rule fuzzing;
 - ``tdst obsv``      — read telemetry profiles back (summary table,
@@ -498,6 +502,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         backoff=args.backoff,
         resume=args.resume,
         batch=False if args.no_batch else None,
+        tracestore=False if args.no_tracestore else None,
     )
     result = scheduler.run()
     print(result.summary())
@@ -507,6 +512,161 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # Graceful degradation: failed points are recorded, not fatal — the
     # exit code only signals a campaign that produced nothing at all.
     return 0 if (result.n_done + result.n_skipped) else 1
+
+
+def _cmd_commit(args: argparse.Namespace) -> int:
+    """``tdst commit``: record a trace or a rule application as a commit.
+
+    Two modes:
+
+    - ``tdst commit TRACE --store DIR`` chunks and stores a raw trace as
+      a parentless snapshot commit (idempotent: re-committing identical
+      content writes nothing and prints the same id);
+    - ``tdst commit --rules FILE --onto BASE --store DIR`` applies a
+      rule file on top of an existing commit.  When ``--ref`` names a
+      previous application of the same lineage, chunks the edit provably
+      missed are reused instead of re-transformed.
+    """
+    from repro.errors import RuleError, TraceFormatError
+    from repro.tracestore import TraceStore, apply_rules
+
+    store = TraceStore(args.store)
+    if args.rules:
+        if not args.onto:
+            print("error: --rules needs --onto BASE (commit or ref to transform)")
+            return 2
+        try:
+            base = store.resolve(args.onto)
+        except TraceFormatError as exc:
+            print(f"error: {exc}")
+            return 1
+        rule_text = Path(args.rules).read_text(encoding="utf-8")
+        prev = None
+        if args.ref:
+            prev_cid = store.get_ref(args.ref)
+            if prev_cid is not None and store.has_commit(prev_cid):
+                prev = store.read_commit(prev_cid)
+        try:
+            result = apply_rules(
+                store,
+                base,
+                rule_text,
+                prev=prev,
+                message=args.message or f"apply {args.rules}",
+            )
+        except RuleError as exc:
+            print(f"error: {exc}")
+            return 1
+        if args.ref:
+            store.set_ref(args.ref, result.commit.id)
+        print(
+            f"[{result.commit.short_id}] transform of {base.short_id}: "
+            f"{result.chunks_total} chunk(s), {result.chunks_reused} "
+            f"reused, {result.chunks_transformed} transformed"
+        )
+        return 0
+    if not args.trace:
+        print("error: commit needs a TRACE file or --rules/--onto")
+        return 2
+    trace = Trace.load_any(args.trace)
+    commit = store.commit_trace(
+        trace,
+        chunk_records=args.chunk,
+        message=args.message or f"trace {args.trace}",
+    )
+    if args.ref:
+        store.set_ref(args.ref, commit.id)
+    print(
+        f"[{commit.short_id}] snapshot: {commit.records} records in "
+        f"{len(commit.chunks)} chunk(s)"
+    )
+    return 0
+
+
+def _cmd_log(args: argparse.Namespace) -> int:
+    """``tdst log``: walk a commit chain (or summarise the store)."""
+    from repro.errors import TraceFormatError
+    from repro.tracestore import TraceStore
+
+    store = TraceStore(args.store)
+    if args.stats or not args.ref:
+        stats = store.stats()
+        print(f"{store.root}:")
+        for area in ("blobs", "commits", "snaps"):
+            print(
+                f"  {area:<8s} {stats[area]:>6d} object(s)  "
+                f"{stats[f'{area}_bytes']:>12d} bytes"
+            )
+        for name, cid in sorted(store.refs().items()):
+            print(f"  ref {name} -> {cid[:12]}")
+        return 0
+    try:
+        commits = list(store.log(args.ref))
+    except TraceFormatError as exc:
+        print(f"error: {exc}")
+        return 1
+    for commit in commits:
+        line = (
+            f"{commit.short_id} {commit.kind:<9s} "
+            f"{commit.records:>9d} records  {len(commit.chunks):>4d} chunk(s)"
+        )
+        if commit.rule_sha:
+            line += f"  rules {commit.rule_sha[:8]}"
+        if commit.message:
+            line += f"  {commit.message}"
+        print(line)
+    return 0
+
+
+def _cmd_resim(args: argparse.Namespace) -> int:
+    """``tdst resim``: incrementally re-simulate a commit's trace.
+
+    Restores the deepest residency snapshot whose chunk prefix matches,
+    feeds only the remaining chunks, and stores new snapshots for the
+    next run — the numbers are bit-identical to a cold full pass.
+    """
+    from repro.cache.fastsim import supports_fast_path
+    from repro.errors import TraceFormatError
+    from repro.tracestore import TraceStore, simulate_chain
+
+    config = _cache_config(args)
+    if not supports_fast_path(config):
+        print(
+            "error: resumable simulation needs a fast-path config "
+            "(direct-mapped or set-associative LRU, write-allocate)"
+        )
+        return 2
+    store = TraceStore(args.store)
+    try:
+        result = simulate_chain(
+            store,
+            args.ref,
+            config,
+            attribution=args.attribution,
+            snapshots=not args.cold,
+        )
+    except TraceFormatError as exc:
+        print(f"error: {exc}")
+        return 1
+    fields = result.fields()
+    print(
+        f"[{result.commit_id[:12]}] {result.chunks_total} chunk(s): "
+        f"{result.chunks_skipped} restored from snapshot, "
+        f"{result.chunks_simulated} simulated, "
+        f"{result.snapshots_saved} snapshot(s) saved"
+    )
+    print(f"config:            {fields['config']}")
+    print(f"accesses:          {fields['accesses']}")
+    print(f"hits:              {fields['hits']}")
+    print(f"misses:            {fields['misses']}")
+    print(f"miss ratio:        {fields['miss_ratio']:.6f}")
+    print(f"evictions:         {fields['evictions']}")
+    print(f"compulsory misses: {fields['compulsory_misses']}")
+    if fields["by_variable_misses"]:
+        print("per-variable misses:")
+        for name, misses in fields["by_variable_misses"].items():
+            print(f"  {name:<20s} {misses}")
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -818,6 +978,13 @@ def build_parser() -> argparse.ArgumentParser:
         "points that share a trace (also: TDST_NO_BATCH=1)",
     )
     p.add_argument(
+        "--no-tracestore",
+        action="store_true",
+        help="run file: rule points through the classic transform+simulate "
+        "stages instead of the incremental trace commit store "
+        "(also: TDST_NO_TRACESTORE=1)",
+    )
+    p.add_argument(
         "--verify",
         action="store_true",
         help="soundness-check every transformed trace as a post-job step "
@@ -830,6 +997,68 @@ def build_parser() -> argparse.ArgumentParser:
         "file: rule references",
     )
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "commit",
+        help="record a trace or a rule application as a content-addressed "
+        "commit in a trace store",
+    )
+    p.add_argument(
+        "trace", nargs="?", help="trace file to commit as a snapshot"
+    )
+    p.add_argument(
+        "--store", default="tracestore", help="trace store directory"
+    )
+    p.add_argument(
+        "--ref", help="ref name to point at the new commit (e.g. trace/main)"
+    )
+    p.add_argument(
+        "--rules", help="rule file to apply (transform mode; needs --onto)"
+    )
+    p.add_argument(
+        "--onto",
+        help="base commit/ref the rule file applies to (transform mode)",
+    )
+    p.add_argument(
+        "--chunk",
+        type=int,
+        default=65536,
+        help="records per chunk blob when committing a snapshot",
+    )
+    p.add_argument("-m", "--message", help="commit message")
+    p.set_defaults(func=_cmd_commit)
+
+    p = sub.add_parser(
+        "log",
+        help="walk a trace-store commit chain (no REF: store summary)",
+    )
+    p.add_argument("ref", nargs="?", help="commit id, id prefix or ref name")
+    p.add_argument(
+        "--store", default="tracestore", help="trace store directory"
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print object counts, byte totals and refs instead of a chain",
+    )
+    p.set_defaults(func=_cmd_log)
+
+    p = sub.add_parser(
+        "resim",
+        help="incrementally re-simulate a trace-store commit, resuming "
+        "from stored residency snapshots",
+    )
+    p.add_argument("ref", help="commit id, id prefix or ref name")
+    p.add_argument(
+        "--store", default="tracestore", help="trace store directory"
+    )
+    _add_cache_args(p)
+    p.add_argument(
+        "--cold",
+        action="store_true",
+        help="ignore and do not write snapshots (full cold pass)",
+    )
+    p.set_defaults(func=_cmd_resim)
 
     p = sub.add_parser(
         "lint",

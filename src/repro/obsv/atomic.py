@@ -26,7 +26,9 @@ def atomic_write(
 
     ``mode`` is ``"w"`` (text, utf-8 by default) or ``"wb"`` (binary).
     The temporary file lives in the target's directory so the final
-    ``os.replace`` is a same-filesystem atomic rename.  Parent
+    ``os.replace`` is a same-filesystem atomic rename, and the data is
+    ``fsync``'d before the rename so a crash immediately after cannot
+    surface a torn or empty artifact under the final name.  Parent
     directories are created as needed.
     """
     if mode not in ("w", "wb"):
@@ -42,6 +44,8 @@ def atomic_write(
         )
         try:
             yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
         finally:
             handle.close()
     except BaseException:

@@ -303,3 +303,27 @@ def iter_chunks(
             sizes=np.array(sizes, dtype=np.uint32),
             writes=np.array(writes, dtype=bool),
         )
+
+
+def iter_record_chunks(
+    source: Union[str, Path, Iterable[TraceRecord]],
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> Iterator[List[TraceRecord]]:
+    """Batch a record stream into lists of ``chunk_records`` records.
+
+    Unlike :func:`iter_chunks` this keeps the full records (every field,
+    including ``X`` lines) — the input format of the tracestore's
+    content-addressed chunk blobs, whose boundaries must be stable
+    functions of record position alone so identical prefixes hash
+    identically regardless of container format.
+    """
+    if chunk_records <= 0:
+        raise ValueError(f"chunk_records must be positive, got {chunk_records}")
+    batch: List[TraceRecord] = []
+    for record in iter_records(source):
+        batch.append(record)
+        if len(batch) >= chunk_records:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

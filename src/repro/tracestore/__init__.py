@@ -1,0 +1,54 @@
+"""Content-addressed trace commit chains with incremental re-simulation.
+
+Traces and transformed traces are stored as git-like chains of immutable
+commits: chunk blobs dedupe by SHA-256, rule application is a commit,
+and the fast simulator resumes from per-chunk residency snapshots — so
+editing a rule file costs only the chunks the edit provably touched
+(:mod:`repro.tracestore.delta` carries the static proof).
+"""
+
+from repro.tracestore.chain import (
+    KIND_SNAPSHOT,
+    KIND_TRANSFORM,
+    ChunkMeta,
+    Commit,
+    blob_id,
+    build_commit,
+    chunk_variables,
+    commit_id,
+    common_prefix_chunks,
+    encode_chunk,
+    rules_id,
+)
+from repro.tracestore.delta import RuleDelta, rule_delta
+from repro.tracestore.resim import ChainSimResult, simulate_chain, snapshot_id
+from repro.tracestore.store import TraceStore
+from repro.tracestore.transform import ApplyResult, apply_rules
+from repro.tracestore.campaign import (
+    incremental_job_fields,
+    tracestore_root_for,
+)
+
+__all__ = [
+    "KIND_SNAPSHOT",
+    "KIND_TRANSFORM",
+    "ApplyResult",
+    "ChainSimResult",
+    "ChunkMeta",
+    "Commit",
+    "RuleDelta",
+    "TraceStore",
+    "apply_rules",
+    "blob_id",
+    "build_commit",
+    "chunk_variables",
+    "commit_id",
+    "common_prefix_chunks",
+    "encode_chunk",
+    "incremental_job_fields",
+    "rule_delta",
+    "rules_id",
+    "simulate_chain",
+    "snapshot_id",
+    "tracestore_root_for",
+]

@@ -1,0 +1,160 @@
+"""Crash consistency: stale tmp files, torn manifest lines, safe resume.
+
+A campaign killed mid-write must leave a directory the next run can pick
+up: temp files from interrupted atomic writes are invisible to readers
+and swept on store open, a half-appended final manifest line is dropped
+with a warning instead of poisoning the read, and a resumed run
+completes with artifacts byte-identical to an uninterrupted one.
+"""
+
+import json
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.campaign.artifacts import (
+    ArtifactStore,
+    STALE_TMP_AGE_S,
+    content_key,
+)
+from repro.campaign.manifest import RunManifest
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.spec import CacheSpec, CampaignSpec, GridEntry
+
+
+def small_spec():
+    return CampaignSpec(
+        name="crashy",
+        grid=(GridEntry(kernel="1a", length=32, rules=("baseline", "t1")),),
+        caches=(CacheSpec(size=1024, block=32, assoc=1),),
+    )
+
+
+class TestStaleTmpFiles:
+    def _store_with_tmp(self, tmp_path, age_s):
+        store = ArtifactStore(tmp_path / "store")
+        key = content_key("k")
+        store.put_json(key, {"v": 1})
+        shard = store.root / key[:2]
+        tmp_file = shard / f"{key}.json.tmp12345"
+        tmp_file.write_text("torn", encoding="utf-8")
+        old = time.time() - age_s
+        os.utime(tmp_file, (old, old))
+        return store, key, tmp_file
+
+    def test_keys_and_len_skip_tmp_entries(self, tmp_path):
+        store, key, tmp_file = self._store_with_tmp(tmp_path, age_s=0)
+        assert set(store.keys()) == {key}
+        assert len(store) == 1
+
+    def test_size_bytes_skips_tmp_entries(self, tmp_path):
+        store, key, tmp_file = self._store_with_tmp(tmp_path, age_s=0)
+        clean = ArtifactStore(tmp_path / "clean")
+        clean.put_json(key, {"v": 1})
+        assert store.size_bytes() == clean.size_bytes()
+
+    def test_open_sweeps_stale_tmp(self, tmp_path):
+        _, key, tmp_file = self._store_with_tmp(
+            tmp_path, age_s=STALE_TMP_AGE_S + 10
+        )
+        assert tmp_file.exists()
+        reopened = ArtifactStore(tmp_path / "store")
+        assert not tmp_file.exists()
+        assert reopened.get_json(key) == {"v": 1}
+
+    def test_open_keeps_fresh_tmp(self, tmp_path):
+        # A tmp file younger than the cutoff may belong to a live writer.
+        _, _, tmp_file = self._store_with_tmp(tmp_path, age_s=0)
+        ArtifactStore(tmp_path / "store")
+        assert tmp_file.exists()
+
+    def test_sweep_returns_count(self, tmp_path):
+        store, _, tmp_file = self._store_with_tmp(
+            tmp_path, age_s=STALE_TMP_AGE_S + 10
+        )
+        assert store.sweep_stale_tmp() == 1
+        assert store.sweep_stale_tmp() == 0
+
+
+class TestTornManifest:
+    def _manifest(self, tmp_path, tail):
+        path = tmp_path / "manifest.jsonl"
+        rows = [
+            json.dumps({"event": "campaign_start", "ts": 1.0}),
+            json.dumps({"event": "job_done", "job_id": "a", "ts": 2.0}),
+        ]
+        path.write_text("\n".join(rows) + "\n" + tail, encoding="utf-8")
+        return path
+
+    def test_torn_final_line_warns_and_drops(self, tmp_path):
+        path = self._manifest(tmp_path, '{"event": "job_done", "job_')
+        with pytest.warns(RuntimeWarning, match="torn final manifest line"):
+            rows = RunManifest.read(path)
+        assert [r["event"] for r in rows] == ["campaign_start", "job_done"]
+
+    def test_clean_manifest_reads_silently(self, tmp_path):
+        path = self._manifest(tmp_path, "")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            rows = RunManifest.read(path)
+        assert len(rows) == 2
+
+    def test_mid_file_garbage_warns_differently(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        path.write_text(
+            '{"event": "campaign_start"}\nnot json\n'
+            '{"event": "job_done", "job_id": "a"}\n',
+            encoding="utf-8",
+        )
+        with pytest.warns(RuntimeWarning, match="unparseable manifest line"):
+            rows = RunManifest.read(path)
+        assert [r["event"] for r in rows] == ["campaign_start", "job_done"]
+
+    def test_append_after_torn_line_keeps_reads_working(self, tmp_path):
+        path = self._manifest(tmp_path, '{"half":')
+        with RunManifest(path, append=True) as manifest:
+            manifest.record("job_done", job_id="b")
+        with pytest.warns(RuntimeWarning):
+            rows = RunManifest.read(path)
+        assert rows[-1]["job_id"] == "b"
+
+
+class TestCrashResume:
+    def test_resume_after_simulated_crash(self, tmp_path):
+        spec = small_spec()
+        reference = run_campaign(spec, tmp_path / "ref")
+        assert reference.n_failed == 0
+
+        crashed_dir = tmp_path / "crashed"
+        first = run_campaign(spec, crashed_dir)
+        assert first.n_failed == 0
+        # Simulate a crash mid-append: tear the final manifest line and
+        # drop a stale tmp file into the artifact store.
+        manifest = crashed_dir / "manifest.jsonl"
+        data = manifest.read_bytes()
+        manifest.write_bytes(data[:-20])
+        store_root = crashed_dir / "artifacts"
+        key = content_key("junk")
+        shard = store_root / key[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        stale = shard / f"{key}.json.tmp99"
+        stale.write_text("{", encoding="utf-8")
+        old = time.time() - STALE_TMP_AGE_S - 10
+        os.utime(stale, (old, old))
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resumed = run_campaign(spec, crashed_dir, resume=True)
+        assert resumed.n_failed == 0
+        assert resumed.n_done + resumed.n_skipped == len(reference.outcomes)
+        assert not stale.exists()
+
+        def artifacts(d):
+            return {
+                p.relative_to(d): p.read_bytes()
+                for p in sorted((d / "artifacts").rglob("*.json"))
+            }
+
+        assert artifacts(crashed_dir) == artifacts(tmp_path / "ref")

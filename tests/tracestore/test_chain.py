@@ -1,0 +1,164 @@
+"""Commit-chain primitives: canonical encoding, content ids, prefixes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctypes_model.path import Field, Index, VariablePath
+from repro.trace.record import AccessType, TraceRecord
+from repro.tracestore.chain import (
+    KIND_SNAPSHOT,
+    KIND_TRANSFORM,
+    ChunkMeta,
+    Commit,
+    blob_id,
+    build_commit,
+    chunk_variables,
+    commit_id,
+    common_prefix_chunks,
+    encode_chunk,
+    rules_id,
+)
+
+pytestmark = pytest.mark.tracestore
+
+
+def rec(base="lA", idx=0, field="mX", addr=0x1000, size=4, op=AccessType.LOAD):
+    return TraceRecord(
+        op=op,
+        addr=addr,
+        size=size,
+        func="main",
+        scope="GS",
+        var=VariablePath(base, (Field(field), Index(idx))),
+    )
+
+
+_IDENT = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,6}", fullmatch=True)
+_records = st.lists(
+    st.builds(
+        rec,
+        base=_IDENT,
+        idx=st.integers(0, 500),
+        field=_IDENT,
+        addr=st.integers(0, 2**40),
+        size=st.sampled_from([1, 2, 4, 8, 16]),
+        op=st.sampled_from(list(AccessType)),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestEncoding:
+    def test_deterministic(self):
+        records = [rec(idx=i, addr=0x1000 + 4 * i) for i in range(10)]
+        assert encode_chunk(records) == encode_chunk(records)
+        assert blob_id(records) == blob_id(records)
+
+    def test_sensitive_to_content(self):
+        a = [rec(idx=0), rec(idx=1)]
+        b = [rec(idx=0), rec(idx=2)]
+        assert blob_id(a) != blob_id(b)
+        assert blob_id(a) != blob_id(list(reversed(a)))
+
+    def test_context_free(self):
+        # The same records hash identically wherever they sit in a trace:
+        # interning is fresh per chunk, so no cross-chunk state leaks in.
+        chunk = [rec(base="lB", idx=3)]
+        assert blob_id(chunk) == blob_id(list(chunk))
+
+    @given(_records)
+    @settings(max_examples=50, deadline=None)
+    def test_encode_is_injective_on_examples(self, records):
+        # Round-trip determinism for arbitrary record soup.
+        assert blob_id(records) == blob_id(list(records))
+
+    def test_chunk_variables_sorted_distinct(self):
+        records = [rec(base="zZ"), rec(base="aA"), rec(base="zZ")]
+        assert chunk_variables(records) == ("aA", "zZ")
+
+    def test_misc_records_have_no_variable(self):
+        misc = TraceRecord(op=AccessType.MISC, addr=0, size=0)
+        assert chunk_variables([misc]) == ()
+
+
+class TestCommitIds:
+    def _chunks(self):
+        return [
+            ChunkMeta(blob=blob_id([rec(idx=i)]), records=1, data_records=1,
+                      variables=("lA",))
+            for i in range(3)
+        ]
+
+    def test_message_and_time_excluded(self):
+        chunks = self._chunks()
+        a = build_commit(KIND_SNAPSHOT, None, chunks, message="first")
+        b = build_commit(KIND_SNAPSHOT, None, chunks, message="second")
+        assert a.id == b.id
+
+    def test_kind_parent_rules_included(self):
+        chunks = self._chunks()
+        base = build_commit(KIND_SNAPSHOT, None, chunks)
+        xform = build_commit(
+            KIND_TRANSFORM, base.id, chunks, rule_text="in:\nout:\n"
+        )
+        assert base.id != xform.id
+        other = build_commit(
+            KIND_TRANSFORM, base.id, chunks, rule_text="in: \nout:\n"
+        )
+        assert xform.id != other.id
+
+    def test_commit_id_matches_helper(self):
+        chunks = self._chunks()
+        commit = build_commit(KIND_SNAPSHOT, None, chunks)
+        assert commit.id == commit_id(
+            KIND_SNAPSHOT, None, None, [c.blob for c in chunks]
+        )
+
+    def test_json_round_trip(self):
+        chunks = self._chunks()
+        commit = build_commit(
+            KIND_TRANSFORM,
+            "ab" * 32,
+            chunks,
+            rule_text="in:\nout:\n",
+            message="hello",
+            created=123.5,
+            meta={"delta": "x"},
+        )
+        assert Commit.from_json(commit.to_json()) == commit
+
+    def test_rules_id_is_text_hash(self):
+        assert rules_id("a") != rules_id("b")
+        assert rules_id("a") == rules_id("a")
+
+
+class TestPrefix:
+    def test_common_prefix(self):
+        chunks = [
+            ChunkMeta(blob=blob_id([rec(idx=i)]), records=1, data_records=1,
+                      variables=())
+            for i in range(4)
+        ]
+        a = build_commit(KIND_SNAPSHOT, None, chunks)
+        b = build_commit(KIND_SNAPSHOT, None, chunks[:2] + chunks[3:])
+        assert common_prefix_chunks(a.chunks, a.chunks) == 4
+        assert common_prefix_chunks(a.chunks, b.chunks) == 2
+        empty = build_commit(KIND_SNAPSHOT, None, [])
+        assert common_prefix_chunks(a.chunks, empty.chunks) == 0
+
+    @given(st.integers(0, 6), st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_prefixes_dedupe(self, n_shared, n_tail):
+        # Two traces sharing a record prefix share those chunk blobs —
+        # the dedupe property the store's disk usage rests on.
+        shared = [rec(idx=i, addr=0x100 * i) for i in range(n_shared)]
+        a = list(shared) + [rec(base="tA", idx=9)]
+        b = list(shared) + [rec(base="tB", idx=7)] * n_tail
+        ids_a = [blob_id([r]) for r in a]
+        ids_b = [blob_id([r]) for r in b]
+        k = 0
+        while k < min(n_shared, len(ids_a), len(ids_b)):
+            assert ids_a[k] == ids_b[k]
+            k += 1

@@ -1,0 +1,110 @@
+"""Static rule-edit delta: soundness of the chunk-reuse proof."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.tracestore import rule_delta
+
+pytestmark = pytest.mark.tracestore
+
+
+def soa_rule(name, out, n=16):
+    return (
+        f"in:\nstruct {name} {{\n    int mX[{n}];\n    double mY[{n}];\n}};\n"
+        f"out:\nstruct {out} {{\n    int mX;\n    double mY;\n}}[{n}];\n"
+    )
+
+
+TWO_RULES = soa_rule("lA", "lAoS") + soa_rule("lB", "lBoS")
+
+POOL_RULE = """
+pool:
+struct Node { int value; Node *next; };
+objects node* : nodePool[64];
+"""
+
+EXISTING_INJECT = """in:
+int lContiguousArray[1024]:lSetHashingArray;
+out:
+int lSetHashingArray[16384((lI/8)*(16*8)+(lI%8))];
+inject:
+L ITEMSPERLINE 4 x3
+L lI 4 x2 existing
+"""
+
+
+class TestExactDeltas:
+    def test_identical_text_changes_nothing(self):
+        d = rule_delta(TWO_RULES, TWO_RULES)
+        assert not d.conservative
+        assert d.changed == frozenset()
+        assert not d.affects(["lA", "lB", "anything"])
+
+    def test_editing_second_rule_spares_first(self):
+        edited = soa_rule("lA", "lAoS") + soa_rule("lB", "lB2")
+        d = rule_delta(TWO_RULES, edited)
+        assert not d.conservative
+        assert "lB" in d.changed and "lBoS" in d.changed and "lB2" in d.changed
+        assert not d.affects(["lA", "lAoS"])
+        assert d.affects(["lB"])
+        assert d.modified == ("lB",)
+
+    def test_editing_first_rule_shifts_second_allocation(self):
+        # Growing lA's output moves the arena cursor, so lB's textually
+        # identical rule now allocates at a different base: its records
+        # transform to different addresses and it MUST count as changed.
+        edited = soa_rule("lA", "lAoS", n=32) + soa_rule("lB", "lBoS")
+        d = rule_delta(TWO_RULES, edited)
+        assert not d.conservative
+        assert d.affects(["lA"])
+        assert d.affects(["lB"]), "allocation shift must mark lB changed"
+
+    def test_added_and_removed_rules(self):
+        d = rule_delta(soa_rule("lA", "lAoS"), TWO_RULES)
+        assert d.added == ("lB",)
+        assert d.affects(["lB"])
+        assert not d.affects(["lA"])
+        d = rule_delta(TWO_RULES, soa_rule("lA", "lAoS"))
+        assert d.removed == ("lB",)
+        assert d.affects(["lBoS"])
+
+    def test_out_name_flip_is_tracked(self):
+        # A variable that stops being a rule output flips how the
+        # engine treats records already carrying that name.
+        edited = soa_rule("lA", "lAoS") + soa_rule("lB", "lOther")
+        d = rule_delta(TWO_RULES, edited)
+        assert "lBoS" in d.changed and "lOther" in d.changed
+
+    def test_affected_sets_are_bounded(self):
+        edited = soa_rule("lA", "lAoS") + soa_rule("lB", "lB2")
+        d = rule_delta(TWO_RULES, edited)
+        config = CacheConfig(size=4096, block_size=32, associativity=2)
+        sets = d.affected_sets(config)
+        assert sets is not None
+        assert sets  # the changed allocation touches some sets
+        assert all(0 <= s < config.n_sets for s in sets)
+        fps = d.affected_footprints(config)
+        assert "lB2" in fps or "lBoS" in fps
+
+
+class TestConservativeDegradation:
+    def test_unparseable_text(self):
+        d = rule_delta(TWO_RULES, "in:\nthis is not a rule file")
+        assert d.conservative
+        assert d.affects(["anything"])
+        assert d.affected_sets(CacheConfig(size=1024, block_size=32)) is None
+
+    def test_pattern_rules_old_side(self):
+        d = rule_delta(POOL_RULE, TWO_RULES)
+        assert d.conservative
+        assert "pattern" in d.reason
+
+    def test_pattern_rules_new_side(self):
+        d = rule_delta(TWO_RULES, POOL_RULE)
+        assert d.conservative
+
+    def test_existing_injects(self):
+        edited = EXISTING_INJECT.replace("x2", "x4")
+        d = rule_delta(EXISTING_INJECT, edited)
+        assert d.conservative
+        assert "existing" in d.reason
