@@ -48,10 +48,14 @@ from repro.campaign import (
     BatchOptions,
     CacheSpec,
     CampaignResult,
+    CampaignService,
     CampaignSpec,
     GridEntry,
     RunManifest,
     Scheduler,
+    ServiceClient,
+    ServiceConfig,
+    ServiceOptions,
     paper_figures_spec,
     run_campaign,
 )
@@ -261,10 +265,14 @@ __all__ = [
     "BatchOptions",
     "CacheSpec",
     "CampaignResult",
+    "CampaignService",
     "CampaignSpec",
     "GridEntry",
     "RunManifest",
     "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceOptions",
     "paper_figures_spec",
     "run_campaign",
     # trace commit chains (incremental re-simulation)

@@ -529,6 +529,44 @@ class FastSimulator:
                 )
         return FastCounts(hits, misses, compulsory, per_set)
 
+    # -- residency priming -----------------------------------------------------
+
+    def residency(self) -> np.ndarray:
+        """Current per-set residency as an ``(n_sets, ways)`` matrix.
+
+        Rows are MRU-first block numbers with ``-1`` marking empty ways —
+        the direct-mapped carry vector is widened to one column so both
+        kernels share one shape.  This is the boundary state the
+        chunk-parallel shard-merge algebra carries across shard seams
+        (see :mod:`repro.campaign.service.merge`).
+        """
+        if self._stacks is None:
+            return self._carry.reshape(-1, 1).copy()
+        return self._stacks.copy()
+
+    def prime(self, residency: np.ndarray) -> None:
+        """Seed per-set residency before feeding the first chunk.
+
+        ``residency`` must be an ``(n_sets, ways)`` int64 matrix shaped
+        like :meth:`residency` output (MRU-first, ``-1`` = empty way).
+        Feeding a shard into a simulator primed with the residency the
+        preceding shards left behind yields hit/miss decisions identical
+        to an uninterrupted whole-trace run; only the compulsory-miss
+        classification stays shard-local (the merge algebra rebuilds it
+        from the union of per-shard block sets).
+        """
+        residency = np.asarray(residency, dtype=np.int64)
+        expect = (self.config.n_sets, self.config.ways)
+        if residency.shape != expect:
+            raise CacheConfigError(
+                f"residency matrix shape {residency.shape} does not match "
+                f"config geometry {expect}"
+            )
+        if self._stacks is None:
+            self._carry[:] = residency[:, 0]
+        else:
+            self._stacks[:] = residency
+
     # -- residency snapshots ---------------------------------------------------
 
     def state(self) -> Dict[str, np.ndarray]:

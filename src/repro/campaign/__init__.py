@@ -48,11 +48,18 @@ from repro.campaign.scheduler import (
     Scheduler,
     run_campaign,
 )
+from repro.campaign.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceConfig,
+    sharded_simulation_fields,
+)
 from repro.campaign.spec import (
     BatchOptions,
     CacheSpec,
     CampaignSpec,
     GridEntry,
+    ServiceOptions,
     paper_figures_spec,
 )
 
@@ -62,14 +69,19 @@ __all__ = [
     "BatchOptions",
     "CacheSpec",
     "CampaignResult",
+    "CampaignService",
     "CampaignSpec",
     "GridEntry",
     "Job",
     "JobOutcome",
     "RunManifest",
     "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceOptions",
     "TraceTask",
     "content_key",
+    "sharded_simulation_fields",
     "execute_batch_job",
     "execute_job",
     "execute_task",

@@ -333,25 +333,40 @@ def _count_artifact_hits(tele, hits: Dict[str, bool]) -> None:
     tele.add("campaign.artifact_misses", len(hits) - served)
 
 
-def execute_job(job: Job, store_root: Union[str, Path]) -> Dict[str, Any]:
+def execute_job(
+    job: Job,
+    store_root: Union[str, Path],
+    *,
+    fields_fn: Optional[Any] = None,
+) -> Dict[str, Any]:
     """Worker body for one grid point.
 
     Consults the artifact store stage by stage; a fully cached point
     returns without touching the tracer, engine or simulator at all.
     Raises on unrecoverable input problems (bad rule file, invalid
     config) — the scheduler turns that into retry-then-degrade.
+
+    ``fields_fn`` optionally replaces :func:`simulation_fields` at the
+    simulate stage — e.g. the campaign service injects its chunk-parallel
+    sharded simulation here.  Any substitute must produce *identical*
+    fields (the stored artifact must not depend on the route).
     """
     tele = get_telemetry()
     with tele.span("campaign.job", cat="campaign", job=job.job_id):
-        payload, hits = _execute_job(job, store_root)
+        payload, hits = _execute_job(job, store_root, fields_fn=fields_fn)
     _count_artifact_hits(tele, hits)
     return payload
 
 
 def _execute_job(
-    job: Job, store_root: Union[str, Path]
+    job: Job,
+    store_root: Union[str, Path],
+    *,
+    fields_fn: Optional[Any] = None,
 ) -> Tuple[Dict[str, Any], Dict[str, bool]]:
     """:func:`execute_job` body; returns (payload, per-stage cache hits)."""
+    if fields_fn is None:
+        fields_fn = simulation_fields
     tele = get_telemetry()
     store = ArtifactStore(store_root)
     started = time.monotonic()
@@ -445,7 +460,7 @@ def _execute_job(
     }
     with tele.span("campaign.stage.simulate", cat="campaign"):
         payload.update(
-            simulation_fields(trace, job.cache.to_config(), job.attribution)
+            fields_fn(trace, job.cache.to_config(), job.attribution)
         )
         store.put_json(skey, payload)
     payload = dict(payload)
@@ -656,11 +671,19 @@ def execute_batch_job(
 
 
 def execute_task(
-    task: Union[TraceTask, Job, BatchJob], store_root: Union[str, Path]
+    task: Union[TraceTask, Job, BatchJob],
+    store_root: Union[str, Path],
+    *,
+    fields_fn: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Dispatch any task kind (the single entry point workers import)."""
+    """Dispatch any task kind (the single entry point workers import).
+
+    ``fields_fn`` is forwarded to :func:`execute_job` for plain grid
+    points (trace tasks have no simulate stage and batch jobs use the
+    batched kernel, which has its own chunking already).
+    """
     if isinstance(task, TraceTask):
         return execute_trace_task(task, store_root)
     if isinstance(task, BatchJob):
         return execute_batch_job(task, store_root)
-    return execute_job(task, store_root)
+    return execute_job(task, store_root, fields_fn=fields_fn)

@@ -280,6 +280,14 @@ class Scheduler:
         environment variable is set; ``False`` (e.g. ``tdst campaign
         --no-tracestore``) exports that variable so forked workers take
         the classic transform-then-simulate stages.
+    service:
+        Drive the run through the local asyncio campaign service
+        (work-stealing shard workers, chunk-parallel simulation) instead
+        of the process pool.  ``None`` (the default) follows the spec's
+        ``[service]`` table unless the ``TDST_NO_SERVICE`` environment
+        variable is set; ``False`` (e.g. ``tdst campaign
+        --no-service``) forces the one-shot route.  Artifacts are
+        byte-identical either way.
     """
 
     def __init__(
@@ -294,6 +302,7 @@ class Scheduler:
         resume: bool = False,
         batch: Optional[bool] = None,
         tracestore: Optional[bool] = None,
+        service: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.directory = Path(directory)
@@ -323,6 +332,11 @@ class Scheduler:
         if batch is None:
             batch = spec.batch.enabled and not os.environ.get(NO_BATCH_ENV)
         self.batch = bool(batch)
+        if service is None:
+            from repro.campaign.service.server import NO_SERVICE_ENV
+
+            service = spec.service.enabled and not os.environ.get(NO_SERVICE_ENV)
+        self.service = bool(service)
 
     # -- public API ----------------------------------------------------------
 
@@ -410,6 +424,34 @@ class Scheduler:
                             result=row.get("result"),
                         )
                     )
+                    continue
+                recovered = (
+                    self._recover_orphan(job) if self.resume else None
+                )
+                if recovered is not None:
+                    # A previous run died between the artifact write and
+                    # the manifest append: the content-addressed payload
+                    # exists but no terminal row does.  Dedupe by content
+                    # key on replay — serve the orphaned artifact as a
+                    # recovered job-done instead of re-executing.
+                    manifest.record(
+                        EVENT_JOB_DONE,
+                        job_id=job.job_id,
+                        attempt=0,
+                        worker=-1,
+                        elapsed=0.0,
+                        result=recovered,
+                        recovered=True,
+                    )
+                    result.outcomes.append(
+                        JobOutcome(
+                            job_id=job.job_id,
+                            status="done",
+                            attempts=0,
+                            result=recovered,
+                        )
+                    )
+                    telemetry.add("campaign.orphans_recovered")
                 else:
                     run_jobs.append(job)
             # Phase 1: shared trace stages, deduplicated.  Only needed
@@ -466,6 +508,37 @@ class Scheduler:
             )
         return result
 
+    def _recover_orphan(self, job: Job) -> Optional[Dict[str, Any]]:
+        """Resume-time content-key dedupe for one pending grid point.
+
+        Returns the orphaned simulation payload when the artifact store
+        already holds this job's content-addressed result (a prior
+        worker died after the atomic artifact write but before the
+        manifest append), shaped exactly like a fully cached execution;
+        ``None`` means the job must actually run.
+        """
+        from repro.campaign.jobs import (
+            resolve_rule_text,
+            simulation_key,
+            trace_key,
+            transform_key,
+        )
+
+        try:
+            rule_text = resolve_rule_text(job.rule, job.length)
+        except Exception:
+            # Unresolvable rule: let the normal run path own the failure.
+            return None
+        tkey = trace_key(job.kernel, job.length)
+        input_key = tkey if rule_text is None else transform_key(tkey, rule_text)
+        payload = self.store.get_json(simulation_key(input_key, job))
+        if payload is None:
+            return None
+        payload = dict(payload)
+        payload["cache_hits"] = {"simulation": True}
+        payload["compute_seconds"] = 0.0
+        return payload
+
     # -- batch executors -----------------------------------------------------
 
     def _run_batch(
@@ -476,6 +549,8 @@ class Scheduler:
         """Drive one task batch to terminal state (serial or parallel)."""
         if not tasks:
             return []
+        if self.service:
+            return self._run_service(tasks, manifest)
         # A single task still goes through the process pool when workers
         # were requested: inline execution cannot enforce timeouts.
         if self.workers <= 1:
@@ -559,6 +634,123 @@ class Scheduler:
                         )
                     )
                 break
+        return outcomes
+
+    def _run_service(
+        self,
+        tasks: Sequence[Union[TraceTask, Job, BatchJob]],
+        manifest: RunManifest,
+    ) -> List[JobOutcome]:
+        """Service executor: drive the batch through an in-process
+        campaign service (shard workers, work stealing, chunk-parallel
+        simulation).
+
+        Workers run the exact one-shot job bodies against the same
+        artifact store, so stored artifacts are byte-identical to the
+        serial/parallel routes.  Retries happen inside the service
+        (``job-retry`` rows are not emitted; the terminal row carries
+        the attempt count instead).
+        """
+        import asyncio
+
+        from repro.campaign.service.server import (
+            ServiceConfig,
+            service_socket_path,
+        )
+
+        opts = self.spec.service
+        config = ServiceConfig(
+            socket_path=service_socket_path(self.directory),
+            store_root=str(self.store.root),
+            shards=opts.shards or max(1, self.workers),
+            queue_capacity=opts.queue_capacity,
+            retries=self.retries,
+            backoff=self.backoff,
+            timeout=self.timeout,
+            chunk_parallel=opts.chunk_parallel,
+            chunk_shards=opts.chunk_shards,
+            min_chunk_records=opts.min_chunk_records,
+        )
+        with get_telemetry().span(
+            "campaign.service", cat="campaign", shards=config.shards
+        ):
+            return asyncio.run(self._drive_service(tasks, manifest, config))
+
+    async def _drive_service(
+        self,
+        tasks: Sequence[Union[TraceTask, Job, BatchJob]],
+        manifest: RunManifest,
+        config,
+    ) -> List[JobOutcome]:
+        """:meth:`_run_service` body: submit, drain, record outcomes."""
+        from repro.campaign.service.client import ServiceClient
+        from repro.campaign.service.server import service_running
+        from repro.campaign.service.wire import task_to_wire
+
+        outcomes: List[JobOutcome] = []
+        async with service_running(config):
+            client = ServiceClient(config.socket_path, timeout=30.0, retries=3)
+            await client.connect()
+            try:
+                for task in tasks:
+                    manifest.record(
+                        EVENT_JOB_START,
+                        job_id=task.job_id,
+                        attempt=1,
+                        worker=-1,
+                    )
+                await client.submit_many(
+                    (task.job_id, task_to_wire(task)) for task in tasks
+                )
+                await client.drain(timeout=7 * 24 * 3600.0)
+                for task in tasks:
+                    res = await client.result(task.job_id)
+                    attempts = int(res.get("attempts", 1))
+                    if res.get("status") == "done":
+                        payload = res.get("payload")
+                        for job_id, row in _result_rows(task, payload):
+                            elapsed = float(
+                                (row or {}).get("compute_seconds", 0.0)
+                            )
+                            manifest.record(
+                                EVENT_JOB_DONE,
+                                job_id=job_id,
+                                attempt=attempts,
+                                worker=-1,
+                                elapsed=round(elapsed, 6),
+                                result=row,
+                            )
+                            outcomes.append(
+                                JobOutcome(
+                                    job_id=job_id,
+                                    status="done",
+                                    attempts=attempts,
+                                    elapsed=elapsed,
+                                    result=row,
+                                )
+                            )
+                    else:
+                        error = str(
+                            res.get("error")
+                            or f"service status {res.get('status')!r}"
+                        )
+                        for job_id in _failure_ids(task):
+                            manifest.record(
+                                EVENT_JOB_FAILED,
+                                job_id=job_id,
+                                attempts=attempts,
+                                error=error,
+                            )
+                            outcomes.append(
+                                JobOutcome(
+                                    job_id=job_id,
+                                    status="failed",
+                                    attempts=attempts,
+                                    error=error,
+                                )
+                            )
+            finally:
+                await client.close()
         return outcomes
 
     def _run_parallel(
@@ -748,6 +940,7 @@ def run_campaign(
     resume: bool = False,
     batch: Optional[bool] = None,
     tracestore: Optional[bool] = None,
+    service: Optional[bool] = None,
 ) -> CampaignResult:
     """One-call campaign execution (see :class:`Scheduler` for knobs)."""
     return Scheduler(
@@ -760,4 +953,5 @@ def run_campaign(
         resume=resume,
         batch=batch,
         tracestore=tracestore,
+        service=service,
     ).run()

@@ -1,0 +1,251 @@
+"""Service client: resilient request/response over the NDJSON protocol.
+
+The client owns the retry half of the protocol's idempotency contract:
+every request carries a fresh ``seq``; when no reply with a matching
+``re`` arrives within the deadline the client resends the *same* frame
+with the *same* ``seq``.  The server answers idempotently (submits
+dedupe by job id, queries recompute), so at-least-once requests are
+safe, and any late or duplicated reply is discarded here because its
+``re`` no longer matches a pending seq.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.campaign.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTO_VERSION,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+
+
+class ServiceClient:
+    """One connection to a campaign service.
+
+    ``timeout`` is the per-request reply deadline and ``retries`` the
+    number of same-seq resends before giving up.  ``writer_wrap``
+    optionally wraps the connection's stream writer (the
+    fault-injection harness's ``FlakySocket`` plugs in here to drop,
+    duplicate or delay outgoing frames).
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 3,
+        writer_wrap: Optional[Any] = None,
+    ) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self.retries = retries
+        self._writer_wrap = writer_wrap
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._seq = itertools.count(1)
+        #: lifetime accounting (read by tests and `tdst status -v`)
+        self.resends = 0
+        self.stale_replies = 0
+
+    # -- connection -----------------------------------------------------------
+
+    async def connect(self) -> Dict[str, Any]:
+        """Open the socket and shake hands; returns the welcome frame."""
+        reader, writer = await asyncio.open_unix_connection(
+            self.socket_path, limit=MAX_FRAME_BYTES + 2
+        )
+        self._reader = reader
+        self._writer = (
+            self._writer_wrap(writer) if self._writer_wrap is not None else writer
+        )
+        welcome = await self._request(
+            {"type": "hello", "role": "client", "proto": PROTO_VERSION}
+        )
+        if welcome.get("type") != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
+        if welcome.get("proto") != PROTO_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: server {welcome.get('proto')!r}, "
+                f"client {PROTO_VERSION}"
+            )
+        return welcome
+
+    async def close(self) -> None:
+        """Close the connection (the server side just sees EOF)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    # -- request machinery ----------------------------------------------------
+
+    async def _request(
+        self, frame: Dict[str, Any], *, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Send one frame and return its reply (same-seq resend on timeout)."""
+        if self._reader is None or self._writer is None:
+            raise ProtocolError("client is not connected")
+        deadline = self.timeout if timeout is None else timeout
+        frame = dict(frame)
+        frame["seq"] = next(self._seq)
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.resends += 1
+            try:
+                await write_frame(self._writer, frame)
+                reply = await self._read_reply(frame["seq"], deadline)
+            except (asyncio.TimeoutError, TimeoutError) as exc:
+                last_error = exc
+                continue
+            if reply.get("type") == "error":
+                raise ProtocolError(str(reply.get("message")))
+            return reply
+        raise ProtocolError(
+            f"no reply to {frame['type']} (seq {frame['seq']}) after "
+            f"{self.retries + 1} attempt(s): {last_error}"
+        ) from last_error
+
+    async def _read_reply(self, seq: int, deadline: float) -> Dict[str, Any]:
+        """Read frames until one matches ``seq``; discard stale replies."""
+        loop = asyncio.get_running_loop()
+        end = loop.time() + deadline
+        while True:
+            remaining = end - loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError(f"reply deadline ({deadline}s) exceeded")
+            reply = await asyncio.wait_for(
+                read_frame(self._reader), timeout=remaining
+            )
+            if reply is None:
+                raise ProtocolError("server closed the connection")
+            if reply.get("re") == seq:
+                return reply
+            # A reply to an earlier (resent or abandoned) request, or a
+            # duplicated frame: count and drop it.
+            self.stale_replies += 1
+
+    # -- verbs ----------------------------------------------------------------
+
+    async def submit(
+        self, job_id: str, job: Dict[str, Any], *, keep: bool = True
+    ) -> Dict[str, Any]:
+        """Submit one job; returns the ack (``dup`` marks resubmission)."""
+        return await self._request(
+            {"type": "submit", "job_id": job_id, "job": job, "keep": keep}
+        )
+
+    async def submit_many(
+        self,
+        jobs: Iterable[Tuple[str, Dict[str, Any]]],
+        *,
+        keep: bool = True,
+        window: int = 512,
+    ) -> List[Dict[str, Any]]:
+        """Submit many jobs with windowed pipelining; returns all acks.
+
+        Up to ``window`` submit frames are written before their acks
+        are collected, which amortises round trips without defeating
+        the server's backpressure (its bounded queue still stalls the
+        reads, and therefore this coroutine, at capacity).
+        """
+        acks: List[Dict[str, Any]] = []
+        batch: List[Tuple[str, Dict[str, Any]]] = []
+        for pair in jobs:
+            batch.append(pair)
+            if len(batch) >= window:
+                acks.extend(await self._submit_window(batch, keep))
+                batch = []
+        if batch:
+            acks.extend(await self._submit_window(batch, keep))
+        return acks
+
+    async def _submit_window(
+        self, batch: List[Tuple[str, Dict[str, Any]]], keep: bool
+    ) -> List[Dict[str, Any]]:
+        """One pipelined window: write every frame, then collect acks."""
+        if self._reader is None or self._writer is None:
+            raise ProtocolError("client is not connected")
+        pending: Dict[int, int] = {}
+        frames: List[Dict[str, Any]] = []
+        for index, (job_id, job) in enumerate(batch):
+            frame = {
+                "type": "submit",
+                "job_id": job_id,
+                "job": job,
+                "keep": keep,
+                "seq": next(self._seq),
+            }
+            frames.append(frame)
+            pending[frame["seq"]] = index
+        acks: List[Optional[Dict[str, Any]]] = [None] * len(batch)
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.resends += len(pending)
+            for frame in frames:
+                if frame["seq"] in pending:
+                    await write_frame(self._writer, frame)
+            loop = asyncio.get_running_loop()
+            end = loop.time() + self.timeout
+            try:
+                while pending:
+                    remaining = end - loop.time()
+                    if remaining <= 0:
+                        raise asyncio.TimeoutError
+                    reply = await asyncio.wait_for(
+                        read_frame(self._reader), timeout=remaining
+                    )
+                    if reply is None:
+                        raise ProtocolError("server closed the connection")
+                    index = pending.pop(reply.get("re"), None)
+                    if index is None:
+                        self.stale_replies += 1
+                        continue
+                    if reply.get("type") == "error":
+                        raise ProtocolError(str(reply.get("message")))
+                    acks[index] = reply
+            except (asyncio.TimeoutError, TimeoutError):
+                continue
+            break
+        if pending:
+            raise ProtocolError(
+                f"{len(pending)} submit(s) unacknowledged after "
+                f"{self.retries + 1} attempt(s)"
+            )
+        return [ack for ack in acks if ack is not None]
+
+    async def poll(
+        self, job_id: str, *, wait: bool = False, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Query one job; ``wait=True`` blocks until it is terminal."""
+        return await self._request(
+            {"type": "poll", "job_id": job_id, "wait": wait}, timeout=timeout
+        )
+
+    async def result(
+        self, job_id: str, *, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Block until a job is terminal and return its result frame."""
+        return await self.poll(job_id, wait=True, timeout=timeout)
+
+    async def status(self) -> Dict[str, Any]:
+        """Service-wide queue/job/counter snapshot."""
+        return await self._request({"type": "status"})
+
+    async def drain(self, *, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until every submitted job is terminal; returns counters."""
+        return await self._request({"type": "drain"}, timeout=timeout)
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Ask the service to stop after replying."""
+        return await self._request({"type": "shutdown"})

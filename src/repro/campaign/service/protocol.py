@@ -1,0 +1,165 @@
+"""Newline-delimited-JSON wire protocol for the campaign service.
+
+One *frame* is one JSON object on one line, UTF-8, ``\\n``-terminated.
+The vocabulary is small and strictly request/response per connection:
+every client frame gets exactly one reply carrying the request's ``seq``
+echoed back as ``re``, which is what makes retries safe — a client that
+saw no reply within its deadline resends the *same* frame with the
+*same* ``seq``, the server answers idempotently (submits dedupe by job
+id, queries recompute), and any late or duplicated reply is discarded by
+seq matching on the client side.
+
+Frame types
+-----------
+
+========== ==============================================================
+``hello``   first frame of a connection (``role``, ``proto``)
+``welcome`` server's reply (``proto``, ``shards``)
+``submit``  enqueue one job (``job_id``, ``job``, optional ``keep``)
+``ack``     submit reply (``job_id``, ``dup`` when already known)
+``poll``    query one job (``job_id``, optional ``wait`` blocks until
+            terminal on this connection)
+``result``  poll reply (``job_id``, ``status``, ``payload``/``error``)
+``status``  service-wide counters request
+``status_reply`` queue depths, per-state job counts, counters
+``drain``   block until every submitted job is terminal
+``drained`` drain reply (same body as ``status_reply``)
+``shutdown`` stop the service after replying
+``bye``     shutdown reply
+``error``   reply to an unintelligible or illegal frame (``message``)
+========== ==============================================================
+
+Frames longer than :data:`MAX_FRAME_BYTES` are a protocol error: the
+bound keeps one misbehaving peer from ballooning server memory, and the
+asyncio reader enforces it before JSON parsing ever runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import CampaignError
+
+#: Protocol revision carried in hello/welcome; bump on breaking changes.
+PROTO_VERSION = 1
+
+#: Hard per-frame byte bound (guards server memory against bad peers).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(CampaignError):
+    """A frame violated the wire protocol (bad JSON, shape, or size)."""
+
+
+#: Required non-``type`` keys per frame type.
+FRAME_SCHEMAS: Dict[str, tuple] = {
+    "hello": ("role", "proto"),
+    "welcome": ("proto", "shards"),
+    "submit": ("job_id", "job"),
+    "ack": ("job_id",),
+    "poll": ("job_id",),
+    "result": ("job_id", "status"),
+    "status": (),
+    "status_reply": ("jobs", "counters"),
+    "drain": (),
+    "drained": ("jobs", "counters"),
+    "shutdown": (),
+    "bye": (),
+    "error": ("message",),
+    "heartbeat": (),
+}
+
+
+def validate_frame(frame: Any) -> Dict[str, Any]:
+    """Check one decoded frame's shape; returns it or raises.
+
+    A frame must be a JSON object with a known ``type`` and that type's
+    required keys.  Unknown *extra* keys are allowed (forward
+    compatibility), unknown types are not.
+    """
+    if not isinstance(frame, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(frame).__name__}")
+    ftype = frame.get("type")
+    if not isinstance(ftype, str):
+        raise ProtocolError("frame has no string 'type' field")
+    schema = FRAME_SCHEMAS.get(ftype)
+    if schema is None:
+        raise ProtocolError(f"unknown frame type {ftype!r}")
+    missing = [key for key in schema if key not in frame]
+    if missing:
+        raise ProtocolError(
+            f"{ftype} frame missing required key(s): {', '.join(missing)}"
+        )
+    return frame
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialise one validated frame to its wire bytes (JSON + newline)."""
+    validate_frame(frame)
+    try:
+        line = json.dumps(frame, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"frame is not JSON-serialisable: {exc}") from exc
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line back into a validated frame."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    return validate_frame(frame)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, Any]]:
+    """Read one frame from a stream; ``None`` at a clean EOF.
+
+    A connection severed mid-line (partial frame, no newline) raises
+    :class:`ProtocolError` — the fragment cannot be trusted — and so
+    does an overlong line, *without* buffering the whole excess.
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} bytes lost)"
+        ) from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(
+            f"frame exceeds the reader limit: {exc}"
+        ) from exc
+    return decode_frame(line)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, frame: Dict[str, Any]
+) -> None:
+    """Encode and send one frame, draining the transport."""
+    writer.write(encode_frame(frame))
+    await writer.drain()
+
+
+def reply_to(frame: Dict[str, Any], reply: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp a reply with the request's ``seq`` (echoed as ``re``)."""
+    if "seq" in frame:
+        reply = dict(reply)
+        reply["re"] = frame["seq"]
+    return reply

@@ -1,0 +1,173 @@
+"""Bounded, sharded, work-stealing asyncio job queue.
+
+Every shard worker owns one deque.  Jobs land on a shard chosen by a
+stable hash of their id (so resubmissions of the same job always target
+the same shard and per-shard FIFO order is meaningful), and an idle
+worker that finds its own deque empty *steals from the tail of the
+deepest other deque* — the classic work-stealing discipline: owners pop
+FIFO from the head for locality and thieves take the oldest work from
+the back of the longest queue, keeping shard imbalance bounded without
+any global rebalancing pass.
+
+The queue is bounded as a whole: ``put`` blocks once ``capacity`` items
+are in flight, which is the backpressure path — the server stops reading
+a client's submit frames while its ``put`` is parked, so a fast client
+cannot balloon server memory no matter how hard it pushes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.errors import CampaignError
+
+
+class QueueClosed(CampaignError):
+    """Raised to takers when the queue is closed and fully drained."""
+
+
+class ShardQueue:
+    """N bounded deques with owner-FIFO take and deepest-tail stealing."""
+
+    def __init__(self, shards: int, capacity: int = 1024) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.n_shards = shards
+        self.capacity = capacity
+        self._shards: List[Deque[Any]] = [deque() for _ in range(shards)]
+        self._size = 0
+        self._closed = False
+        self._not_full = asyncio.Condition()
+        self._not_empty = asyncio.Condition()
+        #: lifetime counters (read by the service's status reporting)
+        self.total_put = 0
+        self.total_requeued = 0
+        self.total_stolen = 0
+        self.peak_depth = 0
+        self.peak_imbalance = 0
+
+    # -- shard selection -----------------------------------------------------
+
+    def shard_for(self, job_id: str) -> int:
+        """Stable home shard of a job id (crc32 — cheap, deterministic)."""
+        return zlib.crc32(job_id.encode("utf-8")) % self.n_shards
+
+    # -- producer side -------------------------------------------------------
+
+    async def put(self, item: Any, *, shard: Optional[int] = None,
+                  job_id: Optional[str] = None) -> int:
+        """Enqueue one item, blocking while the queue is at capacity.
+
+        The target shard is ``shard`` when given, else the stable hash
+        of ``job_id``, else shard 0.  Returns the shard the item landed
+        on.  Raises :class:`QueueClosed` if the queue was closed.
+        """
+        if shard is None:
+            shard = self.shard_for(job_id) if job_id is not None else 0
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} out of range 0..{self.n_shards - 1}")
+        async with self._not_full:
+            while self._size >= self.capacity and not self._closed:
+                await self._not_full.wait()
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            self._shards[shard].append(item)
+            self._size += 1
+            self.total_put += 1
+            self.peak_depth = max(self.peak_depth, self._size)
+            self.peak_imbalance = max(self.peak_imbalance, self.imbalance())
+        async with self._not_empty:
+            self._not_empty.notify()
+        return shard
+
+    async def requeue(self, item: Any, *, shard: int) -> None:
+        """Re-admit an already-admitted item, bypassing the capacity bound.
+
+        Retries re-enter here: the item was counted against capacity
+        when first admitted, so letting it skip the bound cannot grow
+        the in-flight total — while routing it through :meth:`put`
+        could deadlock (every worker parked in ``put`` on a full queue
+        leaves nobody to ``take``).  Works even after :meth:`close` so
+        shutdown never drops a retry.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} out of range 0..{self.n_shards - 1}")
+        async with self._not_empty:
+            self._shards[shard].append(item)
+            self._size += 1
+            self.total_requeued += 1
+            self.peak_depth = max(self.peak_depth, self._size)
+            self._not_empty.notify()
+
+    # -- consumer side -------------------------------------------------------
+
+    def _steal_source(self, shard_id: int) -> Optional[int]:
+        """Deepest other shard with work, or ``None`` when all are dry."""
+        best, best_depth = None, 0
+        for i, dq in enumerate(self._shards):
+            if i != shard_id and len(dq) > best_depth:
+                best, best_depth = i, len(dq)
+        return best
+
+    async def take(self, shard_id: int) -> Tuple[Any, bool]:
+        """Dequeue work for one shard worker; ``(item, stolen)``.
+
+        The worker's own deque is served head-first; when it is empty the
+        deepest other deque is robbed from the *tail*.  Blocks while
+        every deque is empty; raises :class:`QueueClosed` once the queue
+        is closed *and* drained (close never drops queued work).
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(
+                f"shard {shard_id} out of range 0..{self.n_shards - 1}"
+            )
+        async with self._not_empty:
+            while self._size == 0:
+                if self._closed:
+                    raise QueueClosed("queue is closed and drained")
+                await self._not_empty.wait()
+            own = self._shards[shard_id]
+            if own:
+                item, stolen = own.popleft(), False
+            else:
+                source = self._steal_source(shard_id)
+                assert source is not None, "size > 0 but no shard has work"
+                item, stolen = self._shards[source].pop(), True
+                self.total_stolen += 1
+            self._size -= 1
+        async with self._not_full:
+            self._not_full.notify()
+        return item, stolen
+
+    # -- lifecycle / introspection -------------------------------------------
+
+    async def close(self) -> None:
+        """Close the queue: puts fail immediately, takes drain then fail."""
+        async with self._not_full:
+            self._closed = True
+            self._not_full.notify_all()
+        async with self._not_empty:
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def depth(self) -> int:
+        """Items currently queued across all shards."""
+        return self._size
+
+    def depths(self) -> List[int]:
+        """Per-shard queue depths (index = shard id)."""
+        return [len(dq) for dq in self._shards]
+
+    def imbalance(self) -> int:
+        """Deepest minus shallowest shard depth right now."""
+        depths = self.depths()
+        return max(depths) - min(depths)

@@ -220,6 +220,86 @@ class BatchOptions:
 
 
 @dataclass(frozen=True)
+class ServiceOptions:
+    """Campaign-service knobs (the ``[service]`` TOML table).
+
+    When enabled, ``tdst campaign`` drives the run through the local
+    asyncio job service (work-stealing shard workers, chunk-parallel
+    simulation) instead of the one-shot process pool.  Artifacts are
+    byte-identical either way; ``tdst campaign --no-service`` and the
+    ``TDST_NO_SERVICE`` environment variable override it downward.
+    """
+
+    #: master switch for the service route
+    enabled: bool = False
+    #: shard workers; 0 means "follow the scheduler's worker count"
+    shards: int = 0
+    #: bounded job-queue capacity (the backpressure knob)
+    queue_capacity: int = 1024
+    #: split eligible simulate stages into chunk ranges merged through
+    #: the shard-merge algebra
+    chunk_parallel: bool = True
+    #: chunk ranges per simulate stage when chunk-parallel is on
+    chunk_shards: int = 4
+    #: traces shorter than this simulate whole (chunking overhead floor)
+    min_chunk_records: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.shards < 0:
+            raise CampaignError(
+                f"service shards must be >= 0, got {self.shards}"
+            )
+        if self.queue_capacity <= 0:
+            raise CampaignError(
+                f"service queue_capacity must be positive, "
+                f"got {self.queue_capacity}"
+            )
+        if self.chunk_shards <= 0:
+            raise CampaignError(
+                f"service chunk_shards must be positive, "
+                f"got {self.chunk_shards}"
+            )
+        if self.min_chunk_records < 0:
+            raise CampaignError(
+                f"service min_chunk_records must be >= 0, "
+                f"got {self.min_chunk_records}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceOptions":
+        """Build from a TOML ``[service]`` table (unknown keys rejected)."""
+        if not isinstance(data, Mapping):
+            raise CampaignError(f"[service] must be a table, got {data!r}")
+        known = {
+            "enabled",
+            "shards",
+            "queue_capacity",
+            "chunk_parallel",
+            "chunk_shards",
+            "min_chunk_records",
+        }
+        extra = set(data) - known
+        if extra:
+            raise CampaignError(
+                f"unknown service option keys: {sorted(extra)} "
+                f"(known: {sorted(known)})"
+            )
+        for key in ("shards", "queue_capacity", "chunk_shards", "min_chunk_records"):
+            if key in data and (
+                isinstance(data[key], bool) or not isinstance(data[key], int)
+            ):
+                raise CampaignError(
+                    f"service {key} must be an integer, got {data[key]!r}"
+                )
+        for key in ("enabled", "chunk_parallel"):
+            if key in data and not isinstance(data[key], bool):
+                raise CampaignError(
+                    f"service {key} must be a boolean, got {data[key]!r}"
+                )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
 class CampaignSpec:
     """The full declarative campaign: grid entries plus shared defaults."""
 
@@ -239,6 +319,8 @@ class CampaignSpec:
     profile_trace: Optional[str] = None
     #: batched multi-config simulation knobs (the ``[batch]`` table)
     batch: BatchOptions = BatchOptions()
+    #: campaign-service knobs (the ``[service]`` table)
+    service: ServiceOptions = ServiceOptions()
 
     def __post_init__(self) -> None:
         if not self.grid:
@@ -287,6 +369,7 @@ class CampaignSpec:
                 else None
             ),
             batch=BatchOptions.from_dict(data.get("batch", {})),
+            service=ServiceOptions.from_dict(data.get("service", {})),
         )
 
     @classmethod

@@ -503,6 +503,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         resume=args.resume,
         batch=False if args.no_batch else None,
         tracestore=False if args.no_tracestore else None,
+        service=(
+            True if args.service else (False if args.no_service else None)
+        ),
     )
     result = scheduler.run()
     print(result.summary())
@@ -512,6 +515,112 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # Graceful degradation: failed points are recorded, not fatal — the
     # exit code only signals a campaign that produced nothing at all.
     return 0 if (result.n_done + result.n_skipped) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``tdst serve``: run a campaign service until a shutdown frame."""
+    from repro.campaign.service import (
+        ServiceConfig,
+        serve_forever,
+        service_socket_path,
+    )
+    from repro.errors import CampaignError
+
+    directory = Path(args.dir)
+    socket_path = args.socket or service_socket_path(directory)
+    try:
+        config = ServiceConfig(
+            socket_path=socket_path,
+            store_root=str(directory / "artifacts"),
+            shards=args.shards,
+            queue_capacity=args.queue_capacity,
+            retries=args.retries,
+            timeout=args.timeout,
+            chunk_parallel=not args.no_chunks,
+            chunk_shards=args.chunk_shards,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"campaign service listening on {socket_path}")
+    print(f"artifact store: {config.store_root}")
+    try:
+        serve_forever(config)
+    except KeyboardInterrupt:
+        print("interrupted")
+    print("campaign service stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``tdst submit``: run one ad-hoc simulation through a service."""
+    import asyncio
+    import dataclasses
+    import json
+
+    from repro.campaign.service import ProtocolError, ServiceClient
+    from repro.campaign.spec import CacheSpec
+
+    cache = CacheSpec(
+        size=args.size, block=args.block, assoc=args.assoc, policy=args.policy
+    )
+    trace_path = str(Path(args.trace).resolve())
+    job = {
+        "kind": "simulate",
+        "trace": trace_path,
+        "cache": dataclasses.asdict(cache),
+        "attribution": args.attribution,
+    }
+    job_id = f"submit/{trace_path}/{cache.label()}/{args.attribution}"
+
+    async def _run() -> int:
+        client = ServiceClient(args.socket, timeout=args.timeout)
+        await client.connect()
+        try:
+            await client.submit(job_id, job)
+            result = await client.result(job_id)
+        finally:
+            await client.close()
+        if result.get("status") != "done":
+            print(f"error: {result.get('error') or result.get('status')}")
+            return 1
+        print(json.dumps(result["payload"], indent=2, sort_keys=True))
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except (ProtocolError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """``tdst status``: query (and optionally stop) a campaign service."""
+    import asyncio
+    import json
+
+    from repro.campaign.service import ProtocolError, ServiceClient
+
+    async def _run() -> int:
+        client = ServiceClient(args.socket, timeout=args.timeout)
+        await client.connect()
+        try:
+            status = await client.status()
+            status.pop("type", None)
+            status.pop("re", None)
+            print(json.dumps(status, indent=2, sort_keys=True))
+            if args.shutdown:
+                await client.shutdown()
+                print("shutdown requested")
+        finally:
+            await client.close()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except (ProtocolError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
 
 
 def _cmd_commit(args: argparse.Namespace) -> int:
@@ -985,6 +1094,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(also: TDST_NO_TRACESTORE=1)",
     )
     p.add_argument(
+        "--service",
+        action="store_true",
+        help="drive the run through the local asyncio campaign service "
+        "(work-stealing shard workers, chunk-parallel simulation)",
+    )
+    p.add_argument(
+        "--no-service",
+        action="store_true",
+        help="force the one-shot scheduler even when the spec's [service] "
+        "table enables the service route (also: TDST_NO_SERVICE=1)",
+    )
+    p.add_argument(
         "--verify",
         action="store_true",
         help="soundness-check every transformed trace as a post-job step "
@@ -997,6 +1118,95 @@ def build_parser() -> argparse.ArgumentParser:
         "file: rule references",
     )
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the local campaign service (asyncio shard workers, "
+        "work stealing, chunk-parallel simulation)",
+    )
+    p.add_argument(
+        "--dir",
+        default="campaign_out",
+        help="service directory (artifacts/ + default socket location)",
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        help="unix socket path (default: DIR/service.sock, with a "
+        "temp-dir fallback when the path is too long)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=2, help="shard workers"
+    )
+    p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1024,
+        help="bounded job-queue capacity (the backpressure knob)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1, help="re-attempts per failing job"
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds",
+    )
+    p.add_argument(
+        "--no-chunks",
+        action="store_true",
+        help="disable trace-chunk-level parallel simulation",
+    )
+    p.add_argument(
+        "--chunk-shards",
+        type=int,
+        default=4,
+        help="chunk ranges per eligible simulate stage",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one ad-hoc trace simulation to a running service",
+    )
+    p.add_argument("trace", help="trace file to simulate")
+    p.add_argument("--socket", required=True, help="service unix socket path")
+    p.add_argument("--size", type=int, default=32 * 1024, help="cache bytes")
+    p.add_argument("--block", type=int, default=32, help="line bytes")
+    p.add_argument("--assoc", type=int, default=1, help="ways per set")
+    p.add_argument("--policy", default="lru", help="replacement policy")
+    p.add_argument(
+        "--attribution",
+        default="base",
+        choices=["base", "member"],
+        help="per-variable miss attribution granularity",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="reply deadline per request in seconds",
+    )
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "status",
+        help="query a running campaign service (queue depths, counters)",
+    )
+    p.add_argument("--socket", required=True, help="service unix socket path")
+    p.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the service to stop after reporting",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="reply deadline per request in seconds",
+    )
+    p.set_defaults(func=_cmd_status)
 
     p = sub.add_parser(
         "commit",

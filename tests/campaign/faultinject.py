@@ -1,0 +1,210 @@
+"""Reusable fault-injection fixtures for the campaign service.
+
+Two injection points cover the service's whole failure surface:
+
+- :class:`FaultyWorker` wraps the wire-job runner the shard workers
+  call: it can fail attempts (exercising retry), *kill* the worker
+  coroutine outright via a :class:`WorkerKilled` ``BaseException`` that
+  escapes the worker loop's ``except Exception`` (exercising monitor
+  respawn + requeue), kill *after* the real work ran (exercising the
+  died-between-artifact-write-and-report window), and delay execution
+  (exercising heartbeat-stall detection).
+- :class:`FlakySocket` wraps the client's stream writer: it can drop,
+  duplicate or delay outgoing frames (exercising same-seq resend and
+  server-side idempotency).  The server's ``send_hook`` covers the
+  reply direction (drop/duplicate replies) with
+  :func:`drop_every_hook` / :func:`dup_every_hook`.
+
+Nothing here is campaign-specific: the fixtures wrap any runner and any
+writer, and every counter is plain instance state the assertions read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import Counter
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.campaign.service.wire import execute_wire_job
+
+
+class WorkerKilled(BaseException):
+    """Injected worker death.
+
+    Deliberately a ``BaseException``: the shard worker's job loop
+    catches ``Exception`` (that is the *retry* path), so this escapes
+    it and kills the worker task itself — the failure mode the monitor's
+    respawn-and-requeue machinery exists for.
+    """
+
+
+def default_key(job: Dict[str, Any]) -> str:
+    """Identify a wire job for fault scheduling (noop echo or task id)."""
+    if job.get("kind") == "noop":
+        return str(job.get("echo"))
+    return f"{job.get('task')}/{job.get('kernel')}/{job.get('rule')}"
+
+
+class FaultyWorker:
+    """A wire-job runner that misbehaves on schedule.
+
+    Parameters
+    ----------
+    inner:
+        The real runner to delegate to (default: the service's
+        :func:`~repro.campaign.service.wire.execute_wire_job`).
+    key:
+        Maps a job description to the identity fault schedules key on.
+    fail_first:
+        Raise ``RuntimeError`` on each job's first N attempts (then
+        succeed) — the transient-failure / retry mode.
+    kill_keys:
+        Job keys whose *first* attempt raises :class:`WorkerKilled`
+        before any work runs — the worker-death mode.
+    kill_after_work_keys:
+        Job keys whose first attempt runs the real job body (artifacts
+        get written) and *then* raises :class:`WorkerKilled` — the
+        died-before-reporting mode.
+    delay:
+        Seconds to sleep before every attempt — the slow-heartbeat mode.
+    """
+
+    def __init__(
+        self,
+        inner: Callable[[Dict[str, Any], Optional[str]], Dict[str, Any]] = execute_wire_job,
+        *,
+        key: Callable[[Dict[str, Any]], str] = default_key,
+        fail_first: int = 0,
+        kill_keys: Iterable[str] = (),
+        kill_after_work_keys: Iterable[str] = (),
+        delay: float = 0.0,
+    ) -> None:
+        self._inner = inner
+        self._key = key
+        self.fail_first = fail_first
+        self.kill_keys = set(kill_keys)
+        self.kill_after_work_keys = set(kill_after_work_keys)
+        self.delay = delay
+        self._lock = threading.Lock()
+        self.attempts: Counter = Counter()
+        self.kills = 0
+        self.failures = 0
+        self.completions = 0
+
+    def __call__(
+        self, job: Dict[str, Any], store_root: Optional[str]
+    ) -> Dict[str, Any]:
+        """Runner entry point (called on a worker pool thread)."""
+        key = self._key(job)
+        with self._lock:
+            self.attempts[key] += 1
+            attempt = self.attempts[key]
+        if self.delay:
+            time.sleep(self.delay)
+        if key in self.kill_keys and attempt == 1:
+            with self._lock:
+                self.kills += 1
+            raise WorkerKilled(f"injected kill before work: {key}")
+        if attempt <= self.fail_first:
+            with self._lock:
+                self.failures += 1
+            raise RuntimeError(f"injected failure {attempt} for {key}")
+        payload = self._inner(job, store_root)
+        if key in self.kill_after_work_keys and attempt == 1:
+            with self._lock:
+                self.kills += 1
+            raise WorkerKilled(f"injected kill after work: {key}")
+        return payload
+
+
+class FlakySocket:
+    """A stream-writer wrapper that drops/duplicates/delays frames.
+
+    Wraps the client's :class:`asyncio.StreamWriter` (plug into
+    :class:`~repro.campaign.service.client.ServiceClient` via
+    ``writer_wrap``).  Each ``write`` call carries exactly one encoded
+    frame — the protocol writes frame-at-a-time — so per-frame faults
+    are exact: every ``drop_every``-th frame vanishes, every
+    ``dup_every``-th frame is sent twice, and ``delay`` seconds are
+    slept in ``drain``.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        drop_every: int = 0,
+        dup_every: int = 0,
+        delay: float = 0.0,
+    ) -> None:
+        self._writer = writer
+        self.drop_every = drop_every
+        self.dup_every = dup_every
+        self.delay = delay
+        self.frames = 0
+        self.dropped = 0
+        self.duplicated = 0
+
+    def write(self, data: bytes) -> None:
+        """Write one frame, unless the drop schedule says otherwise."""
+        self.frames += 1
+        if self.drop_every and self.frames % self.drop_every == 0:
+            self.dropped += 1
+            return
+        self._writer.write(data)
+        if self.dup_every and self.frames % self.dup_every == 0:
+            self.duplicated += 1
+            self._writer.write(data)
+
+    async def drain(self) -> None:
+        """Flush the underlying transport (after the injected delay)."""
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        await self._writer.drain()
+
+    def close(self) -> None:
+        """Close the wrapped writer."""
+        self._writer.close()
+
+    async def wait_closed(self) -> None:
+        """Wait for the wrapped writer to finish closing."""
+        await self._writer.wait_closed()
+
+
+def drop_every_hook(n: int, *, only_type: Optional[str] = None):
+    """A server ``send_hook`` dropping every ``n``-th outgoing frame.
+
+    ``only_type`` restricts the fault to one frame type (e.g. only
+    ``result`` frames disappear, acks flow normally).  Returns the hook
+    plus a counter dict the test can assert on.
+    """
+    counts = {"seen": 0, "dropped": 0}
+
+    def hook(frame: Dict[str, Any]) -> List[Dict[str, Any]]:
+        if only_type is not None and frame.get("type") != only_type:
+            return [frame]
+        counts["seen"] += 1
+        if counts["seen"] % n == 0:
+            counts["dropped"] += 1
+            return []
+        return [frame]
+
+    return hook, counts
+
+
+def dup_every_hook(n: int, *, only_type: Optional[str] = None):
+    """A server ``send_hook`` duplicating every ``n``-th outgoing frame."""
+    counts = {"seen": 0, "duplicated": 0}
+
+    def hook(frame: Dict[str, Any]) -> List[Dict[str, Any]]:
+        if only_type is not None and frame.get("type") != only_type:
+            return [frame]
+        counts["seen"] += 1
+        if counts["seen"] % n == 0:
+            counts["duplicated"] += 1
+            return [frame, frame]
+        return [frame]
+
+    return hook, counts

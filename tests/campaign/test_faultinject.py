@@ -1,0 +1,384 @@
+"""Fault-injection tests: the service under dying workers and bad wires.
+
+Each test injects one distinct failure mode through the harness in
+:mod:`tests.campaign.faultinject` and proves the same invariant: **no
+job result is ever lost or duplicated** — every submitted job settles
+exactly once, counters account for every retry/respawn/dedupe, and
+artifacts stay byte-consistent.
+
+Covered modes (the acceptance bar asks for at least three):
+
+1. transient job failures -> bounded retry, then success;
+2. a worker killed mid-job -> monitor respawn + requeue;
+3. a worker killed *after* the artifact write -> retry served from the
+   content-addressed store, artifacts byte-identical to a clean run;
+4. client->server frames dropped -> same-seq resend + submit dedupe;
+5. server->client replies dropped/duplicated -> resend, stale-reply
+   discard, still exactly-once accounting;
+6. a stalled worker -> stall detection fires while the job completes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.jobs import Job, TraceTask, execute_task
+from repro.campaign.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceConfig,
+    service_running,
+    service_socket_path,
+)
+from repro.campaign.service.wire import task_to_wire
+from repro.campaign.spec import CacheSpec
+
+from tests.campaign.faultinject import (
+    FaultyWorker,
+    FlakySocket,
+    WorkerKilled,
+    drop_every_hook,
+    dup_every_hook,
+)
+
+
+pytestmark = pytest.mark.service
+
+
+def run(coro):
+    """Run one async test body (pytest-asyncio is not available)."""
+    return asyncio.run(coro)
+
+
+def svc_config(tmp_path, **overrides):
+    """A fast-reacting ServiceConfig for fault tests."""
+    defaults = dict(
+        socket_path=service_socket_path(tmp_path / "svc"),
+        store_root=None,
+        shards=2,
+        queue_capacity=64,
+        retries=2,
+        monitor_interval=0.01,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def noop_jobs(n):
+    """n tiny wire jobs with distinct ids."""
+    return [(f"noop/{i}", {"kind": "noop", "echo": i}) for i in range(n)]
+
+
+def assert_exactly_once(drained, n_jobs):
+    """The core invariant: n submitted, n done, nothing lost or doubled."""
+    assert drained["counters"]["done"] == n_jobs
+    assert drained["counters"]["failed"] == 0
+    assert drained["counters"]["dup_results"] == 0
+    assert drained["unsettled"] == 0
+
+
+class TestTransientFailures:
+    """Mode 1: job bodies that fail once are retried and succeed."""
+
+    def test_fail_first_then_succeed(self, tmp_path):
+        """Every job fails its first attempt; retries finish them all."""
+
+        async def body():
+            worker = FaultyWorker(fail_first=1)
+            config = svc_config(tmp_path, retries=2)
+            async with service_running(config, runner=worker) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                n = 20
+                await client.submit_many(noop_jobs(n))
+                drained = await client.drain(timeout=60.0)
+                assert_exactly_once(drained, n)
+                assert drained["counters"]["retried"] == n
+                assert worker.failures == n
+                # Every job ran exactly twice: one failure + one success.
+                assert all(c == 2 for c in worker.attempts.values())
+                res = await client.result("noop/3")
+                assert res["attempts"] == 2
+                await client.close()
+                assert service.counters["respawns"] == 0
+
+        run(body())
+
+    def test_retry_budget_exhaustion_is_clean(self, tmp_path):
+        """A job failing beyond the budget settles as failed, once."""
+
+        async def body():
+            worker = FaultyWorker(fail_first=10)
+            config = svc_config(tmp_path, retries=1)
+            async with service_running(config, runner=worker):
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                await client.submit("doomed", {"kind": "noop", "echo": 0})
+                res = await client.result("doomed")
+                assert res["status"] == "failed"
+                assert res["attempts"] == 2
+                assert "injected failure" in res["error"]
+                drained = await client.drain()
+                assert drained["counters"]["failed"] == 1
+                assert drained["counters"]["done"] == 0
+                assert drained["unsettled"] == 0
+                await client.close()
+
+        run(body())
+
+
+class TestWorkerDeath:
+    """Mode 2: a killed worker is respawned and its job re-queued."""
+
+    def test_kill_mid_job_respawn_and_requeue(self, tmp_path):
+        """WorkerKilled escapes the retry path; the monitor recovers."""
+
+        async def body():
+            n = 12
+            kill = {"3", "7"}  # echo keys whose first attempt dies
+            worker = FaultyWorker(kill_keys=kill)
+            config = svc_config(tmp_path, retries=2)
+            async with service_running(config, runner=worker) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                await client.submit_many(noop_jobs(n))
+                drained = await client.drain(timeout=60.0)
+                assert_exactly_once(drained, n)
+                assert worker.kills == len(kill)
+                assert service.counters["respawns"] == len(kill)
+                # The killed jobs re-ran; the others ran exactly once.
+                for key, count in worker.attempts.items():
+                    assert count == (2 if key in kill else 1)
+                res = await client.result("noop/3")
+                assert res["status"] == "done"
+                assert res["payload"]["echo"] == 3
+                await client.close()
+
+        run(body())
+
+    def test_worker_killed_is_base_exception(self):
+        """The kill signal must bypass ``except Exception`` clauses."""
+        assert issubclass(WorkerKilled, BaseException)
+        assert not issubclass(WorkerKilled, Exception)
+
+
+class TestKillAfterArtifactWrite:
+    """Mode 3: death between artifact write and result report.
+
+    The latent-scheduler-issue regression: the first attempt writes
+    every artifact, then the worker dies before settling.  The retry
+    must be served from the content-addressed store — no duplicate
+    simulation, byte-identical artifacts.
+    """
+
+    def test_retry_served_from_artifact_cache(self, tmp_path):
+        """Second attempt is a pure cache read; artifacts match clean run."""
+
+        async def body():
+            store_root = tmp_path / "store"
+            task = TraceTask(kernel="1a", length=32)
+            job = Job(
+                kernel="1a",
+                length=32,
+                rule="baseline",
+                cache=CacheSpec(size=1024, block=32, assoc=1),
+            )
+            worker = FaultyWorker(
+                kill_after_work_keys={"job/1a/baseline"}
+            )
+            config = svc_config(
+                tmp_path, store_root=str(store_root), retries=2
+            )
+            async with service_running(config, runner=worker) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                await client.submit(task.job_id, task_to_wire(task))
+                await client.result(task.job_id)
+                await client.submit(job.job_id, task_to_wire(job))
+                res = await client.result(job.job_id)
+                assert res["status"] == "done"
+                assert res["attempts"] == 2
+                assert worker.kills == 1
+                assert service.counters["respawns"] == 1
+                # Attempt 2 found every stage already in the store.
+                assert all(res["payload"]["cache_hits"].values())
+                await client.close()
+            # Byte-identical to a clean, fault-free execution.
+            clean_root = tmp_path / "clean"
+            execute_task(task, clean_root)
+            execute_task(job, clean_root)
+            faulty = {
+                p.relative_to(store_root): hashlib.sha256(
+                    p.read_bytes()
+                ).hexdigest()
+                for p in sorted(store_root.rglob("*"))
+                if p.is_file()
+            }
+            clean = {
+                p.relative_to(clean_root): hashlib.sha256(
+                    p.read_bytes()
+                ).hexdigest()
+                for p in sorted(Path(clean_root).rglob("*"))
+                if p.is_file()
+            }
+            assert faulty == clean
+            assert faulty  # non-vacuous
+
+        run(body())
+
+
+class TestClientFrameLoss:
+    """Mode 4: client->server frames vanish; resends keep it lossless."""
+
+    def test_dropped_submits_resent_and_deduped(self, tmp_path):
+        """Every 3rd outgoing frame is dropped; all jobs still land."""
+
+        async def body():
+            flaky_holder = {}
+
+            def wrap(writer):
+                sock = FlakySocket(writer, drop_every=3)
+                flaky_holder["sock"] = sock
+                return sock
+
+            config = svc_config(tmp_path)
+            async with service_running(config) as service:
+                client = ServiceClient(
+                    config.socket_path,
+                    timeout=0.3,
+                    retries=6,
+                    writer_wrap=wrap,
+                )
+                await client.connect()
+                n = 15
+                acks = await client.submit_many(noop_jobs(n), window=5)
+                assert len(acks) == n
+                drained = await client.drain(timeout=60.0)
+                assert_exactly_once(drained, n)
+                flaky = flaky_holder["sock"]
+                assert flaky.dropped > 0  # the fault actually fired
+                assert client.resends > 0  # and the client recovered
+                # Resent submits the server had already admitted were
+                # deduplicated, not re-executed.
+                assert service.counters["done"] == n
+                await client.close()
+
+        run(body())
+
+
+class TestServerReplyLoss:
+    """Mode 5: server->client replies dropped or duplicated."""
+
+    def test_dropped_acks_trigger_resend_and_dedupe(self, tmp_path):
+        """Every 2nd ack vanishes; same-seq resends dedupe by job id."""
+
+        async def body():
+            hook, counts = drop_every_hook(2, only_type="ack")
+            config = svc_config(tmp_path)
+            async with service_running(config, send_hook=hook) as service:
+                client = ServiceClient(
+                    config.socket_path, timeout=0.3, retries=6
+                )
+                await client.connect()
+                n = 10
+                acks = await client.submit_many(noop_jobs(n), window=4)
+                assert len(acks) == n
+                drained = await client.drain(timeout=60.0)
+                assert_exactly_once(drained, n)
+                assert counts["dropped"] > 0
+                assert client.resends > 0
+                # Resends of already-admitted jobs were acked dup:true.
+                assert service.counters["dup_submits"] > 0
+                assert service.counters["done"] == n
+                await client.close()
+
+        run(body())
+
+    def test_duplicated_replies_discarded_by_seq(self, tmp_path):
+        """Every result frame arrives twice; the client drops the echo."""
+
+        async def body():
+            hook, counts = dup_every_hook(1, only_type="result")
+            config = svc_config(tmp_path)
+            async with service_running(config, send_hook=hook):
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                n = 8
+                await client.submit_many(noop_jobs(n))
+                await client.drain(timeout=60.0)
+                results = [
+                    await client.result(f"noop/{i}") for i in range(n)
+                ]
+                assert [r["payload"]["echo"] for r in results] == list(range(n))
+                assert counts["duplicated"] >= n
+                # The duplicate of the *last* matched reply may never be
+                # read (the client stops reading once satisfied), so the
+                # discard count can trail the duplication count by one.
+                assert client.stale_replies >= n - 1
+                await client.close()
+
+        run(body())
+
+
+class TestStallDetection:
+    """Mode 6: a slow worker trips the stall detector, then finishes."""
+
+    def test_stall_counted_and_job_completes(self, tmp_path):
+        """delay >> stall_timeout: stalls fire, nothing is lost."""
+
+        async def body():
+            worker = FaultyWorker(delay=0.25)
+            config = svc_config(
+                tmp_path,
+                shards=1,
+                stall_timeout=0.05,
+                monitor_interval=0.01,
+            )
+            async with service_running(config, runner=worker) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                await client.submit("slow", {"kind": "noop", "echo": 1})
+                res = await client.result("slow")
+                assert res["status"] == "done"
+                assert service.counters["stalls"] >= 1
+                drained = await client.drain()
+                assert_exactly_once(drained, 1)
+                await client.close()
+
+        run(body())
+
+
+class TestCombinedChaos:
+    """All faults at once still preserves exactly-once accounting."""
+
+    def test_kitchen_sink(self, tmp_path):
+        """Failures + kills + dropped acks together: nothing lost."""
+
+        async def body():
+            worker = FaultyWorker(fail_first=1, kill_keys={"5"})
+            hook, _ = drop_every_hook(4, only_type="ack")
+            config = svc_config(tmp_path, retries=3)
+            async with service_running(
+                config, runner=worker, send_hook=hook
+            ) as service:
+                client = ServiceClient(
+                    config.socket_path, timeout=0.4, retries=8
+                )
+                await client.connect()
+                n = 16
+                await client.submit_many(noop_jobs(n), window=6)
+                drained = await client.drain(timeout=120.0)
+                assert_exactly_once(drained, n)
+                for i in range(n):
+                    res = await client.result(f"noop/{i}")
+                    assert res["status"] == "done"
+                    assert res["payload"]["echo"] == i
+                assert service.counters["respawns"] >= 1
+                assert service.counters["retried"] >= n
+                await client.close()
+
+        run(body())

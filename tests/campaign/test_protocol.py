@@ -1,0 +1,224 @@
+"""Unit tests for the NDJSON wire protocol (frames, bounds, streams)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.service.protocol import (
+    FRAME_SCHEMAS,
+    MAX_FRAME_BYTES,
+    PROTO_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    reply_to,
+    validate_frame,
+    write_frame,
+)
+
+
+pytestmark = pytest.mark.service
+
+
+class TestEncodeDecode:
+    """encode_frame / decode_frame round-trip and reject bad input."""
+
+    def test_roundtrip(self):
+        """A frame survives the wire byte-exactly."""
+        frame = {"type": "submit", "job_id": "j1", "job": {"kind": "noop"}, "seq": 7}
+        data = encode_frame(frame)
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert decode_frame(data) == frame
+
+    def test_encoding_is_canonical(self):
+        """Key order in the input dict never changes the wire bytes."""
+        a = encode_frame({"type": "ack", "job_id": "x", "seq": 1})
+        b = encode_frame({"seq": 1, "job_id": "x", "type": "ack"})
+        assert a == b
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        job_id=st.text(max_size=40),
+        seq=st.integers(0, 2**53),
+        keep=st.booleans(),
+    )
+    def test_roundtrip_property(self, job_id, seq, keep):
+        """Arbitrary payload content round-trips."""
+        frame = {
+            "type": "submit",
+            "job_id": job_id,
+            "job": {"kind": "noop", "echo": job_id},
+            "seq": seq,
+            "keep": keep,
+        }
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_unserialisable_payload(self):
+        """Non-JSON values are a protocol error, not a crash."""
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "ack", "job_id": object()})
+
+    def test_oversize_frame_rejected_on_encode(self):
+        """Frames over MAX_FRAME_BYTES never leave the process."""
+        big = {"type": "ack", "job_id": "x" * (MAX_FRAME_BYTES + 1)}
+        with pytest.raises(ProtocolError):
+            encode_frame(big)
+
+    def test_oversize_frame_rejected_on_decode(self):
+        """Oversize inbound lines are rejected before JSON parsing."""
+        line = b"x" * (MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            decode_frame(line)
+
+    def test_bad_json_rejected(self):
+        """Garbage bytes raise ProtocolError."""
+        with pytest.raises(ProtocolError):
+            decode_frame(b"{not json\n")
+
+    def test_bad_utf8_rejected(self):
+        """Invalid UTF-8 raises ProtocolError, not UnicodeDecodeError."""
+        with pytest.raises(ProtocolError):
+            decode_frame(b'\xff\xfe{"type":"status"}\n')
+
+
+class TestValidation:
+    """validate_frame enforces the schema table."""
+
+    def test_every_schema_accepts_minimal_frame(self):
+        """Each frame type's minimal instance validates."""
+        for ftype, keys in FRAME_SCHEMAS.items():
+            frame = {"type": ftype}
+            for key in keys:
+                frame[key] = "x"
+            assert validate_frame(frame) is frame
+
+    def test_unknown_type_rejected(self):
+        """Unknown frame types are a protocol error."""
+        with pytest.raises(ProtocolError):
+            validate_frame({"type": "teleport"})
+
+    def test_missing_required_key_rejected(self):
+        """A submit without a job is a protocol error naming the key."""
+        with pytest.raises(ProtocolError, match="job"):
+            validate_frame({"type": "submit", "job_id": "j"})
+
+    def test_non_object_rejected(self):
+        """Top-level arrays/strings are not frames."""
+        with pytest.raises(ProtocolError):
+            validate_frame(["type", "status"])
+        with pytest.raises(ProtocolError):
+            validate_frame("status")
+
+    def test_missing_type_rejected(self):
+        """Frames need a string type."""
+        with pytest.raises(ProtocolError):
+            validate_frame({"job_id": "j"})
+        with pytest.raises(ProtocolError):
+            validate_frame({"type": 3})
+
+    def test_extra_keys_allowed(self):
+        """Unknown extra keys pass (forward compatibility)."""
+        frame = {"type": "status", "future_field": True}
+        assert validate_frame(frame) is frame
+
+
+class TestReplyTo:
+    """reply_to echoes the request seq as re."""
+
+    def test_seq_echoed(self):
+        """seq present -> re stamped onto a copy."""
+        req = {"type": "status", "seq": 42}
+        rep = {"type": "status_reply", "jobs": {}, "counters": {}}
+        stamped = reply_to(req, rep)
+        assert stamped["re"] == 42
+        assert "re" not in rep  # original untouched
+
+    def test_no_seq_no_re(self):
+        """Requests without seq get replies without re."""
+        rep = {"type": "bye"}
+        assert reply_to({"type": "shutdown"}, rep) is rep
+
+
+class TestStreamFraming:
+    """read_frame / write_frame against real asyncio streams."""
+
+    @staticmethod
+    def _reader(data: bytes, *, eof: bool = True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader(limit=MAX_FRAME_BYTES + 2)
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_reads_frames_then_clean_eof(self):
+        """Two frames then EOF: both frames, then None."""
+
+        async def run():
+            data = encode_frame({"type": "status"}) + encode_frame(
+                {"type": "shutdown", "seq": 1}
+            )
+            reader = self._reader(data)
+            assert (await read_frame(reader)) == {"type": "status"}
+            assert (await read_frame(reader)) == {"type": "shutdown", "seq": 1}
+            assert (await read_frame(reader)) is None
+
+        asyncio.run(run())
+
+    def test_mid_frame_eof_is_error(self):
+        """A partial line at EOF raises (the fragment is untrusted)."""
+
+        async def run():
+            reader = self._reader(b'{"type":"status"')
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_overlong_line_is_error(self):
+        """A line exceeding the reader limit raises ProtocolError."""
+
+        async def run():
+            reader = asyncio.StreamReader(limit=64)
+            reader.feed_data(b"x" * 200 + b"\n")
+            reader.feed_eof()
+            with pytest.raises(ProtocolError, match="limit"):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_write_frame_over_pipe(self):
+        """write_frame -> read_frame over a real duplex pipe."""
+
+        async def run():
+            loop = asyncio.get_running_loop()
+            rsock, wsock = __import__("socket").socketpair()
+            reader, writer = await asyncio.open_connection(sock=wsock)
+            peer_reader, peer_writer = await asyncio.open_connection(sock=rsock)
+            try:
+                frame = {"type": "heartbeat", "seq": 9}
+                await write_frame(writer, frame)
+                assert (await read_frame(peer_reader)) == frame
+            finally:
+                writer.close()
+                peer_writer.close()
+            _ = loop
+
+        asyncio.run(run())
+
+    def test_proto_version_is_integer(self):
+        """The advertised protocol revision is a positive int."""
+        assert isinstance(PROTO_VERSION, int) and PROTO_VERSION >= 1
+
+    def test_wire_bytes_are_ndjson(self):
+        """One line, valid JSON: external tools can tail the socket."""
+        data = encode_frame({"type": "ack", "job_id": "j", "seq": 3})
+        line = data.decode("utf-8").rstrip("\n")
+        assert "\n" not in line
+        assert json.loads(line)["type"] == "ack"

@@ -1,0 +1,455 @@
+"""End-to-end tests for the campaign service (server + client + scheduler).
+
+The acceptance bar lives here: a campaign routed through the service
+must leave a byte-identical artifact tree to the one-shot scheduler —
+on the golden T1/T2/T3 transformation grid, with chunk-parallel
+simulation engaged — and the protocol endpoint must behave (dedupe,
+drain, status, discard accounting, shutdown).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.manifest import RunManifest
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.service import (
+    NO_SERVICE_ENV,
+    CampaignService,
+    ProtocolError,
+    ServiceClient,
+    ServiceConfig,
+    service_running,
+    service_socket_path,
+)
+from repro.campaign.spec import (
+    CacheSpec,
+    CampaignSpec,
+    GridEntry,
+    ServiceOptions,
+)
+
+
+pytestmark = pytest.mark.service
+
+
+def run(coro):
+    """Run one async test body (pytest-asyncio is not available)."""
+    return asyncio.run(coro)
+
+
+def noop_jobs(n):
+    """n tiny wire jobs with distinct ids."""
+    return [(f"noop/{i}", {"kind": "noop", "echo": i}) for i in range(n)]
+
+
+def svc_config(tmp_path, **overrides):
+    """A small ServiceConfig rooted in the test's tmp dir."""
+    defaults = dict(
+        socket_path=service_socket_path(tmp_path / "svc"),
+        store_root=None,
+        shards=2,
+        queue_capacity=64,
+        retries=1,
+        monitor_interval=0.01,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def golden_spec(*, service=False, min_chunk_records=64):
+    """The golden grid: kernel 1a under baseline + T1/T2/T3, two caches.
+
+    ``min_chunk_records=64`` forces chunk-parallel simulation onto the
+    ~516-record kernel traces, so the byte-parity assertion covers the
+    shard-merge route, not just the classic one.
+    """
+    return CampaignSpec(
+        name="golden",
+        grid=(
+            GridEntry(
+                kernel="1a", length=64, rules=("baseline", "t1", "t2", "t3")
+            ),
+        ),
+        caches=(
+            CacheSpec(size=1024, block=32, assoc=1),
+            CacheSpec(size=2048, block=32, assoc=2),
+        ),
+        attribution=("base", "member"),
+        service=ServiceOptions(
+            enabled=service,
+            shards=2,
+            chunk_parallel=True,
+            chunk_shards=3,
+            min_chunk_records=min_chunk_records,
+        ),
+    )
+
+
+def tree_digest(root: Path):
+    """{relative path: sha256} over every file under ``root``."""
+    out = {}
+    for path in sorted(root.rglob("*")):
+        if path.is_file():
+            out[str(path.relative_to(root))] = hashlib.sha256(
+                path.read_bytes()
+            ).hexdigest()
+    return out
+
+
+class TestServiceLifecycle:
+    """Basic serve/submit/poll/drain/status round trips."""
+
+    def test_submit_poll_drain_status(self, tmp_path):
+        """50 noops: all done, none lost, none duplicated."""
+
+        async def body():
+            config = svc_config(tmp_path)
+            async with service_running(config) as service:
+                client = ServiceClient(config.socket_path)
+                welcome = await client.connect()
+                assert welcome["shards"] == 2
+                acks = await client.submit_many(noop_jobs(50))
+                assert len(acks) == 50
+                assert all(not a["dup"] for a in acks)
+                drained = await client.drain(timeout=30.0)
+                assert drained["counters"]["done"] == 50
+                assert drained["counters"]["failed"] == 0
+                assert drained["jobs"]["done"] == 50
+                assert drained["unsettled"] == 0
+                res = await client.result("noop/7")
+                assert res["status"] == "done"
+                assert res["payload"]["echo"] == 7
+                await client.close()
+                assert service.counters["done"] == 50
+
+        run(body())
+
+    def test_submit_dedupes_by_job_id(self, tmp_path):
+        """Resubmitting a known id acks dup:true and runs nothing twice."""
+
+        async def body():
+            config = svc_config(tmp_path)
+            async with service_running(config) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                first = await client.submit("j1", {"kind": "noop", "echo": 1})
+                assert first["dup"] is False
+                again = await client.submit("j1", {"kind": "noop", "echo": 1})
+                assert again["dup"] is True
+                await client.drain()
+                assert service.counters["done"] == 1
+                assert service.counters["dup_submits"] == 1
+                await client.close()
+
+        run(body())
+
+    def test_unknown_and_discarded_poll_answers(self, tmp_path):
+        """Polls distinguish never-seen ids from retired keep=false ids."""
+
+        async def body():
+            config = svc_config(tmp_path)
+            async with service_running(config):
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                res = await client.poll("never-submitted")
+                assert res["status"] == "unknown"
+                await client.submit("ephemeral", {"kind": "noop"}, keep=False)
+                await client.drain()
+                res = await client.poll("ephemeral")
+                assert res["status"] == "discarded"
+                status = await client.status()
+                assert status["jobs"]["retired"] == 1
+                await client.close()
+
+        run(body())
+
+    def test_failed_job_reports_error(self, tmp_path):
+        """An unknown job kind exhausts retries and lands as failed."""
+
+        async def body():
+            config = svc_config(tmp_path, retries=1)
+            async with service_running(config) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                await client.submit("bad", {"kind": "no-such-kind"})
+                res = await client.result("bad")
+                assert res["status"] == "failed"
+                assert "no-such-kind" in res["error"]
+                assert res["attempts"] == 2  # initial + 1 retry
+                assert service.counters["failed"] == 1
+                assert service.counters["retried"] == 1
+                await client.close()
+
+        run(body())
+
+    def test_shutdown_frame_stops_server(self, tmp_path):
+        """A shutdown request gets bye and serve_until_shutdown returns."""
+
+        async def body():
+            config = svc_config(tmp_path)
+            service = CampaignService(config)
+            await service.start()
+            waiter = asyncio.ensure_future(service.serve_until_shutdown())
+            client = ServiceClient(config.socket_path)
+            await client.connect()
+            bye = await client.shutdown()
+            assert bye["type"] == "bye"
+            await client.close()
+            await asyncio.wait_for(waiter, 10.0)
+            assert not Path(config.socket_path).exists()
+
+        run(body())
+
+    def test_hello_version_mismatch_rejected(self, tmp_path):
+        """A client speaking the wrong protocol revision is refused."""
+
+        async def body():
+            config = svc_config(tmp_path)
+            async with service_running(config):
+                from repro.campaign.service.protocol import (
+                    read_frame,
+                    write_frame,
+                )
+
+                reader, writer = await asyncio.open_unix_connection(
+                    config.socket_path
+                )
+                await write_frame(
+                    writer,
+                    {"type": "hello", "role": "client", "proto": 999, "seq": 1},
+                )
+                reply = await read_frame(reader)
+                assert reply["type"] == "error"
+                assert "version mismatch" in reply["message"]
+                writer.close()
+
+        run(body())
+
+    def test_submit_after_close_rejected(self, tmp_path):
+        """Submits racing shutdown get a protocol error, not silence."""
+
+        async def body():
+            config = svc_config(tmp_path)
+            service = CampaignService(config)
+            await service.start()
+            client = ServiceClient(config.socket_path)
+            await client.connect()
+            await service._queue.close()
+            with pytest.raises(ProtocolError, match="shutting down"):
+                await client.submit("late", {"kind": "noop"})
+            await client.close()
+            await service.stop()
+
+        run(body())
+
+    def test_config_validation(self, tmp_path):
+        """Bad tunables are rejected at construction."""
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError):
+            ServiceConfig(socket_path="s", shards=0)
+        with pytest.raises(CampaignError):
+            ServiceConfig(socket_path="s", queue_capacity=0)
+        with pytest.raises(CampaignError):
+            ServiceConfig(socket_path="s", retries=-1)
+        with pytest.raises(CampaignError):
+            ServiceConfig(socket_path="s", chunk_shards=0)
+
+    def test_socket_path_fallback_for_long_directories(self, tmp_path):
+        """Deeply nested campaign dirs still get a bindable socket path."""
+        deep = tmp_path / ("x" * 120)
+        path = service_socket_path(deep)
+        assert len(path.encode("utf-8")) <= 108
+        assert path.endswith(".sock")
+
+
+class TestArtifactParity:
+    """Service campaigns are byte-identical to one-shot campaigns."""
+
+    def test_golden_grid_byte_identical(self, tmp_path):
+        """Golden T1/T2/T3 grid: every artifact file matches exactly.
+
+        One-shot run vs service run (chunk-parallel engaged via
+        ``min_chunk_records=64``): identical artifact trees, byte for
+        byte.
+        """
+        one_shot = run_campaign(
+            golden_spec(service=False), tmp_path / "oneshot", workers=2
+        )
+        service = run_campaign(
+            golden_spec(service=True), tmp_path / "service", workers=2
+        )
+        assert one_shot.n_failed == 0
+        assert service.n_failed == 0
+        assert service.n_done == one_shot.n_done == 16
+        left = tree_digest(tmp_path / "oneshot" / "artifacts")
+        right = tree_digest(tmp_path / "service" / "artifacts")
+        assert left == right
+        assert left  # non-vacuous: the grid produced artifacts
+
+    def test_outcomes_match_one_shot(self, tmp_path):
+        """Result rows (misses per job) agree between routes."""
+        one_shot = run_campaign(
+            golden_spec(service=False), tmp_path / "a", workers=1
+        )
+        service = run_campaign(
+            golden_spec(service=True), tmp_path / "b", workers=2
+        )
+        key = lambda r: sorted(
+            (o.job_id, o.result["misses"], o.result["miss_ratio"])
+            for o in r.outcomes
+        )
+        assert key(one_shot) == key(service)
+
+    def test_no_service_env_escape(self, tmp_path, monkeypatch):
+        """TDST_NO_SERVICE forces the classic route even when enabled."""
+        monkeypatch.setenv(NO_SERVICE_ENV, "1")
+        result = run_campaign(
+            golden_spec(service=True), tmp_path / "c", workers=1
+        )
+        assert result.n_failed == 0
+        rows = RunManifest.read(tmp_path / "c" / "manifest.jsonl")
+        # The classic scheduler records per-worker ids >= 0; the service
+        # route records worker -1.  All rows classic => escape worked.
+        workers = {r["worker"] for r in rows if r["event"] == "job-done"}
+        assert -1 not in workers
+
+    def test_service_flag_overrides_spec(self, tmp_path):
+        """service=False beats spec.service.enabled=True."""
+        result = run_campaign(
+            golden_spec(service=True),
+            tmp_path / "c",
+            workers=1,
+            service=False,
+        )
+        assert result.n_failed == 0
+        rows = RunManifest.read(tmp_path / "c" / "manifest.jsonl")
+        workers = {r["worker"] for r in rows if r["event"] == "job-done"}
+        assert -1 not in workers
+
+    def test_manifest_records_service_route(self, tmp_path):
+        """The service route writes start/done rows for every job."""
+        run_campaign(golden_spec(service=True), tmp_path / "c", workers=2)
+        rows = RunManifest.read(tmp_path / "c" / "manifest.jsonl")
+        events = [r["event"] for r in rows]
+        assert events[0] == "campaign-start"
+        assert events[-1] == "campaign-end"
+        # One done row per grid point + the shared trace stage; start
+        # rows are per *submitted* task, so batch grouping can emit
+        # fewer starts than dones but never more.
+        assert events.count("job-done") == 17
+        assert 0 < events.count("job-start") <= events.count("job-done")
+        assert events.count("job-failed") == 0
+
+
+class TestChunkParallel:
+    """The chunk-parallel simulate stage actually engages and merges."""
+
+    def test_chunk_merges_counted(self, tmp_path):
+        """Eligible simulate stages route through the shard merge."""
+
+        async def body():
+            from repro.campaign.jobs import TraceTask, execute_task
+            from repro.campaign.service.wire import task_to_wire
+
+            config = svc_config(
+                tmp_path,
+                store_root=str(tmp_path / "store"),
+                chunk_parallel=True,
+                chunk_shards=3,
+                min_chunk_records=64,
+            )
+            task = TraceTask(kernel="1a", length=64)
+            async with service_running(config) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                await client.submit(task.job_id, task_to_wire(task))
+                trace_res = await client.result(task.job_id)
+                assert trace_res["status"] == "done"
+                from repro.campaign.jobs import Job
+
+                job = Job(
+                    kernel="1a",
+                    length=64,
+                    rule="baseline",
+                    cache=CacheSpec(size=1024, block=32, assoc=1),
+                    attribution="base",
+                )
+                await client.submit(job.job_id, task_to_wire(job))
+                job_res = await client.result(job.job_id)
+                assert job_res["status"] == "done"
+                assert service.counters["chunk_merges"] >= 1
+                # The chunk-merged payload equals the classic payload.
+                classic = execute_task(job, str(tmp_path / "classic"))
+                merged = dict(job_res["payload"])
+                for volatile in ("cache_hits", "compute_seconds"):
+                    merged.pop(volatile, None)
+                    classic.pop(volatile, None)
+                assert merged == classic
+                await client.close()
+
+        run(body())
+
+    def test_short_traces_skip_chunking(self, tmp_path):
+        """Below min_chunk_records the classic stage runs (no merges)."""
+
+        async def body():
+            from repro.campaign.jobs import Job, TraceTask
+            from repro.campaign.service.wire import task_to_wire
+
+            config = svc_config(
+                tmp_path,
+                store_root=str(tmp_path / "store"),
+                chunk_parallel=True,
+                min_chunk_records=10**6,
+            )
+            task = TraceTask(kernel="1a", length=32)
+            job = Job(
+                kernel="1a",
+                length=32,
+                rule="baseline",
+                cache=CacheSpec(size=1024, block=32, assoc=1),
+                attribution="base",
+            )
+            async with service_running(config) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                await client.submit(task.job_id, task_to_wire(task))
+                await client.result(task.job_id)
+                await client.submit(job.job_id, task_to_wire(job))
+                res = await client.result(job.job_id)
+                assert res["status"] == "done"
+                assert service.counters["chunk_merges"] == 0
+                await client.close()
+
+        run(body())
+
+
+class TestWorkStealing:
+    """Imbalanced shards get rebalanced by stealing, visibly."""
+
+    def test_stolen_jobs_counted_and_completed(self, tmp_path):
+        """Jobs forced onto one shard still finish; steals are counted."""
+
+        async def body():
+            config = svc_config(tmp_path, shards=4)
+            async with service_running(config) as service:
+                client = ServiceClient(config.socket_path)
+                await client.connect()
+                # All 40 ids hash where they may; the queue's stealing
+                # keeps all four workers busy either way.
+                await client.submit_many(noop_jobs(40))
+                drained = await client.drain(timeout=30.0)
+                assert drained["counters"]["done"] == 40
+                status = await client.status()
+                assert status["queue"]["depth"] == 0
+                assert status["counters"]["stolen"] == service._queue.total_stolen
+                await client.close()
+
+        run(body())

@@ -1,0 +1,395 @@
+"""Property suite for the shard-merge algebra (the chunk-parallel proof).
+
+The campaign service only trusts chunk-parallel simulation because the
+laws here hold: splitting any trace at any boundaries and running the
+effect/prefix/simulate/merge pipeline is *bit-identical* to one
+whole-trace pass, ``compose_effects`` is an associative monoid with
+``identity_effect``, and ``merge_stats`` is an associative commutative
+monoid with ``empty_stats``.  Everything is hypothesis-driven over
+random address streams, random sizes (straddling block boundaries),
+random attribution labels, random split points, and both direct-mapped
+and LRU set-associative geometries — including the LRU-residency seams
+the boundary effects exist for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import fast_trace_counts
+from repro.campaign.jobs import simulation_fields
+from repro.campaign.service.merge import (
+    ResidencyEffect,
+    compose_effects,
+    empty_stats,
+    finalize_fields,
+    identity_effect,
+    merge_stats,
+    shard_effect,
+    shard_ranges,
+    sharded_simulation_fields,
+    simulate_shard,
+)
+from repro.trace.record import AccessType, TraceRecord
+from repro.trace.stream import Trace
+from repro.workloads.paper_kernels import paper_kernel
+from repro.tracer.interp import trace_program
+
+
+pytestmark = pytest.mark.service
+
+
+def small_cfg(assoc: int = 1, *, size: int = 512, block: int = 32) -> CacheConfig:
+    """A tiny cache so random streams actually collide and evict."""
+    return CacheConfig(size=size, block_size=block, associativity=assoc)
+
+
+CONFIGS = [
+    small_cfg(1),
+    small_cfg(2),
+    small_cfg(4),
+    small_cfg(2, size=1024, block=16),
+]
+
+LABELS = ["a", "b", "c", None]
+
+# One access: (addr, size, label-index).  Addresses cluster in a small
+# window so sets conflict; sizes up to 48 straddle 32-byte blocks.
+access = st.tuples(
+    st.integers(min_value=0, max_value=4096),
+    st.integers(min_value=1, max_value=48),
+    st.integers(min_value=0, max_value=len(LABELS) - 1),
+)
+
+stream = st.lists(access, min_size=0, max_size=120)
+
+
+def unpack(accesses):
+    """Split the strategy tuples into addrs / sizes / labels."""
+    addrs = np.array([a for a, _, _ in accesses], dtype=np.uint64)
+    sizes = np.array([s for _, s, _ in accesses], dtype=np.uint32)
+    labels = [LABELS[i] for _, _, i in accesses]
+    return addrs, sizes, labels
+
+
+def split_points(n, cuts):
+    """Turn a list of random ints into sorted split boundaries in [0, n]."""
+    return sorted({c % (n + 1) for c in cuts})
+
+
+def run_pipeline(addrs, sizes, labels, config, bounds):
+    """The full shard pipeline: effects -> prefix scan -> simulate -> merge."""
+    edges = [0] + bounds + [len(addrs)]
+    shards = [
+        (addrs[lo:hi], sizes[lo:hi], labels[lo:hi])
+        for lo, hi in zip(edges, edges[1:])
+    ]
+    effects = [shard_effect(a, s, config) for a, s, _ in shards]
+    boundaries = [identity_effect(config)]
+    for eff in effects[:-1]:
+        boundaries.append(compose_effects(boundaries[-1], eff))
+    stats = [
+        simulate_shard(a, s, lab, config, incoming)
+        for (a, s, lab), incoming in zip(shards, boundaries)
+    ]
+    return merge_stats(*stats) if stats else empty_stats(config)
+
+
+class TestChunkMergeEqualsWholeTrace:
+    """The headline law: any split merges bit-identical to one pass."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(accesses=stream, cuts=st.lists(st.integers(0, 10**6), max_size=5))
+    def test_merge_matches_whole_trace(self, accesses, cuts):
+        """Random streams, random boundaries, every config: exact match."""
+        addrs, sizes, labels = unpack(accesses)
+        for config in CONFIGS:
+            bounds = split_points(len(addrs), cuts)
+            merged = run_pipeline(addrs, sizes, labels, config, bounds)
+            whole = simulate_shard(addrs, sizes, labels, config, None)
+            assert merged.block_hits == whole.block_hits
+            assert merged.block_misses == whole.block_misses
+            assert merged.demand_hits == whole.demand_hits
+            assert merged.demand_accesses == whole.demand_accesses
+            assert merged.demand_misses == whole.demand_misses
+            assert np.array_equal(merged.per_set_hits, whole.per_set_hits)
+            assert np.array_equal(merged.per_set_misses, whole.per_set_misses)
+            assert merged.per_variable == whole.per_variable
+            assert np.array_equal(merged.seen_blocks, whole.seen_blocks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(accesses=stream, cuts=st.lists(st.integers(0, 10**6), max_size=5))
+    def test_finalized_fields_match_fast_counts(self, accesses, cuts):
+        """Finalized fields agree with fast_trace_counts ground truth."""
+        addrs, sizes, labels = unpack(accesses)
+        config = small_cfg(2)
+        bounds = split_points(len(addrs), cuts)
+        merged = run_pipeline(addrs, sizes, labels, config, bounds)
+        fields = finalize_fields(merged, config)
+        totals = fast_trace_counts(addrs, config, sizes)
+        assert fields["accesses"] == totals.demand_accesses
+        assert fields["hits"] == totals.demand_hits
+        assert fields["misses"] == totals.demand_misses
+        assert fields["compulsory_misses"] == totals.counts.compulsory_misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        accesses=st.lists(access, min_size=1, max_size=120),
+        cut=st.integers(0, 10**6),
+    )
+    def test_lru_residency_across_single_seam(self, accesses, cut):
+        """The single-seam case at associativity 4: seam priming is exact.
+
+        This is the sharpest residency test — at ways=4 a shard's
+        boundary effect must carry full MRU stacks (not just the last
+        block), or hits just after the seam flip to misses.
+        """
+        addrs, sizes, labels = unpack(accesses)
+        config = small_cfg(4)
+        k = cut % (len(addrs) + 1)
+        merged = run_pipeline(addrs, sizes, labels, config, [k])
+        whole = simulate_shard(addrs, sizes, labels, config, None)
+        assert merged.block_hits == whole.block_hits
+        assert np.array_equal(merged.per_set_hits, whole.per_set_hits)
+
+
+class TestEffectMonoid:
+    """compose_effects is associative with identity_effect as identity."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=stream, b=stream, c=stream)
+    def test_associativity(self, a, b, c):
+        """(a∘b)∘c == a∘(b∘c) for random shard effects."""
+        for config in (small_cfg(1), small_cfg(4)):
+            ea = shard_effect(*unpack(a)[:2], config)
+            eb = shard_effect(*unpack(b)[:2], config)
+            ec = shard_effect(*unpack(c)[:2], config)
+            left = compose_effects(compose_effects(ea, eb), ec)
+            right = compose_effects(ea, compose_effects(eb, ec))
+            assert left == right
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=stream)
+    def test_identity(self, a):
+        """identity_effect is a two-sided identity."""
+        for config in (small_cfg(1), small_cfg(4)):
+            e = shard_effect(*unpack(a)[:2], config)
+            ident = identity_effect(config)
+            assert compose_effects(ident, e) == e
+            assert compose_effects(e, ident) == e
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=stream, b=stream)
+    def test_compose_matches_concatenation(self, a, b):
+        """Composing two shard effects == the effect of the concatenation."""
+        addrs_a, sizes_a, _ = unpack(a)
+        addrs_b, sizes_b, _ = unpack(b)
+        for config in (small_cfg(1), small_cfg(2), small_cfg(4)):
+            composed = compose_effects(
+                shard_effect(addrs_a, sizes_a, config),
+                shard_effect(addrs_b, sizes_b, config),
+            )
+            joint = shard_effect(
+                np.concatenate([addrs_a, addrs_b]),
+                np.concatenate([sizes_a, sizes_b]),
+                config,
+            )
+            assert composed == joint
+
+    def test_shape_mismatch_rejected(self):
+        """Composing effects over different geometries is an error."""
+        from repro.errors import CacheConfigError
+
+        with pytest.raises(CacheConfigError):
+            compose_effects(
+                identity_effect(small_cfg(1)), identity_effect(small_cfg(2))
+            )
+
+
+class TestStatsMonoid:
+    """merge_stats is a commutative, associative monoid with empty_stats."""
+
+    @staticmethod
+    def _stats_list(streams, config):
+        return [
+            simulate_shard(*unpack(s), config, None) for s in streams
+        ]
+
+    @staticmethod
+    def _assert_equal(x, y):
+        assert x.block_hits == y.block_hits
+        assert x.block_misses == y.block_misses
+        assert x.demand_hits == y.demand_hits
+        assert x.demand_accesses == y.demand_accesses
+        assert np.array_equal(x.per_set_hits, y.per_set_hits)
+        assert np.array_equal(x.per_set_misses, y.per_set_misses)
+        assert x.per_variable == y.per_variable
+        assert np.array_equal(x.seen_blocks, y.seen_blocks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=stream, b=stream, c=stream)
+    def test_associative(self, a, b, c):
+        """merge(merge(a,b),c) == merge(a,merge(b,c))."""
+        config = small_cfg(2)
+        sa, sb, sc = self._stats_list([a, b, c], config)
+        self._assert_equal(
+            merge_stats(merge_stats(sa, sb), sc),
+            merge_stats(sa, merge_stats(sb, sc)),
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=stream, b=stream)
+    def test_commutative(self, a, b):
+        """merge(a,b) == merge(b,a)."""
+        config = small_cfg(2)
+        sa, sb = self._stats_list([a, b], config)
+        self._assert_equal(merge_stats(sa, sb), merge_stats(sb, sa))
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=stream)
+    def test_identity(self, a):
+        """empty_stats is a two-sided identity for merge_stats."""
+        config = small_cfg(2)
+        (sa,) = self._stats_list([a], config)
+        zero = empty_stats(config)
+        self._assert_equal(merge_stats(zero, sa), sa)
+        self._assert_equal(merge_stats(sa, zero), sa)
+
+    def test_merge_rejects_mismatched_set_spaces(self):
+        """Merging over different n_sets raises (never silently wrong)."""
+        from repro.errors import CacheConfigError
+
+        with pytest.raises(CacheConfigError):
+            merge_stats(empty_stats(small_cfg(1)), empty_stats(small_cfg(2)))
+
+    def test_merge_requires_an_argument(self):
+        """No inputs has no defensible answer without a config."""
+        with pytest.raises(ValueError):
+            merge_stats()
+
+
+class TestShardRanges:
+    """shard_ranges covers [0, n) exactly with balanced contiguous ranges."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(n=st.integers(0, 5000), n_shards=st.integers(1, 32))
+    def test_cover_exactly(self, n, n_shards):
+        """Ranges tile [0, n) with no gap, overlap, or empty middle."""
+        ranges = shard_ranges(n, n_shards)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n
+        for (lo, hi), (lo2, _) in zip(ranges, ranges[1:]):
+            assert hi == lo2
+            assert hi > lo
+        assert len(ranges) <= n_shards
+        if n >= n_shards:
+            sizes = [hi - lo for lo, hi in ranges]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_shard_count(self):
+        """Non-positive shard counts are rejected."""
+        with pytest.raises(ValueError):
+            shard_ranges(10, 0)
+
+
+class TestShardedSimulationFields:
+    """The end-to-end entry point matches the classic simulate stage."""
+
+    @pytest.mark.parametrize("kernel", ["1a", "2a"])
+    @pytest.mark.parametrize("assoc", [1, 2])
+    @pytest.mark.parametrize("attribution", ["base", "member"])
+    def test_matches_simulation_fields_on_kernels(
+        self, kernel, assoc, attribution
+    ):
+        """Full equality (every field) on real paper-kernel traces."""
+        trace = trace_program(paper_kernel(kernel, length=64))
+        config = CacheConfig(size=1024, block_size=32, associativity=assoc)
+        for n_shards in (1, 3, 5):
+            sharded = sharded_simulation_fields(
+                trace, config, attribution, n_shards=n_shards
+            )
+            classic = simulation_fields(trace, config, attribution)
+            assert sharded == classic
+
+    def test_rejects_unsupported_config(self):
+        """Configs outside the fast path raise instead of degrading."""
+        from repro.errors import CacheConfigError
+
+        config = CacheConfig(
+            size=1024, block_size=32, associativity=2, policy="fifo"
+        )
+        with pytest.raises(CacheConfigError):
+            sharded_simulation_fields(
+                Trace(records=[]), config, "base", n_shards=2
+            )
+
+    def test_empty_trace(self):
+        """Zero records: zero counts, ratio 0.0, no variables."""
+        fields = sharded_simulation_fields(
+            Trace(records=[]), small_cfg(2), "base", n_shards=4
+        )
+        assert fields["accesses"] == 0
+        assert fields["misses"] == 0
+        assert fields["miss_ratio"] == 0.0
+        assert fields["by_variable_misses"] == {}
+
+    def test_misc_records_filtered(self):
+        """MISC records do not contribute accesses (parity with classic)."""
+        records = [
+            TraceRecord(AccessType.LOAD, 0, 4, "x"),
+            TraceRecord(AccessType.MISC, 0, 0, None),
+            TraceRecord(AccessType.LOAD, 64, 4, "y"),
+        ]
+        trace = Trace(records=records)
+        fields = sharded_simulation_fields(trace, small_cfg(2), "base")
+        assert fields == simulation_fields(trace, small_cfg(2), "base")
+        assert fields["accesses"] == 2
+
+    def test_pool_execution_matches_inline(self):
+        """Running phases on a real executor changes nothing."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        trace = trace_program(paper_kernel("1a", length=48))
+        config = small_cfg(2)
+        inline = sharded_simulation_fields(trace, config, "base", n_shards=4)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            pooled = sharded_simulation_fields(
+                trace, config, "base", n_shards=4, pool=pool
+            )
+        assert pooled == inline
+
+
+class TestResidencyEffectBasics:
+    """Structural checks on the effect representation itself."""
+
+    def test_effect_equality_and_shape(self):
+        """Equality is matrix equality; identity is all-transparent."""
+        cfg = small_cfg(2)
+        ident = identity_effect(cfg)
+        assert ident.n_sets == cfg.n_sets
+        assert ident.ways == cfg.ways
+        assert ident == identity_effect(cfg)
+        assert ident != ResidencyEffect(
+            blocks=np.zeros((cfg.n_sets, cfg.ways), dtype=np.int64)
+        )
+
+    def test_effect_keeps_mru_order(self):
+        """A shard touching A then B leaves B most-recently-used."""
+        cfg = small_cfg(2, size=128, block=32)  # 2 sets, 2 ways
+        # Two blocks in set 0: block 0 (addr 0) then block 2 (addr 64).
+        addrs = np.array([0, 64], dtype=np.uint64)
+        eff = shard_effect(addrs, np.ones(2, dtype=np.uint32), cfg)
+        assert eff.blocks[0, 0] == 2  # most recent first
+        assert eff.blocks[0, 1] == 0
+
+    def test_effect_truncates_to_ways(self):
+        """Blocks beyond associativity were evicted and do not appear."""
+        cfg = small_cfg(2, size=128, block=32)  # 2 sets, 2 ways
+        # Three conflicting blocks in set 0: 0, 2, 4 -> only 4, 2 remain.
+        addrs = np.array([0, 64, 128], dtype=np.uint64)
+        eff = shard_effect(addrs, np.ones(3, dtype=np.uint32), cfg)
+        assert list(eff.blocks[0]) == [4, 2]

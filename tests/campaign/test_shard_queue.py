@@ -1,0 +1,266 @@
+"""Unit tests for the bounded work-stealing shard queue."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.campaign.service.queue import QueueClosed, ShardQueue
+
+
+pytestmark = pytest.mark.service
+
+
+def run(coro):
+    """Run one async test body (pytest-asyncio is not available)."""
+    return asyncio.run(coro)
+
+
+class TestShardSelection:
+    """shard_for is a stable total function onto [0, n_shards)."""
+
+    def test_stable_and_in_range(self):
+        """Same id, same shard; all shards reachable in range."""
+        q = ShardQueue(shards=4)
+        ids = [f"job-{i}" for i in range(200)]
+        first = [q.shard_for(j) for j in ids]
+        second = [q.shard_for(j) for j in ids]
+        assert first == second
+        assert all(0 <= s < 4 for s in first)
+        assert len(set(first)) == 4  # 200 ids hit every shard
+
+    def test_constructor_validation(self):
+        """Non-positive shards/capacity are rejected."""
+        with pytest.raises(ValueError):
+            ShardQueue(shards=0)
+        with pytest.raises(ValueError):
+            ShardQueue(shards=1, capacity=0)
+
+
+class TestFifoAndStealing:
+    """Owner takes FIFO from the head; thieves rob the deepest tail."""
+
+    def test_owner_fifo_order(self):
+        """A shard's owner sees its items in submission order."""
+
+        async def body():
+            q = ShardQueue(shards=2)
+            for i in range(5):
+                await q.put(i, shard=0)
+            got = [await q.take(0) for _ in range(5)]
+            assert [item for item, _ in got] == [0, 1, 2, 3, 4]
+            assert all(stolen is False for _, stolen in got)
+
+        run(body())
+
+    def test_steal_from_deepest_tail(self):
+        """An idle worker steals the newest item of the deepest deque."""
+
+        async def body():
+            q = ShardQueue(shards=3)
+            for i in range(4):
+                await q.put(f"s0-{i}", shard=0)
+            await q.put("s1-0", shard=1)
+            # Shard 2 is empty: it must rob shard 0 (depth 4 > 1), and
+            # from the tail — the most recently queued item.
+            item, stolen = await q.take(2)
+            assert stolen is True
+            assert item == "s0-3"
+            assert q.total_stolen == 1
+            # Shard 0's owner still sees FIFO order for the rest.
+            item, stolen = await q.take(0)
+            assert (item, stolen) == ("s0-0", False)
+
+        run(body())
+
+    def test_take_blocks_until_put(self):
+        """take parks on an empty queue and wakes on put."""
+
+        async def body():
+            q = ShardQueue(shards=1)
+            taker = asyncio.ensure_future(q.take(0))
+            await asyncio.sleep(0.01)
+            assert not taker.done()
+            await q.put("x", shard=0)
+            item, stolen = await asyncio.wait_for(taker, 1.0)
+            assert (item, stolen) == ("x", False)
+
+        run(body())
+
+    def test_put_routes_by_job_id(self):
+        """put without an explicit shard uses the job-id hash."""
+
+        async def body():
+            q = ShardQueue(shards=4)
+            landed = await q.put("payload", job_id="some-job")
+            assert landed == q.shard_for("some-job")
+            assert q.depths()[landed] == 1
+
+        run(body())
+
+
+class TestBackpressure:
+    """The capacity bound blocks producers; requeue bypasses it."""
+
+    def test_put_blocks_at_capacity(self):
+        """The capacity+1'th put parks until a take frees a slot."""
+
+        async def body():
+            q = ShardQueue(shards=1, capacity=2)
+            await q.put(1, shard=0)
+            await q.put(2, shard=0)
+            blocked = asyncio.ensure_future(q.put(3, shard=0))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()
+            assert q.depth() == 2
+            await q.take(0)
+            await asyncio.wait_for(blocked, 1.0)
+            assert q.depth() == 2
+
+        run(body())
+
+    def test_requeue_bypasses_capacity(self):
+        """A retry re-enters a full queue without blocking (no deadlock)."""
+
+        async def body():
+            q = ShardQueue(shards=1, capacity=1)
+            await q.put("a", shard=0)
+            await asyncio.wait_for(q.requeue("retry", shard=0), 0.5)
+            assert q.depth() == 2
+            assert q.total_requeued == 1
+
+        run(body())
+
+    def test_requeue_works_after_close(self):
+        """Shutdown never drops a retry: requeue succeeds when closed."""
+
+        async def body():
+            q = ShardQueue(shards=1)
+            await q.put("a", shard=0)
+            await q.close()
+            await q.requeue("retry", shard=0)
+            items = [await q.take(0), await q.take(0)]
+            assert sorted(item for item, _ in items) == ["a", "retry"]
+            with pytest.raises(QueueClosed):
+                await q.take(0)
+
+        run(body())
+
+    def test_shard_range_validation(self):
+        """Out-of-range shard ids are rejected on every entry point."""
+
+        async def body():
+            q = ShardQueue(shards=2)
+            with pytest.raises(ValueError):
+                await q.put("x", shard=2)
+            with pytest.raises(ValueError):
+                await q.requeue("x", shard=-1)
+            with pytest.raises(ValueError):
+                await q.take(5)
+
+        run(body())
+
+
+class TestCloseSemantics:
+    """close fails new puts immediately but drains queued work."""
+
+    def test_close_drains_then_raises(self):
+        """Queued items survive close; takers fail only once drained."""
+
+        async def body():
+            q = ShardQueue(shards=2)
+            await q.put("a", shard=0)
+            await q.put("b", shard=1)
+            await q.close()
+            with pytest.raises(QueueClosed):
+                await q.put("c", shard=0)
+            got = {(await q.take(0))[0], (await q.take(1))[0]}
+            assert got == {"a", "b"}
+            with pytest.raises(QueueClosed):
+                await q.take(0)
+
+        run(body())
+
+    def test_close_wakes_parked_takers(self):
+        """Workers blocked in take see QueueClosed when close runs."""
+
+        async def body():
+            q = ShardQueue(shards=1)
+            taker = asyncio.ensure_future(q.take(0))
+            await asyncio.sleep(0.01)
+            await q.close()
+            with pytest.raises(QueueClosed):
+                await asyncio.wait_for(taker, 1.0)
+
+        run(body())
+
+    def test_close_wakes_parked_producers(self):
+        """Producers blocked at capacity see QueueClosed when close runs."""
+
+        async def body():
+            q = ShardQueue(shards=1, capacity=1)
+            await q.put(1, shard=0)
+            blocked = asyncio.ensure_future(q.put(2, shard=0))
+            await asyncio.sleep(0.01)
+            await q.close()
+            with pytest.raises(QueueClosed):
+                await asyncio.wait_for(blocked, 1.0)
+
+        run(body())
+
+
+class TestCountersAndIntrospection:
+    """Lifetime counters and depth reporting stay truthful."""
+
+    def test_counters(self):
+        """total_put / requeued / stolen / peaks track reality."""
+
+        async def body():
+            q = ShardQueue(shards=2, capacity=16)
+            for i in range(6):
+                await q.put(i, shard=0)
+            assert q.total_put == 6
+            assert q.peak_depth == 6
+            assert q.peak_imbalance == 6
+            assert q.depths() == [6, 0]
+            assert q.imbalance() == 6
+            await q.take(1)  # steal
+            await q.take(0)
+            await q.requeue("r", shard=1)
+            assert q.total_stolen == 1
+            assert q.total_requeued == 1
+            assert q.depth() == 5
+
+        run(body())
+
+    def test_no_lost_or_duplicated_items_under_concurrency(self):
+        """N producers + M workers: every item taken exactly once."""
+
+        async def body():
+            q = ShardQueue(shards=4, capacity=8)
+            n_items = 300
+            taken = []
+
+            async def produce(base):
+                for i in range(n_items // 4):
+                    await q.put((base, i), job_id=f"{base}-{i}")
+
+            async def consume(shard):
+                while True:
+                    try:
+                        item, _ = await q.take(shard)
+                    except QueueClosed:
+                        return
+                    taken.append(item)
+
+            workers = [asyncio.ensure_future(consume(s)) for s in range(4)]
+            await asyncio.gather(*(produce(b) for b in range(4)))
+            while q.depth():
+                await asyncio.sleep(0.005)
+            await q.close()
+            await asyncio.gather(*workers)
+            assert len(taken) == n_items
+            assert len(set(taken)) == n_items  # exactly-once
+
+        run(body())

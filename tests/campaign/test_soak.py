@@ -1,0 +1,229 @@
+"""Million-job soak: the service under sustained load, bounded memory.
+
+Skipped unless ``TDST_SOAK=1`` (the ``soak`` marker also lets ``-m "not
+soak"`` exclude it wholesale).  ``TDST_SOAK_JOBS`` overrides the job
+count — the default is one million tiny jobs; CI runs a reduced count.
+
+The invariants are the same exactly-once guarantees the fault tests
+prove, at scale:
+
+* every submitted job settles exactly once (``done == N``, zero failed,
+  zero duplicated results, zero unsettled);
+* submit dedupe still works at the end of the run;
+* resident memory stays bounded — ``keep=False`` submits retire to a
+  64-bit digest per job, so RSS growth must stay far below what
+  retaining payloads would cost.
+
+The run's numbers are written to ``BENCH_service.json`` at the repo
+root and a soak manifest to ``SOAK_manifest.json`` (both uploadable as
+CI evidence artifacts; override the directory with ``TDST_SOAK_OUT``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.service import (
+    ServiceClient,
+    ServiceConfig,
+    service_running,
+    service_socket_path,
+)
+
+pytestmark = [pytest.mark.service, pytest.mark.soak]
+
+#: Default job count; CI overrides with TDST_SOAK_JOBS.
+DEFAULT_JOBS = 1_000_000
+
+#: RSS growth ceiling in KiB.  One million retired jobs cost one 64-bit
+#: digest each (~60 MiB of Python set machinery); retaining payloads
+#: would cost an order of magnitude more, which is what this bound
+#: polices.  Scales down pro rata for reduced CI counts (floor 64 MiB).
+RSS_CEILING_KIB_PER_MILLION = 256 * 1024
+
+_OUT_DIR = Path(
+    os.environ.get(
+        "TDST_SOAK_OUT", Path(__file__).resolve().parent.parent.parent
+    )
+)
+BENCH_JSON = _OUT_DIR / "BENCH_service.json"
+SOAK_MANIFEST = _OUT_DIR / "SOAK_manifest.json"
+
+
+def rss_kib() -> int:
+    """Current resident set size in KiB (from /proc/self/status)."""
+    text = Path("/proc/self/status").read_text(encoding="ascii")
+    for line in text.splitlines():
+        if line.startswith("VmRSS:"):
+            return int(line.split()[1])
+    raise RuntimeError("VmRSS not found in /proc/self/status")
+
+
+@pytest.mark.skipif(
+    os.environ.get("TDST_SOAK") != "1",
+    reason="soak suite runs only with TDST_SOAK=1 (slow; ~1M jobs)",
+)
+def test_soak_million_jobs(tmp_path):
+    """N tiny jobs: exactly-once settlement, bounded RSS, bench output."""
+    n_jobs = int(os.environ.get("TDST_SOAK_JOBS", str(DEFAULT_JOBS)))
+    assert n_jobs > 0
+
+    async def body():
+        config = ServiceConfig(
+            socket_path=service_socket_path(tmp_path / "svc"),
+            store_root=None,
+            shards=4,
+            queue_capacity=4096,
+            retries=1,
+            monitor_interval=0.2,
+        )
+        rss_start = rss_kib()
+        started = time.monotonic()
+        async with service_running(config) as service:
+            client = ServiceClient(config.socket_path, timeout=300.0)
+            await client.connect()
+            # Submit in discarded windows: accumulating one ack dict per
+            # job would itself dominate memory at a million jobs, and
+            # bounded RSS is exactly what this test measures.
+            window = 2048
+            acked = dups = 0
+            for base in range(0, n_jobs, window):
+                batch = [
+                    (f"soak/{i}", {"kind": "noop", "echo": i})
+                    for i in range(base, min(base + window, n_jobs))
+                ]
+                acks = await client.submit_many(
+                    batch, keep=False, window=window
+                )
+                acked += len(acks)
+                dups += sum(1 for a in acks if a.get("dup"))
+            assert acked == n_jobs
+            assert dups == 0
+            drained = await client.drain(timeout=24 * 3600.0)
+            elapsed = time.monotonic() - started
+            rss_end = rss_kib()
+
+            # -- exactly-once settlement at scale ------------------------
+            counters = drained["counters"]
+            assert counters["done"] == n_jobs
+            assert counters["failed"] == 0
+            assert counters["dup_results"] == 0
+            assert drained["unsettled"] == 0
+            assert drained["jobs"]["retired"] == n_jobs
+            assert drained["queue"]["depth"] == 0
+
+            # Dedupe memory survives retirement: a resubmission of any
+            # retired id is acked dup and a poll answers "discarded".
+            redo = await client.submit(
+                "soak/0", {"kind": "noop", "echo": 0}, keep=False
+            )
+            assert redo["dup"] is True
+            poll = await client.poll(f"soak/{n_jobs - 1}")
+            assert poll["status"] == "discarded"
+
+            status = await client.status()
+            queue_peaks = {
+                "peak_depth": status["queue"]["peak_depth"],
+                "peak_imbalance": status["queue"]["peak_imbalance"],
+            }
+            stolen = status["counters"]["stolen"]
+            respawns = service.counters["respawns"]
+            await client.close()
+
+        # -- bounded memory ---------------------------------------------
+        rss_growth = rss_end - rss_start
+        ceiling = max(
+            64 * 1024,
+            int(RSS_CEILING_KIB_PER_MILLION * n_jobs / 1_000_000),
+        )
+        assert rss_growth < ceiling, (
+            f"RSS grew {rss_growth} KiB over {n_jobs} jobs "
+            f"(ceiling {ceiling} KiB): payloads are leaking"
+        )
+
+        # -- evidence artifacts -----------------------------------------
+        bench = {
+            "soak": {
+                "jobs": n_jobs,
+                "seconds": round(elapsed, 3),
+                "jobs_per_second": round(n_jobs / elapsed, 1),
+                "rss_start_kib": rss_start,
+                "rss_end_kib": rss_end,
+                "rss_growth_kib": rss_growth,
+                "rss_ceiling_kib": ceiling,
+                "queue": queue_peaks,
+                "stolen": stolen,
+                "respawns": respawns,
+                "shards": config.shards,
+                "queue_capacity": config.queue_capacity,
+            },
+            "floors": {
+                "lost_jobs": 0,
+                "duplicated_results": 0,
+                "rss_ceiling_kib_per_million": RSS_CEILING_KIB_PER_MILLION,
+            },
+        }
+        BENCH_JSON.write_text(
+            json.dumps(bench, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        manifest = {
+            "jobs_submitted": n_jobs,
+            "jobs_done": counters["done"],
+            "jobs_failed": counters["failed"],
+            "jobs_retired": n_jobs,
+            "dup_results": counters["dup_results"],
+            "dup_submits_after_retire": 1,
+            "unsettled_at_drain": 0,
+        }
+        SOAK_MANIFEST.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    asyncio.run(body())
+
+
+@pytest.mark.skipif(
+    os.environ.get("TDST_SOAK") != "1",
+    reason="soak suite runs only with TDST_SOAK=1",
+)
+def test_soak_backpressure_holds_under_burst(tmp_path):
+    """A tiny queue under a 20k burst: capacity never exceeded."""
+    n_jobs = min(
+        20_000, int(os.environ.get("TDST_SOAK_JOBS", str(DEFAULT_JOBS)))
+    )
+
+    async def body():
+        config = ServiceConfig(
+            socket_path=service_socket_path(tmp_path / "svc"),
+            store_root=None,
+            shards=2,
+            queue_capacity=128,
+            retries=1,
+            monitor_interval=0.05,
+        )
+        async with service_running(config) as service:
+            client = ServiceClient(config.socket_path, timeout=300.0)
+            await client.connect()
+            jobs = (
+                (f"burst/{i}", {"kind": "noop", "echo": i})
+                for i in range(n_jobs)
+            )
+            await client.submit_many(jobs, keep=False, window=1024)
+            drained = await client.drain(timeout=3600.0)
+            assert drained["counters"]["done"] == n_jobs
+            assert drained["counters"]["failed"] == 0
+            assert drained["unsettled"] == 0
+            # The bounded queue is the backpressure proof: its peak
+            # depth can never exceed its capacity.
+            assert service._queue.peak_depth <= config.queue_capacity
+            await client.close()
+
+    asyncio.run(body())
