@@ -1,0 +1,147 @@
+"""Cost-model bench: advisor pruning skips simulations, keeps the answer.
+
+The ISSUE acceptance criterion: with pruning on, the advisor must pick
+the **identical top-1 candidate** while skipping at least
+``PRUNE_SKIP_FLOOR`` of the simulations the unpruned ranking runs.  The
+workload is the paper's T2 scenario — a hot/cold particle array whose
+split candidate provably wins — scaled up so the simulations being
+skipped are worth skipping.
+
+Numbers merge into ``BENCH_cost.json`` at the repo root (checked in as
+the evidence artifact; CI re-measures in ``--quick`` mode and uploads
+its copy).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.ctypes_model.types import ArrayType, DOUBLE, INT, StructType
+from repro.tracer.expr import V
+from repro.tracer.interp import trace_program
+from repro.tracer.program import Function, Program
+from repro.tracer.stmt import (
+    Assign,
+    AugAssign,
+    DeclLocal,
+    StartInstrumentation,
+    simple_for,
+)
+from repro.transform.advisor import generate_candidates, rank_candidates
+
+#: At least this fraction of the unpruned ranking's simulations must be
+#: skipped by the static pass (ISSUE acceptance criterion).
+PRUNE_SKIP_FLOOR = 0.5
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_cost.json"
+
+
+def particle_layout(n):
+    return ArrayType(
+        StructType(
+            "parts",
+            [
+                ("x", DOUBLE),
+                ("vx", DOUBLE),
+                ("mass", DOUBLE),
+                ("charge", DOUBLE),
+                ("id", INT),
+            ],
+        ),
+        n,
+    )
+
+
+def hot_cold_trace(n, steps):
+    layout = particle_layout(n)
+    body = [
+        DeclLocal("parts", layout),
+        DeclLocal("i", INT),
+        DeclLocal("t", INT),
+        StartInstrumentation(),
+        *simple_for(
+            "t",
+            0,
+            steps,
+            simple_for(
+                "i",
+                0,
+                n,
+                [
+                    AugAssign(
+                        V("parts")[V("i")].fld("x"),
+                        "+",
+                        V("parts")[V("i")].fld("vx"),
+                    )
+                ],
+            ),
+        ),
+        *simple_for("i", 0, 4, [Assign(V("parts")[V("i")].fld("mass"), V("i"))]),
+    ]
+    program = Program()
+    program.add_function(Function("main", body=body))
+    return list(trace_program(program))
+
+
+def _merge_bench_json(section, doc):
+    merged = {}
+    if BENCH_JSON.exists():
+        try:
+            merged = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged[section] = doc
+    merged["floors"] = {"prune_skip_fraction": PRUNE_SKIP_FLOOR}
+    BENCH_JSON.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.cost
+@pytest.mark.bench
+def test_prune_skips_simulations_same_top1(quick):
+    n = 128 if quick else 512
+    steps = 2 if quick else 4
+    records = hot_cold_trace(n, steps)
+    layout = particle_layout(n)
+    config = CacheConfig.paper_direct_mapped()
+    candidates = generate_candidates(records, "parts", layout)
+
+    t0 = time.perf_counter()
+    pruned = rank_candidates(records, candidates, config, prune=True)
+    pruned_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full = rank_candidates(records, candidates, config, prune=False)
+    full_s = time.perf_counter() - t0
+
+    # Identical recommendation...
+    assert pruned.top.candidate.label == full.top.candidate.label
+    assert pruned.top.misses == full.top.misses
+    # ...with at least half of the simulations statically skipped.
+    assert full.skipped == 0
+    skip_fraction = pruned.skipped / full.simulations
+    assert skip_fraction >= PRUNE_SKIP_FLOOR, (
+        f"pruning skipped only {pruned.skipped}/{full.simulations} "
+        "simulations"
+    )
+
+    _merge_bench_json(
+        "advisor_prune",
+        {
+            "quick": quick,
+            "records": len(records),
+            "candidates": len(candidates),
+            "simulations_pruned": pruned.simulations,
+            "simulations_full": full.simulations,
+            "skipped": pruned.skipped,
+            "skip_fraction": round(skip_fraction, 4),
+            "top1": pruned.top.candidate.label,
+            "top1_misses": pruned.top.misses,
+            "seconds": {
+                "rank_pruned": round(pruned_s, 4),
+                "rank_full": round(full_s, 4),
+            },
+        },
+    )

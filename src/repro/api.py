@@ -66,6 +66,7 @@ from repro.tracestore import (
     RuleDelta,
     TraceStore,
     apply_rules,
+    digest_for_commit,
     rule_delta,
     simulate_chain,
 )
@@ -90,6 +91,12 @@ from repro.trace.interleave import proportional, round_robin, tag_thread
 from repro.analysis.heatmap import compute_heatmap
 from repro.analysis.sweep import associativity_sweep, sweep_configs, sweep_table
 from repro.transform.advisor import (
+    AdvisorReport,
+    Candidate,
+    RankedCandidate,
+    advise,
+    generate_candidates,
+    rank_candidates,
     suggest_field_order,
     suggest_hot_cold_split,
 )
@@ -128,9 +135,14 @@ from repro.obsv import (
     write_jsonl_profile,
 )
 from repro.lint import (
+    ChainProof,
+    CostReport,
     Diagnostic,
     LintReport,
+    MissInterval,
     SetFootprint,
+    evaluate_rules,
+    lint_cost,
     lint_file,
     lint_paths,
     lint_rules_text,
@@ -139,6 +151,13 @@ from repro.lint import (
     set_footprints,
     to_sarif,
 )
+from repro.lint.cost.chains import (
+    layout_equivalent,
+    prove_dominates,
+    prove_idempotent,
+    prove_reorder,
+)
+from repro.trace.digest import TraceDigest, compute_digest
 from repro.verify import (
     AgreementReport,
     SoundnessReport,
@@ -208,6 +227,12 @@ __all__ = [
     "associativity_sweep",
     "suggest_hot_cold_split",
     "suggest_field_order",
+    "AdvisorReport",
+    "Candidate",
+    "RankedCandidate",
+    "advise",
+    "generate_candidates",
+    "rank_candidates",
     "TransformEngine",
     "transform_trace",
     "parse_rules",
@@ -251,6 +276,18 @@ __all__ = [
     "set_footprints",
     "predicted_conflicts",
     "to_sarif",
+    # static cost model & chain proofs
+    "ChainProof",
+    "CostReport",
+    "MissInterval",
+    "TraceDigest",
+    "compute_digest",
+    "evaluate_rules",
+    "lint_cost",
+    "layout_equivalent",
+    "prove_dominates",
+    "prove_idempotent",
+    "prove_reorder",
     # observability
     "Telemetry",
     "get_telemetry",
@@ -282,6 +319,7 @@ __all__ = [
     "RuleDelta",
     "TraceStore",
     "apply_rules",
+    "digest_for_commit",
     "rule_delta",
     "simulate_chain",
     # batched multi-config simulation

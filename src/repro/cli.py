@@ -268,6 +268,8 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.ctypes_model.parser import parse_declarations
     from repro.transform.advisor import (
         field_usage,
+        generate_candidates,
+        rank_candidates,
         suggest_field_order,
         suggest_hot_cold_split,
     )
@@ -296,10 +298,45 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         print("\nno hot/cold split warranted")
     order = suggest_field_order(trace, args.variable, layout)
     print(f"field-order suggestion: {order.order}")
+
+    # Cost-ranked candidate pool: static intervals prune the simulations,
+    # `--no-cost-prune` simulates every candidate (same top-1, slower).
+    config = _cache_config(args)
+    records = list(trace)
+    candidates = generate_candidates(records, args.variable, layout)
+    ranking = rank_candidates(
+        records, candidates, config, prune=not args.no_cost_prune
+    )
+    print(f"\nranked candidates ({config.describe()}):")
+    for line in ranking.lines():
+        print(f"  {line}")
+    top = ranking.top
     if args.rules_out:
-        text = (split.rule_text(layout) if split else order.rule_text(layout))
-        Path(args.rules_out).write_text(text, encoding="utf-8")
-        print(f"wrote rule file to {args.rules_out}")
+        if not top.candidate.is_identity:
+            Path(args.rules_out).write_text(
+                top.candidate.rule_text, encoding="utf-8"
+            )
+            print(
+                f"wrote top candidate {top.candidate.label!r} "
+                f"to {args.rules_out}"
+            )
+        elif split is not None:
+            # The ranking is indifferent (no candidate beats the
+            # unchanged layout on this geometry); fall back to the
+            # heuristic hot/cold suggestion, which other geometries
+            # may still benefit from.
+            Path(args.rules_out).write_text(
+                split.rule_text(layout), encoding="utf-8"
+            )
+            print(
+                "\nno candidate beats the unchanged layout here; "
+                f"wrote the hot/cold suggestion to {args.rules_out}"
+            )
+        else:
+            print(
+                "\ntop recommendation is the unchanged layout; "
+                f"not writing {args.rules_out}"
+            )
     return 0
 
 
@@ -419,16 +456,50 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"error: cannot load model {args.model}: {exc}")
             return 2
     cache_config = None if args.no_sets else _cache_config(args)
+    if args.cost and not args.trace:
+        print("error: --cost needs --trace <trace> to digest")
+        return 2
     try:
         report = lint_paths(args.paths, model=model, cache_config=cache_config)
     except LintError as exc:
         print(f"error: {exc}")
         return 2
+    if args.cost:
+        _lint_cost_pass(args, report)
     write_report(report, args.format, args.output)
     if args.output:
         print(f"wrote {args.format} report to {args.output}")
     failed = bool(report.errors) or (args.strict and report.warnings)
     return 1 if failed else 0
+
+
+def _lint_cost_pass(args: argparse.Namespace, report) -> None:
+    """``tdst lint --cost --trace <t>``: price every rule file statically.
+
+    Digests the trace once, then evaluates each *parseable* rule file
+    among the inputs against the chosen cache geometry, folding
+    TDST040-047 findings into the main report.  Files that already
+    failed to parse are skipped (their errors are in the report).
+    """
+    from repro.lint.cost import lint_cost
+    from repro.lint.runner import _expand, detect_kind
+    from repro.trace.digest import compute_digest
+
+    digest = compute_digest(Trace.load_any(args.trace))
+    config = _cache_config(args)
+    for path in _expand(args.paths):
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            continue
+        if detect_kind(path, text) != "rules":
+            continue
+        try:
+            report.extend(
+                lint_cost(text, digest, [config], path=str(path))
+            )
+        except Exception:
+            continue  # unparseable rules: the main pass reported them
 
 
 def _preflight_lint(spec_path: Path) -> int:
@@ -974,6 +1045,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("variable", help="structure variable to analyse")
     p.add_argument("--cold-threshold", type=float, default=0.2)
     p.add_argument("--rules-out", help="write the best suggestion's rule file")
+    p.add_argument(
+        "--no-cost-prune",
+        action="store_true",
+        help="simulate every candidate instead of letting the static "
+        "cost model skip provably-worse and provably-equivalent ones",
+    )
+    _add_cache_args(p)
     p.set_defaults(func=_cmd_advise)
 
     p = sub.add_parser(
@@ -1304,6 +1382,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="warnings also fail the run (exit 1)",
+    )
+    p.add_argument(
+        "--cost",
+        action="store_true",
+        help="run the static cost model (TDST040-047): predict miss-count "
+        "intervals for each rule file against --trace without simulating",
+    )
+    p.add_argument(
+        "--trace",
+        help="trace file to digest for the --cost pass",
     )
     _add_cache_args(p)
     p.set_defaults(func=_cmd_lint)

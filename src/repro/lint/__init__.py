@@ -19,9 +19,20 @@ recompiling; this pass explores rule files without replaying:
   geometry, dangling ``file:`` refs, duplicate grid points;
 - :mod:`~repro.lint.setconflict` — static cache-set footprints,
   T3 pinning prediction and pairwise conflict warnings;
+- :mod:`~repro.lint.cost` — the static cost model: sound miss-count
+  intervals per cache geometry from a one-pass trace digest, plus
+  rule-chain proofs (commutativity, idempotence, domination) —
+  ``tdst lint --cost --trace <t>`` and the advisor's pruning pass;
 - :mod:`~repro.lint.runner` — kind dispatch and multi-file runs.
 """
 
+from repro.lint.cost import (
+    ChainProof,
+    CostReport,
+    MissInterval,
+    evaluate_rules,
+    lint_cost,
+)
 from repro.lint.diagnostics import (
     CODES,
     Diagnostic,
@@ -50,8 +61,13 @@ from repro.lint.symbolic import (
 
 __all__ = [
     "CODES",
+    "ChainProof",
+    "CostReport",
     "Diagnostic",
     "LintReport",
+    "MissInterval",
+    "evaluate_rules",
+    "lint_cost",
     "from_rule_error",
     "summarize",
     "render",

@@ -1,0 +1,52 @@
+"""Static cost model: miss-count intervals and chain proofs, no simulation.
+
+Public surface:
+
+- :func:`repro.trace.digest.compute_digest` produces the one-pass trace
+  summary everything here consumes;
+- :func:`evaluate_rules` prices a candidate rule file against a digest,
+  returning a :class:`CostReport` with a sound ``[lo, hi]`` miss
+  interval per cache geometry;
+- :mod:`repro.lint.cost.chains` proves commutativity, idempotence,
+  domination and layout equivalence between rule chains;
+- :func:`lint_cost` packages both as TDST040-047 diagnostics for
+  ``tdst lint --cost --trace <t>``.
+"""
+
+from repro.lint.cost.chains import (
+    ChainProof,
+    canonical_stream,
+    commuting_pairs,
+    layout_equivalent,
+    prove_dominates,
+    prove_idempotent,
+    prove_reorder,
+)
+from repro.lint.cost.lint import lint_cost
+from repro.lint.cost.model import (
+    CostReport,
+    ElementGroup,
+    LayoutImage,
+    MissInterval,
+    SetPressure,
+    build_layout_image,
+    evaluate_rules,
+)
+
+__all__ = [
+    "ChainProof",
+    "CostReport",
+    "ElementGroup",
+    "LayoutImage",
+    "MissInterval",
+    "SetPressure",
+    "build_layout_image",
+    "canonical_stream",
+    "commuting_pairs",
+    "evaluate_rules",
+    "layout_equivalent",
+    "lint_cost",
+    "prove_dominates",
+    "prove_idempotent",
+    "prove_reorder",
+]

@@ -1,0 +1,298 @@
+"""Rule-chain proofs: commutativity, idempotence, domination.
+
+Rule files are chains: an ordered list of rules sharing one arena
+cursor.  Three questions about chains can be settled statically, and
+each answer feeds a different consumer:
+
+- **Commutativity** — do two orderings of the same rules produce the
+  same transformed trace?  Rules consume disjoint in-variables (the
+  parser enforces one rule per variable and forbids chaining), so the
+  only order-dependence is the arena-allocation walk: a reorder is
+  equivalent iff every out allocation still lands on the same planned
+  base.  :func:`prove_reorder` settles this for two rule-file texts by
+  delegating to :func:`repro.tracestore.delta.rule_delta` (the commit
+  machinery's change prover), so a proof here is *by construction* the
+  same proof that lets :mod:`repro.tracestore` reuse chunks across
+  reordered-but-equivalent commits.  :func:`commuting_pairs` finds the
+  adjacent swaps inside one file that preserve all bases.
+
+- **Idempotence** — is applying the chain to its own output a no-op?
+  Target-mode rules rewrite records into their out allocations, whose
+  names the engine refuses to re-transform (one-directional mapping), so
+  they are idempotent; a displacement without ``as`` rename shifts again
+  on every application and is not.  :func:`prove_idempotent` walks the
+  chain and names the offending rules.
+
+- **Domination** — is candidate A *provably* no better than candidate
+  B on this trace?  When A's static lower bound exceeds B's upper bound
+  (:func:`prove_dominates`), no simulation can rank A above B, and the
+  advisor prunes A without simulating it.  The stronger
+  :func:`layout_equivalent` proves two candidates produce **identical
+  hit/miss behaviour** (their canonical per-set block streams coincide,
+  e.g. two field orders that pack the same fields into the same blocks),
+  so only one representative per equivalence class needs simulating.
+
+All proofs are one-sided: ``holds=False`` means "not proven", never
+"disproven".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.cache.config import CacheConfig
+from repro.lint.symbolic import plan_allocations
+from repro.trace.digest import TraceDigest
+from repro.transform.engine import ARENA_BASE
+from repro.transform.displace import DisplaceRule
+from repro.transform.rule_parser import parse_rules
+from repro.transform.rules import Rule, RuleSet
+
+from repro.lint.cost.model import (
+    CostReport,
+    build_layout_image,
+    evaluate_rules,
+)
+
+
+@dataclass(frozen=True)
+class ChainProof:
+    """Outcome of one static chain proof (one-sided: False = unproven)."""
+
+    kind: str
+    holds: bool
+    reason: str
+    details: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _as_rules(rules: Union[RuleSet, str]) -> RuleSet:
+    return parse_rules(rules) if isinstance(rules, str) else rules
+
+
+# -- commutativity ------------------------------------------------------------
+
+
+def prove_reorder(old_text: str, new_text: str) -> ChainProof:
+    """Prove two rule-file texts equivalent up to rule reordering.
+
+    Exactly the proof :func:`repro.tracestore.delta.rule_delta` runs
+    before chunk reuse: same per-variable rule bodies, same planned
+    allocation bases.  ``holds`` therefore implies the transformed
+    traces are record-for-record identical.
+    """
+    # Deferred: tracestore.delta imports the lint package for footprint
+    # analysis, so a module-level import here would be circular.
+    from repro.tracestore.delta import rule_delta
+
+    delta = rule_delta(old_text, new_text)
+    if delta.changed is not None and not delta.changed:
+        return ChainProof(
+            kind="commute",
+            holds=True,
+            reason=delta.reason,
+        )
+    detail = (
+        "conservative: " + delta.reason
+        if delta.changed is None
+        else "changed variables: " + ", ".join(sorted(delta.changed))
+    )
+    return ChainProof(
+        kind="commute",
+        holds=False,
+        reason="rule files are not reorder-equivalent",
+        details=(detail,),
+    )
+
+
+def commuting_pairs(
+    rules: Union[RuleSet, str], *, arena_base: int = ARENA_BASE
+) -> List[Tuple[str, str]]:
+    """Adjacent rule pairs whose swap preserves every planned base.
+
+    The arena walk allocates in rule order; two neighbours commute when
+    swapping them leaves all allocation bases unchanged — which holds
+    iff the cursor advances by the same amount through both (equal
+    aligned footprints), or at least one allocates nothing.
+    """
+    ruleset = _as_rules(rules)
+    ordered = list(ruleset)
+    baseline, _ = plan_allocations(ordered, arena_base)
+    base_map = {name: a.base for name, a in baseline.items()}
+    pairs: List[Tuple[str, str]] = []
+    for i in range(len(ordered) - 1):
+        swapped = list(ordered)
+        swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+        planned, _ = plan_allocations(swapped, arena_base)
+        if {name: a.base for name, a in planned.items()} == base_map:
+            pairs.append((ordered[i].name, ordered[i + 1].name))
+    return pairs
+
+
+# -- idempotence --------------------------------------------------------------
+
+
+def prove_idempotent(rules: Union[RuleSet, str]) -> ChainProof:
+    """Prove that re-applying the chain to its own output is a no-op.
+
+    Holds when every record the chain emits carries a base name the
+    engine will not re-transform:
+
+    - target-mode rules rewrite records into out allocations, and out
+      names are never consumed (``ignored_out``);
+    - a displacement with ``as`` renames its variable out of reach;
+    - a displacement *without* rename keeps the name and shifts again —
+      not idempotent;
+    - an ``existing`` inject replays the referenced variable's original
+      record; if another rule consumes that variable, the replayed
+      record gets transformed on the second pass — not proven.
+    """
+    ruleset = _as_rules(rules)
+    consumed = {r.in_name for r in ruleset if not r.is_pattern}
+    offenders: List[str] = []
+    for rule in ruleset:
+        if isinstance(rule, DisplaceRule) and rule.new_name is None:
+            offenders.append(
+                f"{rule.name}: displacement without rename shifts again "
+                "on re-application"
+            )
+        for spec in getattr(rule, "inject", ()) or ():
+            if getattr(spec, "existing", False) and spec.name in consumed:
+                offenders.append(
+                    f"{rule.name}: inject replays {spec.name!r}, which "
+                    f"another rule consumes; the replay would be "
+                    "re-transformed"
+                )
+    if offenders:
+        return ChainProof(
+            kind="idempotent",
+            holds=False,
+            reason="chain is not proven idempotent",
+            details=tuple(offenders),
+        )
+    return ChainProof(
+        kind="idempotent",
+        holds=True,
+        reason=(
+            "every emitted record carries an out name or an unconsumed "
+            "variable; re-application is the identity"
+        ),
+    )
+
+
+# -- domination & equivalence -------------------------------------------------
+
+
+def prove_dominates(
+    digest: TraceDigest,
+    winner: Union[RuleSet, str],
+    loser: Union[RuleSet, str],
+    config: CacheConfig,
+    *,
+    arena_base: int = ARENA_BASE,
+    reports: Optional[Tuple[CostReport, CostReport]] = None,
+) -> ChainProof:
+    """Prove ``winner`` strictly beats ``loser`` on this digest.
+
+    Holds when the winner's static upper bound is below the loser's
+    lower bound — no simulation can then rank the loser first.  Pass
+    precomputed ``reports`` to avoid re-evaluating.
+    """
+    if reports is not None:
+        rep_w, rep_l = reports
+    else:
+        rep_w = evaluate_rules(digest, winner, config, arena_base=arena_base)
+        rep_l = evaluate_rules(digest, loser, config, arena_base=arena_base)
+    if rep_w.interval.dominates(rep_l.interval):
+        return ChainProof(
+            kind="dominates",
+            holds=True,
+            reason=(
+                f"winner misses <= {rep_w.interval.hi} < "
+                f"{rep_l.interval.lo} <= loser misses"
+            ),
+        )
+    return ChainProof(
+        kind="dominates",
+        holds=False,
+        reason=(
+            f"intervals overlap: {rep_w.interval.describe()} vs "
+            f"{rep_l.interval.describe()}"
+        ),
+    )
+
+
+def canonical_stream(
+    digest: TraceDigest,
+    rules: Union[RuleSet, str],
+    config: CacheConfig,
+    *,
+    arena_base: int = ARENA_BASE,
+) -> Optional[Tuple]:
+    """Canonical per-set block stream of a candidate's layout image.
+
+    Walks the digest's elements in their (deterministic) order and
+    renames every touched block to its index of first appearance,
+    keeping the cache-set index.  Two candidates with equal streams
+    put the *same sequence of set-local block identities* in front of
+    the cache, so every demand simulation — any associativity-respecting
+    policy included — produces the identical hit/miss sequence.
+
+    Returns ``None`` when the image is not fully static (pattern rules,
+    ``existing`` injects): no equivalence can be claimed then.
+    """
+    image = build_layout_image(
+        digest, rules, arena_base=arena_base, block_size=config.block_size
+    )
+    if image.conservative or any(g.uncertain for g in image.groups):
+        return None
+    n_sets = config.n_sets
+    canon: Dict[int, int] = {}
+    stream: List[Tuple] = []
+    for g in image.groups:
+        slots = []
+        for slot in g.slots:
+            ids = []
+            for b in slot:
+                if b not in canon:
+                    canon[b] = len(canon)
+                ids.append((b % n_sets, canon[b]))
+            slots.append(tuple(ids))
+        stream.append((g.element.count, tuple(g.element.distances), tuple(slots)))
+    return tuple(stream)
+
+
+def layout_equivalent(
+    digest: TraceDigest,
+    rules_a: Union[RuleSet, str],
+    rules_b: Union[RuleSet, str],
+    config: CacheConfig,
+    *,
+    arena_base: int = ARENA_BASE,
+) -> ChainProof:
+    """Prove two candidates produce identical hit/miss behaviour."""
+    stream_a = canonical_stream(digest, rules_a, config, arena_base=arena_base)
+    stream_b = canonical_stream(digest, rules_b, config, arena_base=arena_base)
+    if stream_a is not None and stream_a == stream_b:
+        return ChainProof(
+            kind="layout-equivalent",
+            holds=True,
+            reason=(
+                "canonical block streams coincide; one simulation prices "
+                "both candidates"
+            ),
+        )
+    if stream_a is None or stream_b is None:
+        return ChainProof(
+            kind="layout-equivalent",
+            holds=False,
+            reason="a candidate's layout is not fully static",
+        )
+    return ChainProof(
+        kind="layout-equivalent",
+        holds=False,
+        reason="canonical block streams differ",
+    )

@@ -1,0 +1,220 @@
+"""The ``--cost`` lint pass: TDST040-047 over a rule file and a digest.
+
+Runs after (and only if) the ordinary rule-file passes parse the file;
+every finding here is advisory in the sense that the rule file is
+*sound* — these codes say what it will *cost*:
+
+================  ==========================================================
+``TDST040`` info  the static miss-count interval per cache geometry
+``TDST041`` info  the interval collapsed — the prediction is exact
+``TDST042`` warn  a cache set is overflowed (with its contributors)
+``TDST043`` warn  a non-static construct degraded the bounds
+``TDST044`` info  adjacent rules commute (reordering is free)
+``TDST045`` info  the chain is idempotent
+``TDST046`` info  the candidate is dominated by the untransformed layout
+``TDST047`` warn  a rule consumes a variable the trace never touches
+================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.cache.config import CacheConfig
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.obsv import get_telemetry
+from repro.trace.digest import TraceDigest
+from repro.transform.engine import ARENA_BASE
+from repro.transform.rule_parser import parse_rules
+from repro.transform.rules import RuleSet
+
+from repro.lint.cost.chains import commuting_pairs, prove_idempotent
+from repro.lint.cost.model import evaluate_rules
+
+#: per-config cap on TDST042 set-overflow diagnostics (worst sets first)
+MAX_OVERFLOW_DIAGS = 4
+
+
+def lint_cost(
+    rules: Union[RuleSet, str],
+    digest: TraceDigest,
+    configs: Sequence[CacheConfig],
+    *,
+    path: Optional[str] = None,
+    arena_base: int = ARENA_BASE,
+) -> LintReport:
+    """Run the cost-model pass; assumes the rule file already parses."""
+    tele = get_telemetry()
+    report = LintReport()
+    report.note_file(path)
+    if isinstance(rules, str):
+        rules = parse_rules(rules)
+
+    with tele.phase("lint.cost", file=path or "<input>"):
+        _lint_coverage(report, rules, digest, path)
+        for config in configs:
+            cost = evaluate_rules(digest, rules, config, arena_base=arena_base)
+            label = config.describe()
+            interval = cost.interval
+            report.add(
+                Diagnostic(
+                    code="TDST040",
+                    message=(
+                        f"{label}: predicted {interval.describe()} over "
+                        f"{interval.events} block events "
+                        f"({interval.compulsory} compulsory)"
+                    ),
+                    path=path,
+                )
+            )
+            if interval.exact:
+                report.add(
+                    Diagnostic(
+                        code="TDST041",
+                        message=(
+                            f"{label}: no set overflows its associativity; "
+                            f"the miss count is exactly {interval.lo}"
+                        ),
+                        path=path,
+                    )
+                )
+            for pressure in cost.overflow_sets[:MAX_OVERFLOW_DIAGS]:
+                report.add(
+                    Diagnostic(
+                        code="TDST042",
+                        message=f"{label}: {pressure.describe()}",
+                        path=path,
+                        hint=(
+                            "displace one contributor or split the hot "
+                            "fields to relieve the set"
+                        ),
+                    )
+                )
+            extra = len(cost.overflow_sets) - MAX_OVERFLOW_DIAGS
+            if extra > 0:
+                report.add(
+                    Diagnostic(
+                        code="TDST042",
+                        message=(
+                            f"{label}: {extra} more set(s) overflow "
+                            "(rerun with --format json for the full list)"
+                        ),
+                        path=path,
+                    )
+                )
+            for reason in cost.reasons:
+                report.add(
+                    Diagnostic(
+                        code="TDST043",
+                        message=f"{label}: {reason}",
+                        path=path,
+                        hint=(
+                            "bounds stay sound but wide; exact prediction "
+                            "needs fully static placements"
+                        ),
+                    )
+                )
+            _lint_identity_domination(
+                report, rules, digest, config, label, path, arena_base
+            )
+        _lint_chain(report, rules, path, arena_base)
+    for severity, count in report.counts().items():
+        if count:
+            tele.add(f"lint.cost.diagnostics.{severity}", count)
+    return report
+
+
+def _lint_coverage(
+    report: LintReport,
+    rules: RuleSet,
+    digest: TraceDigest,
+    path: Optional[str],
+) -> None:
+    """TDST047: rules that can never fire on this trace."""
+    names = set(digest.variable_names)
+    for rule in rules:
+        if rule.is_pattern:
+            if not any(rule.matches(n) for n in names):
+                report.add(
+                    Diagnostic(
+                        code="TDST047",
+                        message=(
+                            f"{rule.name}: pattern matches no variable in "
+                            "the trace digest; the rule never fires"
+                        ),
+                        path=path,
+                        line=rule.source_line,
+                    )
+                )
+        elif rule.in_name not in names:
+            report.add(
+                Diagnostic(
+                    code="TDST047",
+                    message=(
+                        f"{rule.name}: variable {rule.in_name!r} never "
+                        "appears in the trace digest; the rule never fires"
+                    ),
+                    path=path,
+                    line=rule.source_line,
+                )
+            )
+
+
+def _lint_identity_domination(
+    report: LintReport,
+    rules: RuleSet,
+    digest: TraceDigest,
+    config: CacheConfig,
+    label: str,
+    path: Optional[str],
+    arena_base: int,
+) -> None:
+    """TDST046: the untransformed layout provably beats this rule file."""
+    identity = evaluate_rules(
+        digest, RuleSet(), config, arena_base=arena_base
+    )
+    candidate = evaluate_rules(digest, rules, config, arena_base=arena_base)
+    if identity.interval.dominates(candidate.interval):
+        report.add(
+            Diagnostic(
+                code="TDST046",
+                message=(
+                    f"{label}: the untransformed layout misses at most "
+                    f"{identity.interval.hi} times; this rule file misses "
+                    f"at least {candidate.interval.lo}"
+                ),
+                path=path,
+                hint="the transformation makes this trace strictly worse",
+            )
+        )
+
+
+def _lint_chain(
+    report: LintReport,
+    rules: RuleSet,
+    path: Optional[str],
+    arena_base: int,
+) -> None:
+    """TDST044/045: chain-structure facts worth surfacing."""
+    if len(list(rules)) >= 2:
+        pairs = commuting_pairs(rules, arena_base=arena_base)
+        for a, b in pairs:
+            report.add(
+                Diagnostic(
+                    code="TDST044",
+                    message=(
+                        f"rules {a!r} and {b!r} commute: swapping them "
+                        "preserves every planned allocation base"
+                    ),
+                    path=path,
+                )
+            )
+    proof = prove_idempotent(rules)
+    if proof.holds and list(rules):
+        report.add(
+            Diagnostic(
+                code="TDST045",
+                message=f"rule chain is idempotent: {proof.reason}",
+                path=path,
+            )
+        )

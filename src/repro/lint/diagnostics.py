@@ -59,9 +59,19 @@ CODES: Dict[str, CodeInfo] = {
         CodeInfo("TDST023", "error", "cache geometry invalid"),
         CodeInfo("TDST024", "error", "batch options invalid"),
         CodeInfo("TDST025", "warning", "batch configuration ineffective"),
+        CodeInfo("TDST026", "error", "service options invalid"),
         # -- static cache-set analysis (03x) -------------------------------
         CodeInfo("TDST030", "info", "set footprint summary"),
         CodeInfo("TDST031", "warning", "predicted set conflict"),
+        # -- static cost model (04x) ---------------------------------------
+        CodeInfo("TDST040", "info", "static miss-count interval"),
+        CodeInfo("TDST041", "info", "miss-count interval is exact"),
+        CodeInfo("TDST042", "warning", "predicted set overflow"),
+        CodeInfo("TDST043", "warning", "cost analysis degraded to conservative bounds"),
+        CodeInfo("TDST044", "info", "rules commute (reorder-equivalent)"),
+        CodeInfo("TDST045", "info", "rule chain idempotent"),
+        CodeInfo("TDST046", "info", "candidate statically dominated"),
+        CodeInfo("TDST047", "warning", "rule targets variable absent from trace digest"),
     )
 }
 
@@ -121,13 +131,34 @@ class LintReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     #: paths that were actually analysed (clean files still count)
     files: List[str] = field(default_factory=list)
+    #: identity keys of everything recorded, for duplicate suppression
+    _seen: set = field(default_factory=set, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for diag in self.diagnostics:
+            self._seen.add(
+                (diag.code, diag.path, diag.line, diag.column, diag.message)
+            )
 
     def add(self, diag: Diagnostic) -> None:
+        """Record a finding, dropping exact duplicates.
+
+        A rule file referenced by several grid points of one campaign
+        spec is recursively linted once per reference; without the
+        identity check every finding in it would be reported once per
+        grid point.  Identity is (code, path, span, message) — the same
+        code at the same span with *different* messages is two findings.
+        """
+        key = (diag.code, diag.path, diag.line, diag.column, diag.message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
         self.diagnostics.append(diag)
 
     def extend(self, other: "LintReport") -> None:
-        """Fold another report into this one (order preserved)."""
-        self.diagnostics.extend(other.diagnostics)
+        """Fold another report into this one (order preserved, deduped)."""
+        for diag in other.diagnostics:
+            self.add(diag)
         for path in other.files:
             if path not in self.files:
                 self.files.append(path)

@@ -9,7 +9,15 @@ The ``[batch]`` table gets its own pass: invalid batch options are
 TDST024 (checked *before* the whole-spec parse so one mistake yields one
 diagnostic, not a TDST020/TDST024 pair), and batch setups that can never
 group anything — ``max_configs = 1``, or a grid whose geometries the
-batched kernel cannot cover — warn with TDST025.  Referenced rule files
+batched kernel cannot cover — warn with TDST025.  The ``[service]``
+table follows the same pattern under TDST026: unknown keys and bad shard
+counts are errors (again stripped before the whole-spec parse), and
+configurations that run but misbehave — knobs set while disabled,
+``chunk_shards = 1`` chunk parallelism, a queue smaller than the shard
+pool, a spec directory so deep the Unix-socket path overflows the OS
+budget — warn.  Cross-file socket collisions (two enabled services under
+one campaign name) are a corpus-level concern checked in
+:func:`repro.lint.runner.lint_paths`.  Referenced rule files
 are recursively linted with the full rule pass so a campaign fails fast
 on an unsound rule file, not at job time.
 """
@@ -37,7 +45,7 @@ def lint_spec_text(
     ``base_dir`` anchors relative ``file:`` references (defaults to the
     spec file's directory when ``path`` is given, else the cwd).
     """
-    from repro.campaign.spec import BatchOptions, CampaignSpec
+    from repro.campaign.spec import BatchOptions, CampaignSpec, ServiceOptions
 
     tele = get_telemetry()
     report = LintReport()
@@ -78,6 +86,25 @@ def lint_spec_text(
                 )
             )
             data = {k: v for k, v in data.items() if k != "batch"}
+        # [service] table, same pattern: one bad option is one TDST026.
+        service_table = data.get("service", {})
+        service_opts: Optional[ServiceOptions] = None
+        try:
+            service_opts = ServiceOptions.from_dict(service_table)
+        except CampaignError as exc:
+            report.add(
+                Diagnostic(
+                    code="TDST026",
+                    message=str(exc),
+                    path=path,
+                    hint=(
+                        "known [service] keys: enabled, shards, "
+                        "queue_capacity, chunk_parallel, chunk_shards, "
+                        "min_chunk_records"
+                    ),
+                )
+            )
+            data = {k: v for k, v in data.items() if k != "service"}
         try:
             spec = CampaignSpec.from_dict(data)
         except CampaignError as exc:
@@ -88,6 +115,7 @@ def lint_spec_text(
             return report
 
         _lint_batch(report, spec, batch_opts, path)
+        _lint_service(report, spec, service_opts, service_table, path, base_dir)
 
         # Cache geometries: CacheSpec construction is lazy about
         # legality; realise each one.
@@ -216,6 +244,86 @@ def _lint_batch(report: LintReport, spec, batch_opts, path) -> None:
                 ),
                 path=path,
                 hint="use policy = \"lru\" geometries or set [batch] enabled = false",
+            )
+        )
+
+
+def _lint_service(
+    report: LintReport, spec, service_opts, service_table, path, base_dir
+) -> None:
+    """TDST026 warnings: service configurations that run but misbehave.
+
+    Skipped when the table itself was invalid (already an error).
+    """
+    if service_opts is None:
+        return
+    if not service_opts.enabled:
+        knobs = set(service_table) - {"enabled"}
+        if knobs:
+            report.add(
+                Diagnostic(
+                    code="TDST026",
+                    message=(
+                        f"[service] sets {sorted(knobs)} but enabled is "
+                        "false; the options have no effect"
+                    ),
+                    path=path,
+                    severity="warning",
+                    hint="set [service] enabled = true or drop the table",
+                )
+            )
+        return
+    if service_opts.chunk_parallel and service_opts.chunk_shards == 1:
+        report.add(
+            Diagnostic(
+                code="TDST026",
+                message=(
+                    "chunk_parallel is on but chunk_shards = 1; every "
+                    "simulate stage runs as a single chunk"
+                ),
+                path=path,
+                severity="warning",
+                hint="raise chunk_shards or set chunk_parallel = false",
+            )
+        )
+    if service_opts.shards > 0 and service_opts.queue_capacity < service_opts.shards:
+        report.add(
+            Diagnostic(
+                code="TDST026",
+                message=(
+                    f"queue_capacity ({service_opts.queue_capacity}) is "
+                    f"below the shard count ({service_opts.shards}); "
+                    "backpressure will idle workers"
+                ),
+                path=path,
+                severity="warning",
+                hint="raise queue_capacity to at least the shard count",
+            )
+        )
+    # Unix-socket path budget: the scheduler binds <campaign dir>/
+    # service.sock; a campaign directory under a deep spec directory
+    # overflows sun_path and silently falls back to a tempdir socket.
+    from repro.campaign.service.server import (
+        _SOCKET_PATH_BUDGET,
+        service_socket_path,
+    )
+
+    probable_dir = (base_dir / spec.name).resolve()
+    candidate = str(probable_dir / "service.sock")
+    if len(candidate.encode("utf-8")) > _SOCKET_PATH_BUDGET:
+        fallback = service_socket_path(probable_dir)
+        report.add(
+            Diagnostic(
+                code="TDST026",
+                message=(
+                    f"socket path {candidate!r} exceeds the "
+                    f"{_SOCKET_PATH_BUDGET}-byte sun_path budget; the "
+                    "service will bind a tempdir socket instead "
+                    f"(e.g. {fallback!r})"
+                ),
+                path=path,
+                severity="warning",
+                hint="run the campaign from a shallower directory",
             )
         )
 

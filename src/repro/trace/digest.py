@@ -1,0 +1,228 @@
+"""One-pass trace digests: per-variable reuse-distance histograms.
+
+The cost model (:mod:`repro.lint.cost`) predicts miss-count intervals
+for candidate rule files *without re-simulating*.  Everything it needs
+from the trace is collected here in a single pass and is — by
+construction — **layout-invariant**: a digest records *which element*
+was accessed and *how many distinct other elements* intervened between
+consecutive accesses (a Mattson stack distance at element granularity),
+never the element's address-derived cache placement.  Any injective
+re-layout of the elements (what a sound rule file performs) preserves
+both, so one digest prices every candidate.
+
+An *element* is a distinct ``(addr, size)`` access identity; each keeps
+a representative variable path so the evaluator can push it through
+``rule.translate`` exactly as the transform engine would.  Records
+without debug info (``var is None``) digest under the anonymous
+variable ``None`` and always pass through untransformed.
+
+Digests serialize to canonical JSON and are content-addressed
+(:meth:`TraceDigest.digest_id`), which is how the tracestore caches
+them (:mod:`repro.tracestore.digests`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obsv import get_telemetry
+from repro.trace.record import AccessType, TraceRecord
+
+#: serialization format version (bump on any incompatible change; the
+#: version participates in the content address, so stale cache entries
+#: simply miss instead of deserializing wrongly)
+DIGEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ElementStats:
+    """One distinct ``(addr, size)`` access identity of a variable."""
+
+    addr: int
+    size: int
+    #: representative variable path (``lAoS[3].mX``); ``None`` when the
+    #: record carried no debug info
+    path: Optional[str]
+    #: total accesses to this element
+    count: int
+    #: element-granularity reuse distances: ``(distance, occurrences)``
+    #: pairs, ascending, where *distance* is the number of distinct
+    #: other elements accessed since the previous access.  First touches
+    #: are excluded, so occurrences sum to ``count - 1``.
+    distances: Tuple[Tuple[int, int], ...]
+
+    @property
+    def reuses(self) -> int:
+        """Accesses after the first (the events a cache could hit)."""
+        return sum(n for _, n in self.distances)
+
+    def reuses_within(self, bound: int) -> int:
+        """How many reuses have distance strictly below ``bound``."""
+        return sum(n for d, n in self.distances if d < bound)
+
+
+@dataclass(frozen=True)
+class VariableDigest:
+    """Everything one variable contributed to the trace."""
+
+    name: Optional[str]
+    elements: Tuple[ElementStats, ...]
+
+    @property
+    def accesses(self) -> int:
+        return sum(e.count for e in self.elements)
+
+    def blocks(self, block_size: int) -> Tuple[int, ...]:
+        """Distinct blocks the variable's *original* addresses touch."""
+        touched = set()
+        for e in self.elements:
+            first = e.addr // block_size
+            last = (e.addr + max(e.size, 1) - 1) // block_size
+            touched.update(range(first, last + 1))
+        return tuple(sorted(touched))
+
+
+@dataclass(frozen=True)
+class TraceDigest:
+    """The layout-invariant one-pass summary of a whole trace."""
+
+    records: int
+    variables: Tuple[VariableDigest, ...]
+
+    @property
+    def accesses(self) -> int:
+        return sum(v.accesses for v in self.variables)
+
+    @property
+    def distinct_elements(self) -> int:
+        return sum(len(v.elements) for v in self.variables)
+
+    def variable(self, name: Optional[str]) -> Optional[VariableDigest]:
+        for v in self.variables:
+            if v.name == name:
+                return v
+        return None
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(v.name for v in self.variables if v.name is not None)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> Dict:
+        return {
+            "version": DIGEST_VERSION,
+            "records": self.records,
+            "variables": [
+                {
+                    "name": v.name,
+                    "elements": [
+                        {
+                            "addr": e.addr,
+                            "size": e.size,
+                            "path": e.path,
+                            "count": e.count,
+                            "distances": [list(p) for p in e.distances],
+                        }
+                        for e in v.elements
+                    ],
+                }
+                for v in self.variables
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict) -> "TraceDigest":
+        if doc.get("version") != DIGEST_VERSION:
+            raise ValueError(
+                f"unsupported digest version {doc.get('version')!r}"
+            )
+        variables = tuple(
+            VariableDigest(
+                name=v["name"],
+                elements=tuple(
+                    ElementStats(
+                        addr=e["addr"],
+                        size=e["size"],
+                        path=e["path"],
+                        count=e["count"],
+                        distances=tuple(
+                            (int(d), int(n)) for d, n in e["distances"]
+                        ),
+                    )
+                    for e in v["elements"]
+                ),
+            )
+            for v in doc["variables"]
+        )
+        return cls(records=doc["records"], variables=variables)
+
+    def digest_id(self) -> str:
+        """Content address of the digest (stable across processes)."""
+        payload = json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(b"tdst-digest\n" + payload).hexdigest()
+
+
+def compute_digest(records: Iterable[TraceRecord]) -> TraceDigest:
+    """Digest a trace in one pass.
+
+    Maintains an LRU stack of element identities; an element's reuse
+    distance is its stack depth at re-access — the number of distinct
+    other elements touched since its previous access.  The same
+    move-to-front technique as :func:`repro.trace.stats.reuse_distances`,
+    at element rather than block granularity.
+    """
+    tele = get_telemetry()
+    with tele.phase("cost.digest"):
+        stack: List[Tuple[int, int]] = []  # MRU first
+        meta: Dict[Tuple[int, int], List] = {}  # key -> [var, path, count]
+        hists: Dict[Tuple[int, int], Counter] = {}
+        n = 0
+        for record in records:
+            n += 1
+            # Instruction-fetch / misc records are skipped by every
+            # simulator (demand accesses only) — skip them here too so
+            # digest events line up with simulated events.
+            if record.op is AccessType.MISC:
+                continue
+            key = (record.addr, record.size)
+            entry = meta.get(key)
+            if entry is None:
+                var = record.base_name
+                path = str(record.var) if record.var is not None else None
+                meta[key] = [var, path, 1]
+                stack.insert(0, key)
+            else:
+                entry[2] += 1
+                depth = stack.index(key)
+                hists.setdefault(key, Counter())[depth] += 1
+                del stack[depth]
+                stack.insert(0, key)
+        by_var: Dict[Optional[str], List[ElementStats]] = {}
+        for key, (var, path, count) in meta.items():
+            addr, size = key
+            hist = hists.get(key, Counter())
+            by_var.setdefault(var, []).append(
+                ElementStats(
+                    addr=addr,
+                    size=size,
+                    path=path,
+                    count=count,
+                    distances=tuple(sorted(hist.items())),
+                )
+            )
+        variables = tuple(
+            VariableDigest(name=name, elements=tuple(sorted(elems, key=lambda e: (e.addr, e.size))))
+            for name, elems in sorted(
+                by_var.items(), key=lambda kv: (kv[0] is None, kv[0] or "")
+            )
+        )
+        tele.add("cost.digest.records", n)
+        tele.add("cost.digest.elements", sum(len(v.elements) for v in variables))
+        return TraceDigest(records=n, variables=variables)

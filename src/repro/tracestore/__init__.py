@@ -21,6 +21,12 @@ from repro.tracestore.chain import (
     rules_id,
 )
 from repro.tracestore.delta import RuleDelta, rule_delta
+from repro.tracestore.digests import (
+    digest_for_commit,
+    get_digest,
+    has_digest,
+    put_digest,
+)
 from repro.tracestore.resim import ChainSimResult, simulate_chain, snapshot_id
 from repro.tracestore.store import TraceStore
 from repro.tracestore.transform import ApplyResult, apply_rules
@@ -44,8 +50,12 @@ __all__ = [
     "chunk_variables",
     "commit_id",
     "common_prefix_chunks",
+    "digest_for_commit",
     "encode_chunk",
+    "get_digest",
+    "has_digest",
     "incremental_job_fields",
+    "put_digest",
     "rule_delta",
     "rules_id",
     "simulate_chain",

@@ -228,11 +228,18 @@ def rule_delta(old_text: str, new_text: str) -> RuleDelta:
     }
     changed |= out_flips
 
-    reason = (
-        f"{len(added)} added, {len(removed)} removed, "
-        f"{len(modified)} modified rule(s); "
-        f"{len(changed)} variable(s) affected"
-    )
+    if not changed and not (added or removed or modified):
+        # Same per-variable bodies, same planned bases: the files differ
+        # only in rule order (or whitespace), which the chain analyzer
+        # (`lint.cost.chains.prove_reorder`) treats as a commutation
+        # proof — every chunk's transformation is unaffected.
+        reason = "rules reordered but equivalent: all planned bases preserved"
+    else:
+        reason = (
+            f"{len(added)} added, {len(removed)} removed, "
+            f"{len(modified)} modified rule(s); "
+            f"{len(changed)} variable(s) affected"
+        )
     return RuleDelta(
         changed=frozenset(changed),
         reason=reason,

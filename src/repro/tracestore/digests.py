@@ -1,0 +1,81 @@
+"""Content-addressed trace-digest cache inside a :class:`TraceStore`.
+
+The cost model's :class:`~repro.trace.digest.TraceDigest` is a pure
+function of a trace's record sequence, and a commit id *is* a content
+address of that sequence — so one digest per commit, cached under
+``<store>/digests/``, prices every candidate rule file ever evaluated
+against that trace.  The digest of a 100k-record trace takes one pass
+to build and a few kilobytes to keep; the advisor and ``tdst lint
+--cost`` both go through :func:`digest_for_commit` so repeated
+invocations never re-read the trace.
+
+Cache entries are plain canonical JSON (the digest's own serialization)
+written atomically; a version mismatch on read is treated as a miss and
+recomputed, so bumping ``DIGEST_VERSION`` invalidates stale entries
+without any migration step.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obsv.atomic import atomic_write
+from repro.obsv.telemetry import get_telemetry
+from repro.trace.digest import TraceDigest, compute_digest
+from repro.tracestore.chain import Commit
+from repro.tracestore.store import TraceStore
+
+DIGEST_SUFFIX = ".json"
+
+
+def digest_path(store: TraceStore, cid: str) -> Path:
+    """Where the digest for commit ``cid`` lives (fan-out like blobs)."""
+    return store.root / "digests" / cid[:2] / f"{cid}{DIGEST_SUFFIX}"
+
+
+def has_digest(store: TraceStore, cid: str) -> bool:
+    return digest_path(store, cid).exists()
+
+
+def put_digest(store: TraceStore, cid: str, digest: TraceDigest) -> Path:
+    """Cache one digest (atomic write; idempotent)."""
+    path = digest_path(store, cid)
+    if not path.exists():
+        with atomic_write(path) as handle:
+            handle.write(
+                json.dumps(digest.to_json(), sort_keys=True, separators=(",", ":"))
+            )
+        get_telemetry().add("tracestore.digest_saves", 1)
+    return path
+
+
+def get_digest(store: TraceStore, cid: str) -> Optional[TraceDigest]:
+    """Load a cached digest, or ``None`` on miss or version skew."""
+    path = digest_path(store, cid)
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        return TraceDigest.from_json(doc)
+    except (ValueError, KeyError, TypeError):
+        # Stale format version (or a corrupt entry): recompute.
+        return None
+
+
+def digest_for_commit(
+    store: TraceStore, commit: Union[str, Commit]
+) -> TraceDigest:
+    """The digest of a committed trace, computed at most once per store."""
+    tele = get_telemetry()
+    if isinstance(commit, str):
+        commit = store.resolve(commit)
+    cached = get_digest(store, commit.id)
+    if cached is not None:
+        tele.add("tracestore.digest_hits", 1)
+        return cached
+    tele.add("tracestore.digest_misses", 1)
+    digest = compute_digest(store.checkout(commit))
+    put_digest(store, commit.id, digest)
+    return digest

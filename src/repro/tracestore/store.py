@@ -63,7 +63,7 @@ class TraceStore:
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
-        for sub in ("blobs", "commits", "snaps", "refs"):
+        for sub in ("blobs", "commits", "snaps", "digests", "refs"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # -- addressing ----------------------------------------------------------
@@ -269,7 +269,7 @@ class TraceStore:
     def stats(self) -> Dict[str, int]:
         """Object counts and byte totals per area (for ``tdst log``)."""
         out: Dict[str, int] = {}
-        for area in ("blobs", "commits", "snaps"):
+        for area in ("blobs", "commits", "snaps", "digests"):
             files = [f for f in (self.root / area).rglob("*") if f.is_file()]
             out[area] = len(files)
             out[f"{area}_bytes"] = sum(f.stat().st_size for f in files)

@@ -13,7 +13,17 @@ rules —
   together sit together (greedy affinity clustering, hottest first);
 - each suggestion renders as **rule-file text** ready for
   :func:`repro.transform.rule_parser.parse_rules`, so the advisor's
-  output feeds straight back into the engine.
+  output feeds straight back into the engine;
+- :func:`generate_candidates` / :func:`rank_candidates` — enumerate a
+  candidate pool (identity, field orders at several affinity windows,
+  hot/cold splits at several thresholds), price every candidate with the
+  static cost model (:mod:`repro.lint.cost`), and rank by *simulated*
+  miss count — skipping the simulations the statics already decide:
+  candidates whose lower bound exceeds the best simulated count cannot
+  be top-1, and candidates whose canonical block streams coincide share
+  one simulation.  ``prune=False`` restores the simulate-everything
+  baseline (the CLI's ``--no-cost-prune``); both paths produce the same
+  top recommendation, which the ``cost`` test suite checks.
 
 The advisor works from the same information the paper's user reads off
 the modified-DineroIV output (per-variable counts, conflicts) — it simply
@@ -23,7 +33,7 @@ automates the reasoning.
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
@@ -244,3 +254,282 @@ def suggest_field_order(
         order=tuple(placed),
         affinity=dict(affinity),
     )
+
+
+# -- candidate generation and cost-ranked advice ------------------------------
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One rule file the advisor considers (empty text = keep layout)."""
+
+    label: str
+    rule_text: str
+    source: str
+
+    @property
+    def is_identity(self) -> bool:
+        return not self.rule_text.strip()
+
+
+@dataclass
+class RankedCandidate:
+    """A candidate with its static interval and (maybe) simulated count."""
+
+    candidate: Candidate
+    #: static miss interval from the cost model
+    interval: object
+    #: block-level miss count; exact for simulated candidates and for
+    #: members of a proven-equivalent class, else ``None`` (pruned)
+    misses: Optional[int] = None
+    #: True when this candidate itself went through the simulator
+    simulated: bool = False
+    #: why the simulation was skipped ("dominated", "equivalent:<label>")
+    pruned_by: Optional[str] = None
+    #: per-set conflict explanations from the cost report
+    explanations: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        tag = (
+            f"{self.misses} misses"
+            if self.misses is not None
+            else f"pruned ({self.pruned_by})"
+        )
+        sim = "simulated" if self.simulated else "static"
+        return (
+            f"{self.candidate.label}: {tag} [{sim}; interval "
+            f"{self.interval.describe()}]"
+        )
+
+
+@dataclass
+class AdvisorReport:
+    """Ranked advice for one trace and cache geometry."""
+
+    ranked: List[RankedCandidate] = field(default_factory=list)
+    #: candidates that actually hit the simulator
+    simulations: int = 0
+    #: candidate simulations avoided by static proofs
+    skipped: int = 0
+
+    @property
+    def top(self) -> RankedCandidate:
+        return self.ranked[0]
+
+    def lines(self) -> List[str]:
+        out = []
+        for i, rc in enumerate(self.ranked, 1):
+            out.append(f"{i}. {rc.describe()}")
+            for expl in rc.explanations:
+                out.append(f"     {expl}")
+        out.append(
+            f"({self.simulations} candidate(s) simulated, "
+            f"{self.skipped} skipped by static proofs)"
+        )
+        return out
+
+
+#: affinity windows tried for field-order candidates
+ORDER_WINDOWS = (4, 8, 16)
+#: usage-share thresholds tried for hot/cold splits
+COLD_THRESHOLDS = (0.1, 0.2, 0.35)
+
+
+def generate_candidates(
+    records: Sequence[TraceRecord],
+    variable: str,
+    layout: CType,
+    *,
+    windows: Sequence[int] = ORDER_WINDOWS,
+    cold_thresholds: Sequence[float] = COLD_THRESHOLDS,
+) -> List[Candidate]:
+    """Enumerate the advisor's candidate rule files for one variable.
+
+    Always includes the identity (keep the layout); adds one field-order
+    candidate per affinity window, declaration-reverse and usage-hottest
+    orders, and one hot/cold split per threshold that yields a split.
+    Candidates whose rule text the parser or the symbolic prover rejects
+    are dropped — advice is always sound.
+    """
+    struct = _struct_of(layout)
+    out: List[Candidate] = [Candidate("identity", "", "identity")]
+    seen_texts = {""}
+
+    def _push(label: str, text: str, source: str) -> None:
+        if text in seen_texts:
+            return
+        if _prover_rejects(text):
+            return
+        seen_texts.add(text)
+        out.append(Candidate(label, text, source))
+
+    for window in windows:
+        suggestion = suggest_field_order(
+            records, variable, layout, window=window
+        )
+        _push(
+            f"order:w{window}",
+            suggestion.rule_text(layout),
+            "field-order",
+        )
+    usage = field_usage(records, variable)
+    fields = list(struct.member_names())
+    hottest = FieldOrderSuggestion(
+        variable=variable,
+        order=tuple(
+            sorted(fields, key=lambda f: (-usage.get(f, 0), fields.index(f)))
+        ),
+        affinity={},
+    )
+    _push("order:hottest", hottest.rule_text(layout), "field-order")
+    reverse = FieldOrderSuggestion(
+        variable=variable, order=tuple(reversed(fields)), affinity={}
+    )
+    _push("order:reverse", reverse.rule_text(layout), "field-order")
+    for threshold in cold_thresholds:
+        split = suggest_hot_cold_split(
+            records, variable, layout, cold_threshold=threshold
+        )
+        if split is None:
+            continue
+        _push(
+            f"split:t{threshold:g}",
+            split.rule_text(layout),
+            "hot-cold",
+        )
+    return out
+
+
+def _prover_rejects(rule_text: str) -> bool:
+    """True when the rule-file lint (parser + symbolic prover) errors."""
+    if not rule_text.strip():
+        return False
+    from repro.lint.rules_lint import lint_rules_text
+
+    return not lint_rules_text(rule_text).ok
+
+
+def rank_candidates(
+    records: Sequence[TraceRecord],
+    candidates: Sequence[Candidate],
+    config,
+    *,
+    digest=None,
+    prune: bool = True,
+    arena_base: Optional[int] = None,
+) -> AdvisorReport:
+    """Rank candidates by simulated miss count, pruning statically.
+
+    With ``prune`` on, a candidate skips the simulator when
+
+    - its static lower bound exceeds the best simulated count so far
+      (it provably cannot be the top recommendation), or
+    - its canonical block stream equals an already-simulated candidate's
+      (it provably misses *exactly* as often; the count is shared).
+
+    Both proofs are one-sided, so pruning never changes the top-1:
+    the ``prune=False`` path simulates everything and must agree.
+    Candidates are processed best-static-bound first, which makes the
+    domination cutoff bite as early as possible.
+    """
+    import numpy as np
+
+    from repro.cache.fastsim import fast_trace_counts, supports_fast_path
+    from repro.lint.cost.chains import canonical_stream
+    from repro.lint.cost.model import evaluate_rules
+    from repro.obsv import get_telemetry
+    from repro.trace.digest import compute_digest
+    from repro.trace.record import AccessType
+    from repro.transform.engine import ARENA_BASE, transform_trace
+    from repro.transform.rules import RuleSet
+
+    base = ARENA_BASE if arena_base is None else arena_base
+    tele = get_telemetry()
+    if digest is None:
+        digest = compute_digest(records)
+
+    def _rules(c: Candidate):
+        from repro.transform.rule_parser import parse_rules
+
+        return RuleSet() if c.is_identity else parse_rules(c.rule_text)
+
+    def _simulate(c: Candidate) -> int:
+        rules = _rules(c)
+        out = records if c.is_identity else transform_trace(
+            records, rules, arena_base=base
+        ).trace
+        data = [r for r in out if r.op is not AccessType.MISC]
+        if not supports_fast_path(config):
+            from repro.cache.simulator import simulate
+
+            return int(simulate(data, config).stats.per_set.misses.sum())
+        addrs = np.array([r.addr for r in data], dtype=np.int64)
+        sizes = np.array([r.size for r in data], dtype=np.int64)
+        return int(fast_trace_counts(addrs, config, sizes).counts.misses)
+
+    entries: List[RankedCandidate] = []
+    for c in candidates:
+        cost = evaluate_rules(digest, _rules(c), config, arena_base=base)
+        entries.append(
+            RankedCandidate(
+                candidate=c,
+                interval=cost.interval,
+                explanations=tuple(cost.explain()),
+            )
+        )
+    # Best static prospects first so the domination cutoff tightens fast.
+    entries.sort(key=lambda e: (e.interval.lo, e.interval.hi, e.candidate.label))
+
+    streams: Dict[tuple, RankedCandidate] = {}
+    best: Optional[int] = None
+    report = AdvisorReport()
+    for entry in entries:
+        c = entry.candidate
+        if prune:
+            stream = canonical_stream(digest, _rules(c), config, arena_base=base)
+            if stream is not None and stream in streams:
+                twin = streams[stream]
+                entry.misses = twin.misses
+                entry.pruned_by = f"equivalent:{twin.candidate.label}"
+                report.skipped += 1
+                tele.add("cost.prune.equivalent")
+                continue
+            if best is not None and entry.interval.lo > best:
+                entry.pruned_by = "dominated"
+                report.skipped += 1
+                tele.add("cost.prune.dominated")
+                continue
+        else:
+            stream = None
+        entry.misses = _simulate(c)
+        entry.simulated = True
+        report.simulations += 1
+        tele.add("cost.prune.simulated")
+        if stream is not None:
+            streams[stream] = entry
+        if best is None or entry.misses < best:
+            best = entry.misses
+    # Final order: known miss counts first (ascending), pruned-dominated
+    # candidates after, by their static lower bound.
+    entries.sort(
+        key=lambda e: (
+            e.misses is None,
+            e.misses if e.misses is not None else e.interval.lo,
+            e.candidate.label,
+        )
+    )
+    report.ranked = entries
+    return report
+
+
+def advise(
+    records: Sequence[TraceRecord],
+    variable: str,
+    layout: CType,
+    config,
+    *,
+    prune: bool = True,
+) -> AdvisorReport:
+    """Generate, price, and rank candidates for one variable."""
+    candidates = generate_candidates(records, variable, layout)
+    return rank_candidates(records, candidates, config, prune=prune)

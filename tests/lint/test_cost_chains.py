@@ -1,0 +1,189 @@
+"""Rule-chain proofs: commutativity, idempotence, domination, equivalence.
+
+Every proof is one-sided (``holds=False`` means unproven), so each test
+checks both a case the prover must accept and a counterexample it must
+refuse.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.lint.cost import (
+    canonical_stream,
+    commuting_pairs,
+    evaluate_rules,
+    layout_equivalent,
+    prove_dominates,
+    prove_idempotent,
+    prove_reorder,
+)
+from repro.trace.digest import compute_digest
+from repro.tracer.interp import trace_program
+from repro.transform.paper_rules import paper_rule
+from repro.transform.rules import RuleSet
+from repro.workloads.paper_kernels import paper_kernel
+
+pytestmark = [pytest.mark.lint, pytest.mark.cost]
+
+LENGTH = 64
+
+
+def soa_rule(name, out, n=16):
+    return (
+        f"in:\nstruct {name} {{\n    int mX[{n}];\n    double mY[{n}];\n}};\n"
+        f"out:\nstruct {out} {{\n    int mX;\n    double mY;\n}}[{n}];\n"
+    )
+
+
+@pytest.fixture(scope="module")
+def digest_1a():
+    return compute_digest(trace_program(paper_kernel("1a", length=LENGTH)))
+
+
+class TestProveReorder:
+    def test_identical_files_commute(self):
+        text = soa_rule("lA", "lAoS") + soa_rule("lB", "lBoS")
+        proof = prove_reorder(text, text)
+        assert proof.holds
+        assert proof.kind == "commute"
+        assert bool(proof)
+
+    def test_reorder_that_moves_bases_is_refused(self):
+        # Swapping two allocating rules shifts both arena bases: the
+        # transformed traces differ, so the proof must not hold.
+        a, b = soa_rule("lA", "lAoS"), soa_rule("lB", "lBoS")
+        proof = prove_reorder(a + b, b + a)
+        assert not proof.holds
+        assert proof.details
+
+    def test_edited_rule_is_refused(self):
+        a = soa_rule("lA", "lAoS")
+        edited = soa_rule("lA", "lAoS", n=32)
+        proof = prove_reorder(a, edited)
+        assert not proof.holds
+
+
+class TestCommutingPairs:
+    def test_displacements_commute(self):
+        text = "displace:\nlA + 4096\nlB + 64\n"
+        pairs = commuting_pairs(text)
+        assert ("displace:lA+4096", "displace:lB+64") in pairs
+
+    def test_allocating_neighbours_do_not_commute(self):
+        text = soa_rule("lA", "lAoS") + soa_rule("lB", "lBoS")
+        assert commuting_pairs(text) == []
+
+    def test_allocating_rule_commutes_with_displacement(self):
+        text = soa_rule("lA", "lAoS") + "displace:\nlB + 64\n"
+        assert len(commuting_pairs(text)) == 1
+
+
+class TestProveIdempotent:
+    def test_target_rules_are_idempotent(self):
+        proof = prove_idempotent(soa_rule("lA", "lAoS"))
+        assert proof.holds
+
+    def test_renamed_displacement_is_idempotent(self):
+        proof = prove_idempotent("displace:\nlA + 64 as lShifted\n")
+        assert proof.holds
+
+    def test_bare_displacement_is_refused(self):
+        proof = prove_idempotent("displace:\nlA + 64\n")
+        assert not proof.holds
+        assert any("displacement" in d for d in proof.details)
+
+    def test_existing_inject_of_consumed_variable_is_refused(self):
+        text = (
+            "in:\nint lContiguousArray[16]:lHash;\n"
+            "out:\nint lHash[256((lI/8)*(16*8)+(lI%8))];\n"
+            "inject:\nL lI 4 x2 existing\n"
+            "in:\nint lI[4];\nout:\nint lI2[4];\n"
+        )
+        proof = prove_idempotent(text)
+        assert not proof.holds
+        assert any("lI" in d for d in proof.details)
+
+
+class TestProveDominates:
+    def test_identity_dominates_t1_on_kernel_1a(self, digest_1a):
+        config = CacheConfig.paper_direct_mapped()
+        proof = prove_dominates(
+            digest_1a, RuleSet(), paper_rule("t1", length=LENGTH), config
+        )
+        assert proof.holds
+        assert proof.kind == "dominates"
+
+    def test_dominance_is_not_symmetric(self, digest_1a):
+        config = CacheConfig.paper_direct_mapped()
+        proof = prove_dominates(
+            digest_1a, paper_rule("t1", length=LENGTH), RuleSet(), config
+        )
+        assert not proof.holds
+
+    def test_precomputed_reports_are_honoured(self, digest_1a):
+        config = CacheConfig.paper_direct_mapped()
+        rep_w = evaluate_rules(digest_1a, RuleSet(), config)
+        rep_l = evaluate_rules(
+            digest_1a, paper_rule("t1", length=LENGTH), config
+        )
+        proof = prove_dominates(
+            digest_1a, RuleSet(), paper_rule("t1", length=LENGTH), config,
+            reports=(rep_w, rep_l),
+        )
+        assert proof.holds == rep_w.interval.dominates(rep_l.interval)
+
+
+class TestLayoutEquivalence:
+    def test_field_order_swap_in_same_blocks_is_equivalent(self, digest_1a):
+        # (int, double) and (double, int) both pack one element into 16
+        # aligned bytes: every access lands in the same block either way.
+        config = CacheConfig.paper_direct_mapped()
+        a = (
+            f"in:\nstruct lSoA {{ int mX[{LENGTH}]; double mY[{LENGTH}]; }};\n"
+            f"out:\nstruct lAoS {{ int mX; double mY; }}[{LENGTH}];\n"
+        )
+        b = (
+            f"in:\nstruct lSoA {{ int mX[{LENGTH}]; double mY[{LENGTH}]; }};\n"
+            f"out:\nstruct lAoS {{ double mY; int mX; }}[{LENGTH}];\n"
+        )
+        proof = layout_equivalent(digest_1a, a, b, config)
+        assert proof.holds
+        assert canonical_stream(digest_1a, a, config) == canonical_stream(
+            digest_1a, b, config
+        )
+
+    def test_different_layouts_are_refused(self, digest_1a):
+        config = CacheConfig.paper_direct_mapped()
+        proof = layout_equivalent(
+            digest_1a, RuleSet(), paper_rule("t1", length=LENGTH), config
+        )
+        assert not proof.holds
+
+    def test_conservative_layout_returns_none(self, digest_1a):
+        config = CacheConfig.paper_direct_mapped()
+        t3 = paper_rule("t3", length=LENGTH)
+        assert canonical_stream(digest_1a, t3, config) is None
+        proof = layout_equivalent(digest_1a, t3, t3, config)
+        assert not proof.holds
+        assert "static" in proof.reason
+
+    def test_equivalence_predicts_equal_misses(self, digest_1a):
+        # The point of the proof: one simulation prices both candidates.
+        from repro.transform.engine import transform_trace
+
+        from tests.lint.costutils import true_block_misses
+
+        config = CacheConfig.paper_direct_mapped()
+        a = (
+            f"in:\nstruct lSoA {{ int mX[{LENGTH}]; double mY[{LENGTH}]; }};\n"
+            f"out:\nstruct lAoS {{ int mX; double mY; }}[{LENGTH}];\n"
+        )
+        b = (
+            f"in:\nstruct lSoA {{ int mX[{LENGTH}]; double mY[{LENGTH}]; }};\n"
+            f"out:\nstruct lAoS {{ double mY; int mX; }}[{LENGTH}];\n"
+        )
+        if layout_equivalent(digest_1a, a, b, config).holds:
+            trace = list(trace_program(paper_kernel("1a", length=LENGTH)))
+            ma = true_block_misses(transform_trace(trace, a).trace, config)
+            mb = true_block_misses(transform_trace(trace, b).trace, config)
+            assert ma == mb

@@ -1,0 +1,149 @@
+"""The ``--cost`` lint pass: TDST040-047 findings and the CLI surface."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cli import main
+from repro.lint.cost import lint_cost
+from repro.trace.digest import compute_digest
+from repro.trace.format import write_trace
+from repro.tracer.interp import trace_program
+from repro.transform.paper_rules import paper_rule
+from repro.workloads.paper_kernels import paper_kernel
+
+pytestmark = [pytest.mark.lint, pytest.mark.cost]
+
+LENGTH = 64
+
+T1_TEXT = f"""\
+in:
+struct lSoA {{
+    int mX[{LENGTH}];
+    double mY[{LENGTH}];
+}};
+out:
+struct lAoS {{
+    int mX;
+    double mY;
+}}[{LENGTH}];
+"""
+
+
+@pytest.fixture(scope="module")
+def digest_1a():
+    return compute_digest(trace_program(paper_kernel("1a", length=LENGTH)))
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestCostPass:
+    def test_interval_and_exactness_reported(self, digest_1a):
+        report = lint_cost(
+            T1_TEXT, digest_1a, [CacheConfig.paper_direct_mapped()]
+        )
+        assert "TDST040" in codes(report)
+        assert "TDST041" in codes(report)
+        assert report.ok  # cost findings alone never fail the file
+
+    def test_overflow_sets_flagged_on_tiny_cache(self, digest_1a):
+        tiny = CacheConfig(size=128, block_size=32, associativity=1)
+        report = lint_cost(T1_TEXT, digest_1a, [tiny])
+        assert "TDST042" in codes(report)
+        assert "TDST041" not in codes(report)
+
+    def test_overflow_diagnostics_are_capped(self, digest_1a):
+        from repro.lint.cost.lint import MAX_OVERFLOW_DIAGS
+
+        tiny = CacheConfig(size=128, block_size=32, associativity=1)
+        report = lint_cost(T1_TEXT, digest_1a, [tiny])
+        n = sum(1 for c in codes(report) if c == "TDST042")
+        assert n <= MAX_OVERFLOW_DIAGS + 1  # worst sets + one summary line
+
+    def test_conservative_constructs_flagged(self, digest_1a):
+        report = lint_cost(
+            paper_rule("t3", length=LENGTH),
+            digest_1a,
+            [CacheConfig.paper_direct_mapped()],
+        )
+        assert "TDST043" in codes(report)
+
+    def test_identity_domination_flagged(self, digest_1a):
+        # On kernel 1a the T1 AoS interleaving is strictly worse than
+        # leaving the SoA layout alone.
+        report = lint_cost(
+            T1_TEXT, digest_1a, [CacheConfig.paper_direct_mapped()]
+        )
+        assert "TDST046" in codes(report)
+
+    def test_dead_rule_flagged(self, digest_1a):
+        text = (
+            "in:\nstruct lGhost { int mX[8]; double mY[8]; };\n"
+            "out:\nstruct lGhostAoS { int mX; double mY; }[8];\n"
+        )
+        report = lint_cost(
+            text, digest_1a, [CacheConfig.paper_direct_mapped()]
+        )
+        assert "TDST047" in codes(report)
+
+    def test_commuting_and_idempotent_chain_facts(self, digest_1a):
+        text = T1_TEXT + "displace:\nlScalar + 4096 as lShifted\n"
+        report = lint_cost(
+            text, digest_1a, [CacheConfig.paper_direct_mapped()]
+        )
+        assert "TDST044" in codes(report)
+        assert "TDST045" in codes(report)
+
+    def test_multiple_configs_report_separately(self, digest_1a):
+        report = lint_cost(
+            T1_TEXT,
+            digest_1a,
+            [
+                CacheConfig.paper_direct_mapped(),
+                CacheConfig(size=1024, block_size=32, associativity=2),
+            ],
+        )
+        assert sum(1 for c in codes(report) if c == "TDST040") == 2
+
+
+class TestCliCost:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        path = tmp_path / "k1a.trace"
+        write_trace(trace_program(paper_kernel("1a", length=LENGTH)), path)
+        return path
+
+    @pytest.fixture
+    def rules_file(self, tmp_path):
+        path = tmp_path / "t1.rules"
+        path.write_text(T1_TEXT)
+        return path
+
+    def test_cost_requires_trace(self, rules_file, capsys):
+        assert main(["lint", "--cost", str(rules_file)]) == 2
+        assert "--trace" in capsys.readouterr().out
+
+    def test_cost_pass_reports_interval(self, rules_file, trace_file, capsys):
+        code = main(
+            ["lint", "--cost", "--trace", str(trace_file), str(rules_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TDST040" in out
+
+    def test_cost_pass_honours_cache_flags(
+        self, rules_file, trace_file, capsys
+    ):
+        main(
+            [
+                "lint", "--cost", "--trace", str(trace_file),
+                "--size", "128", "--block", "32", "--assoc", "1",
+                str(rules_file),
+            ]
+        )
+        assert "TDST042" in capsys.readouterr().out
+
+    def test_plain_lint_unaffected(self, rules_file, capsys):
+        assert main(["lint", str(rules_file)]) == 0
+        assert "TDST040" not in capsys.readouterr().out

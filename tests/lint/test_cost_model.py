@@ -1,0 +1,151 @@
+"""Golden soundness of the static cost model: paper kernels x paper rules.
+
+The one property everything else rests on: for every (program, rule
+file, geometry) triple, the true block-level miss count of the
+*transformed* trace lies inside the interval the evaluator predicts
+from the *original* trace's digest.  These are the deterministic golden
+triples; the randomized sweep lives in ``test_cost_soundness.py``.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.lint.cost import evaluate_rules
+from repro.trace.digest import compute_digest
+from repro.tracer.interp import trace_program
+from repro.transform.engine import transform_trace
+from repro.transform.paper_rules import paper_rule
+from repro.transform.rules import RuleSet
+from repro.workloads.paper_kernels import paper_kernel
+
+from tests.lint.costutils import true_block_misses
+
+pytestmark = [pytest.mark.lint, pytest.mark.cost]
+
+LENGTH = 64
+
+GEOMETRIES = [
+    CacheConfig.paper_direct_mapped(),
+    CacheConfig(size=1024, block_size=32, associativity=1),
+    CacheConfig(size=1024, block_size=32, associativity=2, policy="lru"),
+    CacheConfig(size=2048, block_size=64, associativity=4, policy="lru"),
+    CacheConfig(size=512, block_size=32, associativity=2, policy="fifo"),
+    CacheConfig.ppc440(),
+]
+
+
+def _rules(name):
+    if name == "identity":
+        return RuleSet()
+    return paper_rule(name, length=LENGTH)
+
+
+@pytest.mark.parametrize("kernel", ["1a", "1b", "2a", "2b", "3a"])
+@pytest.mark.parametrize("rule_name", ["identity", "t1", "t2", "t3"])
+@pytest.mark.parametrize("config", GEOMETRIES, ids=lambda c: c.describe())
+def test_true_misses_inside_interval(kernel, rule_name, config):
+    trace = list(trace_program(paper_kernel(kernel, length=LENGTH)))
+    rules = _rules(rule_name)
+    digest = compute_digest(trace)
+    report = evaluate_rules(digest, rules, config)
+    transformed = transform_trace(trace, rules)
+    true = true_block_misses(transformed.trace, config)
+    assert report.interval.contains(true), (
+        f"{kernel}/{rule_name}/{config.describe()}: true={true} outside "
+        f"{report.interval.describe()}"
+    )
+    if report.exact:
+        assert true == report.interval.lo
+
+
+class TestIntervalShape:
+    def test_t2_exact_on_kernel_1a(self):
+        trace = list(trace_program(paper_kernel("1a", length=LENGTH)))
+        digest = compute_digest(trace)
+        report = evaluate_rules(
+            digest, paper_rule("t2", length=LENGTH),
+            CacheConfig.paper_direct_mapped(),
+        )
+        assert report.exact
+        assert report.interval.lo == report.interval.hi
+
+    def test_t3_conservative_on_kernel_1a(self):
+        # T3's existing-variable injects replay records the digest
+        # cannot place statically: the interval must widen, not lie.
+        trace = list(trace_program(paper_kernel("1a", length=LENGTH)))
+        digest = compute_digest(trace)
+        report = evaluate_rules(
+            digest, paper_rule("t3", length=LENGTH),
+            CacheConfig.paper_direct_mapped(),
+        )
+        assert report.interval.conservative
+        assert report.reasons
+        assert not report.exact
+
+    def test_compulsory_floor(self):
+        # Lower bound can never drop below distinct touched blocks'
+        # compulsory misses under any layout: it is at least 1.
+        trace = list(trace_program(paper_kernel("1a", length=16)))
+        digest = compute_digest(trace)
+        report = evaluate_rules(digest, RuleSet(), CacheConfig.paper_direct_mapped())
+        assert report.interval.lo >= 1
+        assert report.interval.compulsory >= 1
+        assert report.interval.lo <= report.interval.hi
+
+    def test_events_upper_bound(self):
+        trace = list(trace_program(paper_kernel("2a", length=16)))
+        digest = compute_digest(trace)
+        report = evaluate_rules(digest, RuleSet(), CacheConfig.paper_direct_mapped())
+        assert report.interval.hi <= report.interval.events
+
+
+class TestExplanations:
+    def test_overflow_sets_are_reported(self):
+        # A tiny direct-mapped cache forces set overflows on kernel 2a.
+        trace = list(trace_program(paper_kernel("2a", length=64)))
+        digest = compute_digest(trace)
+        config = CacheConfig(size=128, block_size=32, associativity=1)
+        report = evaluate_rules(digest, RuleSet(), config)
+        assert report.overflow_sets
+        worst = report.overflow_sets[0]
+        assert worst.overflows
+        assert "set" in worst.describe()
+
+    def test_per_variable_attribution_sums_within_interval(self):
+        trace = list(trace_program(paper_kernel("1a", length=LENGTH)))
+        digest = compute_digest(trace)
+        report = evaluate_rules(digest, RuleSet(), CacheConfig.paper_direct_mapped())
+        lo_sum = sum(iv.lo for iv in report.per_variable.values())
+        hi_sum = sum(iv.hi for iv in report.per_variable.values())
+        assert lo_sum <= report.interval.lo
+        assert report.interval.hi <= hi_sum or not report.per_variable
+
+    def test_explain_is_readable(self):
+        trace = list(trace_program(paper_kernel("1a", length=16)))
+        digest = compute_digest(trace)
+        report = evaluate_rules(digest, RuleSet(), CacheConfig.paper_direct_mapped())
+        text = "\n".join(report.explain())
+        assert "misses" in text
+
+
+class TestIntervalAlgebra:
+    def test_contains_and_dominates(self):
+        from repro.lint.cost import MissInterval
+
+        a = MissInterval(lo=2, hi=4, events=10, compulsory=2,
+                         guaranteed_hits=6, conservative=False)
+        b = MissInterval(lo=5, hi=9, events=10, compulsory=2,
+                         guaranteed_hits=1, conservative=False)
+        assert a.contains(3) and not a.contains(5)
+        assert a.dominates(b) and not b.dominates(a)
+        assert not a.exact
+        assert a.width == 2
+
+    def test_exact_interval(self):
+        from repro.lint.cost import MissInterval
+
+        e = MissInterval(lo=7, hi=7, events=12, compulsory=7,
+                         guaranteed_hits=5, conservative=False)
+        assert e.exact
+        assert e.contains(7)
+        assert "exactly" in e.describe() or "7" in e.describe()

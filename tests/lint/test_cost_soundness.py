@@ -1,0 +1,152 @@
+"""Randomized soundness sweep: the true miss count is always in-interval.
+
+Three hypothesis-driven generators, each producing (program, rule file,
+geometry) triples and asserting the machine-checkable contract of
+:func:`repro.lint.cost.evaluate_rules`:
+
+    true_block_misses(transform(trace, rules), config)
+        in  evaluate_rules(digest(trace), rules, config).interval
+
+- random synthetic traces under the identity chain (arbitrary address
+  patterns, straddlers, anonymous records, X lines);
+- paper kernels under mutated seed rule files (the same mutation
+  operators as the differential lint gate);
+- paper kernels under random geometries for every paper rule.
+
+Together with the deterministic grid in ``test_cost_model.py`` this
+exceeds 200 checked triples per run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.ctypes_model.path import VariablePath
+from repro.lint.cost import evaluate_rules
+from repro.trace.digest import compute_digest
+from repro.trace.record import AccessType, TraceRecord
+from repro.tracer.interp import trace_program
+from repro.transform.engine import transform_trace
+from repro.transform.paper_rules import paper_rule
+from repro.transform.rule_parser import RuleError, parse_rules
+from repro.transform.rules import RuleSet
+from repro.verify.fuzz import SEED_RULES, mutate_text
+from repro.workloads.paper_kernels import paper_kernel
+
+from tests.lint.costutils import true_block_misses
+
+pytestmark = [pytest.mark.lint, pytest.mark.cost, pytest.mark.fuzz]
+
+
+geometries = st.builds(
+    CacheConfig,
+    size=st.sampled_from([256, 512, 1024, 4096, 32 * 1024]),
+    block_size=st.sampled_from([16, 32, 64]),
+    associativity=st.sampled_from([1, 2, 4]),
+    policy=st.sampled_from(["lru", "fifo", "round-robin"]),
+)
+
+_ops = st.sampled_from([AccessType.LOAD, AccessType.STORE, AccessType.MODIFY])
+
+
+@st.composite
+def synthetic_traces(draw):
+    """Random record streams: reuse, straddlers, X lines, anonymous."""
+    n_vars = draw(st.integers(1, 3))
+    pools = []
+    for v in range(n_vars):
+        base = draw(st.integers(0, 64)) * 8
+        n_elems = draw(st.integers(1, 6))
+        size = draw(st.sampled_from([1, 2, 4, 8, 16]))
+        stride = draw(st.sampled_from([size, size + 4, 32]))
+        name = f"v{v}"
+        pools.append(
+            [(base + i * stride, size, name) for i in range(n_elems)]
+        )
+    length = draw(st.integers(1, 60))
+    records = []
+    for _ in range(length):
+        if draw(st.integers(0, 9)) == 0:
+            records.append(
+                TraceRecord(op=AccessType.MISC, addr=0xFFFF, size=1)
+            )
+            continue
+        pool = draw(st.sampled_from(pools))
+        addr, size, name = draw(st.sampled_from(pool))
+        anonymous = draw(st.booleans())
+        records.append(
+            TraceRecord(
+                op=draw(_ops),
+                addr=addr,
+                size=size,
+                var=None if anonymous else VariablePath.parse(name),
+            )
+        )
+    return records
+
+
+@settings(max_examples=80, deadline=None)
+@given(records=synthetic_traces(), config=geometries)
+def test_identity_interval_contains_truth_on_random_traces(records, config):
+    digest = compute_digest(records)
+    report = evaluate_rules(digest, RuleSet(), config)
+    true = true_block_misses(records, config)
+    assert report.interval.contains(true), (
+        f"true={true} outside {report.interval.describe()}"
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seed=st.sampled_from(sorted(SEED_RULES)),
+    kernel=st.sampled_from(["1a", "2a", "3a"]),
+    choices=st.lists(
+        st.tuples(
+            st.integers(0, 4), st.integers(0, 10000), st.integers(0, 10000)
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    config=geometries,
+)
+def test_mutant_rules_interval_contains_truth(seed, kernel, choices, config):
+    text = SEED_RULES[seed]
+    for choice, pos, val in choices:
+        text = mutate_text(text, choice, pos, val)
+    try:
+        rules = parse_rules(text)
+    except RuleError:
+        return  # parser-rejected mutants carry no interval claim
+    trace = list(trace_program(paper_kernel(kernel, length=24)))
+    digest = compute_digest(trace)
+    try:
+        report = evaluate_rules(digest, rules, config)
+        transformed = transform_trace(trace, rules)
+    except Exception:
+        return  # engine-rejected mutants carry no interval claim
+    true = true_block_misses(transformed.trace, config)
+    assert report.interval.contains(true), (
+        f"{seed}/{kernel}: true={true} outside {report.interval.describe()}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kernel=st.sampled_from(["1a", "1b", "2a", "2b", "3a"]),
+    rule_name=st.sampled_from(["identity", "t1", "t2", "t3"]),
+    config=geometries,
+)
+def test_paper_rules_interval_contains_truth(kernel, rule_name, config):
+    rules = (
+        RuleSet() if rule_name == "identity" else paper_rule(rule_name, length=24)
+    )
+    trace = list(trace_program(paper_kernel(kernel, length=24)))
+    digest = compute_digest(trace)
+    report = evaluate_rules(digest, rules, config)
+    transformed = transform_trace(trace, rules)
+    true = true_block_misses(transformed.trace, config)
+    assert report.interval.contains(true), (
+        f"{kernel}/{rule_name}: true={true} outside "
+        f"{report.interval.describe()}"
+    )

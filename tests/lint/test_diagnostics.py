@@ -121,3 +121,51 @@ def test_summarize_wording():
     r.add(Diagnostic("TDST011", "w"))
     r.add(Diagnostic("TDST011", "w2"))
     assert summarize(r) == "1 error, 2 warnings in 1 file"
+
+
+class TestDeduplication:
+    """Regression: the same finding reported through two routes once."""
+
+    def test_add_skips_exact_duplicates(self):
+        r = LintReport()
+        r.add(Diagnostic("TDST011", "w", path="a.rules", line=3))
+        r.add(Diagnostic("TDST011", "w", path="a.rules", line=3))
+        assert len(r.diagnostics) == 1
+
+    def test_distinct_spans_are_kept(self):
+        r = LintReport()
+        r.add(Diagnostic("TDST011", "w", path="a.rules", line=3))
+        r.add(Diagnostic("TDST011", "w", path="a.rules", line=4))
+        r.add(Diagnostic("TDST011", "w", path="b.rules", line=3))
+        r.add(Diagnostic("TDST011", "other message", path="a.rules", line=3))
+        assert len(r.diagnostics) == 4
+
+    def test_extend_routes_through_dedupe(self):
+        a = LintReport()
+        a.add(Diagnostic("TDST001", "e", path="x.rules"))
+        b = LintReport()
+        b.add(Diagnostic("TDST001", "e", path="x.rules"))
+        b.add(Diagnostic("TDST011", "w", path="x.rules"))
+        a.extend(b)
+        assert len(a.diagnostics) == 2
+
+    def test_rule_file_shared_by_two_specs_reports_once(self, tmp_path):
+        # The original bug: each spec's recursive rule-file lint added
+        # the same finding again, so grids pointing at one rule file
+        # multiplied its diagnostics.
+        from repro.lint import lint_paths
+
+        (tmp_path / "bad.rules").write_text("in:\nint lA[8];\n")
+        spec = (
+            '[campaign]\nname = "{n}"\n\n'
+            "[[caches]]\nsize = 32768\nblock = 32\nassoc = 1\n\n"
+            '[[grid]]\nkernel = "1a"\nlength = 64\n'
+            'rules = ["file:bad.rules"]\n'
+        )
+        (tmp_path / "a.toml").write_text(spec.format(n="one"))
+        (tmp_path / "b.toml").write_text(spec.format(n="two"))
+        report = lint_paths([tmp_path / "a.toml", tmp_path / "b.toml"])
+        findings = [
+            d for d in report.diagnostics if d.code == "TDST001"
+        ]
+        assert len(findings) == 1

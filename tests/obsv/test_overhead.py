@@ -4,15 +4,16 @@ The instrumented entry points (``fast_trace_counts``, the transform
 engine) delegate to their private uninstrumented bodies when the
 registry is disabled, so the only admissible cost is one registry lookup
 and one attribute test per call.  This regression test pins that
-contract: median of three interleaved runs over a 50k-record stream,
+contract: minimum of five interleaved runs over a 50k-record stream,
 within 5% of the uninstrumented baseline (plus a 2 ms absolute slack so
-micro-jitter on fast kernels cannot flake CI).
+micro-jitter on fast kernels cannot flake CI).  Minimum, not median:
+scheduler/allocator noise only ever *inflates* a sample, so the fastest
+observation of each side is the closest to its true cost.
 """
 
 from __future__ import annotations
 
 import gc
-import statistics
 import time
 
 import numpy as np
@@ -31,7 +32,7 @@ pytestmark = pytest.mark.obsv
 N_RECORDS = 50_000
 RELATIVE_TOLERANCE = 1.05
 ABSOLUTE_SLACK_S = 0.002
-REPEATS = 3
+REPEATS = 5
 
 
 def _timed(fn) -> float:
@@ -48,16 +49,16 @@ def _timed(fn) -> float:
         gc.enable()
 
 
-def _median_pair(baseline_fn, instrumented_fn, repeats=REPEATS):
-    """Median seconds of each function, sampled interleaved (fairer than
-    back-to-back blocks under CPU frequency drift)."""
+def _min_pair(baseline_fn, instrumented_fn, repeats=REPEATS):
+    """Best-observed seconds of each function, sampled interleaved
+    (fairer than back-to-back blocks under CPU frequency drift)."""
     base, inst = [], []
     baseline_fn()  # warm caches/allocators once, untimed
     instrumented_fn()
     for _ in range(repeats):
         base.append(_timed(baseline_fn))
         inst.append(_timed(instrumented_fn))
-    return statistics.median(base), statistics.median(inst)
+    return min(base), min(inst)
 
 
 def _assert_within_tolerance(base_s: float, inst_s: float, what: str) -> None:
@@ -85,7 +86,7 @@ def test_fast_simulation_overhead_when_disabled():
     var_ids = (addrs >> 14).astype(np.int64) % 3
     config = CacheConfig(size=32768, block_size=32, associativity=4, policy="lru")
 
-    base_s, inst_s = _median_pair(
+    base_s, inst_s = _min_pair(
         lambda: _fast_trace_counts(addrs, config, sizes, var_ids),
         lambda: fast_trace_counts(addrs, config, sizes, var_ids),
     )
@@ -98,7 +99,7 @@ def test_transform_engine_overhead_when_disabled():
     assert len(trace) >= N_RECORDS * 0.9
     rules = paper_rule("t1", length=6000)
 
-    base_s, inst_s = _median_pair(
+    base_s, inst_s = _min_pair(
         lambda: TransformEngine(rules)._transform(trace),
         lambda: TransformEngine(rules).transform(trace),
     )

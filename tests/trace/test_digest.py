@@ -1,0 +1,115 @@
+"""One-pass trace digest: element identities, reuse distances, serialization."""
+
+import pytest
+
+from repro.ctypes_model.path import VariablePath
+from repro.trace.digest import (
+    DIGEST_VERSION,
+    TraceDigest,
+    compute_digest,
+)
+from repro.trace.record import AccessType, TraceRecord
+from repro.tracer.interp import trace_program
+from repro.workloads.paper_kernels import paper_kernel
+
+
+def rec(addr, size=4, var=None, op=AccessType.LOAD):
+    return TraceRecord(
+        op=op,
+        addr=addr,
+        size=size,
+        var=VariablePath.parse(var) if var else None,
+    )
+
+
+class TestElementStats:
+    def test_counts_and_distances(self):
+        # a b a c a  ->  a reused twice, each time over one intervening
+        # distinct element (b, then c).
+        records = [
+            rec(0, var="a"),
+            rec(4, var="b"),
+            rec(0, var="a"),
+            rec(8, var="c"),
+            rec(0, var="a"),
+        ]
+        digest = compute_digest(records)
+        a = digest.variable("a").elements[0]
+        assert a.count == 3
+        assert a.distances == ((1, 2),)
+        assert a.reuses == 2
+        assert a.reuses_within(2) == 2
+        assert a.reuses_within(1) == 0  # strictly below the bound
+
+    def test_distinct_sizes_are_distinct_elements(self):
+        records = [rec(0, size=4, var="a"), rec(0, size=8, var="a")]
+        digest = compute_digest(records)
+        assert len(digest.variable("a").elements) == 2
+        assert digest.distinct_elements == 2
+
+    def test_first_touches_excluded_from_distances(self):
+        digest = compute_digest([rec(0, var="a"), rec(4, var="a")])
+        for e in digest.variable("a").elements:
+            assert e.distances == ()
+            assert e.reuses == 0
+
+    def test_anonymous_records_digest_under_none(self):
+        digest = compute_digest([rec(0), rec(0)])
+        assert digest.variable(None) is not None
+        assert digest.variable_names == ()
+        assert digest.variable(None).elements[0].path is None
+
+
+class TestMiscHandling:
+    def test_misc_records_are_skipped(self):
+        # Every simulator skips X lines; the digest must line up.
+        data = [rec(0, var="a"), rec(0, var="a")]
+        with_misc = [data[0], rec(0x999, op=AccessType.MISC), data[1]]
+        assert (
+            compute_digest(with_misc).variable("a")
+            == compute_digest(data).variable("a")
+        )
+
+    def test_misc_does_not_widen_reuse_distance(self):
+        records = [
+            rec(0, var="a"),
+            rec(0x999, op=AccessType.MISC),
+            rec(0, var="a"),
+        ]
+        a = compute_digest(records).variable("a").elements[0]
+        assert a.distances == ((0, 1),)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        trace = trace_program(paper_kernel("1a", length=32))
+        digest = compute_digest(trace)
+        clone = TraceDigest.from_json(digest.to_json())
+        assert clone == digest
+        assert clone.digest_id() == digest.digest_id()
+
+    def test_version_skew_rejected(self):
+        doc = compute_digest([rec(0, var="a")]).to_json()
+        doc["version"] = DIGEST_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            TraceDigest.from_json(doc)
+
+    def test_digest_id_is_content_addressed(self):
+        d1 = compute_digest([rec(0, var="a"), rec(4, var="b")])
+        d2 = compute_digest([rec(0, var="a"), rec(4, var="b")])
+        d3 = compute_digest([rec(0, var="a"), rec(8, var="b")])
+        assert d1.digest_id() == d2.digest_id()
+        assert d1.digest_id() != d3.digest_id()
+
+
+class TestVariableDigest:
+    def test_blocks_cover_straddlers(self):
+        digest = compute_digest([rec(30, size=8, var="a")])
+        assert digest.variable("a").blocks(32) == (0, 1)
+
+    def test_accesses_total(self):
+        trace = trace_program(paper_kernel("1a", length=16))
+        digest = compute_digest(trace)
+        data = [r for r in trace if r.op is not AccessType.MISC]
+        assert digest.accesses == len(data)
+        assert digest.records == len(list(trace))

@@ -108,3 +108,33 @@ class TestConservativeDegradation:
         d = rule_delta(EXISTING_INJECT, edited)
         assert d.conservative
         assert "existing" in d.reason
+
+
+class TestReorderEquivalence:
+    """Reordered-but-equivalent files: the commutation proof's delta side."""
+
+    def test_displacement_reorder_changes_nothing(self):
+        # Displacements allocate nothing, so any order plans the same
+        # (empty) base map: the delta proves the reorder free.
+        a = "displace:\nlA + 4096\n"
+        b = "displace:\nlB + 64\n"
+        d = rule_delta(a + b, b + a)
+        assert not d.conservative
+        assert d.changed == frozenset()
+        assert "reordered" in d.reason
+        assert not d.affects(["lA", "lB"])
+
+    def test_reorder_reason_matches_chain_prover(self):
+        from repro.lint.cost import prove_reorder
+
+        a = "displace:\nlA + 4096\n"
+        b = "displace:\nlB + 64\n"
+        proof = prove_reorder(a + b, b + a)
+        assert proof.holds
+        assert "reordered" in proof.reason
+
+    def test_base_shifting_reorder_still_counts_as_changed(self):
+        swapped = soa_rule("lB", "lBoS") + soa_rule("lA", "lAoS")
+        d = rule_delta(TWO_RULES, swapped)
+        assert d.changed, "swapping allocating rules moves both bases"
+        assert "reordered" not in d.reason
